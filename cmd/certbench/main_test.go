@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+// TestExperimentsQuickSmoke runs every experiment in quick mode; the
+// experiments contain their own agreement assertions (panic via must on
+// internal errors), so completing without panic is the test.
+func TestExperimentsQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still run seconds of work")
+	}
+	ctx := &benchCtx{quick: true}
+	for _, e := range []struct {
+		name string
+		run  func(*benchCtx)
+	}{
+		{"E1", runE1}, {"E2", runE2}, {"E3", runE3}, {"E4", runE4},
+		{"E5", runE5}, {"E6", runE6}, {"E7", runE7}, {"E8", runE8},
+		{"E9", runE9}, {"E10", runE10}, {"E11", runE11}, {"E12", runE12}, {"E13", runE13},
+	} {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked: %v", e.name, r)
+				}
+			}()
+			e.run(ctx)
+		})
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := splitLines("a\nb\n"); len(got) != 2 || got[0] != "a" {
+		t.Errorf("splitLines = %v", got)
+	}
+	if got := splitLines("a"); len(got) != 1 {
+		t.Errorf("splitLines without newline = %v", got)
+	}
+	if got := indent("x\ny\n"); got != "  x\n  y\n" {
+		t.Errorf("indent = %q", got)
+	}
+	if got := ms(1500000); got != "1.500ms" {
+		t.Errorf("ms = %q", got)
+	}
+}

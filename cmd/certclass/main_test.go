@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+func TestFamilyQuery(t *testing.T) {
+	cases := map[string]int{
+		"q0": 2, "q1": 4, "conference": 2, "terminal": 7, "open": 3,
+		"C3": 3, "c4": 4, "AC3": 4, "ac5": 6,
+	}
+	for name, atoms := range cases {
+		q, err := familyQuery(name)
+		if err != nil {
+			t.Errorf("familyQuery(%q): %v", name, err)
+			continue
+		}
+		if q.Len() != atoms {
+			t.Errorf("familyQuery(%q) has %d atoms, want %d", name, q.Len(), atoms)
+		}
+	}
+	for _, bad := range []string{"", "zzz", "C1", "AC1", "Cx"} {
+		if _, err := familyQuery(bad); err == nil {
+			t.Errorf("familyQuery(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLoadQuery(t *testing.T) {
+	q, err := loadQuery("", "", []string{"R(x | y)"})
+	if err != nil || q.Len() != 1 {
+		t.Errorf("inline query: %v %v", q, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.cq")
+	os.WriteFile(path, []byte("R(x | y), S(y | z)"), 0o644)
+	q, err = loadQuery(path, "", nil)
+	if err != nil || q.Len() != 2 {
+		t.Errorf("file query: %v %v", q, err)
+	}
+	if _, err := loadQuery("", "", nil); err == nil {
+		t.Error("no input should fail")
+	}
+	if _, err := loadQuery(filepath.Join(dir, "missing"), "", nil); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := loadQuery("", "", []string{"R(x"}); err == nil {
+		t.Error("bad syntax should fail")
+	}
+}
+
+func TestReportFOQuery(t *testing.T) {
+	var b strings.Builder
+	if err := report(&b, cq.MustParseQuery("R(x | y), S(y | z)")); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"first-order expressible",
+		"certain FO rewriting",
+		"as SQL",
+		"attacks:",
+		"safe (Dalvi–Ré–Suciu): false",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportStrongCycle(t *testing.T) {
+	var b strings.Builder
+	if err := report(&b, cq.Q1()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"coNP-complete", "strong", "R ↝ S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportUnsupported(t *testing.T) {
+	var b strings.Builder
+	// A cyclic hypergraph that is neither C(k) nor safe.
+	q := cq.MustParseQuery("R(x, y | a), S(y, z | b), T(z, x | c)")
+	if err := report(&b, q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "unsupported") {
+		t.Errorf("expected unsupported classification:\n%s", b.String())
+	}
+}
+
+func TestEmitDOT(t *testing.T) {
+	if err := emitDOT(cq.Q1(), "attack"); err != nil {
+		t.Errorf("attack DOT: %v", err)
+	}
+	if err := emitDOT(cq.Q1(), "jointree"); err != nil {
+		t.Errorf("jointree DOT: %v", err)
+	}
+	if err := emitDOT(cq.Q1(), "zzz"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := emitDOT(cq.Ck(3), "attack"); err == nil {
+		t.Error("cyclic query has no attack graph")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	rep := buildJSONReport(cq.Q1())
+	if rep.Class == "" || rep.Unsupported != "" || rep.InP {
+		t.Errorf("q1 report: %+v", rep)
+	}
+	if len(rep.Attacks) != 7 || len(rep.Cycles) != 3 || len(rep.Atoms) != 4 {
+		t.Errorf("q1 structure: %d attacks, %d cycles, %d atoms",
+			len(rep.Attacks), len(rep.Cycles), len(rep.Atoms))
+	}
+	strong := 0
+	for _, a := range rep.Attacks {
+		if a.Kind == "strong" {
+			strong++
+		}
+	}
+	if strong != 1 {
+		t.Errorf("q1 has exactly one strong attack, got %d", strong)
+	}
+	fo := buildJSONReport(cq.MustParseQuery("R(x | y), S(y | z)"))
+	if fo.Rewriting == "" || fo.SQL == "" || !fo.InP {
+		t.Errorf("FO report missing rewriting: %+v", fo)
+	}
+	// Cyclic-safe query: rewriting via Theorem 6.
+	cs := buildJSONReport(cq.MustParseQuery("R(w | x, y), S(w | y, z), T(w | z, x)"))
+	if cs.Rewriting == "" || cs.Acyclic {
+		t.Errorf("cyclic-safe report: %+v", cs)
+	}
+	bad := buildJSONReport(cq.MustParseQuery("R(x, y | a), S(y, z | b), T(z, x | c)"))
+	if bad.Unsupported == "" {
+		t.Errorf("unsupported report: %+v", bad)
+	}
+	var b strings.Builder
+	if err := emitJSON(&b, cq.Q1()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"class\"") {
+		t.Errorf("JSON output: %s", b.String())
+	}
+}

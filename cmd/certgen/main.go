@@ -1,0 +1,80 @@
+// Command certgen emits generated uncertain databases in the textual
+// format, for use with certsolve and certbench.
+//
+// Usage:
+//
+//	certgen -kind conference                   # the Fig. 1 database
+//	certgen -kind figure6                      # the Fig. 6 database
+//	certgen -kind random -query 'R(x|y), S(y|x)' -embeddings 5 -noise 3 -domain 4 -seed 1
+//	certgen -kind cycle -k 3 -components 2 -width 2 -encode all
+//	certgen -kind q0 -n 5 -block 2 -domain 3 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+func main() {
+	kind := flag.String("kind", "", "workload: conference, figure6, random, cycle, q0")
+	query := flag.String("query", "", "query for -kind random")
+	embeddings := flag.Int("embeddings", 3, "random: embeddings inserted")
+	noise := flag.Int("noise", 2, "random: noise facts per relation")
+	domain := flag.Int("domain", 3, "random/q0: domain size")
+	seed := flag.Int64("seed", 1, "random seed")
+	k := flag.Int("k", 3, "cycle: k")
+	components := flag.Int("components", 1, "cycle: number of strong components")
+	width := flag.Int("width", 2, "cycle: parallel values per position")
+	encode := flag.String("encode", "aligned", "cycle: S_k contents: all, aligned, none")
+	n := flag.Int("n", 4, "q0: number of R0 blocks")
+	block := flag.Int("block", 2, "q0: block size")
+	flag.Parse()
+
+	out, err := generate(*kind, *query, *embeddings, *noise, *domain, *seed,
+		*k, *components, *width, *encode, *n, *block)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "certgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func generate(kind, query string, embeddings, noise, domain int, seed int64,
+	k, components, width int, encode string, n, block int) (string, error) {
+	switch kind {
+	case "conference":
+		return gen.ConferenceDB().String(), nil
+	case "figure6":
+		return gen.Figure6DB().String(), nil
+	case "random":
+		if query == "" {
+			return "", fmt.Errorf("-kind random requires -query")
+		}
+		q, err := cq.ParseQuery(query)
+		if err != nil {
+			return "", err
+		}
+		d := gen.RandomDB(q, gen.Config{Embeddings: embeddings, Noise: noise, Domain: domain}, seed)
+		return d.String(), nil
+	case "cycle":
+		cfg := gen.CycleConfig{K: k, Components: components, Width: width}
+		switch encode {
+		case "all":
+			cfg.EncodeAll = true
+		case "aligned":
+		case "none":
+			cfg.SkipSk = true
+		default:
+			return "", fmt.Errorf("unknown -encode %q (want all, aligned, none)", encode)
+		}
+		return gen.CycleDB(cfg).String(), nil
+	case "q0":
+		return gen.Q0DB(n, block, domain, seed).String(), nil
+	default:
+		return "", fmt.Errorf("unknown -kind %q", kind)
+	}
+}

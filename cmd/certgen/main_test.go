@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+func gen1(t *testing.T, kind, query string, k, comps, width int, encode string) string {
+	t.Helper()
+	out, err := generate(kind, query, 3, 2, 3, 1, k, comps, width, encode, 4, 2)
+	if err != nil {
+		t.Fatalf("generate(%s): %v", kind, err)
+	}
+	return out
+}
+
+func TestGenerateKinds(t *testing.T) {
+	conf := gen1(t, "conference", "", 3, 1, 2, "aligned")
+	if !strings.Contains(conf, "C(PODS, 2016 | Rome)") {
+		t.Errorf("conference output:\n%s", conf)
+	}
+	fig6 := gen1(t, "figure6", "", 3, 1, 2, "aligned")
+	if !strings.Contains(fig6, "S3(") {
+		t.Errorf("figure6 output:\n%s", fig6)
+	}
+	rnd := gen1(t, "random", "R(x | y), S(y | x)", 3, 1, 2, "aligned")
+	if _, err := db.Parse(rnd); err != nil {
+		t.Errorf("random output not parseable: %v", err)
+	}
+	for _, enc := range []string{"all", "aligned", "none"} {
+		out := gen1(t, "cycle", "", 3, 2, 2, enc)
+		d, err := db.Parse(out)
+		if err != nil {
+			t.Fatalf("cycle output not parseable: %v", err)
+		}
+		hasSk := len(d.FactsOf("S3")) > 0
+		if (enc == "none") == hasSk {
+			t.Errorf("encode=%s: S3 presence wrong", enc)
+		}
+	}
+	q0 := gen1(t, "q0", "", 3, 1, 2, "aligned")
+	d, err := db.Parse(q0)
+	if err != nil || len(d.FactsOf("R0")) == 0 {
+		t.Errorf("q0 output: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []struct {
+		kind, query, encode string
+	}{
+		{"", "", "aligned"},
+		{"zzz", "", "aligned"},
+		{"random", "", "aligned"},    // missing query
+		{"random", "R(x", "aligned"}, // bad query
+		{"cycle", "", "zzz"},         // bad encode
+	}
+	for _, c := range cases {
+		if _, err := generate(c.kind, c.query, 1, 1, 2, 1, 3, 1, 1, c.encode, 2, 2); err == nil {
+			t.Errorf("generate(%q,%q,%q) should fail", c.kind, c.query, c.encode)
+		}
+	}
+}
+
+// TestGenerateRoundTripsThroughSolver: generated output feeds certsolve's
+// input path.
+func TestGenerateRoundTripsThroughSolver(t *testing.T) {
+	out := gen1(t, "cycle", "", 3, 1, 1, "all")
+	d, err := db.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBlocks() == 0 {
+		t.Error("empty generation")
+	}
+}

@@ -1,0 +1,156 @@
+// Command certsolve decides CERTAINTY(q): whether every repair of an
+// uncertain database satisfies a Boolean conjunctive query.
+//
+// Usage:
+//
+//	certsolve -q 'C(x, y | "Rome"), R(x | "A")' -d db.txt
+//	certsolve -qf query.cq -d db.txt -method auto -witness
+//
+// The database file holds one fact per line, e.g. C(PODS, 2016 | Rome).
+// Methods: auto (classifier dispatch, default), brute (repair
+// enumeration), falsify (pruned search). With -witness, a falsifying
+// repair is printed when the instance is not certain. With -count, the
+// number of satisfying repairs (♯CERTAINTY) is printed too.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/answers"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/prob"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+func main() {
+	queryText := flag.String("q", "", "query text")
+	queryFile := flag.String("qf", "", "query file")
+	dbFile := flag.String("d", "", "database file (one fact per line); '-' for stdin")
+	method := flag.String("method", "auto", "decision method: auto, brute, falsify")
+	witness := flag.Bool("witness", false, "print a falsifying repair when not certain")
+	count := flag.Bool("count", false, "also print the number of satisfying repairs")
+	free := flag.String("answers", "", "comma-separated free variables: compute certain/possible answers instead of the Boolean decision")
+	timeout := flag.Duration("timeout", 0, "abort the falsifying-repair search after this duration (0 = no limit; applies to -method falsify)")
+	flag.Parse()
+
+	if err := run(*queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "certsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration) error {
+	var q cq.Query
+	var err error
+	switch {
+	case queryText != "":
+		q, err = cq.ParseQuery(queryText)
+	case queryFile != "":
+		var data []byte
+		data, err = os.ReadFile(queryFile)
+		if err == nil {
+			q, err = cq.ParseQuery(string(data))
+		}
+	default:
+		return fmt.Errorf("provide -q or -qf")
+	}
+	if err != nil {
+		return err
+	}
+
+	if dbFile == "" {
+		return fmt.Errorf("provide -d database file")
+	}
+	var data []byte
+	if dbFile == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(dbFile)
+	}
+	if err != nil {
+		return err
+	}
+	d, err := db.Parse(string(data))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("database: %d facts in %d blocks, %v repairs\n",
+		d.Len(), d.NumBlocks(), d.NumRepairs())
+
+	if free != "" {
+		vars := strings.Split(free, ",")
+		for i := range vars {
+			vars[i] = strings.TrimSpace(vars[i])
+		}
+		res, err := answers.Certain(q, vars, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("free variables: %v\n", res.Free)
+		fmt.Printf("certain answers (%d):\n", len(res.Certain))
+		for _, a := range res.Certain {
+			fmt.Printf("  %v\n", []string(a))
+		}
+		fmt.Printf("possible answers (%d):\n", len(res.Possible))
+		for _, a := range res.Possible {
+			fmt.Printf("  %v\n", []string(a))
+		}
+		return nil
+	}
+
+	var certain bool
+	switch method {
+	case "auto":
+		res, err := solver.Solve(q, d)
+		if err != nil {
+			return err
+		}
+		certain = res.Certain
+		fmt.Printf("class: %s\n", res.Classification.Class)
+		fmt.Printf("method: %s\n", res.Method)
+	case "brute":
+		certain = solver.BruteForce(q, d)
+		fmt.Printf("method: %s\n", solver.MethodBruteForce)
+	case "falsify":
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			_, found, err := solver.FalsifyingRepairContext(ctx, q, d)
+			if err != nil {
+				return fmt.Errorf("search aborted: %w", err)
+			}
+			certain = !found
+		} else {
+			certain = solver.CertainByFalsifying(q, d)
+		}
+		fmt.Printf("method: %s\n", solver.MethodFalsifying)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	fmt.Printf("certain: %v\n", certain)
+
+	if witness && !certain {
+		rep, found := solver.FalsifyingRepair(q, d)
+		if found {
+			fmt.Println("falsifying repair:")
+			for _, f := range rep {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+	if count {
+		n := prob.CountSatisfyingRepairs(q, d)
+		fmt.Printf("satisfying repairs: %v of %v\n", n, d.NumRepairs())
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const confDB = `
+C(PODS, 2016 | Rome)
+C(PODS, 2016 | Paris)
+C(KDD, 2017 | Rome)
+R(PODS | A)
+R(KDD | A)
+R(KDD | B)
+`
+
+func TestRunMethods(t *testing.T) {
+	dbPath := writeTemp(t, "db.txt", confDB)
+	for _, method := range []string{"auto", "brute", "falsify"} {
+		if err := run("C(x, y | 'Rome'), R(x | 'A')", "", dbPath, method, true, true, "", 0); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	dbPath := writeTemp(t, "db.txt", confDB)
+	qPath := writeTemp(t, "q.cq", "R(x | 'A')")
+	if err := run("", qPath, dbPath, "auto", false, false, "", 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunAnswers(t *testing.T) {
+	dbPath := writeTemp(t, "db.txt", confDB)
+	if err := run("R(x | r)", "", dbPath, "auto", false, false, "x, r", 0); err != nil {
+		t.Error(err)
+	}
+	if err := run("R(x | r)", "", dbPath, "auto", false, false, "zzz", 0); err == nil {
+		t.Error("bad free variable should fail")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	dbPath := writeTemp(t, "db.txt", confDB)
+	// Generous timeout: completes normally.
+	if err := run("C(x, y | 'Rome'), R(x | 'A')", "", dbPath, "falsify", false, false, "", time.Second); err != nil {
+		t.Errorf("generous timeout: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dbPath := writeTemp(t, "db.txt", confDB)
+	if err := run("", "", dbPath, "auto", false, false, "", 0); err == nil {
+		t.Error("missing query should fail")
+	}
+	if err := run("R(x | y)", "", "", "auto", false, false, "", 0); err == nil {
+		t.Error("missing db should fail")
+	}
+	if err := run("R(x", "", dbPath, "auto", false, false, "", 0); err == nil {
+		t.Error("bad query should fail")
+	}
+	if err := run("R(x | y)", "", dbPath, "zzz", false, false, "", 0); err == nil {
+		t.Error("bad method should fail")
+	}
+	if err := run("R(x | y)", "", "/nonexistent/db", "auto", false, false, "", 0); err == nil {
+		t.Error("missing db file should fail")
+	}
+	badDB := writeTemp(t, "bad.txt", "R(x |")
+	if err := run("R(x | y)", "", badDB, "auto", false, false, "", 0); err == nil {
+		t.Error("bad db syntax should fail")
+	}
+	if err := run("", "/nonexistent/q", dbPath, "auto", false, false, "", 0); err == nil {
+		t.Error("missing query file should fail")
+	}
+}

@@ -1,0 +1,64 @@
+// Conference planning under uncertainty: the paper's introduction scenario
+// (Fig. 1) explored in depth — repairs, per-repair answers, certainty of a
+// family of queries, and how cleaning one block changes the verdicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	certainty "github.com/cqa-go/certainty"
+)
+
+func main() {
+	d := certainty.ConferenceDB()
+	fmt.Println("conference database (primary keys: C[conf,year], R[conf]):")
+	fmt.Print(d)
+	fmt.Printf("repairs: %v\n\n", d.NumRepairs())
+
+	queries := []struct {
+		text string
+		why  string
+	}{
+		{"C(x, y | 'Rome'), R(x | 'A')", "Will Rome host some A conference?"},
+		{"C(x, y | 'Rome')", "Will Rome host some conference?"},
+		{"R('KDD' | 'A')", "Is KDD an A conference?"},
+		{"R('PODS' | 'A')", "Is PODS an A conference?"},
+		{"C('PODS', y | 'Paris')", "Will PODS take place in Paris?"},
+	}
+	for _, entry := range queries {
+		q, err := certainty.ParseQuery(entry.text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := certainty.Solve(q, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat := certainty.CountSatisfyingRepairs(q, d)
+		possible := certainty.Eval(q, d)
+		fmt.Printf("%-42s %s\n", entry.why, entry.text)
+		fmt.Printf("  possible (some repair): %-5v  certain (every repair): %-5v  holds in %v/%v repairs\n",
+			possible, res.Certain, sat, d.NumRepairs())
+	}
+
+	// Clean the PODS-2016 block: keep Rome. The Rome query becomes certain.
+	fmt.Println("\nafter cleaning the PODS 2016 block (keep Rome):")
+	clean := d.Restrict(func(f certainty.Fact) bool {
+		return !(f.Rel == "C" && f.Args[0] == "PODS" && f.Args[2] == "Paris")
+	})
+	q := certainty.ConferenceQuery()
+	res, err := certainty.Solve(q, clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  certain(%s): %v\n", q, res.Certain)
+
+	// Probabilistic view (Section 7): uniform repair semantics.
+	p := certainty.Uniform(d)
+	pr, err := certainty.Probability(q, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuniform BID probability of the Rome query: %v\n", pr)
+}

@@ -1,0 +1,77 @@
+// Probabilistic databases (Section 7): BID databases, the IsSafe test, the
+// polynomial safe-plan evaluation of PROBABILITY(q), the Proposition 1
+// bridge to CERTAINTY(q), and exact repair counting (♯CERTAINTY).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	certainty "github.com/cqa-go/certainty"
+)
+
+func main() {
+	// A sensor-fusion scenario: two sources disagree about device
+	// locations; readings carry confidences that sum to at most 1 per
+	// block (leftover mass = "no reading survives").
+	p := certainty.NewProbDB()
+	add := func(f certainty.Fact, num, den int64) {
+		if err := p.Add(f, big.NewRat(num, den)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Loc(device | room): key = device.
+	add(certainty.NewFact("Loc", 1, "d1", "lab"), 2, 3)
+	add(certainty.NewFact("Loc", 1, "d1", "office"), 1, 3)
+	add(certainty.NewFact("Loc", 1, "d2", "lab"), 1, 2)
+	// Status(device | state): key = device.
+	add(certainty.NewFact("Status", 1, "d1", "on"), 1, 1)
+	add(certainty.NewFact("Status", 1, "d2", "on"), 3, 4)
+
+	// "Is some device in the lab and on?"
+	q, err := certainty.ParseQuery("Loc(x | 'lab'), Status(x | 'on')")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("q = %s\n", q)
+	fmt.Printf("safe (Dalvi–Ré–Suciu): %v\n", certainty.IsSafe(q))
+
+	pr, err := certainty.Probability(q, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pr(q) by safe plan:          %v = %s\n", pr, pr.FloatString(6))
+	slow := certainty.ProbabilityByWorlds(q, p)
+	fmt.Printf("Pr(q) by world enumeration:  %v (agree: %v)\n", slow, pr.Cmp(slow) == 0)
+
+	// Proposition 1: Pr(q) = 1 iff the blocks of total mass 1 certainly
+	// satisfy q.
+	fmt.Printf("Pr(q) = 1: %v\n", pr.Cmp(big.NewRat(1, 1)) == 0)
+
+	// An unsafe query: the safe plan refuses; world enumeration (or the
+	// CERTAINTY solvers) still answer, at exponential cost.
+	unsafe := certainty.MustParseQuery("R(x | y), S(y | z)")
+	fmt.Printf("\nq' = %s: safe = %v", unsafe, certainty.IsSafe(unsafe))
+	if _, err := certainty.Probability(unsafe, p); err != nil {
+		fmt.Printf(" (safe plan refuses: PROBABILITY(q') is ♯P-hard)\n")
+	}
+	// Yet CERTAINTY(q') is first-order expressible — the frontiers differ.
+	cls, err := certainty.Classify(unsafe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("while CERTAINTY(q') is %s\n", cls.Class)
+
+	// Counting repairs: ♯CERTAINTY under uniform repair semantics.
+	d := certainty.ConferenceDB()
+	cq := certainty.ConferenceQuery()
+	count := certainty.CountSatisfyingRepairs(cq, d)
+	viaUniform, err := certainty.CountViaUniform(cq, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFig. 1 database: query holds in %v of %v repairs (safe-plan count: %v)\n",
+		count, d.NumRepairs(), viaUniform)
+	fmt.Printf("uniform probability: %v\n", certainty.ProbabilityByWorlds(cq, certainty.Uniform(d)))
+}

@@ -1,0 +1,39 @@
+package certainty_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end and checks a
+// signature line of its output — the examples double as integration tests.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn go run subprocesses")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "certain: false"},
+		{"./examples/conference", "holds in 3/4 repairs"},
+		{"./examples/cyclequeries", "certain: false (Fig. 7 exhibits falsifying repairs)"},
+		{"./examples/probabilistic", "Pr(q) by safe plan"},
+		{"./examples/rewriting", "C(2) rewriting with x1 free succeeds"},
+		{"./examples/datacleaning", "certain   Ada"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/cqa-go/certainty
+
+go 1.22

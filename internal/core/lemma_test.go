@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+// TestQuickLemma5 checks Lemma 5 on random acyclic queries: substituting a
+// constant for a variable (1) preserves acyclicity, (2) creates no new
+// attacks, and (3) keeps weak attacks weak.
+func TestQuickLemma5(t *testing.T) {
+	f := func(seed uint32) bool {
+		q := randomAcyclicQuery(seed)
+		g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			return true
+		}
+		vars := q.Vars().Sorted()
+		if len(vars) == 0 {
+			return true
+		}
+		z := vars[int(seed)%len(vars)]
+		qs := q.Substitute(cq.Valuation{z: "c°"})
+		// (1) q[z↦c] is acyclic.
+		gs, err := BuildAttackGraph(qs, jointree.TieBreakLex)
+		if err != nil {
+			t.Logf("%s: substitution broke acyclicity: %v", q, err)
+			return false
+		}
+		for i := 0; i < q.Len(); i++ {
+			for j := 0; j < q.Len(); j++ {
+				if i == j || !gs.Attacks(i, j) {
+					continue
+				}
+				// (2) every attack of q[z↦c] is an attack of q.
+				if !g.Attacks(i, j) {
+					t.Logf("%s: new attack (%d,%d) after substituting %s", q, i, j, z)
+					return false
+				}
+				// (3) if the original attack is weak, so is the new one.
+				if g.IsWeak(i, j) && !gs.IsWeak(i, j) {
+					t.Logf("%s: weak attack (%d,%d) became strong after substituting %s", q, i, j, z)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma7OnTerminalFamilies checks Lemma 7 on the terminal-cycle
+// families: when every atom lies on a terminal cycle, (1) a variable in
+// two distinct cycles is in the key of every atom of those cycles, and
+// (2) weak attacks F ↝ G satisfy key(G) ⊆ vars(F).
+func TestLemma7OnTerminalFamilies(t *testing.T) {
+	queries := []cq.Query{cq.TerminalCyclesBaseQuery()}
+	for n := 1; n <= 4; n++ {
+		queries = append(queries, gen.TerminalPairsQuery(n, false))
+	}
+	for _, q := range queries {
+		g, err := BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := g.TerminalWeakCycles()
+		inCycle := make(map[int]int) // atom → cycle index
+		for ci, c := range cycles {
+			inCycle[c.F] = ci
+			inCycle[c.G] = ci
+		}
+		if len(inCycle) != q.Len() {
+			t.Fatalf("%s: not all atoms on cycles", q)
+		}
+		// (1) cross-cycle variables are key variables everywhere they occur
+		// in cycle atoms.
+		varCycles := make(map[string]map[int]bool)
+		for i, a := range q.Atoms {
+			for v := range a.Vars() {
+				if varCycles[v] == nil {
+					varCycles[v] = make(map[int]bool)
+				}
+				varCycles[v][inCycle[i]] = true
+			}
+		}
+		for v, cs := range varCycles {
+			if len(cs) < 2 {
+				continue
+			}
+			for i, a := range q.Atoms {
+				if cs[inCycle[i]] && a.HasVar(v) && !a.KeyVars().Has(v) {
+					t.Errorf("%s: cross-cycle variable %s outside key of %s", q, v, a.Rel)
+				}
+			}
+		}
+		// (2) weak attacks have key(G) ⊆ vars(F).
+		for i := 0; i < q.Len(); i++ {
+			for j := 0; j < q.Len(); j++ {
+				if i != j && g.Attacks(i, j) && g.IsWeak(i, j) {
+					if !q.Atoms[j].KeyVars().SubsetOf(q.Atoms[i].Vars()) {
+						t.Errorf("%s: weak attack %s ↝ %s violates Lemma 7(2)",
+							q, q.Atoms[i].Rel, q.Atoms[j].Rel)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDOTOutputs sanity-checks the Graphviz renderings.
+func TestDOTOutputs(t *testing.T) {
+	g, err := BuildAttackGraph(cq.Q1(), jointree.TieBreakLex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph attack", "strong", "->", "R(u | 'a', x)"} {
+		if !contains(dot, want) {
+			t.Errorf("attack DOT missing %q:\n%s", want, dot)
+		}
+	}
+	jt := g.Tree.DOT()
+	for _, want := range []string{"graph jointree", "--", "label"} {
+		if !contains(jt, want) {
+			t.Errorf("join tree DOT missing %q:\n%s", want, jt)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

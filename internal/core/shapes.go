@@ -1,0 +1,123 @@
+package core
+
+import (
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// CycleShape describes a query matching C(k) or AC(k) of Definition 8 up to
+// renaming of relations and variables: binary [2,1] atoms forming a single
+// variable cycle, optionally plus one all-key atom over exactly the cycle
+// variables.
+type CycleShape struct {
+	K int
+	// CycleAtoms[i] is the index in Q.Atoms of the atom R with
+	// R(v_i | v_{i+1 mod K}).
+	CycleAtoms []int
+	// Vars[i] is the variable at cycle position i.
+	Vars []string
+	// SkAtom is the index of the all-key atom, or -1 for C(k).
+	SkAtom int
+	// SkPositions maps argument positions of the Sk atom to cycle
+	// positions: the j-th argument of Sk is Vars[SkPositions[j]].
+	SkPositions []int
+}
+
+// MatchCycleShape recognizes C(k) (withSk=false) and AC(k) (withSk=true)
+// queries up to renaming. The match is purely structural: k >= 2, the
+// binary atoms form one elementary cycle over k distinct variables, and for
+// AC(k) the extra atom is all-key of arity k mentioning each cycle variable
+// exactly once.
+func MatchCycleShape(q cq.Query, withSk bool) (*CycleShape, bool) {
+	if q.HasSelfJoin() {
+		return nil, false
+	}
+	var binary []int
+	skAtom := -1
+	for i, a := range q.Atoms {
+		switch {
+		case a.Arity() == 2 && a.KeyLen == 1 && a.Args[0].IsVar() && a.Args[1].IsVar() && a.Args[0] != a.Args[1]:
+			binary = append(binary, i)
+		case a.AllKey():
+			if skAtom >= 0 {
+				return nil, false // at most one Sk atom
+			}
+			skAtom = i
+		default:
+			return nil, false
+		}
+	}
+	k := len(binary)
+	if k < 2 {
+		return nil, false
+	}
+	if withSk != (skAtom >= 0) {
+		return nil, false
+	}
+
+	// The binary atoms must form a single cycle: each variable occurs
+	// exactly once as a key and once as a non-key.
+	nextVar := make(map[string]string, k) // key var → non-key var
+	atomByKeyVar := make(map[string]int, k)
+	for _, i := range binary {
+		a := q.Atoms[i]
+		kv, nv := a.Args[0].Value, a.Args[1].Value
+		if _, dup := nextVar[kv]; dup {
+			return nil, false
+		}
+		nextVar[kv] = nv
+		atomByKeyVar[kv] = i
+	}
+	if len(nextVar) != k {
+		return nil, false
+	}
+	// Walk the cycle from the smallest-index binary atom.
+	start := q.Atoms[binary[0]].Args[0].Value
+	vars := make([]string, 0, k)
+	atoms := make([]int, 0, k)
+	v := start
+	for range binary {
+		idx, ok := atomByKeyVar[v]
+		if !ok {
+			return nil, false
+		}
+		vars = append(vars, v)
+		atoms = append(atoms, idx)
+		v = nextVar[v]
+	}
+	if v != start || len(vars) != k {
+		return nil, false
+	}
+	seen := make(map[string]bool, k)
+	for _, x := range vars {
+		if seen[x] {
+			return nil, false
+		}
+		seen[x] = true
+	}
+
+	shape := &CycleShape{K: k, CycleAtoms: atoms, Vars: vars, SkAtom: skAtom}
+	if skAtom >= 0 {
+		sk := q.Atoms[skAtom]
+		if sk.Arity() != k {
+			return nil, false
+		}
+		pos := make(map[string]int, k)
+		for i, x := range vars {
+			pos[x] = i
+		}
+		used := make(map[string]bool, k)
+		shape.SkPositions = make([]int, k)
+		for j, t := range sk.Args {
+			if t.IsConst {
+				return nil, false
+			}
+			p, ok := pos[t.Value]
+			if !ok || used[t.Value] {
+				return nil, false
+			}
+			used[t.Value] = true
+			shape.SkPositions[j] = p
+		}
+	}
+	return shape, true
+}

@@ -1,0 +1,151 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is an R-atom R(s1,...,sn) where the first KeyLen arguments form the
+// primary key of relation R (the signature [n,k] of the paper, with
+// n = len(Args) and k = KeyLen).
+type Atom struct {
+	Rel    string
+	KeyLen int
+	Args   []Term
+}
+
+// NewAtom builds an atom, panicking on an invalid signature. Construction
+// bugs are programming errors, not runtime conditions, hence the panic.
+func NewAtom(rel string, keyLen int, args ...Term) Atom {
+	a := Atom{Rel: rel, KeyLen: keyLen, Args: args}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Validate checks the signature constraint n >= k >= 1 (all-key atoms of
+// arity 0 are ruled out by the paper's definition).
+func (a Atom) Validate() error {
+	if a.Rel == "" {
+		return fmt.Errorf("cq: atom with empty relation name")
+	}
+	if a.KeyLen < 1 || a.KeyLen > len(a.Args) {
+		return fmt.Errorf("cq: atom %s has invalid signature [%d,%d]", a.Rel, len(a.Args), a.KeyLen)
+	}
+	return nil
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// AllKey reports whether the atom's signature is [n,n].
+func (a Atom) AllKey() bool { return a.KeyLen == len(a.Args) }
+
+// KeyArgs returns the primary-key arguments (the underlined x̄).
+func (a Atom) KeyArgs() []Term { return a.Args[:a.KeyLen] }
+
+// NonKeyArgs returns the remaining arguments (ȳ).
+func (a Atom) NonKeyArgs() []Term { return a.Args[a.KeyLen:] }
+
+// KeyVars returns key(F): the set of variables occurring in the primary key.
+func (a Atom) KeyVars() VarSet {
+	s := make(VarSet)
+	for _, t := range a.KeyArgs() {
+		if t.IsVar() {
+			s.Add(t.Value)
+		}
+	}
+	return s
+}
+
+// Vars returns vars(F): the set of variables occurring anywhere in the atom.
+func (a Atom) Vars() VarSet {
+	s := make(VarSet)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			s.Add(t.Value)
+		}
+	}
+	return s
+}
+
+// HasVar reports whether the variable occurs in the atom.
+func (a Atom) HasVar(name string) bool {
+	for _, t := range a.Args {
+		if t.IsVar() && t.Value == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGround reports whether the atom contains no variables (i.e., is a fact
+// pattern).
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitute returns the atom with every variable in v replaced by its
+// image; other terms are unchanged.
+func (a Atom) Substitute(v Valuation) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = v.Apply(t)
+	}
+	return Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
+}
+
+// Rename returns the atom with variables renamed by the given mapping;
+// variables not in the map are unchanged.
+func (a Atom) Rename(m map[string]string) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			if n, ok := m[t.Value]; ok {
+				args[i] = Var(n)
+				continue
+			}
+		}
+		args[i] = t
+	}
+	return Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
+}
+
+// Equal reports structural equality of two atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Rel != b.Rel || a.KeyLen != b.KeyLen || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom as R(x, y | z) with the key left of the bar; an
+// all-key atom renders without a bar.
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			if i == a.KeyLen {
+				b.WriteString(" | ")
+			} else {
+				b.WriteString(", ")
+			}
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

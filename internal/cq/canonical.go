@@ -1,0 +1,63 @@
+package cq
+
+import "sort"
+
+// Canonicalize returns a structurally canonical form of a self-join-free
+// query: atoms sorted by relation name and variables renamed v1, v2, ... in
+// first-occurrence order over the sorted atoms. Two self-join-free queries
+// that differ only in atom order and variable names canonicalize
+// identically, making the result usable as a cache or dedup key. The
+// mapping from old to new variable names is returned alongside.
+//
+// For queries with self-joins the canonical form is still deterministic
+// and semantics-preserving, but isomorphic queries are not guaranteed to
+// collide (atom order among same-relation atoms follows the rendered
+// argument order, not a graph-isomorphism search).
+func Canonicalize(q Query) (Query, map[string]string) {
+	atoms := make([]Atom, len(q.Atoms))
+	copy(atoms, q.Atoms)
+	sort.SliceStable(atoms, func(i, j int) bool {
+		if atoms[i].Rel != atoms[j].Rel {
+			return atoms[i].Rel < atoms[j].Rel
+		}
+		return atoms[i].String() < atoms[j].String()
+	})
+	rename := make(map[string]string)
+	next := 0
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		args := make([]Term, len(a.Args))
+		for j, t := range a.Args {
+			if t.IsConst {
+				args[j] = t
+				continue
+			}
+			nv, ok := rename[t.Value]
+			if !ok {
+				next++
+				nv = canonicalVarName(next)
+				rename[t.Value] = nv
+			}
+			args[j] = Var(nv)
+		}
+		out[i] = Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
+	}
+	return Query{Atoms: out}, rename
+}
+
+func canonicalVarName(i int) string {
+	// v1, v2, ... — a namespace unlikely to collide with user constants
+	// and stable across runs.
+	digits := []byte{}
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return "v" + string(digits)
+}
+
+// CanonicalKey returns a string key identifying the canonical form.
+func CanonicalKey(q Query) string {
+	c, _ := Canonicalize(q)
+	return c.String()
+}

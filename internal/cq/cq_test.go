@@ -1,0 +1,391 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	if got := Var("x").String(); got != "x" {
+		t.Errorf("Var(x).String() = %q", got)
+	}
+	if got := Const("a").String(); got != "'a'" {
+		t.Errorf("Const(a).String() = %q", got)
+	}
+	if got := Const("it's").String(); got != `'it\'s'` {
+		t.Errorf("Const escaping = %q", got)
+	}
+	if !Var("x").IsVar() || Const("a").IsVar() {
+		t.Error("IsVar misclassifies")
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	a := NewVarSet("x", "y")
+	b := NewVarSet("y", "z")
+	if got := a.Intersect(b); !got.Equal(NewVarSet("y")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(NewVarSet("x", "y", "z")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewVarSet("x")) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !NewVarSet().SubsetOf(a) {
+		t.Error("empty set must be subset of anything")
+	}
+	if a.SubsetOf(b) {
+		t.Error("{x,y} is not a subset of {y,z}")
+	}
+	if got := a.String(); got != "{x, y}" {
+		t.Errorf("String = %q", got)
+	}
+	c := a.Clone()
+	c.Add("w")
+	if a.Has("w") {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestValuation(t *testing.T) {
+	v := Valuation{"x": "a"}
+	if got := v.Apply(Var("x")); got != Const("a") {
+		t.Errorf("Apply bound var = %v", got)
+	}
+	if got := v.Apply(Var("y")); got != Var("y") {
+		t.Errorf("Apply unbound var = %v", got)
+	}
+	if got := v.Apply(Const("c")); got != Const("c") {
+		t.Errorf("Apply const = %v", got)
+	}
+	v2 := v.Bind("y", "b")
+	if _, ok := v["y"]; ok {
+		t.Error("Bind must not mutate the receiver")
+	}
+	if v2["y"] != "b" || v2["x"] != "a" {
+		t.Errorf("Bind result = %v", v2)
+	}
+	if !v.AgreesWith(v2) || !v2.AgreesWith(v) {
+		t.Error("AgreesWith should hold on compatible valuations")
+	}
+	v3 := Valuation{"x": "z"}
+	if v.AgreesWith(v3) {
+		t.Error("AgreesWith should fail on conflicting valuations")
+	}
+	r := v2.Restrict(NewVarSet("y"))
+	if len(r) != 1 || r["y"] != "b" {
+		t.Errorf("Restrict = %v", r)
+	}
+}
+
+func TestAtomAccessors(t *testing.T) {
+	a := NewAtom("R", 2, Var("x"), Const("c"), Var("y"), Var("x"))
+	if a.Arity() != 4 || a.AllKey() {
+		t.Errorf("arity/allkey wrong: %v", a)
+	}
+	if !a.KeyVars().Equal(NewVarSet("x")) {
+		t.Errorf("KeyVars = %v", a.KeyVars())
+	}
+	if !a.Vars().Equal(NewVarSet("x", "y")) {
+		t.Errorf("Vars = %v", a.Vars())
+	}
+	if !a.HasVar("y") || a.HasVar("z") {
+		t.Error("HasVar wrong")
+	}
+	if a.IsGround() {
+		t.Error("atom with vars reported ground")
+	}
+	g := a.Substitute(Valuation{"x": "1", "y": "2"})
+	if !g.IsGround() {
+		t.Errorf("substituted atom not ground: %v", g)
+	}
+	if g.Args[0] != Const("1") || g.Args[3] != Const("1") {
+		t.Errorf("repeated variable not substituted consistently: %v", g)
+	}
+	if got := a.String(); got != "R(x, 'c' | y, x)" {
+		t.Errorf("String = %q", got)
+	}
+	allKey := NewAtom("S", 2, Var("x"), Var("y"))
+	if got := allKey.String(); got != "S(x, y)" {
+		t.Errorf("all-key String = %q", got)
+	}
+}
+
+func TestAtomValidate(t *testing.T) {
+	bad := []Atom{
+		{Rel: "", KeyLen: 1, Args: []Term{Var("x")}},
+		{Rel: "R", KeyLen: 0, Args: []Term{Var("x")}},
+		{Rel: "R", KeyLen: 2, Args: []Term{Var("x")}},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("Validate(%v) should fail", a)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewAtom should panic on invalid signature")
+			}
+		}()
+		NewAtom("R", 0, Var("x"))
+	}()
+}
+
+func TestAtomRename(t *testing.T) {
+	a := NewAtom("R", 1, Var("x"), Var("y"), Const("c"))
+	r := a.Rename(map[string]string{"x": "z"})
+	if r.Args[0] != Var("z") || r.Args[1] != Var("y") || r.Args[2] != Const("c") {
+		t.Errorf("Rename = %v", r)
+	}
+}
+
+func TestQueryBasics(t *testing.T) {
+	q := Q1()
+	if q.Len() != 4 || q.IsEmpty() {
+		t.Fatalf("Q1 should have 4 atoms")
+	}
+	if !q.Vars().Equal(NewVarSet("u", "x", "y", "z")) {
+		t.Errorf("Vars(q1) = %v", q.Vars())
+	}
+	if _, ok := q.Constants()["a"]; !ok {
+		t.Error("q1 should contain constant a")
+	}
+	if q.HasSelfJoin() {
+		t.Error("q1 has no self-join")
+	}
+	sj := Query{Atoms: []Atom{
+		NewAtom("R", 1, Var("x"), Var("y")),
+		NewAtom("R", 1, Var("y"), Var("x")),
+	}}
+	if !sj.HasSelfJoin() {
+		t.Error("self-join not detected")
+	}
+	if _, ok := q.AtomByRel("S"); !ok {
+		t.Error("AtomByRel(S) failed")
+	}
+	if _, ok := q.AtomByRel("ZZZ"); ok {
+		t.Error("AtomByRel(ZZZ) should fail")
+	}
+	w := q.Without(0)
+	if w.Len() != 3 {
+		t.Errorf("Without: %v", w)
+	}
+	if _, ok := w.AtomByRel("R"); ok {
+		t.Error("Without(0) should drop R")
+	}
+	if q.Len() != 4 {
+		t.Error("Without must not mutate receiver")
+	}
+}
+
+func TestQueryValidateSignatureConflict(t *testing.T) {
+	q := Query{Atoms: []Atom{
+		NewAtom("R", 1, Var("x"), Var("y")),
+		NewAtom("R", 2, Var("x"), Var("y")),
+	}}
+	if err := q.Validate(); err == nil {
+		t.Error("conflicting signatures for R should be rejected")
+	}
+}
+
+func TestQuerySubstituteClone(t *testing.T) {
+	q := Q0()
+	s := q.Substitute(Valuation{"x": "1"})
+	if s.Vars().Has("x") {
+		t.Error("substituted variable still present")
+	}
+	if !q.Vars().Has("x") {
+		t.Error("Substitute mutated receiver")
+	}
+	c := q.Clone()
+	c.Atoms[0].Args[0] = Const("zzz")
+	if q.Atoms[0].Args[0] != Var("x") {
+		t.Error("Clone aliases receiver")
+	}
+}
+
+func TestQueryEqualAsSet(t *testing.T) {
+	a := MustParseQuery("R(x|y), S(y|x)")
+	b := MustParseQuery("S(y|x), R(x|y)")
+	if !a.EqualAsSet(b) {
+		t.Error("EqualAsSet should ignore order")
+	}
+	if a.Equal(b) {
+		t.Error("Equal is order-sensitive")
+	}
+	c := MustParseQuery("R(x|y)")
+	if a.EqualAsSet(c) || c.EqualAsSet(a) {
+		t.Error("EqualAsSet on different sets")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	q := MustParseQuery("R(x|y), S(y|z), T(w|v), U(v|w2)")
+	comps := q.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("expected 2 components, got %d: %v", len(comps), comps)
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[2] {
+		t.Errorf("expected two components of size 2: %v", comps)
+	}
+	ground := MustParseQuery("R('a'|'b'), S('c'|'d')")
+	if got := ground.ConnectedComponents(); len(got) != 2 {
+		t.Errorf("ground atoms must be singleton components: %v", got)
+	}
+}
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	cases := []string{
+		"R(x, y | z)",
+		"R(x | y), S(y | x)",
+		"C(x, y | 'Rome'), R(x | 'A')",
+		"S3(x1, x2, x3)",
+		"R(u, 'a' | x), S(y | x, z), T(x | y), P(x | z)",
+		"N(1, -2 | 3.5)",
+	}
+	for _, in := range cases {
+		q, err := ParseQuery(in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", in, err)
+		}
+		q2, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", in, q.String(), err)
+		}
+		if !q.Equal(q2) {
+			t.Errorf("round trip %q -> %q -> %q", in, q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseQueryNewlinesAndComments(t *testing.T) {
+	q, err := ParseQuery("# conference db query\nC(x, y | 'Rome')\nR(x | 'A')  # rank\n")
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	if q.Len() != 2 {
+		t.Errorf("expected 2 atoms, got %d", q.Len())
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		"R(x",
+		"R(x | y | z)",
+		"R()",
+		"R(x,)",
+		"(x)",
+		"R(x) S", // relation without parens
+		"R('unterminated)",
+		"R(x y)",
+		"R(| x)",
+		"$(x)",
+	}
+	for _, in := range bad {
+		if _, err := ParseQuery(in); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseQuotedEscapes(t *testing.T) {
+	q, err := ParseQuery(`R('it\'s', 'a\\b' | x)`)
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	a := q.Atoms[0]
+	if a.Args[0] != Const("it's") || a.Args[1] != Const(`a\b`) {
+		t.Errorf("escapes wrong: %v", a.Args)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	q1 := Q1()
+	if got := q1.String(); !strings.Contains(got, "R(u | 'a', x)") {
+		t.Errorf("Q1 rendering: %q", got)
+	}
+	q0 := Q0()
+	if q0.Atoms[1].KeyLen != 2 || q0.Atoms[1].Arity() != 3 {
+		t.Errorf("S0 signature wrong: %v", q0.Atoms[1])
+	}
+	for k := 2; k <= 5; k++ {
+		c := Ck(k)
+		if c.Len() != k {
+			t.Errorf("C(%d) has %d atoms", k, c.Len())
+		}
+		ac := ACk(k)
+		if ac.Len() != k+1 {
+			t.Errorf("AC(%d) has %d atoms", k, ac.Len())
+		}
+		last := ac.Atoms[k]
+		if !last.AllKey() || last.Arity() != k {
+			t.Errorf("S%d must be all-key of arity %d: %v", k, k, last)
+		}
+		if ac.HasSelfJoin() || c.HasSelfJoin() {
+			t.Error("families must be self-join-free")
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Ck(1) should panic")
+			}
+		}()
+		Ck(1)
+	}()
+	tq := TerminalCyclesQuery()
+	if tq.Len() != 7 {
+		t.Errorf("TerminalCyclesQuery has %d atoms", tq.Len())
+	}
+	if TerminalCyclesBaseQuery().Len() != 6 {
+		t.Error("base query should drop R0")
+	}
+	if ConferenceQuery().Len() != 2 {
+		t.Error("conference query should have 2 atoms")
+	}
+}
+
+// Property: printing then parsing any generated query is the identity.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	names := []string{"x", "y", "z", "u", "v"}
+	consts := []string{"a", "b", "it's", `back\slash`}
+	f := func(seed uint32) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			return int(r>>16) % n
+		}
+		numAtoms := 1 + next(4)
+		atoms := make([]Atom, 0, numAtoms)
+		for i := 0; i < numAtoms; i++ {
+			arity := 1 + next(4)
+			args := make([]Term, arity)
+			for j := range args {
+				if next(3) == 0 {
+					args[j] = Const(consts[next(len(consts))])
+				} else {
+					args[j] = Var(names[next(len(names))])
+				}
+			}
+			atoms = append(atoms, Atom{
+				Rel:    "R" + string(rune('A'+i)),
+				KeyLen: 1 + next(arity),
+				Args:   args,
+			})
+		}
+		q := Query{Atoms: atoms}
+		q2, err := ParseQuery(q.String())
+		if err != nil {
+			t.Logf("parse error on %q: %v", q.String(), err)
+			return false
+		}
+		return q.Equal(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package cq
+
+import "fmt"
+
+// This file constructs the concrete queries studied in the paper.
+
+// Q1 returns the query q1 of Example 2 / Figure 2:
+//
+//	q1 = {R(u, a, x), S(y, x, z), T(x, y), P(x, z)}
+//
+// with signatures R[3,1], S[3,1], T[2,1], P[2,1] and 'a' a constant. Its
+// attack graph (Fig. 2 right) has weak attacks F→G, F→H, F→I, H→G, I→G,
+// I→H, H→I and the single strong attack G→F.
+func Q1() Query {
+	return NewQuery(
+		NewAtom("R", 1, Var("u"), Const("a"), Var("x")),
+		NewAtom("S", 1, Var("y"), Var("x"), Var("z")),
+		NewAtom("T", 1, Var("x"), Var("y")),
+		NewAtom("P", 1, Var("x"), Var("z")),
+	)
+}
+
+// Q0 returns q0 = {R0(x, y), S0(y, z, x)} with signatures R0[2,1] and
+// S0[3,2], the query whose CERTAINTY problem is coNP-hard (Kolaitis–Pema)
+// and the source of the Theorem 2 reduction.
+func Q0() Query {
+	return NewQuery(
+		NewAtom("R0", 1, Var("x"), Var("y")),
+		NewAtom("S0", 2, Var("y"), Var("z"), Var("x")),
+	)
+}
+
+// CycleVar returns the canonical variable name x_i used by C(k) and AC(k).
+func CycleVar(i int) string { return fmt.Sprintf("x%d", i) }
+
+// Ck returns the cycle query of Definition 8:
+//
+//	C(k) = {R1(x1, x2), R2(x2, x3), ..., Rk(xk, x1)}
+//
+// with every Ri of signature [2,1]. C(k) is acyclic iff k = 2.
+func Ck(k int) Query {
+	if k < 2 {
+		panic(fmt.Sprintf("cq: C(k) requires k >= 2, got %d", k))
+	}
+	atoms := make([]Atom, k)
+	for i := 1; i <= k; i++ {
+		next := i + 1
+		if next > k {
+			next = 1
+		}
+		atoms[i-1] = NewAtom(fmt.Sprintf("R%d", i), 1, Var(CycleVar(i)), Var(CycleVar(next)))
+	}
+	return Query{Atoms: atoms}
+}
+
+// ACk returns the acyclic cycle query of Definition 8:
+//
+//	AC(k) = C(k) ∪ {Sk(x1, ..., xk)}
+//
+// where Sk has the all-key signature [k,k]. AC(k) is acyclic for every k
+// because the Sk-atom contains all variables; its attack graph contains
+// k(k-1)/2 nonterminal weak cycles and no strong cycle (Fig. 5 shows k=3).
+func ACk(k int) Query {
+	q := Ck(k)
+	args := make([]Term, k)
+	for i := 1; i <= k; i++ {
+		args[i-1] = Var(CycleVar(i))
+	}
+	q.Atoms = append(q.Atoms, NewAtom(fmt.Sprintf("S%d", k), k, args...))
+	return q
+}
+
+// TerminalCyclesQuery returns a 7-atom query in the spirit of Figure 4 /
+// Example 5: its attack graph consists of three weak *terminal* 2-cycles
+// (R1⇄R2 sharing x with R3⇄R4, which shares y with R5⇄R6) plus an
+// unattacked atom R0 that attacks into the cycles. The arXiv text of the
+// figure does not preserve the key underlines, so the signatures here are
+// chosen to realize exactly the structure the caption asserts:
+//
+//	R0(u | x)        R1(x, u1 | u2) ⇄ R2(x, u2 | u1)
+//	                 R3(x, y, u3 | u4) ⇄ R4(x, y, u4 | u3)
+//	                 R5(y, u5 | u6) ⇄ R6(y, u6 | u5)
+//
+// Theorem 3 applies: CERTAINTY is in P but, having a cyclic attack graph,
+// not first-order expressible.
+func TerminalCyclesQuery() Query {
+	return NewQuery(
+		NewAtom("R0", 1, Var("u"), Var("x")),
+		NewAtom("R1", 2, Var("x"), Var("u1"), Var("u2")),
+		NewAtom("R2", 2, Var("x"), Var("u2"), Var("u1")),
+		NewAtom("R3", 3, Var("x"), Var("y"), Var("u3"), Var("u4")),
+		NewAtom("R4", 3, Var("x"), Var("y"), Var("u4"), Var("u3")),
+		NewAtom("R5", 2, Var("y"), Var("u5"), Var("u6")),
+		NewAtom("R6", 2, Var("y"), Var("u6"), Var("u5")),
+	)
+}
+
+// TerminalCyclesBaseQuery returns TerminalCyclesQuery without the
+// unattacked atom R0: every atom lies on a weak terminal 2-cycle, which is
+// exactly the base case of the induction in the proof of Theorem 3.
+func TerminalCyclesBaseQuery() Query {
+	q := TerminalCyclesQuery()
+	return q.Without(0)
+}
+
+// ConferenceQuery returns the introduction's query over the Fig. 1 schema:
+//
+//	∃x∃y (C(x, y, 'Rome') ∧ R(x, 'A'))
+//
+// "Will Rome host some A conference?" with C[3,2] (conf, year → city) and
+// R[2,1] (conf → rank).
+func ConferenceQuery() Query {
+	return NewQuery(
+		NewAtom("C", 2, Var("x"), Var("y"), Const("Rome")),
+		NewAtom("R", 1, Var("x"), Const("A")),
+	)
+}

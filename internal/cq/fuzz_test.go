@@ -1,0 +1,70 @@
+package cq
+
+import "testing"
+
+// FuzzParseQuery checks that the parser never panics and that whatever it
+// accepts round-trips through String.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"R(x, y | z)",
+		"R(x | y), S(y | x)",
+		"C(x, y | 'Rome'), R(x | 'A')",
+		"R('it\\'s', 'a\\\\b' | x)",
+		"# comment\nR(x | y)\nS(y | z)",
+		"N(1, -2 | 3.5)",
+		"R(x",
+		"R(x | y | z)",
+		"R(|)",
+		"",
+		"R(x) S(y)",
+		"π(α | β)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseQuery(input)
+		if err != nil {
+			return
+		}
+		if q.IsEmpty() {
+			// The empty query renders as "{}" for display, which is not
+			// part of the input language.
+			return
+		}
+		rendered := q.String()
+		q2, err := ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, rendered, err)
+		}
+		if !q.Equal(q2) {
+			t.Fatalf("round trip changed query: %q -> %q -> %q", input, rendered, q2.String())
+		}
+	})
+}
+
+// FuzzValuationSubstitute checks Substitute never panics and is idempotent
+// for ground results.
+func FuzzValuationSubstitute(f *testing.F) {
+	f.Add("R(x, y | z), S(z | x)", "x", "c1", "y", "c2")
+	f.Fuzz(func(t *testing.T, queryText, v1, c1, v2, c2 string) {
+		q, err := ParseQuery(queryText)
+		if err != nil {
+			return
+		}
+		val := Valuation{}
+		if v1 != "" {
+			val[v1] = c1
+		}
+		if v2 != "" {
+			val[v2] = c2
+		}
+		s := q.Substitute(val)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("substitution produced invalid query: %v", err)
+		}
+		if !s.Substitute(val).Equal(s) {
+			t.Fatal("substitution not idempotent")
+		}
+	})
+}

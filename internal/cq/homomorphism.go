@@ -1,0 +1,105 @@
+package cq
+
+// This file provides classical conjunctive-query tooling: homomorphisms,
+// containment, equivalence, and minimization. For the self-join-free
+// queries of the paper minimization is trivial (a redundant atom would
+// need a second atom with the same relation name), but the evaluation
+// engine accepts arbitrary conjunctive queries, and the tooling rounds out
+// the substrate.
+
+// Homomorphism searches for a homomorphism from q to p: a mapping h from
+// the variables of q to terms of p such that h(A) ∈ p for every atom A of
+// q (constants map to themselves). Returns the witnessing mapping.
+func Homomorphism(q, p Query) (map[string]Term, bool) {
+	// Index p's atoms by relation.
+	byRel := make(map[string][]Atom)
+	for _, a := range p.Atoms {
+		byRel[a.Rel] = append(byRel[a.Rel], a)
+	}
+	h := make(map[string]Term)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == q.Len() {
+			return true
+		}
+		a := q.Atoms[i]
+		for _, target := range byRel[a.Rel] {
+			if target.KeyLen != a.KeyLen || target.Arity() != a.Arity() {
+				continue
+			}
+			var assigned []string
+			ok := true
+			for j, t := range a.Args {
+				image := target.Args[j]
+				if t.IsConst {
+					if !image.IsConst || image.Value != t.Value {
+						ok = false
+						break
+					}
+					continue
+				}
+				if prev, bound := h[t.Value]; bound {
+					if prev != image {
+						ok = false
+						break
+					}
+					continue
+				}
+				h[t.Value] = image
+				assigned = append(assigned, t.Value)
+			}
+			if ok && rec(i+1) {
+				return true
+			}
+			for _, v := range assigned {
+				delete(h, v)
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		out := make(map[string]Term, len(h))
+		for k, v := range h {
+			out[k] = v
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// ContainedIn reports whether q implies p as Boolean queries: every
+// database satisfying q also satisfies p. By the homomorphism theorem this
+// holds iff a homomorphism from p to q exists.
+func ContainedIn(q, p Query) bool {
+	_, ok := Homomorphism(p, q)
+	return ok
+}
+
+// Equivalent reports whether two Boolean queries are logically equivalent
+// (homomorphically equivalent).
+func Equivalent(q, p Query) bool {
+	return ContainedIn(q, p) && ContainedIn(p, q)
+}
+
+// Minimize returns a core of q: a minimal subquery equivalent to q,
+// computed by repeatedly dropping atoms whose removal preserves
+// equivalence. For self-join-free queries the result is always q itself.
+func Minimize(q Query) Query {
+	cur := q
+	for {
+		removed := false
+		for i := range cur.Atoms {
+			candidate := cur.Without(i)
+			// Dropping an atom always gives cur ⊨ candidate; equivalence
+			// needs candidate ⊨ cur, i.e. a homomorphism cur → candidate.
+			if _, ok := Homomorphism(cur, candidate); ok {
+				cur = candidate
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

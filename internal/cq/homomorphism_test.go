@@ -1,0 +1,140 @@
+package cq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHomomorphismBasics(t *testing.T) {
+	// E(x,y) maps into E(a,b) via x↦a, y↦b.
+	q := MustParseQuery("E(x | y)")
+	p := MustParseQuery("E('a' | 'b')")
+	h, ok := Homomorphism(q, p)
+	if !ok || h["x"] != Const("a") || h["y"] != Const("b") {
+		t.Errorf("h = %v, ok = %v", h, ok)
+	}
+	// No homomorphism the other way (constants can't map to variables).
+	if _, ok := Homomorphism(p, q); ok {
+		t.Error("constants must map to themselves")
+	}
+	// Relation mismatch.
+	if _, ok := Homomorphism(MustParseQuery("F(x | y)"), p); ok {
+		t.Error("relation mismatch")
+	}
+	// Signature mismatch.
+	if _, ok := Homomorphism(q, MustParseQuery("E('a', 'b')")); ok {
+		t.Error("key-length mismatch must fail")
+	}
+}
+
+func TestHomomorphismPathToTriangle(t *testing.T) {
+	// Classic: the 2-path maps homomorphically into any edge with a loop,
+	// and into the triangle? A path x→y→z maps into a triangle a→b→c→a
+	// (x↦a, y↦b, z↦c).
+	path := MustParseQuery("E(x | y), E(y | z)")
+	triangle := MustParseQuery("E('a' | 'b'), E('b' | 'c'), E('c' | 'a')")
+	if _, ok := Homomorphism(path, triangle); !ok {
+		t.Error("path must map into triangle")
+	}
+	if _, ok := Homomorphism(triangle, path); ok {
+		t.Error("triangle must not map into 2-path")
+	}
+	// Containment: satisfying the triangle implies satisfying the path.
+	if !ContainedIn(triangle, path) {
+		t.Error("triangle ⊨ path")
+	}
+	if ContainedIn(path, triangle) {
+		t.Error("path ⊭ triangle")
+	}
+}
+
+func TestEquivalentAndMinimize(t *testing.T) {
+	// E(x,y) ∧ E(u,v) is equivalent to E(x,y): the second atom folds in.
+	q := MustParseQuery("E(x | y), E(u | v)")
+	single := MustParseQuery("E(x | y)")
+	if !Equivalent(q, single) {
+		t.Error("redundant atom should not change semantics")
+	}
+	m := Minimize(q)
+	if m.Len() != 1 {
+		t.Errorf("Minimize should drop the redundant atom: %s", m)
+	}
+	// The path is already minimal.
+	path := MustParseQuery("E(x | y), E(y | z)")
+	if got := Minimize(path); got.Len() != 2 {
+		t.Errorf("path is a core: %s", got)
+	}
+	// Self-join-free queries never shrink.
+	for _, q := range []Query{Q1(), Q0(), ACk(3), TerminalCyclesQuery()} {
+		if got := Minimize(q); got.Len() != q.Len() {
+			t.Errorf("self-join-free query shrank: %s -> %s", q, got)
+		}
+	}
+	// A subtler case: E(x,y) ∧ E(y,y) minimizes to E(y,y) (map x↦y).
+	q2 := MustParseQuery("E(x | y), E(y | y)")
+	m2 := Minimize(q2)
+	if m2.Len() != 1 || !m2.Atoms[0].Equal(MustParseQuery("E(y | y)").Atoms[0]) {
+		t.Errorf("Minimize = %s", m2)
+	}
+}
+
+// Property: Minimize yields an equivalent query, and equivalence is
+// reflexive on random queries.
+func TestQuickMinimizeEquivalent(t *testing.T) {
+	rels := []string{"E", "F"}
+	vars := []string{"x", "y", "z"}
+	f := func(seed uint32) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			return int(r>>16) % n
+		}
+		n := 1 + next(4)
+		atoms := make([]Atom, n)
+		for i := range atoms {
+			atoms[i] = NewAtom(rels[next(2)], 1, Var(vars[next(3)]), Var(vars[next(3)]))
+		}
+		q := Query{Atoms: atoms}
+		if !Equivalent(q, q) {
+			return false
+		}
+		m := Minimize(q)
+		return Equivalent(q, m) && m.Len() <= q.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	a := MustParseQuery("S(y | x), R(x | y, 'c')")
+	b := MustParseQuery("R(p | q, 'c'), S(q | p)")
+	ka, kb := CanonicalKey(a), CanonicalKey(b)
+	if ka != kb {
+		t.Errorf("isomorphic self-join-free queries must collide:\n%s\n%s", ka, kb)
+	}
+	c := MustParseQuery("R(p | q, 'd'), S(q | p)") // different constant
+	if CanonicalKey(c) == ka {
+		t.Error("different constants must not collide")
+	}
+	// Canonical form is idempotent and semantics-preserving (isomorphic).
+	canon, rename := Canonicalize(a)
+	if CanonicalKey(canon) != ka {
+		t.Error("canonicalization must be idempotent")
+	}
+	if len(rename) != 2 {
+		t.Errorf("rename map = %v", rename)
+	}
+	if canon.HasSelfJoin() != a.HasSelfJoin() || canon.Len() != a.Len() {
+		t.Error("structure must be preserved")
+	}
+	// The renamed original equals the canonical form as a set.
+	if !a.Rename(rename).EqualAsSet(canon) {
+		t.Errorf("rename map inconsistent: %s vs %s", a.Rename(rename), canon)
+	}
+	// Classification is invariant under canonicalization (checked in the
+	// core tests via the same structure; here just variable hygiene).
+	if canon.Vars().Has("x") || canon.Vars().Has("y") {
+		t.Error("original variable names must not survive")
+	}
+}

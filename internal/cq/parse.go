@@ -1,0 +1,273 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// The textual query language:
+//
+//	R(x, y | z), S(y | x), T('a', x | 42)
+//
+// An atom lists its primary-key terms, then a bar, then the remaining terms;
+// an atom without a bar is all-key. Variables are identifiers starting with
+// a letter or underscore; constants are single-quoted strings (backslash
+// escapes ' and \) or bare numeric literals. Whitespace is insignificant and
+// '#' starts a comment that extends to the end of the line.
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokConst
+	tokLParen
+	tokRParen
+	tokComma
+	tokBar
+	tokNewline
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+}
+
+type lexer struct {
+	input string
+	pos   int
+	line  int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input, line: 1} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == '#':
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\n':
+			l.pos++
+			l.line++
+			return token{kind: tokNewline, pos: l.pos - 1, line: l.line - 1}, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.pos++
+			return token{kind: tokLParen, pos: l.pos - 1, line: l.line}, nil
+		case c == ')':
+			l.pos++
+			return token{kind: tokRParen, pos: l.pos - 1, line: l.line}, nil
+		case c == ',':
+			l.pos++
+			return token{kind: tokComma, pos: l.pos - 1, line: l.line}, nil
+		case c == '|':
+			l.pos++
+			return token{kind: tokBar, pos: l.pos - 1, line: l.line}, nil
+		case c == '\'':
+			return l.lexQuoted()
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.input) && isDigit(l.input[l.pos+1])):
+			return l.lexNumber()
+		case isIdentStart(rune(c)):
+			return l.lexIdent()
+		default:
+			return token{}, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+}
+
+func (l *lexer) lexQuoted() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch c {
+		case '\\':
+			if l.pos+1 >= len(l.input) {
+				return token{}, fmt.Errorf("line %d: unterminated escape in constant", l.line)
+			}
+			b.WriteByte(l.input[l.pos+1])
+			l.pos += 2
+		case '\'':
+			l.pos++
+			return token{kind: tokConst, text: b.String(), pos: start, line: l.line}, nil
+		case '\n':
+			return token{}, fmt.Errorf("line %d: newline in quoted constant", l.line)
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, fmt.Errorf("line %d: unterminated quoted constant", l.line)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.input[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.') {
+		l.pos++
+	}
+	return token{kind: tokConst, text: l.input[start:l.pos], pos: start, line: l.line}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.input[start:l.pos], pos: start, line: l.line}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	lex    *lexer
+	tok    token
+	peeked bool
+}
+
+func (p *parser) advance() error {
+	if p.peeked {
+		p.peeked = false
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// skipNewlines advances past newline tokens.
+func (p *parser) skipNewlines() error {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseAtom parses one atom; the current token must be the relation name.
+func (p *parser) parseAtom() (Atom, error) {
+	if p.tok.kind != tokIdent {
+		return Atom{}, fmt.Errorf("line %d: expected relation name, got %q", p.tok.line, p.tok.text)
+	}
+	rel := p.tok.text
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind != tokLParen {
+		return Atom{}, fmt.Errorf("line %d: expected '(' after relation %s", p.tok.line, rel)
+	}
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	keyLen := -1
+	for {
+		switch p.tok.kind {
+		case tokIdent:
+			args = append(args, Var(p.tok.text))
+		case tokConst:
+			args = append(args, Const(p.tok.text))
+		default:
+			return Atom{}, fmt.Errorf("line %d: expected term in atom %s", p.tok.line, rel)
+		}
+		if err := p.advance(); err != nil {
+			return Atom{}, err
+		}
+		switch p.tok.kind {
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return Atom{}, err
+			}
+		case tokBar:
+			if keyLen >= 0 {
+				return Atom{}, fmt.Errorf("line %d: atom %s has two key separators", p.tok.line, rel)
+			}
+			keyLen = len(args)
+			if err := p.advance(); err != nil {
+				return Atom{}, err
+			}
+		case tokRParen:
+			if keyLen < 0 {
+				keyLen = len(args) // all-key
+			}
+			if err := p.advance(); err != nil {
+				return Atom{}, err
+			}
+			a := Atom{Rel: rel, KeyLen: keyLen, Args: args}
+			if err := a.Validate(); err != nil {
+				return Atom{}, fmt.Errorf("line %d: %v", p.tok.line, err)
+			}
+			return a, nil
+		default:
+			return Atom{}, fmt.Errorf("line %d: expected ',', '|' or ')' in atom %s", p.tok.line, rel)
+		}
+	}
+}
+
+// ParseQuery parses a Boolean conjunctive query in the textual language.
+// Atoms may be separated by commas and/or newlines.
+func ParseQuery(input string) (Query, error) {
+	p := &parser{lex: newLexer(input)}
+	if err := p.advance(); err != nil {
+		return Query{}, err
+	}
+	var atoms []Atom
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return Query{}, err
+		}
+		if p.tok.kind == tokEOF {
+			break
+		}
+		a, err := p.parseAtom()
+		if err != nil {
+			return Query{}, err
+		}
+		atoms = append(atoms, a)
+		if err := p.skipNewlines(); err != nil {
+			return Query{}, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return Query{}, err
+			}
+		}
+	}
+	q := Query{Atoms: atoms}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery panicking on error; for tests and literals.
+func MustParseQuery(input string) Query {
+	q, err := ParseQuery(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,248 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a Boolean conjunctive query: a finite set of atoms, representing
+// the existential closure of their conjunction. The slice order is
+// insignificant semantically but preserved for deterministic output.
+type Query struct {
+	Atoms []Atom
+}
+
+// NewQuery builds a query from atoms, panicking if the atoms do not form a
+// well-formed query (invalid signatures or inconsistent signatures for a
+// repeated relation name).
+func NewQuery(atoms ...Atom) Query {
+	q := Query{Atoms: atoms}
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks every atom and that repeated relation names (self-joins)
+// carry identical signatures, since every relation name has one fixed
+// signature.
+func (q Query) Validate() error {
+	sigs := make(map[string][2]int)
+	for _, a := range q.Atoms {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		sig := [2]int{a.Arity(), a.KeyLen}
+		if prev, ok := sigs[a.Rel]; ok && prev != sig {
+			return fmt.Errorf("cq: relation %s used with signatures [%d,%d] and [%d,%d]",
+				a.Rel, prev[0], prev[1], sig[0], sig[1])
+		}
+		sigs[a.Rel] = sig
+	}
+	return nil
+}
+
+// Len returns the number of atoms.
+func (q Query) Len() int { return len(q.Atoms) }
+
+// IsEmpty reports whether the query has no atoms (the trivially true query).
+func (q Query) IsEmpty() bool { return len(q.Atoms) == 0 }
+
+// Vars returns vars(q), the set of variables occurring in the query.
+func (q Query) Vars() VarSet {
+	s := make(VarSet)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				s.Add(t.Value)
+			}
+		}
+	}
+	return s
+}
+
+// Constants returns the set of constant values occurring in the query.
+func (q Query) Constants() map[string]struct{} {
+	s := make(map[string]struct{})
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsConst {
+				s[t.Value] = struct{}{}
+			}
+		}
+	}
+	return s
+}
+
+// HasSelfJoin reports whether some relation name occurs in more than one
+// atom.
+func (q Query) HasSelfJoin() bool {
+	seen := make(map[string]struct{}, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if _, ok := seen[a.Rel]; ok {
+			return true
+		}
+		seen[a.Rel] = struct{}{}
+	}
+	return false
+}
+
+// AtomByRel returns the first atom with the given relation name.
+func (q Query) AtomByRel(rel string) (Atom, bool) {
+	for _, a := range q.Atoms {
+		if a.Rel == rel {
+			return a, true
+		}
+	}
+	return Atom{}, false
+}
+
+// Without returns the query q \ {F} where F is identified by index.
+func (q Query) Without(i int) Query {
+	atoms := make([]Atom, 0, len(q.Atoms)-1)
+	atoms = append(atoms, q.Atoms[:i]...)
+	atoms = append(atoms, q.Atoms[i+1:]...)
+	return Query{Atoms: atoms}
+}
+
+// WithoutAtom returns the query with every atom structurally equal to a
+// removed.
+func (q Query) WithoutAtom(a Atom) Query {
+	atoms := make([]Atom, 0, len(q.Atoms))
+	for _, b := range q.Atoms {
+		if !b.Equal(a) {
+			atoms = append(atoms, b)
+		}
+	}
+	return Query{Atoms: atoms}
+}
+
+// IndexOf returns the index of the first atom structurally equal to a, or
+// -1 if absent.
+func (q Query) IndexOf(a Atom) int {
+	for i, b := range q.Atoms {
+		if b.Equal(a) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Substitute returns q[x̄ ↦ ā] as in Definition 7: every occurrence of a
+// variable bound by v is replaced by the corresponding constant.
+func (q Query) Substitute(v Valuation) Query {
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Substitute(v)
+	}
+	return Query{Atoms: atoms}
+}
+
+// Rename returns the query with variables renamed by the mapping.
+func (q Query) Rename(m map[string]string) Query {
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Rename(m)
+	}
+	return Query{Atoms: atoms}
+}
+
+// Clone returns a deep copy of the query.
+func (q Query) Clone() Query {
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		args := make([]Term, len(a.Args))
+		copy(args, a.Args)
+		atoms[i] = Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
+	}
+	return Query{Atoms: atoms}
+}
+
+// Equal reports whether q and other contain the same atoms in the same
+// order.
+func (q Query) Equal(other Query) bool {
+	if len(q.Atoms) != len(other.Atoms) {
+		return false
+	}
+	for i := range q.Atoms {
+		if !q.Atoms[i].Equal(other.Atoms[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAsSet reports whether q and other contain the same set of atoms,
+// ignoring order and duplicates.
+func (q Query) EqualAsSet(other Query) bool {
+	contains := func(qq Query, a Atom) bool { return qq.IndexOf(a) >= 0 }
+	for _, a := range q.Atoms {
+		if !contains(other, a) {
+			return false
+		}
+	}
+	for _, a := range other.Atoms {
+		if !contains(q, a) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents partitions the atoms into maximal groups linked by
+// shared variables. Atoms without variables form singleton components. The
+// result lists atom indexes per component. This is the decomposition used by
+// rule R2 of the IsSafe algorithm and by several solver stages.
+func (q Query) ConnectedComponents() [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byVar := make(map[string]int)
+	for i, a := range q.Atoms {
+		for v := range a.Vars() {
+			if j, ok := byVar[v]; ok {
+				union(i, j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	order := []int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// String renders the query as a comma-separated list of atoms.
+func (q Query) String() string {
+	if len(q.Atoms) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,219 @@
+// Package cq implements Boolean conjunctive queries over relations with
+// primary-key signatures, following the definitions in Section 3 of
+// Wijsen, "Charting the Tractability Frontier of Certain Conjunctive Query
+// Answering" (PODS 2013).
+//
+// A relation name R has a fixed signature [n,k] with n >= k >= 1: n is the
+// arity and positions 1..k form the primary key. An atom R(x̄,ȳ) has the key
+// terms x̄ underlined in the paper; here the key is the first KeyLen
+// arguments. A Boolean conjunctive query is a finite set of atoms, read as
+// the existential closure of their conjunction.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a variable or a constant appearing in an atom. The zero value is
+// the empty-named variable, which is invalid; construct terms with Var and
+// Const.
+type Term struct {
+	// IsConst reports whether the term is a constant.
+	IsConst bool
+	// Value is the variable name or the constant value.
+	Value string
+}
+
+// Var returns a variable term with the given name.
+func Var(name string) Term { return Term{IsConst: false, Value: name} }
+
+// Const returns a constant term with the given value.
+func Const(value string) Term { return Term{IsConst: true, Value: value} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return !t.IsConst }
+
+// String renders the term in the textual query language: variables are bare
+// identifiers, constants are single-quoted.
+func (t Term) String() string {
+	if t.IsConst {
+		escaped := strings.ReplaceAll(t.Value, `\`, `\\`)
+		escaped = strings.ReplaceAll(escaped, "'", `\'`)
+		return "'" + escaped + "'"
+	}
+	return t.Value
+}
+
+// VarSet is a set of variable names. It is the currency of the functional
+// dependency and attack-graph machinery, where variables play the role of
+// attributes.
+type VarSet map[string]struct{}
+
+// NewVarSet returns a VarSet containing the given names.
+func NewVarSet(names ...string) VarSet {
+	s := make(VarSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts name into the set.
+func (s VarSet) Add(name string) { s[name] = struct{}{} }
+
+// AddAll inserts every element of other into the set.
+func (s VarSet) AddAll(other VarSet) {
+	for n := range other {
+		s[n] = struct{}{}
+	}
+}
+
+// Has reports whether name is in the set.
+func (s VarSet) Has(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Len returns the number of elements.
+func (s VarSet) Len() int { return len(s) }
+
+// SubsetOf reports whether every element of s is in other.
+func (s VarSet) SubsetOf(other VarSet) bool {
+	for n := range s {
+		if !other.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and other contain the same elements.
+func (s VarSet) Equal(other VarSet) bool {
+	return len(s) == len(other) && s.SubsetOf(other)
+}
+
+// Intersect returns the intersection of s and other.
+func (s VarSet) Intersect(other VarSet) VarSet {
+	out := make(VarSet)
+	for n := range s {
+		if other.Has(n) {
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+// Union returns the union of s and other.
+func (s VarSet) Union(other VarSet) VarSet {
+	out := make(VarSet, len(s)+len(other))
+	out.AddAll(s)
+	out.AddAll(other)
+	return out
+}
+
+// Minus returns the set difference s \ other.
+func (s VarSet) Minus(other VarSet) VarSet {
+	out := make(VarSet)
+	for n := range s {
+		if !other.Has(n) {
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s VarSet) Clone() VarSet {
+	out := make(VarSet, len(s))
+	out.AddAll(s)
+	return out
+}
+
+// Sorted returns the elements in lexicographic order.
+func (s VarSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as {a, b, c} with sorted elements.
+func (s VarSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}
+
+// Valuation is a total mapping from a set of variables to constants. Per the
+// paper's convention it is extended to be the identity on constants and on
+// variables outside its domain.
+type Valuation map[string]string
+
+// Apply maps a term through the valuation: constants map to themselves,
+// bound variables to their image, and unbound variables stay variables.
+func (v Valuation) Apply(t Term) Term {
+	if t.IsConst {
+		return t
+	}
+	if c, ok := v[t.Value]; ok {
+		return Const(c)
+	}
+	return t
+}
+
+// Bind returns a copy of v with name bound to value.
+func (v Valuation) Bind(name, value string) Valuation {
+	out := make(Valuation, len(v)+1)
+	for k, val := range v {
+		out[k] = val
+	}
+	out[name] = value
+	return out
+}
+
+// Clone returns a copy of the valuation.
+func (v Valuation) Clone() Valuation {
+	out := make(Valuation, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Restrict returns the valuation restricted to the variables in vars.
+func (v Valuation) Restrict(vars VarSet) Valuation {
+	out := make(Valuation)
+	for k, val := range v {
+		if vars.Has(k) {
+			out[k] = val
+		}
+	}
+	return out
+}
+
+// AgreesWith reports whether v and other assign the same constant to every
+// variable bound by both.
+func (v Valuation) AgreesWith(other Valuation) bool {
+	for k, val := range v {
+		if o, ok := other[k]; ok && o != val {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the valuation as {x↦a, y↦b} with sorted variables.
+func (v Valuation) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s↦%s", k, v[k])
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

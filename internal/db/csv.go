@@ -1,0 +1,68 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadCSV loads the rows of a CSV stream as facts of one relation: every
+// row becomes rel(row[0..keyLen-1] | row[keyLen..]). All rows must have the
+// same width; duplicates collapse. Use multiple calls to load several
+// relations into the same database.
+func (d *DB) ReadCSV(rel string, keyLen int, r io.Reader) error {
+	reader := csv.NewReader(r)
+	reader.FieldsPerRecord = -1 // validated below for a better message
+	width := -1
+	row := 0
+	for {
+		record, err := reader.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("db: csv %s row %d: %w", rel, row+1, err)
+		}
+		row++
+		if width == -1 {
+			width = len(record)
+			if keyLen < 1 || keyLen > width {
+				return fmt.Errorf("db: csv %s: key length %d invalid for width %d", rel, keyLen, width)
+			}
+		} else if len(record) != width {
+			return fmt.Errorf("db: csv %s row %d: %d fields, want %d", rel, row, len(record), width)
+		}
+		args := make([]string, len(record))
+		copy(args, record)
+		if err := d.Add(Fact{Rel: rel, KeyLen: keyLen, Args: args}); err != nil {
+			return fmt.Errorf("db: csv %s row %d: %w", rel, row, err)
+		}
+	}
+}
+
+// WriteCSV writes the facts of one relation as CSV rows (all columns, key
+// first), sorted lexicographically for deterministic output.
+func (d *DB) WriteCSV(rel string, w io.Writer) error {
+	facts := d.FactsOf(rel)
+	rows := make([][]string, len(facts))
+	for i, f := range facts {
+		rows[i] = f.Args
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	writer := csv.NewWriter(w)
+	for _, row := range rows {
+		if err := writer.Write(row); err != nil {
+			return err
+		}
+	}
+	writer.Flush()
+	return writer.Error()
+}

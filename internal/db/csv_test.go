@@ -1,0 +1,82 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	d := New()
+	input := "PODS,2016,Rome\nPODS,2016,Paris\nKDD,2017,Rome\n"
+	if err := d.ReadCSV("C", 2, strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadCSV("R", 1, strings.NewReader("PODS,A\nKDD,A\nKDD,B\n")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 || d.NumBlocks() != 4 {
+		t.Errorf("loaded %d facts, %d blocks", d.Len(), d.NumBlocks())
+	}
+	if !d.Has(NewFact("C", 2, "PODS", "2016", "Paris")) {
+		t.Error("missing fact")
+	}
+}
+
+func TestReadCSVQuotedAndDuplicates(t *testing.T) {
+	d := New()
+	input := "\"a,b\",\"it\"\"s\"\nx,y\nx,y\n"
+	if err := d.ReadCSV("R", 1, strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("duplicates must collapse: %d", d.Len())
+	}
+	if !d.Has(NewFact("R", 1, "a,b", `it"s`)) {
+		t.Error("quoted fields mishandled")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	d := New()
+	if err := d.ReadCSV("R", 3, strings.NewReader("a,b\n")); err == nil {
+		t.Error("key length beyond width must fail")
+	}
+	if err := d.ReadCSV("R", 0, strings.NewReader("a,b\n")); err == nil {
+		t.Error("zero key length must fail")
+	}
+	d2 := New()
+	if err := d2.ReadCSV("R", 1, strings.NewReader("a,b\nc\n")); err == nil {
+		t.Error("ragged rows must fail")
+	}
+	d3 := New()
+	d3.Add(NewFact("R", 2, "a", "b", "c"))
+	if err := d3.ReadCSV("R", 1, strings.NewReader("x,y\n")); err == nil {
+		t.Error("signature conflict must fail")
+	}
+	// Empty input is fine.
+	if err := New().ReadCSV("R", 1, strings.NewReader("")); err != nil {
+		t.Errorf("empty csv: %v", err)
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	d := New()
+	d.Add(NewFact("R", 1, "b", "2"))
+	d.Add(NewFact("R", 1, "a", "1"))
+	d.Add(NewFact("R", 1, "a,x", `q"q`))
+	var b strings.Builder
+	if err := d.WriteCSV("R", &b); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New()
+	if err := d2.ReadCSV("R", 1, strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(d2) {
+		t.Errorf("round trip failed:\n%s\nvs\n%s", d, d2)
+	}
+	// Deterministic (sorted) output.
+	if !strings.HasPrefix(b.String(), "a,1\n") {
+		t.Errorf("output not sorted: %q", b.String())
+	}
+}

@@ -1,0 +1,401 @@
+package db
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// DB is an uncertain database: a finite set of facts. Facts are deduplicated
+// and kept in insertion order for deterministic iteration. The zero value is
+// not ready for use; call New.
+type DB struct {
+	facts      []Fact
+	ids        map[string]int    // Fact.ID() → index into facts
+	blocks     map[string][]int  // Fact.BlockID() → indices, in insertion order
+	rels       map[string][]int  // relation name → indices
+	sigs       map[string][2]int // relation name → [arity, keyLen]
+	blockOrder []string          // block IDs in first-insertion order
+}
+
+// New returns an empty uncertain database.
+func New() *DB {
+	return &DB{
+		ids:    make(map[string]int),
+		blocks: make(map[string][]int),
+		rels:   make(map[string][]int),
+		sigs:   make(map[string][2]int),
+	}
+}
+
+// FromFacts returns a database containing the given facts.
+func FromFacts(facts ...Fact) (*DB, error) {
+	d := New()
+	for _, f := range facts {
+		if err := d.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// MustFromFacts is FromFacts panicking on error, for tests and literals.
+func MustFromFacts(facts ...Fact) *DB {
+	d, err := FromFacts(facts...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Add inserts a fact (idempotently). It rejects invalid facts and signature
+// conflicts with previously inserted facts of the same relation.
+func (d *DB) Add(f Fact) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	sig := [2]int{len(f.Args), f.KeyLen}
+	if prev, ok := d.sigs[f.Rel]; ok && prev != sig {
+		return fmt.Errorf("db: relation %s used with signatures [%d,%d] and [%d,%d]",
+			f.Rel, prev[0], prev[1], sig[0], sig[1])
+	}
+	id := f.ID()
+	if _, ok := d.ids[id]; ok {
+		return nil
+	}
+	idx := len(d.facts)
+	d.facts = append(d.facts, f)
+	d.ids[id] = idx
+	d.sigs[f.Rel] = sig
+	bid := f.BlockID()
+	if _, ok := d.blocks[bid]; !ok {
+		d.blockOrder = append(d.blockOrder, bid)
+	}
+	d.blocks[bid] = append(d.blocks[bid], idx)
+	d.rels[f.Rel] = append(d.rels[f.Rel], idx)
+	return nil
+}
+
+// Len returns the number of facts.
+func (d *DB) Len() int { return len(d.facts) }
+
+// Facts returns all facts in insertion order. The slice must not be
+// modified.
+func (d *DB) Facts() []Fact { return d.facts }
+
+// Has reports whether the fact is present.
+func (d *DB) Has(f Fact) bool {
+	_, ok := d.ids[f.ID()]
+	return ok
+}
+
+// Relations returns the relation names present, sorted.
+func (d *DB) Relations() []string {
+	out := make([]string, 0, len(d.rels))
+	for r := range d.rels {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Signature returns the [arity, keyLen] signature of a relation present in
+// the database.
+func (d *DB) Signature(rel string) (arity, keyLen int, ok bool) {
+	sig, ok := d.sigs[rel]
+	return sig[0], sig[1], ok
+}
+
+// FactsOf returns the facts of the given relation in insertion order.
+func (d *DB) FactsOf(rel string) []Fact {
+	idxs := d.rels[rel]
+	out := make([]Fact, len(idxs))
+	for i, idx := range idxs {
+		out[i] = d.facts[idx]
+	}
+	return out
+}
+
+// Block returns the block of the given fact: all facts key-equal to it
+// (including f itself if present).
+func (d *DB) Block(f Fact) []Fact {
+	idxs := d.blocks[f.BlockID()]
+	out := make([]Fact, len(idxs))
+	for i, idx := range idxs {
+		out[i] = d.facts[idx]
+	}
+	return out
+}
+
+// Blocks returns all blocks in first-insertion order. Each block lists its
+// facts in insertion order.
+func (d *DB) Blocks() [][]Fact {
+	out := make([][]Fact, 0, len(d.blockOrder))
+	for _, bid := range d.blockOrder {
+		idxs := d.blocks[bid]
+		blk := make([]Fact, len(idxs))
+		for i, idx := range idxs {
+			blk[i] = d.facts[idx]
+		}
+		out = append(out, blk)
+	}
+	return out
+}
+
+// NumBlocks returns the number of blocks.
+func (d *DB) NumBlocks() int { return len(d.blockOrder) }
+
+// IsConsistent reports whether every block is a singleton.
+func (d *DB) IsConsistent() bool {
+	for _, idxs := range d.blocks {
+		if len(idxs) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ActiveDomain returns the sorted set of constants occurring in the
+// database.
+func (d *DB) ActiveDomain() []string {
+	seen := make(map[string]struct{})
+	for _, f := range d.facts {
+		for _, a := range f.Args {
+			seen[a] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a copy of the database sharing fact values (facts are
+// immutable by convention).
+func (d *DB) Clone() *DB {
+	c := New()
+	for _, f := range d.facts {
+		if err := c.Add(f); err != nil {
+			panic(err) // cannot happen: d was consistent with itself
+		}
+	}
+	return c
+}
+
+// Restrict returns the sub-database containing only facts satisfying keep.
+func (d *DB) Restrict(keep func(Fact) bool) *DB {
+	c := New()
+	for _, f := range d.facts {
+		if keep(f) {
+			if err := c.Add(f); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return c
+}
+
+// WithoutBlock returns the database with the entire block of f removed
+// (Lemma 1's purification step removes whole blocks).
+func (d *DB) WithoutBlock(f Fact) *DB {
+	bid := f.BlockID()
+	return d.Restrict(func(g Fact) bool { return g.BlockID() != bid })
+}
+
+// NumRepairs returns the number of repairs: the product of the block sizes
+// (1 for the empty database, whose only repair is empty).
+func (d *DB) NumRepairs() *big.Int {
+	n := big.NewInt(1)
+	for _, idxs := range d.blocks {
+		n.Mul(n, big.NewInt(int64(len(idxs))))
+	}
+	return n
+}
+
+// EachRepair enumerates all repairs, invoking yield with each repair as a
+// fact slice (one fact per block, in block order). Enumeration stops early
+// if yield returns false. The slice passed to yield is reused across calls;
+// copy it to retain. Returns false iff some yield returned false.
+func (d *DB) EachRepair(yield func(repair []Fact) bool) bool {
+	blocks := d.Blocks()
+	repair := make([]Fact, len(blocks))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(blocks) {
+			return yield(repair)
+		}
+		for _, f := range blocks[i] {
+			repair[i] = f
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// RepairDB materializes a repair (as produced by EachRepair) into a
+// consistent database.
+func RepairDB(repair []Fact) *DB {
+	d := New()
+	for _, f := range repair {
+		if err := d.Add(f); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// Union returns a new database containing the facts of both inputs.
+func Union(a, b *DB) (*DB, error) {
+	c := New()
+	for _, f := range a.Facts() {
+		if err := c.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range b.Facts() {
+		if err := c.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Parse reads a database in the textual format: one fact per line (or
+// comma-separated), e.g.
+//
+//	C(PODS, 2016 | Rome)
+//	C(PODS, 2016 | Paris)
+//	R(PODS | A)
+//
+// Bare identifiers and numbers denote constants; quoted strings are also
+// constants. Variables are not allowed in database files.
+func Parse(input string) (*DB, error) {
+	q, err := cq.ParseQuery(input)
+	if err != nil {
+		return nil, err
+	}
+	d := New()
+	for _, a := range q.Atoms {
+		args := make([]string, len(a.Args))
+		for i, t := range a.Args {
+			args[i] = t.Value // identifiers are constants in database files
+		}
+		if err := d.Add(Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) *DB {
+	d, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// String renders the database with one fact per line, grouped by block in
+// insertion order (blocks separated implicitly by key equality).
+func (d *DB) String() string {
+	var b strings.Builder
+	for _, blk := range d.Blocks() {
+		for _, f := range blk {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two databases contain the same set of facts.
+func (d *DB) Equal(other *DB) bool {
+	if d.Len() != other.Len() {
+		return false
+	}
+	for _, f := range d.facts {
+		if !other.Has(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// RepairAt returns the repair with the given index in the mixed-radix
+// enumeration order used by EachRepair (block insertion order, fact
+// insertion order within a block). The index must lie in [0, NumRepairs).
+// Useful for random access into astronomically large repair spaces.
+func (d *DB) RepairAt(index *big.Int) ([]Fact, error) {
+	if index.Sign() < 0 || index.Cmp(d.NumRepairs()) >= 0 {
+		return nil, fmt.Errorf("db: repair index %v out of range [0, %v)", index, d.NumRepairs())
+	}
+	blocks := d.Blocks()
+	out := make([]Fact, len(blocks))
+	rem := new(big.Int).Set(index)
+	radix := new(big.Int)
+	digit := new(big.Int)
+	// EachRepair varies the LAST block fastest; decode accordingly.
+	for i := len(blocks) - 1; i >= 0; i-- {
+		radix.SetInt64(int64(len(blocks[i])))
+		rem.QuoRem(rem, radix, digit)
+		out[i] = blocks[i][digit.Int64()]
+	}
+	return out, nil
+}
+
+// Remove deletes a fact, reporting whether it was present. Indexes are
+// rebuilt; O(n) per call, intended for interactive/maintenance use rather
+// than hot loops.
+func (d *DB) Remove(f Fact) bool {
+	id := f.ID()
+	if _, ok := d.ids[id]; !ok {
+		return false
+	}
+	facts := make([]Fact, 0, len(d.facts)-1)
+	for _, g := range d.facts {
+		if g.ID() != id {
+			facts = append(facts, g)
+		}
+	}
+	*d = *New()
+	for _, g := range facts {
+		if err := d.Add(g); err != nil {
+			panic(err) // cannot happen: facts came from a valid database
+		}
+	}
+	return true
+}
+
+// RemoveBlock deletes the entire block of f, reporting how many facts were
+// removed.
+func (d *DB) RemoveBlock(f Fact) int {
+	bid := f.BlockID()
+	n := 0
+	facts := make([]Fact, 0, len(d.facts))
+	for _, g := range d.facts {
+		if g.BlockID() == bid {
+			n++
+			continue
+		}
+		facts = append(facts, g)
+	}
+	if n == 0 {
+		return 0
+	}
+	*d = *New()
+	for _, g := range facts {
+		if err := d.Add(g); err != nil {
+			panic(err)
+		}
+	}
+	return n
+}

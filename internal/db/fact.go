@@ -1,0 +1,180 @@
+// Package db implements uncertain databases: finite sets of facts over
+// relations with primary-key signatures, where distinct key-equal facts may
+// coexist (Section 3 of the paper). It provides blocks, consistency,
+// repairs (maximal consistent subsets), repair counting and enumeration,
+// and a textual format shared with the query language.
+package db
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// Fact is a ground atom: a relation name, a key length, and constant
+// arguments. The first KeyLen arguments are the primary key.
+type Fact struct {
+	Rel    string
+	KeyLen int
+	Args   []string
+}
+
+// NewFact builds a fact, panicking on an invalid signature (programming
+// error).
+func NewFact(rel string, keyLen int, args ...string) Fact {
+	f := Fact{Rel: rel, KeyLen: keyLen, Args: args}
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Validate checks the signature constraint n >= k >= 1.
+func (f Fact) Validate() error {
+	if f.Rel == "" {
+		return fmt.Errorf("db: fact with empty relation name")
+	}
+	if f.KeyLen < 1 || f.KeyLen > len(f.Args) {
+		return fmt.Errorf("db: fact %s has invalid signature [%d,%d]", f.Rel, len(f.Args), f.KeyLen)
+	}
+	return nil
+}
+
+// KeyArgs returns the primary-key constants.
+func (f Fact) KeyArgs() []string { return f.Args[:f.KeyLen] }
+
+// encodeParts writes a length-prefixed, unambiguous encoding of parts.
+func encodeParts(b *strings.Builder, parts []string) {
+	for _, p := range parts {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+}
+
+// ID returns a canonical encoding identifying the fact (relation plus all
+// arguments), safe for use as a map key even when constants contain
+// delimiter characters.
+func (f Fact) ID() string {
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('/')
+	encodeParts(&b, f.Args)
+	return b.String()
+}
+
+// BlockID returns a canonical encoding of the fact's block: the relation
+// plus the primary-key arguments. Two facts are key-equal iff their
+// BlockIDs coincide.
+func (f Fact) BlockID() string {
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('/')
+	encodeParts(&b, f.KeyArgs())
+	return b.String()
+}
+
+// KeyEqual reports whether f and g are key-equal: same relation name and
+// same primary-key value.
+func (f Fact) KeyEqual(g Fact) bool {
+	if f.Rel != g.Rel || f.KeyLen != g.KeyLen {
+		return false
+	}
+	for i := 0; i < f.KeyLen; i++ {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports full equality of two facts.
+func (f Fact) Equal(g Fact) bool {
+	if f.Rel != g.Rel || f.KeyLen != g.KeyLen || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Atom converts the fact to a ground atom.
+func (f Fact) Atom() cq.Atom {
+	args := make([]cq.Term, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = cq.Const(a)
+	}
+	return cq.Atom{Rel: f.Rel, KeyLen: f.KeyLen, Args: args}
+}
+
+// FactFromAtom converts a ground atom to a fact; it reports ok=false when
+// the atom contains variables.
+func FactFromAtom(a cq.Atom) (Fact, bool) {
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			return Fact{}, false
+		}
+		args[i] = t.Value
+	}
+	return Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}, true
+}
+
+// isBareConstant reports whether s can be rendered unquoted in the textual
+// database format (identifier- or number-shaped, nonempty).
+func isBareConstant(s string) bool {
+	if s == "" {
+		return false
+	}
+	isLetter := func(r byte) bool {
+		return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+	}
+	isDigit := func(r byte) bool { return r >= '0' && r <= '9' }
+	if isLetter(s[0]) {
+		for i := 1; i < len(s); i++ {
+			if !isLetter(s[i]) && !isDigit(s[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if isDigit(s[0]) {
+		// The lexer tokenizes digits and dots as a single numeric constant.
+		for i := 1; i < len(s); i++ {
+			if !isDigit(s[i]) && s[i] != '.' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the fact as R(a, b | c); constants that are not
+// identifier-shaped are quoted.
+func (f Fact) String() string {
+	var b strings.Builder
+	b.WriteString(f.Rel)
+	b.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			if i == f.KeyLen {
+				b.WriteString(" | ")
+			} else {
+				b.WriteString(", ")
+			}
+		}
+		if isBareConstant(a) {
+			b.WriteString(a)
+		} else {
+			b.WriteString(cq.Const(a).String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

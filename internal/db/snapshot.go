@@ -1,0 +1,47 @@
+package db
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of a database. Facts are stored once;
+// indexes are rebuilt on load.
+type snapshot struct {
+	Version int
+	Facts   []Fact
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serializes the database in a binary format (encoding/gob)
+// suitable for fast save/restore of large instances. The text format
+// (String/Parse) remains the interchange format.
+func (d *DB) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(snapshot{Version: snapshotVersion, Facts: d.facts}); err != nil {
+		return fmt.Errorf("db: snapshot encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a database written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*DB, error) {
+	var s snapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("db: snapshot decode: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("db: unsupported snapshot version %d", s.Version)
+	}
+	out := New()
+	for _, f := range s.Facts {
+		if err := out.Add(f); err != nil {
+			return nil, fmt.Errorf("db: snapshot contains invalid fact: %w", err)
+		}
+	}
+	return out, nil
+}

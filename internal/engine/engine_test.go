@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+func figure1DB() *db.DB {
+	return db.MustParse(`
+		C(PODS, 2016 | Rome)
+		C(PODS, 2016 | Paris)
+		C(KDD, 2017 | Rome)
+		R(PODS | A)
+		R(KDD | A)
+		R(KDD | B)
+	`)
+}
+
+func TestMatchAtom(t *testing.T) {
+	a := cq.MustParseQuery("R(x | y, x)").Atoms[0]
+	f := db.NewFact("R", 1, "1", "2", "1")
+	v, ok := MatchAtom(a, f, cq.Valuation{})
+	if !ok || v["x"] != "1" || v["y"] != "2" {
+		t.Errorf("MatchAtom = %v %v", v, ok)
+	}
+	// Repeated variable mismatch.
+	if _, ok := MatchAtom(a, db.NewFact("R", 1, "1", "2", "3"), cq.Valuation{}); ok {
+		t.Error("repeated variable should force equality")
+	}
+	// Pre-bound variable conflict.
+	if _, ok := MatchAtom(a, f, cq.Valuation{"y": "9"}); ok {
+		t.Error("binding conflict should fail")
+	}
+	// Constant match.
+	c := cq.NewAtom("R", 1, cq.Var("x"), cq.Const("2"), cq.Var("x"))
+	if _, ok := MatchAtom(c, f, cq.Valuation{}); !ok {
+		t.Error("constant should match")
+	}
+	c2 := cq.NewAtom("R", 1, cq.Var("x"), cq.Const("7"), cq.Var("x"))
+	if _, ok := MatchAtom(c2, f, cq.Valuation{}); ok {
+		t.Error("constant mismatch should fail")
+	}
+	// Wrong relation / arity.
+	if _, ok := MatchAtom(a, db.NewFact("S", 1, "1", "2", "1"), cq.Valuation{}); ok {
+		t.Error("relation mismatch should fail")
+	}
+	if _, ok := MatchAtom(a, db.NewFact("R", 1, "1", "2"), cq.Valuation{}); ok {
+		t.Error("arity mismatch should fail")
+	}
+	// Input binding must not be mutated.
+	in := cq.Valuation{"z": "0"}
+	MatchAtom(a, f, in)
+	if len(in) != 1 {
+		t.Error("MatchAtom mutated its input")
+	}
+}
+
+func TestEvalConference(t *testing.T) {
+	d := figure1DB()
+	q := cq.ConferenceQuery()
+	if !Eval(q, d) {
+		t.Error("the conference query is satisfied by the Fig.1 database")
+	}
+	// "true in only three repairs": check via repair enumeration.
+	sat := 0
+	d.EachRepair(func(r []db.Fact) bool {
+		if EvalRepair(q, r) {
+			sat++
+		}
+		return true
+	})
+	if sat != 3 {
+		t.Errorf("query should hold in 3 of 4 repairs, got %d", sat)
+	}
+}
+
+func TestEvalEmptyQueryAndDB(t *testing.T) {
+	if !Eval(cq.Query{}, db.New()) {
+		t.Error("empty query is true on the empty database")
+	}
+	if Eval(cq.MustParseQuery("R(x|y)"), db.New()) {
+		t.Error("nonempty query is false on the empty database")
+	}
+}
+
+func TestEmbeddingsCount(t *testing.T) {
+	d := db.MustParse(`
+		R(1 | a)
+		R(2 | a)
+		S(a | x)
+		S(a | y)
+	`)
+	q := cq.MustParseQuery("R(u | v), S(v | w)")
+	embs := Embeddings(q, d)
+	if len(embs) != 4 {
+		t.Fatalf("expected 4 embeddings, got %d: %v", len(embs), embs)
+	}
+	for _, e := range embs {
+		if len(e) != 3 {
+			t.Errorf("embedding not total over vars(q): %v", e)
+		}
+		if e["v"] != "a" {
+			t.Errorf("v must be a: %v", e)
+		}
+	}
+}
+
+func TestEachEmbeddingEarlyStop(t *testing.T) {
+	d := db.MustParse("R(1 | a), R(2 | a)")
+	q := cq.MustParseQuery("R(u | v)")
+	count := 0
+	completed := EachEmbedding(q, d, func(cq.Valuation) bool {
+		count++
+		return false
+	})
+	if completed || count != 1 {
+		t.Errorf("early stop failed: %v %d", completed, count)
+	}
+}
+
+func TestEvalSelfJoin(t *testing.T) {
+	// Self-joins are legal for evaluation even though the complexity theory
+	// excludes them.
+	d := db.MustParse("E(1 | 2), E(2 | 3)")
+	q := cq.MustParseQuery("E(x | y), E(y | z)")
+	if !Eval(q, d) {
+		t.Error("path of length 2 exists")
+	}
+	q3 := cq.MustParseQuery("E(x | y), E(y | z), E(z | w)")
+	if Eval(q3, d) {
+		t.Error("no path of length 3")
+	}
+}
+
+func TestPurifyExample1(t *testing.T) {
+	// Example 1: {R(a,b), S(b,a), S(b,c)} is not purified relative to
+	// {R(x|y), S(y|x)} because no R-fact joins with S(b,c).
+	d := db.MustParse("R(a | b), S(b | a), S(b | c)")
+	q := cq.MustParseQuery("R(x | y), S(y | x)")
+	if IsPurified(q, d) {
+		t.Error("Example 1 database is not purified")
+	}
+	p := Purify(q, d)
+	if !IsPurified(q, p) {
+		t.Error("Purify result must be purified")
+	}
+	// S(b,c) is unused; its whole block {S(b,a), S(b,c)} is removed, which
+	// then makes R(a,b) unused too: the purified database is empty.
+	if p.Len() != 0 {
+		t.Errorf("purified database should be empty, got:\n%s", p)
+	}
+}
+
+func TestPurifyKeepsRelevant(t *testing.T) {
+	d := db.MustParse("R(a | b), S(b | a)")
+	q := cq.MustParseQuery("R(x | y), S(y | x)")
+	p := Purify(q, d)
+	if p.Len() != 2 {
+		t.Errorf("fully relevant database must be unchanged:\n%s", p)
+	}
+}
+
+func TestPurifyPreservesCertaintyBruteForce(t *testing.T) {
+	// Cross-check Lemma 1 on a handful of small instances.
+	certain := func(q cq.Query, d *db.DB) bool {
+		all := true
+		d.EachRepair(func(r []db.Fact) bool {
+			if !EvalRepair(q, r) {
+				all = false
+				return false
+			}
+			return true
+		})
+		return all
+	}
+	q := cq.MustParseQuery("R(x | y), S(y | x)")
+	dbs := []*db.DB{
+		db.MustParse("R(a | b), S(b | a), S(b | c)"),
+		db.MustParse("R(a | b), R(a | c), S(b | a), S(c | a)"),
+		db.MustParse("R(a | b), S(b | a)"),
+		db.New(),
+		db.MustParse("R(a | b), R(a | c), S(b | a), S(c | z)"),
+	}
+	for _, d := range dbs {
+		p := Purify(q, d)
+		if got, want := certain(q, p), certain(q, d); got != want {
+			t.Errorf("purification changed certainty for\n%s: %v vs %v", d, got, want)
+		}
+	}
+}
+
+// Property: every fact of a purified database participates in an embedding,
+// purification is idempotent, and the result is a subset of the input.
+func TestQuickPurifyProperties(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	f := func(seed uint32) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			return int(r>>16) % n
+		}
+		d := db.New()
+		vals := []string{"a", "b", "c"}
+		for i := 0; i < 6; i++ {
+			rel := "R"
+			if next(2) == 0 {
+				rel = "S"
+			}
+			d.Add(db.NewFact(rel, 1, vals[next(3)], vals[next(3)]))
+		}
+		p := Purify(q, d)
+		if !IsPurified(q, p) {
+			return false
+		}
+		for _, f := range p.Facts() {
+			if !d.Has(f) {
+				return false
+			}
+		}
+		return p.Equal(Purify(q, p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random small instances, Eval agrees with a naive
+// all-valuations evaluation over the active domain.
+func TestQuickEvalAgreesWithNaive(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | x)")
+	naive := func(d *db.DB) bool {
+		dom := d.ActiveDomain()
+		if len(dom) == 0 {
+			return false
+		}
+		for _, x := range dom {
+			for _, y := range dom {
+				v := cq.Valuation{"x": x, "y": y}
+				all := true
+				for _, a := range q.Atoms {
+					f, _ := db.FactFromAtom(a.Substitute(v))
+					if !d.Has(f) {
+						all = false
+						break
+					}
+				}
+				if all {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	f := func(seed uint32) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			return int(r>>16) % n
+		}
+		d := db.New()
+		vals := []string{"a", "b", "c"}
+		for i := 0; i < 5; i++ {
+			rel := "R"
+			if next(2) == 0 {
+				rel = "S"
+			}
+			d.Add(db.NewFact(rel, 1, vals[next(3)], vals[next(3)]))
+		}
+		return Eval(q, d) == naive(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplainPlan(t *testing.T) {
+	d := db.MustParse(`
+		R(1 | a)
+		R(2 | a)
+		R(2 | b)
+		S(a | x)
+	`)
+	q := cq.MustParseQuery("R(u | v), S(v | w)")
+	plan := Explain(q, d)
+	if len(plan.Steps) != 2 {
+		t.Fatalf("plan = %v", plan)
+	}
+	// First step: no bound vars, full scan of the smaller relation (S has
+	// 1 fact; R has 3; greedy order starts with most-bound then smallest).
+	first := plan.Steps[0]
+	if first.BoundVars != 0 || first.KeyBound {
+		t.Errorf("first step: %+v", first)
+	}
+	if q.Atoms[first.AtomIndex].Rel != "S" {
+		t.Errorf("first step should scan the smaller relation S: %+v", first)
+	}
+	// Second step: R's key u is still unbound (S binds v, w), so scan; but
+	// v is bound.
+	second := plan.Steps[1]
+	if second.BoundVars != 1 {
+		t.Errorf("second step: %+v", second)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "scan") {
+		t.Errorf("plan rendering: %s", out)
+	}
+
+	// A key-joined query gets the block index on the second step.
+	q2 := cq.MustParseQuery("S(a | x), R(x | y)")
+	plan2 := Explain(q2, d)
+	var rStep *PlanStep
+	for i := range plan2.Steps {
+		if q2.Atoms[plan2.Steps[i].AtomIndex].Rel == "R" {
+			rStep = &plan2.Steps[i]
+		}
+	}
+	if rStep == nil || !rStep.KeyBound {
+		t.Errorf("R step should use the block index: %+v", plan2)
+	}
+	if rStep.Candidates != 2 { // largest R block has 2 facts
+		t.Errorf("R block-index candidates = %d", rStep.Candidates)
+	}
+}

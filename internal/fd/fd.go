@@ -1,0 +1,76 @@
+// Package fd implements functional-dependency reasoning over variables,
+// which play the role of attributes in the attack-graph framework
+// (Definitions 1, 2 and 5 of the paper).
+package fd
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// FD is a functional dependency X → Y over variables.
+type FD struct {
+	Lhs cq.VarSet
+	Rhs cq.VarSet
+}
+
+// String renders the dependency as "x y → z".
+func (f FD) String() string {
+	return strings.Join(f.Lhs.Sorted(), " ") + " → " + strings.Join(f.Rhs.Sorted(), " ")
+}
+
+// Set is a set of functional dependencies.
+type Set []FD
+
+// KeysOf returns K(q) of Definition 1: the set of dependencies
+// key(F) → vars(F) for every atom F of q.
+func KeysOf(q cq.Query) Set {
+	out := make(Set, 0, q.Len())
+	for _, a := range q.Atoms {
+		out = append(out, FD{Lhs: a.KeyVars(), Rhs: a.Vars()})
+	}
+	return out
+}
+
+// Closure returns the attribute closure of x with respect to s: the set
+// {v | s ⊨ x → v}, computed with the standard fixpoint algorithm
+// (Ullman, Principles of Database Systems; cf. the proof of Lemma 5).
+// Only variables occurring in s or x appear in the result.
+func (s Set) Closure(x cq.VarSet) cq.VarSet {
+	closure := x.Clone()
+	// Fixpoint: apply every dependency whose left side is contained in the
+	// closure until nothing changes. Quadratic in |s|, which is fine for
+	// query-sized inputs.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s {
+			if f.Lhs.SubsetOf(closure) && !f.Rhs.SubsetOf(closure) {
+				closure.AddAll(f.Rhs)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether s ⊨ x → y.
+func (s Set) Implies(x, y cq.VarSet) bool {
+	return y.SubsetOf(s.Closure(x))
+}
+
+// ImpliesVar reports whether s ⊨ x → {v}.
+func (s Set) ImpliesVar(x cq.VarSet, v string) bool {
+	return s.Closure(x).Has(v)
+}
+
+// String renders the set as "{x → y z; u → v}" with a deterministic order.
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = f.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, "; ") + "}"
+}

@@ -1,0 +1,146 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+func vs(names ...string) cq.VarSet { return cq.NewVarSet(names...) }
+
+func TestClosureTextbook(t *testing.T) {
+	s := Set{
+		{Lhs: vs("a"), Rhs: vs("b")},
+		{Lhs: vs("b"), Rhs: vs("c")},
+		{Lhs: vs("c", "d"), Rhs: vs("e")},
+	}
+	if got := s.Closure(vs("a")); !got.Equal(vs("a", "b", "c")) {
+		t.Errorf("closure(a) = %v", got)
+	}
+	if got := s.Closure(vs("a", "d")); !got.Equal(vs("a", "b", "c", "d", "e")) {
+		t.Errorf("closure(ad) = %v", got)
+	}
+	if !s.Implies(vs("a", "d"), vs("e")) {
+		t.Error("ad → e should hold")
+	}
+	if s.Implies(vs("a"), vs("e")) {
+		t.Error("a → e should not hold")
+	}
+	if !s.ImpliesVar(vs("a"), "c") || s.ImpliesVar(vs("a"), "d") {
+		t.Error("ImpliesVar wrong")
+	}
+}
+
+func TestClosureEmpty(t *testing.T) {
+	var s Set
+	if got := s.Closure(vs("x")); !got.Equal(vs("x")) {
+		t.Errorf("closure under empty FD set = %v", got)
+	}
+	if got := s.Closure(vs()); got.Len() != 0 {
+		t.Errorf("closure of empty set = %v", got)
+	}
+	// Empty LHS fires unconditionally.
+	s = Set{{Lhs: vs(), Rhs: vs("z")}}
+	if got := s.Closure(vs()); !got.Equal(vs("z")) {
+		t.Errorf("∅ → z should fire: %v", got)
+	}
+}
+
+// TestKeysOfQ1 reproduces the K(q1 \ {·}) computations of Example 2.
+func TestKeysOfQ1(t *testing.T) {
+	q1 := cq.Q1()
+	// q1 = {R(u|a,x)=F, S(y|x,z)=G, T(x|y)=H, P(x|z)=I}
+	full := KeysOf(q1)
+	if len(full) != 4 {
+		t.Fatalf("K(q1) should have 4 FDs, got %d", len(full))
+	}
+	// Example 4: F⊙ = closure of {u} wrt K(q1) = {u,x,y,z}.
+	if got := full.Closure(vs("u")); !got.Equal(vs("u", "x", "y", "z")) {
+		t.Errorf("F⊙ = %v", got)
+	}
+
+	cases := []struct {
+		drop int // atom index removed
+		key  cq.VarSet
+		want cq.VarSet
+	}{
+		{0, vs("u"), vs("u")},           // F+ = {u}
+		{1, vs("y"), vs("y")},           // G+ = {y}
+		{2, vs("x"), vs("x", "z")},      // H+ = {x,z}
+		{3, vs("x"), vs("x", "y", "z")}, // I+ = {x,y,z}
+	}
+	for _, c := range cases {
+		s := KeysOf(q1.Without(c.drop))
+		if got := s.Closure(c.key); !got.Equal(c.want) {
+			t.Errorf("closure of %v wrt K(q1 \\ {%s}) = %v, want %v",
+				c.key, q1.Atoms[c.drop].Rel, got, c.want)
+		}
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	s := Set{
+		{Lhs: vs("b"), Rhs: vs("c")},
+		{Lhs: vs("a"), Rhs: vs("b")},
+	}
+	if got, want := s.String(), "{a → b; b → c}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	f := FD{Lhs: vs("y", "x"), Rhs: vs("z")}
+	if got, want := f.String(), "x y → z"; got != want {
+		t.Errorf("FD.String = %q, want %q", got, want)
+	}
+}
+
+// Properties of attribute closure: extensive, monotone, idempotent.
+func TestQuickClosureProperties(t *testing.T) {
+	vars := []string{"a", "b", "c", "d", "e"}
+	mkSet := func(r *uint32, next func(int) int) Set {
+		n := next(5)
+		s := make(Set, 0, n)
+		for i := 0; i < n; i++ {
+			lhs, rhs := vs(), vs()
+			for _, v := range vars {
+				if next(3) == 0 {
+					lhs.Add(v)
+				}
+				if next(3) == 0 {
+					rhs.Add(v)
+				}
+			}
+			s = append(s, FD{Lhs: lhs, Rhs: rhs})
+		}
+		return s
+	}
+	f := func(seed uint32) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			return int(r>>16) % n
+		}
+		s := mkSet(&r, next)
+		x := vs()
+		for _, v := range vars {
+			if next(2) == 0 {
+				x.Add(v)
+			}
+		}
+		cl := s.Closure(x)
+		if !x.SubsetOf(cl) {
+			return false // extensive
+		}
+		if !cl.Equal(s.Closure(cl)) {
+			return false // idempotent
+		}
+		y := x.Clone()
+		y.Add(vars[next(len(vars))])
+		if !cl.SubsetOf(s.Closure(y)) {
+			return false // monotone
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package fo provides first-order formulas over the database vocabulary:
+// an AST, an active-domain evaluator, constructors for certain first-order
+// rewritings (the Theorem 1 unattacked-atom rewriting and the Theorem 6
+// safe-query rewriting), and SQL rendering.
+package fo
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// Formula is a first-order formula. Implementations are immutable.
+type Formula interface {
+	fmt.Stringer
+	// rename applies a variable substitution (variables to terms).
+	rename(m map[string]cq.Term) Formula
+}
+
+// Truth is a boolean constant.
+type Truth bool
+
+// Atom asserts membership of a tuple in a relation.
+type Atom struct{ A cq.Atom }
+
+// Eq asserts equality of two terms.
+type Eq struct{ L, R cq.Term }
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+// And is conjunction; the empty conjunction is true.
+type And struct{ Fs []Formula }
+
+// Or is disjunction; the empty disjunction is false.
+type Or struct{ Fs []Formula }
+
+// Implies is material implication.
+type Implies struct{ Hyp, Concl Formula }
+
+// Exists existentially quantifies variables (over the active domain).
+type Exists struct {
+	Vars []string
+	F    Formula
+}
+
+// Forall universally quantifies variables (over the active domain).
+type Forall struct {
+	Vars []string
+	F    Formula
+}
+
+// NewAnd flattens nested conjunctions and drops trivial conjuncts.
+func NewAnd(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case Truth:
+			if !bool(g) {
+				return Truth(false)
+			}
+		case And:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Truth(true)
+	case 1:
+		return out[0]
+	}
+	return And{Fs: out}
+}
+
+// NewOr flattens nested disjunctions and drops trivial disjuncts.
+func NewOr(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case Truth:
+			if bool(g) {
+				return Truth(true)
+			}
+		case Or:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Truth(false)
+	case 1:
+		return out[0]
+	}
+	return Or{Fs: out}
+}
+
+// NewExists drops empty quantifier prefixes.
+func NewExists(vars []string, f Formula) Formula {
+	if len(vars) == 0 {
+		return f
+	}
+	return Exists{Vars: vars, F: f}
+}
+
+// NewForall drops empty quantifier prefixes.
+func NewForall(vars []string, f Formula) Formula {
+	if len(vars) == 0 {
+		return f
+	}
+	return Forall{Vars: vars, F: f}
+}
+
+func (t Truth) String() string {
+	if t {
+		return "⊤"
+	}
+	return "⊥"
+}
+func (a Atom) String() string { return a.A.String() }
+func (e Eq) String() string   { return e.L.String() + " = " + e.R.String() }
+func (n Not) String() string  { return "¬" + paren(n.F) }
+func (a And) String() string  { return joinFormulas(a.Fs, " ∧ ") }
+func (o Or) String() string   { return joinFormulas(o.Fs, " ∨ ") }
+func (i Implies) String() string {
+	return paren(i.Hyp) + " → " + paren(i.Concl)
+}
+func (e Exists) String() string {
+	return "∃" + strings.Join(e.Vars, ",") + " " + paren(e.F)
+}
+func (f Forall) String() string {
+	return "∀" + strings.Join(f.Vars, ",") + " " + paren(f.F)
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Truth, Atom, Eq, Not:
+		return f.String()
+	}
+	return "(" + f.String() + ")"
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = paren(fs[i])
+		_ = f
+	}
+	return strings.Join(parts, sep)
+}
+
+func renameAll(fs []Formula, m map[string]cq.Term) []Formula {
+	out := make([]Formula, len(fs))
+	for i, f := range fs {
+		out[i] = f.rename(m)
+	}
+	return out
+}
+
+func (t Truth) rename(map[string]cq.Term) Formula { return t }
+func (a Atom) rename(m map[string]cq.Term) Formula {
+	args := make([]cq.Term, len(a.A.Args))
+	for i, arg := range a.A.Args {
+		args[i] = renameTerm(arg, m)
+	}
+	return Atom{A: cq.Atom{Rel: a.A.Rel, KeyLen: a.A.KeyLen, Args: args}}
+}
+func (e Eq) rename(m map[string]cq.Term) Formula {
+	return Eq{L: renameTerm(e.L, m), R: renameTerm(e.R, m)}
+}
+func (n Not) rename(m map[string]cq.Term) Formula { return Not{F: n.F.rename(m)} }
+func (a And) rename(m map[string]cq.Term) Formula { return And{Fs: renameAll(a.Fs, m)} }
+func (o Or) rename(m map[string]cq.Term) Formula  { return Or{Fs: renameAll(o.Fs, m)} }
+func (i Implies) rename(m map[string]cq.Term) Formula {
+	return Implies{Hyp: i.Hyp.rename(m), Concl: i.Concl.rename(m)}
+}
+func (e Exists) rename(m map[string]cq.Term) Formula {
+	return Exists{Vars: e.Vars, F: e.F.rename(shadow(m, e.Vars))}
+}
+func (f Forall) rename(m map[string]cq.Term) Formula {
+	return Forall{Vars: f.Vars, F: f.F.rename(shadow(m, f.Vars))}
+}
+
+func renameTerm(t cq.Term, m map[string]cq.Term) cq.Term {
+	if t.IsVar() {
+		if r, ok := m[t.Value]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+// shadow removes bound variables from a substitution.
+func shadow(m map[string]cq.Term, bound []string) map[string]cq.Term {
+	needs := false
+	for _, v := range bound {
+		if _, ok := m[v]; ok {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return m
+	}
+	out := make(map[string]cq.Term, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	for _, v := range bound {
+		delete(out, v)
+	}
+	return out
+}
+
+// Rename applies a variable-to-term substitution, respecting binders.
+func Rename(f Formula, m map[string]cq.Term) Formula { return f.rename(m) }
+
+// FreeVars returns the free variables of the formula.
+func FreeVars(f Formula) cq.VarSet {
+	out := make(cq.VarSet)
+	var walk func(f Formula, bound cq.VarSet)
+	walk = func(f Formula, bound cq.VarSet) {
+		switch g := f.(type) {
+		case Truth:
+		case Atom:
+			for _, t := range g.A.Args {
+				if t.IsVar() && !bound.Has(t.Value) {
+					out.Add(t.Value)
+				}
+			}
+		case Eq:
+			for _, t := range []cq.Term{g.L, g.R} {
+				if t.IsVar() && !bound.Has(t.Value) {
+					out.Add(t.Value)
+				}
+			}
+		case Not:
+			walk(g.F, bound)
+		case And:
+			for _, sub := range g.Fs {
+				walk(sub, bound)
+			}
+		case Or:
+			for _, sub := range g.Fs {
+				walk(sub, bound)
+			}
+		case Implies:
+			walk(g.Hyp, bound)
+			walk(g.Concl, bound)
+		case Exists:
+			b := bound.Clone()
+			for _, v := range g.Vars {
+				b.Add(v)
+			}
+			walk(g.F, b)
+		case Forall:
+			b := bound.Clone()
+			for _, v := range g.Vars {
+				b.Add(v)
+			}
+			walk(g.F, b)
+		default:
+			panic(fmt.Sprintf("fo: unknown formula %T", f))
+		}
+	}
+	walk(f, make(cq.VarSet))
+	return out
+}
+
+// Size returns the number of AST nodes in the formula, a proxy for
+// rewriting complexity.
+func Size(f Formula) int {
+	switch g := f.(type) {
+	case Truth, Atom, Eq:
+		return 1
+	case Not:
+		return 1 + Size(g.F)
+	case And:
+		n := 1
+		for _, sub := range g.Fs {
+			n += Size(sub)
+		}
+		return n
+	case Or:
+		n := 1
+		for _, sub := range g.Fs {
+			n += Size(sub)
+		}
+		return n
+	case Implies:
+		return 1 + Size(g.Hyp) + Size(g.Concl)
+	case Exists:
+		return 1 + Size(g.F)
+	case Forall:
+		return 1 + Size(g.F)
+	default:
+		panic(fmt.Sprintf("fo: unknown formula %T", f))
+	}
+}
+
+// QuantifierRank returns the maximum nesting depth of quantifiers.
+func QuantifierRank(f Formula) int {
+	switch g := f.(type) {
+	case Truth, Atom, Eq:
+		return 0
+	case Not:
+		return QuantifierRank(g.F)
+	case And:
+		m := 0
+		for _, sub := range g.Fs {
+			if r := QuantifierRank(sub); r > m {
+				m = r
+			}
+		}
+		return m
+	case Or:
+		m := 0
+		for _, sub := range g.Fs {
+			if r := QuantifierRank(sub); r > m {
+				m = r
+			}
+		}
+		return m
+	case Implies:
+		h, c := QuantifierRank(g.Hyp), QuantifierRank(g.Concl)
+		if h > c {
+			return h
+		}
+		return c
+	case Exists:
+		return 1 + QuantifierRank(g.F)
+	case Forall:
+		return 1 + QuantifierRank(g.F)
+	default:
+		panic(fmt.Sprintf("fo: unknown formula %T", f))
+	}
+}

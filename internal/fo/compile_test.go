@@ -1,0 +1,102 @@
+package fo
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+// TestCompiledAgreesWithInterpreter: the compiled evaluator matches Eval on
+// the rewritings of the FO catalog over random databases.
+func TestCompiledAgreesWithInterpreter(t *testing.T) {
+	queries := []cq.Query{
+		cq.MustParseQuery("R(x | y)"),
+		cq.MustParseQuery("R(x | y), S(y | z)"),
+		cq.ConferenceQuery(),
+		cq.MustParseQuery("R(x | y, z), S(y, z | w)"),
+		cq.MustParseQuery("R(x, x | y)"),
+	}
+	for _, q := range queries {
+		phi, err := RewriteAcyclic(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := Compile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 20; seed++ {
+			d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 3, Domain: 3}, seed)
+			want, err := Eval(phi, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := compiled.Eval(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s seed %d: compiled=%v interpreted=%v", q, seed, got, want)
+			}
+		}
+	}
+	// The Theorem 6 rewriting of the cyclic safe query also compiles.
+	phi, err := RewriteSafe(cq.MustParseQuery("R(w | x, y), S(w | y, z), T(w | z, x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(phi); err != nil {
+		t.Errorf("Compile(Theorem 6 rewriting): %v", err)
+	}
+}
+
+func TestCompiledFreeVariables(t *testing.T) {
+	q := cq.MustParseQuery("R(x | 'A')")
+	phi, err := RewriteAcyclicFree(q, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := gen.ConferenceDB()
+	if _, err := compiled.Eval(d); err == nil {
+		t.Error("Eval must reject free variables")
+	}
+	for conf, want := range map[string]bool{"PODS": true, "KDD": false} {
+		got, err := compiled.EvalWith(d, cq.Valuation{"x": conf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("x=%s: compiled=%v want=%v", conf, got, want)
+		}
+	}
+	if _, err := compiled.EvalWith(d, cq.Valuation{}); err == nil {
+		t.Error("missing binding must fail")
+	}
+	// Binding a value outside the active domain still works (it joins the
+	// quantification domain like a constant).
+	got, err := compiled.EvalWith(d, cq.Valuation{"x": "ICDT"})
+	if err != nil || got {
+		t.Errorf("unknown conference: %v %v", got, err)
+	}
+}
+
+func TestCompiledOrAndEq(t *testing.T) {
+	f := NewOr(
+		Eq{L: cq.Const("a"), R: cq.Const("b")},
+		Not{F: Truth(false)},
+	)
+	compiled, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := compiled.Eval(db.New())
+	if err != nil || !got {
+		t.Errorf("Or/Eq/Not compile: %v %v", got, err)
+	}
+}

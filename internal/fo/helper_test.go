@@ -1,0 +1,34 @@
+package fo
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
+)
+
+// bruteCertain is a local brute-force certainty oracle for the rewriting
+// tests (the solver package now depends on fo, so tests here cannot import
+// it back).
+func bruteCertain(q cq.Query, d *db.DB) bool {
+	certain := true
+	d.EachRepair(func(r []db.Fact) bool {
+		if !engine.EvalRepair(q, r) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain
+}
+
+// mustDB parses a database literal for tests.
+func mustDB(t *testing.T, s string) *db.DB {
+	t.Helper()
+	d, err := db.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,148 @@
+package fo
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+// ErrNotRewritable marks queries without a certain first-order rewriting
+// (cyclic attack graph; Theorem 1). Matchable with errors.Is.
+var ErrNotRewritable = errors.New("no certain first-order rewriting exists")
+
+// RewriteAcyclic constructs a certain first-order rewriting of q: a
+// sentence φ such that for every uncertain database db,
+// db ∈ CERTAINTY(q) ⟺ db ⊨ φ. It exists iff the attack graph of q is
+// acyclic (Theorem 1); the construction eliminates an unattacked atom per
+// step:
+//
+//	φ_q = ∃w̄ ( key-pattern(w̄) ∧ ∃ū R(w̄, ū)
+//	          ∧ ∀ū ( R(w̄, ū) → nonkey-pattern(w̄, ū) ∧ φ_rest ) )
+//
+// reading: some block of R whose key matches the atom's key pattern is
+// such that every fact in the block matches the full pattern and makes the
+// instantiated remainder certain.
+func RewriteAcyclic(q cq.Query) (Formula, error) {
+	fresh := 0
+	// bound tracks the fresh variables introduced by enclosing quantifiers;
+	// when a subquery mentions one, the rewriting must equate rather than
+	// re-quantify it (it carries a join value from the parent atom).
+	bound := make(map[string]bool)
+	var rec func(q cq.Query) (Formula, error)
+	rec = func(q cq.Query) (Formula, error) {
+		if q.IsEmpty() {
+			return Truth(true), nil
+		}
+		g, err := core.BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			return nil, err
+		}
+		un := g.Unattacked()
+		if len(un) == 0 {
+			return nil, fmt.Errorf("fo: attack graph of %s is cyclic: %w", q, ErrNotRewritable)
+		}
+		F := q.Atoms[un[0]]
+		rest := q.Without(un[0])
+
+		n, k := F.Arity(), F.KeyLen
+		keyVars := make([]string, k)
+		nonkeyVars := make([]string, n-k)
+		atomArgs := make([]cq.Term, n)
+		for i := 0; i < n; i++ {
+			fresh++
+			name := fmt.Sprintf("w%d", fresh)
+			if i < k {
+				keyVars[i] = name
+			} else {
+				nonkeyVars[i-k] = name
+			}
+			atomArgs[i] = cq.Var(name)
+		}
+		guard := Atom{A: cq.Atom{Rel: F.Rel, KeyLen: k, Args: atomArgs}}
+
+		var keyConstraints, nonkeyConstraints []Formula
+		def := make(map[string]string) // query variable → fresh variable
+		for i, t := range F.Args {
+			sym := atomArgs[i]
+			var sink *[]Formula
+			if i < k {
+				sink = &keyConstraints
+			} else {
+				sink = &nonkeyConstraints
+			}
+			if t.IsConst {
+				*sink = append(*sink, Eq{L: sym, R: t})
+				continue
+			}
+			if bound[t.Value] {
+				// Outer-bound variable: equate with the enclosing binding.
+				*sink = append(*sink, Eq{L: sym, R: t})
+				continue
+			}
+			if prev, ok := def[t.Value]; ok {
+				*sink = append(*sink, Eq{L: sym, R: cq.Var(prev)})
+			} else {
+				def[t.Value] = sym.Value
+			}
+		}
+
+		for _, v := range def {
+			bound[v] = true
+		}
+		sub, err := rec(rest.Rename(def))
+		if err != nil {
+			return nil, err
+		}
+		inner := Implies{
+			Hyp:   guard,
+			Concl: NewAnd(append(append([]Formula{}, nonkeyConstraints...), sub)...),
+		}
+		body := NewAnd(append(append([]Formula{}, keyConstraints...),
+			NewExists(nonkeyVars, guard),
+			NewForall(nonkeyVars, inner))...)
+		return NewExists(keyVars, body), nil
+	}
+	return rec(q)
+}
+
+// RewriteFact returns the certain rewriting of a single ground fact A:
+// A is certain iff A is present and is alone in its block,
+//
+//	A ∧ ∀ū ( R(key(A), ū) → ū = nonkey(A) )
+//
+// This is rule R1 of the Theorem 6 construction; it agrees with
+// RewriteAcyclic on ground atoms and is exposed for the probabilistic
+// bridge.
+func RewriteFact(a cq.Atom) (Formula, error) {
+	fresh := 0
+	return rewriteFactFresh(a, &fresh)
+}
+
+// rewriteFactFresh is RewriteFact drawing quantified-variable names from a
+// shared counter, so that formulas embedded under other binders (the
+// Theorem 6 recursion) cannot capture enclosing variables.
+func rewriteFactFresh(a cq.Atom, fresh *int) (Formula, error) {
+	if !a.IsGround() {
+		return nil, fmt.Errorf("fo: RewriteFact requires a ground atom, got %s", a)
+	}
+	n, k := a.Arity(), a.KeyLen
+	args := make([]cq.Term, n)
+	vars := make([]string, 0, n-k)
+	var eqs []Formula
+	for i := 0; i < n; i++ {
+		if i < k {
+			args[i] = a.Args[i]
+			continue
+		}
+		*fresh++
+		v := fmt.Sprintf("f%d", *fresh)
+		vars = append(vars, v)
+		args[i] = cq.Var(v)
+		eqs = append(eqs, Eq{L: cq.Var(v), R: a.Args[i]})
+	}
+	guard := Atom{A: cq.Atom{Rel: a.Rel, KeyLen: k, Args: args}}
+	return NewAnd(Atom{A: a}, NewForall(vars, Implies{Hyp: guard, Concl: NewAnd(eqs...)})), nil
+}

@@ -1,0 +1,162 @@
+package fo
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/prob"
+)
+
+// ErrUnsafe marks queries rejected by the IsSafe test. Matchable with
+// errors.Is.
+var ErrUnsafe = errors.New("query is not safe")
+
+// RewriteSafe constructs a certain first-order rewriting for *safe*
+// queries, following the induction of Theorem 6 over the IsSafe rules.
+// Unlike RewriteAcyclic it does not need a join tree, so it also covers
+// safe queries whose hypergraph is cyclic (where attack graphs are not even
+// defined):
+//
+//	R1  single ground atom A: A is certain iff A is present and alone in
+//	    its block (RewriteFact);
+//	R2  variable-disjoint components: conjunction of their rewritings;
+//	R3  a variable x in every key: certain(q) ⟺ ∃a certain(q[x↦a]), so
+//	    ∃x φ(x) with φ the rewriting of q[x↦a] reopened at a;
+//	R4  an atom F with ground key and variables left: all R-facts with that
+//	    key form one block, and certain(q) ⟺ the block is nonempty, every
+//	    fact in it matches F's pattern, and leaves a certain remainder —
+//	    the same block shape as the Theorem 1 step, correct here without
+//	    any attack-graph premise because the key is ground.
+//
+// It fails on unsafe queries.
+func RewriteSafe(q cq.Query) (Formula, error) {
+	if q.HasSelfJoin() {
+		return nil, fmt.Errorf("fo: RewriteSafe requires self-join-free queries: %s", q)
+	}
+	if !prob.IsSafe(q) {
+		return nil, fmt.Errorf("fo: %s: %w", q, ErrUnsafe)
+	}
+	for c := range q.Constants() {
+		if len(c) >= len(markerPrefix) && c[:len(markerPrefix)] == markerPrefix {
+			return nil, fmt.Errorf("fo: query constant %q collides with the marker namespace", c)
+		}
+	}
+	fresh := 0
+	var rec func(q cq.Query) (Formula, error)
+	rec = func(q cq.Query) (Formula, error) {
+		if q.IsEmpty() {
+			return Truth(true), nil
+		}
+		// R1: single ground atom.
+		if q.Len() == 1 && q.Vars().Len() == 0 {
+			return rewriteFactFresh(q.Atoms[0], &fresh)
+		}
+		// R2: independent components.
+		if comps := q.ConnectedComponents(); len(comps) > 1 {
+			var fs []Formula
+			for _, comp := range comps {
+				atoms := make([]cq.Atom, len(comp))
+				for i, idx := range comp {
+					atoms[i] = q.Atoms[idx]
+				}
+				sub, err := rec(cq.Query{Atoms: atoms})
+				if err != nil {
+					return nil, err
+				}
+				fs = append(fs, sub)
+			}
+			return NewAnd(fs...), nil
+		}
+		// R3: a common key variable.
+		if x, ok := safeCommonKeyVar(q); ok {
+			fresh++
+			marker := markerPrefix + "s" + strconv.Itoa(fresh)
+			sub, err := rec(q.Substitute(cq.Valuation{x: marker}))
+			if err != nil {
+				return nil, err
+			}
+			fresh++
+			v := fmt.Sprintf("s%d", fresh)
+			reopened := reopenMarkers(sub, map[string]string{marker: v})
+			return NewExists([]string{v}, reopened), nil
+		}
+		// R4: an atom whose key is ground but with variables remaining.
+		for idx, a := range q.Atoms {
+			if a.KeyVars().Len() == 0 && a.Vars().Len() > 0 {
+				return rewriteGroundKeyStep(q, idx, &fresh, rec)
+			}
+		}
+		return nil, fmt.Errorf("fo: no IsSafe rule applies to %s (query not safe?)", q)
+	}
+	return rec(q)
+}
+
+func safeCommonKeyVar(q cq.Query) (string, bool) {
+	if q.Len() == 0 {
+		return "", false
+	}
+	common := q.Atoms[0].KeyVars()
+	for _, a := range q.Atoms[1:] {
+		common = common.Intersect(a.KeyVars())
+	}
+	if common.Len() == 0 {
+		return "", false
+	}
+	return common.Sorted()[0], true
+}
+
+// rewriteGroundKeyStep emits the block formula for an atom F whose key
+// terms are all constants:
+//
+//	∃ū R(c̄, ū) ∧ ∀ū ( R(c̄, ū) → pattern(ū) ∧ φ_rest[ȳ ↦ ū] )
+func rewriteGroundKeyStep(q cq.Query, idx int, fresh *int, rec func(cq.Query) (Formula, error)) (Formula, error) {
+	F := q.Atoms[idx]
+	rest := q.Without(idx)
+	n, k := F.Arity(), F.KeyLen
+	args := make([]cq.Term, n)
+	var vars []string
+	var pattern []Formula
+	def := make(map[string]string)
+	for i := 0; i < n; i++ {
+		if i < k {
+			// Ground key position.
+			args[i] = F.Args[i]
+			continue
+		}
+		*fresh++
+		name := fmt.Sprintf("u%d", *fresh)
+		vars = append(vars, name)
+		args[i] = cq.Var(name)
+		t := F.Args[i]
+		if t.IsConst {
+			pattern = append(pattern, Eq{L: cq.Var(name), R: t})
+			continue
+		}
+		if prev, ok := def[t.Value]; ok {
+			pattern = append(pattern, Eq{L: cq.Var(name), R: cq.Var(prev)})
+		} else {
+			def[t.Value] = name
+		}
+	}
+	guard := Atom{A: cq.Atom{Rel: F.Rel, KeyLen: k, Args: args}}
+	// Recurse with F's variables frozen to markers, then reopen them as the
+	// universally quantified fresh variables.
+	markers := make(cq.Valuation, len(def))
+	reopen := make(map[string]string, len(def))
+	for v, name := range def {
+		m := markerPrefix + "g" + name
+		markers[v] = m
+		reopen[m] = name
+	}
+	sub, err := rec(rest.Substitute(markers))
+	if err != nil {
+		return nil, err
+	}
+	body := NewAnd(append(append([]Formula{}, pattern...), reopenMarkers(sub, reopen))...)
+	return NewAnd(
+		NewExists(vars, guard),
+		NewForall(vars, Implies{Hyp: guard, Concl: body}),
+	), nil
+}

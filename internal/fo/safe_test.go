@@ -1,0 +1,168 @@
+package fo
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/jointree"
+	"github.com/cqa-go/certainty/internal/prob"
+)
+
+// safeCatalog lists safe queries, including one whose hypergraph is cyclic
+// (no join tree, hence no attack graph) — Theorem 6 still applies.
+func safeCatalog() []cq.Query {
+	return []cq.Query{
+		cq.MustParseQuery("R(x | y)"),
+		cq.MustParseQuery("R(x | y), S(x | z)"),
+		cq.MustParseQuery("R(x | y), S(u | w)"),
+		cq.ConferenceQuery(),
+		cq.MustParseQuery("R('a', 'b')"),
+		cq.MustParseQuery("R(x | y, y)"),
+		cq.MustParseQuery("R(w | x, y), S(w | y, z), T(w | z, x)"), // cyclic hypergraph
+		cq.MustParseQuery("R(x, y | z), S(x | w)"),
+	}
+}
+
+func TestSafeCatalogIsSafe(t *testing.T) {
+	for _, q := range safeCatalog() {
+		if !prob.IsSafe(q) {
+			t.Errorf("%s should be safe", q)
+		}
+	}
+	cyclic := cq.MustParseQuery("R(w | x, y), S(w | y, z), T(w | z, x)")
+	if jointree.IsAcyclic(cyclic) {
+		t.Error("the triangle query should be hypergraph-cyclic")
+	}
+}
+
+// TestRewriteSafeAgainstBruteForce: the Theorem 6 rewriting decides
+// certainty exactly on random instances, including for the cyclic safe
+// query that RewriteAcyclic cannot express.
+func TestRewriteSafeAgainstBruteForce(t *testing.T) {
+	for _, q := range safeCatalog() {
+		phi, err := RewriteSafe(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if FreeVars(phi).Len() != 0 {
+			t.Fatalf("%s: free variables in rewriting %s", q, phi)
+		}
+		for seed := int64(0); seed < 20; seed++ {
+			d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 2, Domain: 2}, seed)
+			want := bruteCertain(q, d)
+			got, err := Eval(phi, d)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", q, seed, err)
+			}
+			if got != want {
+				t.Errorf("%s seed %d: safe rewriting=%v brute=%v\nφ = %s\ndb:\n%s",
+					q, seed, got, want, phi, d)
+			}
+		}
+	}
+}
+
+// TestRewriteSafeAgreesWithAcyclic: on acyclic safe queries both
+// constructions decide identically.
+func TestRewriteSafeAgreesWithAcyclic(t *testing.T) {
+	for _, q := range safeCatalog() {
+		if !jointree.IsAcyclic(q) {
+			continue
+		}
+		phiS, err := RewriteSafe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phiA, err := RewriteAcyclic(q)
+		if err != nil {
+			t.Fatalf("%s: safe queries have acyclic attack graphs (Theorem 6): %v", q, err)
+		}
+		for seed := int64(50); seed < 65; seed++ {
+			d := gen.RandomDB(q, gen.Config{Embeddings: 2, Noise: 3, Domain: 3}, seed)
+			a, err := Eval(phiS, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Eval(phiA, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("%s seed %d: safe=%v acyclic=%v", q, seed, a, b)
+			}
+		}
+	}
+}
+
+func TestRewriteSafeRejects(t *testing.T) {
+	for _, s := range []string{
+		"R(x | y), S(y | z)", // unsafe
+	} {
+		if _, err := RewriteSafe(cq.MustParseQuery(s)); err == nil {
+			t.Errorf("%s must be rejected", s)
+		}
+	}
+	if _, err := RewriteSafe(cq.Q0()); err == nil {
+		t.Error("q0 must be rejected")
+	}
+	sj := cq.Query{Atoms: []cq.Atom{
+		cq.NewAtom("R", 1, cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", 1, cq.Var("y"), cq.Var("x")),
+	}}
+	if _, err := RewriteSafe(sj); err == nil {
+		t.Error("self-join must be rejected")
+	}
+	collide := cq.NewQuery(cq.NewAtom("R", 1, cq.Var("x"), cq.Const(markerPrefix+"boom")))
+	if _, err := RewriteSafe(collide); err == nil {
+		t.Error("marker collision must be rejected")
+	}
+}
+
+func TestRewriteSafeEmpty(t *testing.T) {
+	phi, err := RewriteSafe(cq.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != Truth(true) {
+		t.Errorf("empty query rewriting = %s", phi)
+	}
+}
+
+// TestSafeRewritingNoCapture is the regression for a variable-capture bug:
+// the R1 (ground fact) sub-rewriting used fixed quantifier names that could
+// shadow enclosing binders, so the block-singleton equality degenerated to
+// u = u. This instance has an extra T-fact in the block of the required
+// one, so the query must NOT be certain.
+func TestSafeRewritingNoCapture(t *testing.T) {
+	q := cq.MustParseQuery("R(w | x, y), S(w | y, z), T(w | z, x)")
+	d := mustDB(t, `
+		R(a | b, c)
+		S(a | c, d)
+		T(a | d, b)
+		T(a | d, e)
+	`)
+	if bruteCertain(q, d) {
+		t.Fatal("instance should not be certain (the repair picking T(a,d,e) falsifies q)")
+	}
+	phi, err := RewriteSafe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(phi, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Errorf("capture regression: rewriting claims certain\nφ = %s", phi)
+	}
+}
+
+// TestFreeVarNameCollision: free variables that collide with generated
+// quantifier names are rejected rather than silently captured.
+func TestFreeVarNameCollision(t *testing.T) {
+	q := cq.NewQuery(cq.NewAtom("R", 1, cq.Var("w1"), cq.Var("y")))
+	if _, err := RewriteAcyclicFree(q, []string{"w1"}); err == nil {
+		t.Error("free variable w1 must be rejected")
+	}
+}

@@ -1,0 +1,71 @@
+package fo
+
+import "fmt"
+
+// Simplify normalizes a formula without changing its meaning: double
+// negations collapse, negations push through conjunction/disjunction/
+// quantifiers (negation normal form for the connective skeleton),
+// implications unfold to ¬H ∨ C, boolean constants fold, and nested
+// conjunctions/disjunctions flatten. Useful before rendering SQL, where
+// NOT(NOT EXISTS(...)) chains from the rewriting otherwise pile up.
+func Simplify(f Formula) Formula {
+	return simplify(f, false)
+}
+
+// simplify rewrites f under an optional pending negation.
+func simplify(f Formula, negate bool) Formula {
+	switch g := f.(type) {
+	case Truth:
+		return Truth(bool(g) != negate)
+	case Atom:
+		if negate {
+			return Not{F: g}
+		}
+		return g
+	case Eq:
+		if negate {
+			return Not{F: g}
+		}
+		return g
+	case Not:
+		return simplify(g.F, !negate)
+	case And:
+		subs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			subs[i] = simplify(sub, negate)
+		}
+		if negate {
+			return NewOr(subs...)
+		}
+		return NewAnd(subs...)
+	case Or:
+		subs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			subs[i] = simplify(sub, negate)
+		}
+		if negate {
+			return NewAnd(subs...)
+		}
+		return NewOr(subs...)
+	case Implies:
+		// H → C ≡ ¬H ∨ C; negated: H ∧ ¬C.
+		if negate {
+			return NewAnd(simplify(g.Hyp, false), simplify(g.Concl, true))
+		}
+		return NewOr(simplify(g.Hyp, true), simplify(g.Concl, false))
+	case Exists:
+		sub := simplify(g.F, negate)
+		if negate {
+			return NewForall(g.Vars, sub)
+		}
+		return NewExists(g.Vars, sub)
+	case Forall:
+		sub := simplify(g.F, negate)
+		if negate {
+			return NewExists(g.Vars, sub)
+		}
+		return NewForall(g.Vars, sub)
+	default:
+		panic(fmt.Sprintf("fo: unknown formula %T", f))
+	}
+}

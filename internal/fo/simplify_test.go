@@ -1,0 +1,110 @@
+package fo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+func TestSimplifyShapes(t *testing.T) {
+	a := Atom{A: cq.NewAtom("R", 1, cq.Const("x"))}
+	cases := []struct {
+		in   Formula
+		want string
+	}{
+		{Not{F: Not{F: a}}, a.String()},
+		{Not{F: Truth(true)}, "⊥"},
+		{Not{F: NewAnd(a, Truth(true))}, Not{F: a}.String()},
+		{Implies{Hyp: Truth(true), Concl: a}, a.String()},
+		{Implies{Hyp: a, Concl: Truth(false)}, Not{F: a}.String()},
+		{Not{F: Exists{Vars: []string{"v"}, F: Not{F: Truth(false)}}}, "∀v ⊥"},
+		{NewAnd(a, NewAnd(a, a)), "R('x') ∧ R('x') ∧ R('x')"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Simplify preserves evaluation on the rewritings of the FO
+// catalog and on random nested formulas.
+func TestQuickSimplifyPreservesEvaluation(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	phi, err := RewriteAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 2, Domain: 2}, seed)
+		want, err := Eval(phi, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Eval(Simplify(phi), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("seed %d: simplified rewriting disagrees", seed)
+		}
+	}
+
+	// Random formula generator over one unary relation.
+	d := db.MustParse("U(a), U(b)")
+	var build func(r *uint32, depth int) Formula
+	next := func(r *uint32, n int) int {
+		*r = *r*1664525 + 1013904223
+		return int(*r>>16) % n
+	}
+	build = func(r *uint32, depth int) Formula {
+		if depth == 0 {
+			switch next(r, 3) {
+			case 0:
+				return Truth(next(r, 2) == 0)
+			case 1:
+				return Atom{A: cq.NewAtom("U", 1, cq.Const([]string{"a", "b", "c"}[next(r, 3)]))}
+			default:
+				return Eq{L: cq.Const("a"), R: cq.Const([]string{"a", "b"}[next(r, 2)])}
+			}
+		}
+		switch next(r, 5) {
+		case 0:
+			return Not{F: build(r, depth-1)}
+		case 1:
+			return NewAnd(build(r, depth-1), build(r, depth-1))
+		case 2:
+			return NewOr(build(r, depth-1), build(r, depth-1))
+		case 3:
+			return Implies{Hyp: build(r, depth-1), Concl: build(r, depth-1)}
+		default:
+			v := []string{"p", "q"}[next(r, 2)]
+			body := NewOr(build(r, depth-1), Atom{A: cq.NewAtom("U", 1, cq.Var(v))})
+			if next(r, 2) == 0 {
+				return Exists{Vars: []string{v}, F: body}
+			}
+			return Forall{Vars: []string{v}, F: body}
+		}
+	}
+	f := func(seed uint32) bool {
+		r := seed
+		phi := build(&r, 3)
+		want, err := Eval(phi, d)
+		if err != nil {
+			return true // free-variable shapes can slip through; skip
+		}
+		simp := Simplify(phi)
+		got, err := Eval(simp, d)
+		if err != nil {
+			t.Logf("simplified formula became unevaluable: %s -> %s: %v", phi, simp, err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

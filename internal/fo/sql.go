@@ -1,0 +1,95 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// SQL renders the sentence as a SQL boolean expression, assuming:
+//
+//   - each relation R of arity n is a table R(c1, ..., cn);
+//   - a unary view adom(v) materializes the active domain, e.g.
+//     CREATE VIEW adom AS SELECT c1 AS v FROM R UNION SELECT c2 FROM R ...;
+//   - quantifiers range over adom.
+//
+// Variables become correlated references to adom rows. The output is
+// suitable for `SELECT <expr>;` in any SQL dialect with EXISTS.
+func SQL(f Formula) (string, error) {
+	if free := FreeVars(f); free.Len() > 0 {
+		return "", fmt.Errorf("fo: SQL requires a sentence; free variables %v", free)
+	}
+	return sqlExpr(f), nil
+}
+
+func sqlExpr(f Formula) string {
+	switch g := f.(type) {
+	case Truth:
+		if g {
+			return "TRUE"
+		}
+		return "FALSE"
+	case Atom:
+		var conds []string
+		for i, t := range g.A.Args {
+			conds = append(conds, fmt.Sprintf("c%d = %s", i+1, sqlTerm(t)))
+		}
+		where := ""
+		if len(conds) > 0 {
+			where = " WHERE " + strings.Join(conds, " AND ")
+		}
+		return fmt.Sprintf("EXISTS (SELECT 1 FROM %s%s)", sqlIdent(g.A.Rel), where)
+	case Eq:
+		return fmt.Sprintf("%s = %s", sqlTerm(g.L), sqlTerm(g.R))
+	case Not:
+		return "NOT (" + sqlExpr(g.F) + ")"
+	case And:
+		return joinSQL(g.Fs, " AND ")
+	case Or:
+		return joinSQL(g.Fs, " OR ")
+	case Implies:
+		return "(NOT (" + sqlExpr(g.Hyp) + ") OR (" + sqlExpr(g.Concl) + "))"
+	case Exists:
+		return quantifierSQL(g.Vars, g.F, false)
+	case Forall:
+		return quantifierSQL(g.Vars, g.F, true)
+	default:
+		panic(fmt.Sprintf("fo: unknown formula %T", f))
+	}
+}
+
+func quantifierSQL(vars []string, body Formula, universal bool) string {
+	froms := make([]string, len(vars))
+	for i, v := range vars {
+		froms[i] = "adom " + varAlias(v)
+	}
+	inner := sqlExpr(body)
+	if universal {
+		inner = "NOT (" + inner + ")"
+	}
+	out := fmt.Sprintf("EXISTS (SELECT 1 FROM %s WHERE %s)", strings.Join(froms, ", "), inner)
+	if universal {
+		out = "NOT " + out
+	}
+	return out
+}
+
+func joinSQL(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i := range fs {
+		parts[i] = "(" + sqlExpr(fs[i]) + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+func sqlTerm(t cq.Term) string {
+	if t.IsConst {
+		return "'" + strings.ReplaceAll(t.Value, "'", "''") + "'"
+	}
+	return varAlias(t.Value) + ".v"
+}
+
+func varAlias(v string) string { return "a_" + v }
+
+func sqlIdent(name string) string { return `"` + strings.ReplaceAll(name, `"`, `""`) + `"` }

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// TerminalPairsQuery generalizes the Fig. 4 query to n weak terminal
+// 2-cycles chained by shared key variables: pair i consists of
+//
+//	Fi(l_i, l_{i+1}, a_i | b_i)   and   Gi(l_i, l_{i+1}, b_i | a_i)
+//
+// so consecutive pairs share the link variable l_{i+1} (inside both keys,
+// as Lemma 7 requires). With withRoot, an unattacked atom R0(w | l_0) is
+// prepended, exercising the induction step of Theorem 3 before the base
+// case. The attack graph consists of exactly n weak terminal 2-cycles
+// (plus the unattacked root).
+func TerminalPairsQuery(n int, withRoot bool) cq.Query {
+	if n < 1 {
+		panic("gen: TerminalPairsQuery requires n >= 1")
+	}
+	var atoms []cq.Atom
+	link := func(i int) cq.Term { return cq.Var(fmt.Sprintf("l%d", i)) }
+	if withRoot {
+		atoms = append(atoms, cq.NewAtom("R0", 1, cq.Var("w"), link(0)))
+	}
+	for i := 0; i < n; i++ {
+		a := cq.Var(fmt.Sprintf("a%d", i))
+		b := cq.Var(fmt.Sprintf("b%d", i))
+		atoms = append(atoms,
+			cq.NewAtom(fmt.Sprintf("F%d", i), 3, link(i), link(i+1), a, b),
+			cq.NewAtom(fmt.Sprintf("G%d", i), 3, link(i), link(i+1), b, a),
+		)
+	}
+	return cq.Query{Atoms: atoms}
+}
+
+// OpenCaseQuery returns an acyclic query whose attack graph has a weak
+// *nonterminal* cycle and no strong cycle, and which is not AC(k) — the
+// exact case Theorems 2–4 leave open (Section 6.2; Conjecture 1 holds it
+// to be in P):
+//
+//	{R1(x | y), R2(y | x), S(x, y | z)}
+//
+// R1 ⇄ R2 is a weak cycle, and both attack S (making the cycle
+// nonterminal) while S attacks nothing.
+func OpenCaseQuery() cq.Query {
+	return cq.NewQuery(
+		cq.NewAtom("R1", 1, cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R2", 1, cq.Var("y"), cq.Var("x")),
+		cq.NewAtom("S", 2, cq.Var("x"), cq.Var("y"), cq.Var("z")),
+	)
+}
+
+// EnumerateTwoAtomQueries yields every two-atom self-join-free query with
+// arities 1..maxArity and variables drawn from x, y, z (no constants),
+// covering all key lengths — the domain of the Kolaitis–Pema dichotomy.
+// At maxArity 3 there are 102² = 10404 shapes.
+func EnumerateTwoAtomQueries(maxArity int, visit func(q cq.Query)) {
+	vars := []cq.Term{cq.Var("x"), cq.Var("y"), cq.Var("z")}
+	var atoms []cq.Atom
+	for arity := 1; arity <= maxArity; arity++ {
+		args := make([]cq.Term, arity)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == arity {
+				for keyLen := 1; keyLen <= arity; keyLen++ {
+					atoms = append(atoms, cq.Atom{
+						Rel: "", KeyLen: keyLen, Args: append([]cq.Term(nil), args...),
+					})
+				}
+				return
+			}
+			for _, v := range vars {
+				args[i] = v
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	for _, f := range atoms {
+		for _, g := range atoms {
+			fa, ga := f, g
+			fa.Rel, ga.Rel = "R", "S"
+			visit(cq.Query{Atoms: []cq.Atom{fa, ga}})
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+func TestTerminalPairsQueryStructure(t *testing.T) {
+	for _, withRoot := range []bool{false, true} {
+		for n := 1; n <= 4; n++ {
+			q := TerminalPairsQuery(n, withRoot)
+			wantAtoms := 2 * n
+			if withRoot {
+				wantAtoms++
+			}
+			if q.Len() != wantAtoms {
+				t.Fatalf("n=%d root=%v: %d atoms", n, withRoot, q.Len())
+			}
+			if q.HasSelfJoin() || !jointree.IsAcyclic(q) {
+				t.Fatalf("n=%d root=%v: malformed family query", n, withRoot)
+			}
+			cls, err := core.Classify(q)
+			if err != nil {
+				t.Fatalf("n=%d root=%v: %v", n, withRoot, err)
+			}
+			if cls.Class != core.ClassPTimeTerminal {
+				t.Errorf("n=%d root=%v: class %v, want terminal P", n, withRoot, cls.Class)
+			}
+			g := cls.Graph
+			if got := len(g.TerminalWeakCycles()); got != n {
+				t.Errorf("n=%d root=%v: %d cycles, want %d", n, withRoot, got, n)
+			}
+			un := g.Unattacked()
+			if withRoot {
+				if len(un) != 1 || q.Atoms[un[0]].Rel != "R0" {
+					t.Errorf("n=%d: unattacked = %v", n, un)
+				}
+			} else if len(un) != 0 {
+				t.Errorf("n=%d: expected no unattacked atom, got %v", n, un)
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("n=0 must panic")
+			}
+		}()
+		TerminalPairsQuery(0, false)
+	}()
+}
+
+func TestOpenCaseQueryStructure(t *testing.T) {
+	q := OpenCaseQuery()
+	cls, err := core.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Class != core.ClassOpenConjecturedPTime {
+		t.Fatalf("class = %v, want open", cls.Class)
+	}
+	g := cls.Graph
+	// R1 ⇄ R2 weak cycle, nonterminal because both attack S.
+	if g.HasStrongCycle() {
+		t.Error("no strong cycle expected")
+	}
+	if g.AllCyclesWeakAndTerminal() {
+		t.Error("the cycle must be nonterminal")
+	}
+	if _, isACk := core.MatchCycleShape(q, true); isACk {
+		t.Error("must not match AC(k)")
+	}
+}

@@ -1,0 +1,233 @@
+// Package gen generates workloads: the paper's concrete example databases
+// (Fig. 1 and Fig. 6), random uncertain databases for arbitrary queries,
+// structured cycle databases for C(k)/AC(k), and random acyclic queries for
+// property tests.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// ConferenceDB returns the Fig. 1 uncertain database: uncertainty about the
+// city of PODS 2016 and the rank of KDD; four repairs.
+func ConferenceDB() *db.DB {
+	return db.MustFromFacts(
+		db.NewFact("C", 2, "PODS", "2016", "Rome"),
+		db.NewFact("C", 2, "PODS", "2016", "Paris"),
+		db.NewFact("C", 2, "KDD", "2017", "Rome"),
+		db.NewFact("R", 1, "PODS", "A"),
+		db.NewFact("R", 1, "KDD", "A"),
+		db.NewFact("R", 1, "KDD", "B"),
+	)
+}
+
+// Figure6DB returns the Fig. 6 database, purified relative to AC(3): a
+// 6-vertex tripartite graph whose three clockwise 3-cycles are encoded in
+// S3. Figure 7 shows two of its repairs falsifying AC(3), so the database
+// is not in CERTAINTY(AC(3)).
+func Figure6DB() *db.DB {
+	return db.MustFromFacts(
+		db.NewFact("R1", 1, "a", "b"),
+		db.NewFact("R1", 1, "a", "b'"),
+		db.NewFact("R1", 1, "a'", "b"),
+		db.NewFact("R2", 1, "b", "c"),
+		db.NewFact("R2", 1, "b", "c'"),
+		db.NewFact("R2", 1, "b'", "c"),
+		db.NewFact("R3", 1, "c", "a"),
+		db.NewFact("R3", 1, "c", "a'"),
+		db.NewFact("R3", 1, "c'", "a"),
+		db.NewFact("S3", 3, "a", "b", "c'"),
+		db.NewFact("S3", 3, "a", "b'", "c"),
+		db.NewFact("S3", 3, "a'", "b", "c"),
+	)
+}
+
+// Config controls RandomDB.
+type Config struct {
+	// Embeddings is the number of random valuations θ whose images θ(q) are
+	// inserted, guaranteeing join structure.
+	Embeddings int
+	// Noise is the number of additional random facts per relation of q.
+	Noise int
+	// Domain is the active-domain size constants are drawn from.
+	Domain int
+}
+
+// RandomDB generates an uncertain database for q: Embeddings random images
+// of q plus Noise random facts per relation, all over a Domain-sized
+// constant pool. Key collisions between inserted facts create the blocks
+// that make instances uncertain.
+func RandomDB(q cq.Query, cfg Config, seed int64) *db.DB {
+	r := rand.New(rand.NewSource(seed))
+	d := db.New()
+	constant := func() string { return fmt.Sprintf("c%d", r.Intn(cfg.Domain)) }
+	vars := q.Vars().Sorted()
+	for e := 0; e < cfg.Embeddings; e++ {
+		theta := make(cq.Valuation)
+		for _, v := range vars {
+			theta[v] = constant()
+		}
+		for _, a := range q.Atoms {
+			if f, ok := db.FactFromAtom(a.Substitute(theta)); ok {
+				mustAdd(d, f)
+			}
+		}
+	}
+	for _, a := range q.Atoms {
+		for i := 0; i < cfg.Noise; i++ {
+			args := make([]string, a.Arity())
+			for j, t := range a.Args {
+				if t.IsConst {
+					args[j] = t.Value
+				} else {
+					args[j] = constant()
+				}
+			}
+			mustAdd(d, db.Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: args})
+		}
+	}
+	return d
+}
+
+func mustAdd(d *db.DB, f db.Fact) {
+	if err := d.Add(f); err != nil {
+		panic(err)
+	}
+}
+
+// CycleConfig controls CycleDB.
+type CycleConfig struct {
+	// K is the cycle length (arity of the variable cycle).
+	K int
+	// Components is the number of disjoint strong components.
+	Components int
+	// Width is the number of parallel values per position within a
+	// component; width w produces w^K potential k-cycles per component.
+	Width int
+	// EncodeAll marks every k-cycle of the component in S_K; otherwise
+	// only the "aligned" cycles (same parallel index at every position) are
+	// encoded, leaving k-cycles outside C (so repairs can falsify AC(k)).
+	EncodeAll bool
+	// SkipSk omits the S_K facts entirely (for C(k) workloads).
+	SkipSk bool
+}
+
+// CycleDB generates a k-partite cycle database for AC(k)/C(k): per
+// component, Width values per position with complete bipartite R_i edges
+// between consecutive positions, and S_K facts per EncodeAll. The result is
+// purified relative to AC(k)/C(k) by construction (every edge lies on an
+// encoded cycle when EncodeAll, and on some k-cycle regardless).
+func CycleDB(cfg CycleConfig) *db.DB {
+	if cfg.K < 2 || cfg.Width < 1 || cfg.Components < 0 {
+		panic(fmt.Sprintf("gen: invalid CycleConfig %+v", cfg))
+	}
+	d := db.New()
+	val := func(comp, pos, idx int) string {
+		return fmt.Sprintf("v%d_%d_%d", comp, pos, idx)
+	}
+	for c := 0; c < cfg.Components; c++ {
+		for pos := 0; pos < cfg.K; pos++ {
+			rel := fmt.Sprintf("R%d", pos+1)
+			next := (pos + 1) % cfg.K
+			for i := 0; i < cfg.Width; i++ {
+				for j := 0; j < cfg.Width; j++ {
+					mustAdd(d, db.NewFact(rel, 1, val(c, pos, i), val(c, next, j)))
+				}
+			}
+		}
+		if cfg.SkipSk {
+			continue
+		}
+		rel := fmt.Sprintf("S%d", cfg.K)
+		if cfg.EncodeAll {
+			// Every combination of per-position indices is a k-cycle.
+			idx := make([]int, cfg.K)
+			var recurse func(pos int)
+			recurse = func(pos int) {
+				if pos == cfg.K {
+					args := make([]string, cfg.K)
+					for p, i := range idx {
+						args[p] = val(c, p, i)
+					}
+					mustAdd(d, db.NewFact(rel, cfg.K, args...))
+					return
+				}
+				for i := 0; i < cfg.Width; i++ {
+					idx[pos] = i
+					recurse(pos + 1)
+				}
+			}
+			recurse(0)
+		} else {
+			for i := 0; i < cfg.Width; i++ {
+				args := make([]string, cfg.K)
+				for p := 0; p < cfg.K; p++ {
+					args[p] = val(c, p, i)
+				}
+				mustAdd(d, db.NewFact(rel, cfg.K, args...))
+			}
+		}
+	}
+	return d
+}
+
+// Q0DB generates an instance for q0 = {R0(x|y), S0(y,z|x)} with n R0-blocks
+// of the given block size; joins are wired randomly, producing instances on
+// which certainty is nontrivial.
+func Q0DB(n, blockSize, domain int, seed int64) *db.DB {
+	r := rand.New(rand.NewSource(seed))
+	d := db.New()
+	y := func(i int) string { return fmt.Sprintf("y%d", i%domain) }
+	z := func(i int) string { return fmt.Sprintf("z%d", i%domain) }
+	for i := 0; i < n; i++ {
+		x := fmt.Sprintf("x%d", i)
+		for b := 0; b < blockSize; b++ {
+			yy := y(r.Intn(domain))
+			mustAdd(d, db.NewFact("R0", 1, x, yy))
+			mustAdd(d, db.NewFact("S0", 2, yy, z(r.Intn(domain)), x))
+		}
+	}
+	return d
+}
+
+// RandomAcyclicQuery generates a self-join-free query that has a join tree
+// with probability ~1 (each atom shares variables with a single parent); the
+// caller must still check acyclicity when variables collide across branches.
+func RandomAcyclicQuery(seed int64, maxAtoms int) cq.Query {
+	r := rand.New(rand.NewSource(seed))
+	n := 1 + r.Intn(maxAtoms)
+	fresh := 0
+	newVar := func() string { fresh++; return fmt.Sprintf("w%d", fresh) }
+	atomVars := make([][]string, n)
+	atomVars[0] = []string{newVar(), newVar()}
+	for i := 1; i < n; i++ {
+		parent := atomVars[r.Intn(i)]
+		var vars []string
+		for _, v := range parent {
+			if r.Intn(2) == 0 {
+				vars = append(vars, v)
+			}
+		}
+		if len(vars) == 0 {
+			vars = append(vars, parent[r.Intn(len(parent))])
+		}
+		vars = append(vars, newVar())
+		for r.Intn(3) == 0 {
+			vars = append(vars, newVar())
+		}
+		atomVars[i] = vars
+	}
+	atoms := make([]cq.Atom, n)
+	for i, vs := range atomVars {
+		args := make([]cq.Term, len(vs))
+		for j, v := range vs {
+			args[j] = cq.Var(v)
+		}
+		atoms[i] = cq.Atom{Rel: fmt.Sprintf("Q%d", i), KeyLen: 1 + r.Intn(len(args)), Args: args}
+	}
+	return cq.Query{Atoms: atoms}
+}

@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math/big"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+func TestConferenceDB(t *testing.T) {
+	d := ConferenceDB()
+	if d.Len() != 6 || d.NumBlocks() != 4 {
+		t.Errorf("Fig.1 shape: %d facts, %d blocks", d.Len(), d.NumBlocks())
+	}
+	if d.NumRepairs().Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("Fig.1 has 4 repairs, got %v", d.NumRepairs())
+	}
+}
+
+func TestFigure6DBPurified(t *testing.T) {
+	d := Figure6DB()
+	if d.Len() != 12 {
+		t.Fatalf("Fig.6 has 12 facts, got %d", d.Len())
+	}
+	q := cq.ACk(3)
+	if !engine.IsPurified(q, d) {
+		t.Error("Fig.6 database must be purified relative to AC(3) (the caption says so)")
+	}
+	// 3 blocks of size 2 for R1..R3? R1 has blocks {a:2, a':1}; repairs =
+	// 2*2*2 * singletons = 8.
+	if d.NumRepairs().Cmp(big.NewInt(8)) != 0 {
+		t.Errorf("Fig.6 repairs = %v, want 8", d.NumRepairs())
+	}
+}
+
+func TestRandomDBDeterministic(t *testing.T) {
+	q := cq.Q0()
+	a := RandomDB(q, Config{Embeddings: 3, Noise: 2, Domain: 3}, 7)
+	b := RandomDB(q, Config{Embeddings: 3, Noise: 2, Domain: 3}, 7)
+	if !a.Equal(b) {
+		t.Error("same seed must give the same database")
+	}
+	c := RandomDB(q, Config{Embeddings: 3, Noise: 2, Domain: 3}, 8)
+	if a.Equal(c) {
+		t.Error("different seeds should differ (overwhelmingly)")
+	}
+	// Every relation of q appears.
+	for _, atom := range q.Atoms {
+		if len(a.FactsOf(atom.Rel)) == 0 {
+			t.Errorf("relation %s missing", atom.Rel)
+		}
+	}
+}
+
+func TestRandomDBRespectsConstants(t *testing.T) {
+	q := cq.ConferenceQuery()
+	d := RandomDB(q, Config{Embeddings: 2, Noise: 2, Domain: 2}, 1)
+	for _, f := range d.FactsOf("C") {
+		if f.Args[2] != "Rome" {
+			t.Errorf("constant position must hold 'Rome': %s", f)
+		}
+	}
+}
+
+func TestCycleDB(t *testing.T) {
+	d := CycleDB(CycleConfig{K: 3, Components: 2, Width: 1, EncodeAll: true})
+	// Per component: 3 edges + 1 S3 fact.
+	if d.Len() != 2*(3+1) {
+		t.Errorf("width-1 size = %d", d.Len())
+	}
+	if !engine.IsPurified(cq.ACk(3), d) {
+		t.Error("width-1 encoded CycleDB must be purified")
+	}
+	d2 := CycleDB(CycleConfig{K: 3, Components: 1, Width: 2, EncodeAll: true})
+	// 3 positions × 4 edges + 8 S3 facts.
+	if d2.Len() != 12+8 {
+		t.Errorf("width-2 size = %d", d2.Len())
+	}
+	if !engine.IsPurified(cq.ACk(3), d2) {
+		t.Error("width-2 EncodeAll CycleDB must be purified")
+	}
+	d3 := CycleDB(CycleConfig{K: 3, Components: 1, Width: 2, SkipSk: true})
+	if len(d3.FactsOf("S3")) != 0 {
+		t.Error("SkipSk must omit S3")
+	}
+	if !engine.IsPurified(cq.Ck(3), d3) {
+		t.Error("SkipSk CycleDB must be purified relative to C(3)")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid config must panic")
+			}
+		}()
+		CycleDB(CycleConfig{K: 1, Width: 1})
+	}()
+}
+
+func TestQ0DBShape(t *testing.T) {
+	d := Q0DB(3, 2, 2, 5)
+	if len(d.FactsOf("R0")) == 0 || len(d.FactsOf("S0")) == 0 {
+		t.Error("Q0DB must populate both relations")
+	}
+	// R0 blocks: one per i (0..2), at most blockSize facts each.
+	count := 0
+	for _, blk := range d.Blocks() {
+		if blk[0].Rel == "R0" {
+			count++
+			if len(blk) > 2 {
+				t.Errorf("R0 block too large: %v", blk)
+			}
+		}
+	}
+	if count != 3 {
+		t.Errorf("expected 3 R0 blocks, got %d", count)
+	}
+}
+
+func TestRandomAcyclicQueryUsuallyAcyclic(t *testing.T) {
+	acyclic := 0
+	for seed := int64(0); seed < 100; seed++ {
+		q := RandomAcyclicQuery(seed, 5)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if q.HasSelfJoin() {
+			t.Fatalf("seed %d: self-join", seed)
+		}
+		if jointree.IsAcyclic(q) {
+			acyclic++
+		}
+	}
+	if acyclic < 90 {
+		t.Errorf("only %d/100 generated queries acyclic", acyclic)
+	}
+}

@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// MonotoneClause is a clause of a monotone CNF formula: all literals
+// positive or all negative, over variables 0..n-1.
+type MonotoneClause struct {
+	Positive bool
+	Vars     []int
+}
+
+// MonotoneFormula is a conjunction of monotone clauses.
+type MonotoneFormula struct {
+	NumVars int
+	Clauses []MonotoneClause
+}
+
+// Satisfiable decides the formula by exhaustive search (for validation;
+// exponential in NumVars).
+func (f MonotoneFormula) Satisfiable() bool {
+	if f.NumVars > 30 {
+		panic("gen: Satisfiable is for small formulas only")
+	}
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		if f.EvalAssignment(func(v int) bool { return mask&(1<<uint(v)) != 0 }) {
+			return true
+		}
+	}
+	return len(f.Clauses) == 0 && f.NumVars == 0
+}
+
+// EvalAssignment reports whether the assignment satisfies every clause.
+func (f MonotoneFormula) EvalAssignment(value func(int) bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, v := range c.Vars {
+			if value(v) == c.Positive {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomMonotoneSAT generates a random monotone formula with the given
+// clause width. Densities around clauses ≈ 2·vars give a mix of
+// satisfiable and unsatisfiable instances.
+func RandomMonotoneSAT(numVars, numClauses, width int, seed int64) MonotoneFormula {
+	r := rand.New(rand.NewSource(seed))
+	f := MonotoneFormula{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		c := MonotoneClause{Positive: r.Intn(2) == 0}
+		seen := map[int]bool{}
+		for len(c.Vars) < width {
+			v := r.Intn(numVars)
+			if !seen[v] {
+				seen[v] = true
+				c.Vars = append(c.Vars, v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// MonotoneSATQ0DB encodes a monotone CNF formula as an uncertain database
+// for q0 = {R0(x | y), S0(y, z | x)} such that
+//
+//	db ∉ CERTAINTY(q0)  ⟺  the formula is satisfiable.
+//
+// Construction: each variable v gets an R0 block x_v with the two facts
+// R0(x_v | A) ("v false") and R0(x_v | B) ("v true"). A positive clause
+// {v1,...,vw} becomes the S0 block keyed (A, z_c) holding the facts
+// S0(A, z_c | x_vi): a repair avoids satisfying q0 through this block iff
+// the block can pick some x_vi whose R0 choice is not A — i.e. some vi is
+// true. Negative clauses use key (B, z_c) symmetrically. A falsifying
+// repair therefore exists iff some assignment satisfies every clause,
+// which is the Monotone-SAT-based NP-hardness gadget for finding
+// falsifying repairs (the complement of CERTAINTY(q0), cf. Kolaitis–Pema).
+func MonotoneSATQ0DB(f MonotoneFormula) *db.DB {
+	d := db.New()
+	xv := func(v int) string { return fmt.Sprintf("x%d", v) }
+	for v := 0; v < f.NumVars; v++ {
+		mustAdd(d, db.NewFact("R0", 1, xv(v), "A"))
+		mustAdd(d, db.NewFact("R0", 1, xv(v), "B"))
+	}
+	for i, c := range f.Clauses {
+		y := "A"
+		if !c.Positive {
+			y = "B"
+		}
+		z := fmt.Sprintf("z%d", i)
+		for _, v := range c.Vars {
+			mustAdd(d, db.NewFact("S0", 2, y, z, xv(v)))
+		}
+	}
+	return d
+}
+
+// AssignmentRepair builds the repair of MonotoneSATQ0DB(f) induced by a
+// satisfying assignment (used by tests): variable blocks pick their truth
+// value, clause blocks pick a witness literal.
+func AssignmentRepair(f MonotoneFormula, value func(int) bool) (*db.DB, error) {
+	d := db.New()
+	xv := func(v int) string { return fmt.Sprintf("x%d", v) }
+	for v := 0; v < f.NumVars; v++ {
+		y := "A"
+		if value(v) {
+			y = "B"
+		}
+		if err := d.Add(db.NewFact("R0", 1, xv(v), y)); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range f.Clauses {
+		y := "A"
+		if !c.Positive {
+			y = "B"
+		}
+		z := fmt.Sprintf("z%d", i)
+		witness := -1
+		for _, v := range c.Vars {
+			if value(v) == c.Positive {
+				witness = v
+				break
+			}
+		}
+		if witness < 0 {
+			return nil, fmt.Errorf("gen: assignment does not satisfy clause %d", i)
+		}
+		if err := d.Add(db.NewFact("S0", 2, y, z, xv(witness))); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

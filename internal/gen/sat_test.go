@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
+)
+
+func TestMonotoneFormulaEval(t *testing.T) {
+	f := MonotoneFormula{
+		NumVars: 3,
+		Clauses: []MonotoneClause{
+			{Positive: true, Vars: []int{0, 1}},  // v0 ∨ v1
+			{Positive: false, Vars: []int{1, 2}}, // ¬v1 ∨ ¬v2
+		},
+	}
+	if !f.EvalAssignment(func(v int) bool { return v == 0 }) {
+		t.Error("v0=T satisfies both clauses")
+	}
+	if f.EvalAssignment(func(v int) bool { return v != 0 }) {
+		t.Error("v1=v2=T violates the negative clause")
+	}
+	if !f.Satisfiable() {
+		t.Error("formula is satisfiable")
+	}
+	unsat := MonotoneFormula{
+		NumVars: 1,
+		Clauses: []MonotoneClause{
+			{Positive: true, Vars: []int{0}},
+			{Positive: false, Vars: []int{0}},
+		},
+	}
+	if unsat.Satisfiable() {
+		t.Error("v0 ∧ ¬v0 is unsatisfiable")
+	}
+}
+
+func TestMonotoneSATQ0DBShape(t *testing.T) {
+	f := RandomMonotoneSAT(4, 6, 3, 1)
+	d := MonotoneSATQ0DB(f)
+	if got := len(d.FactsOf("R0")); got != 8 {
+		t.Errorf("R0 facts = %d, want 2·4", got)
+	}
+	if got := len(d.FactsOf("S0")); got != 18 {
+		t.Errorf("S0 facts = %d, want 6·3", got)
+	}
+	// Deterministic for a fixed seed.
+	if !MonotoneSATQ0DB(RandomMonotoneSAT(4, 6, 3, 1)).Equal(d) {
+		t.Error("generator must be deterministic")
+	}
+}
+
+// TestSATReductionCorrect is the gadget's soundness check:
+// satisfiable ⟺ not certain (a falsifying repair exists).
+func TestSATReductionCorrect(t *testing.T) {
+	q0 := cq.Q0()
+	for seed := int64(0); seed < 40; seed++ {
+		f := RandomMonotoneSAT(4, 5, 2, seed)
+		d := MonotoneSATQ0DB(f)
+		sat := f.Satisfiable()
+		certain := true
+		d.EachRepair(func(rep []db.Fact) bool {
+			if !engine.EvalRepair(q0, rep) {
+				certain = false
+				return false
+			}
+			return true
+		})
+		if certain == sat {
+			t.Errorf("seed %d: satisfiable=%v but certain=%v\nformula: %+v", seed, sat, certain, f)
+		}
+	}
+}
+
+// TestAssignmentRepairFalsifies: a satisfying assignment's induced repair
+// is a genuine repair of the encoding and falsifies q0.
+func TestAssignmentRepairFalsifies(t *testing.T) {
+	q0 := cq.Q0()
+	f := MonotoneFormula{
+		NumVars: 3,
+		Clauses: []MonotoneClause{
+			{Positive: true, Vars: []int{0, 1}},
+			{Positive: false, Vars: []int{1, 2}},
+		},
+	}
+	value := func(v int) bool { return v == 0 }
+	full := MonotoneSATQ0DB(f)
+	rep, err := AssignmentRepair(f, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsConsistent() {
+		t.Error("induced repair must be consistent")
+	}
+	if rep.NumBlocks() != full.NumBlocks() {
+		t.Errorf("induced repair must cover all blocks: %d vs %d", rep.NumBlocks(), full.NumBlocks())
+	}
+	for _, fact := range rep.Facts() {
+		if !full.Has(fact) {
+			t.Errorf("fact %s outside encoding", fact)
+		}
+	}
+	if engine.Eval(q0, rep) {
+		t.Error("induced repair must falsify q0")
+	}
+	// An assignment violating a clause is rejected.
+	if _, err := AssignmentRepair(f, func(int) bool { return false }); err == nil {
+		t.Error("non-satisfying assignment must be rejected")
+	}
+}

@@ -1,0 +1,239 @@
+package graph
+
+// ElementaryCycles enumerates all elementary (simple) directed cycles using
+// Johnson's algorithm. Each cycle is returned as a vertex sequence starting
+// at its smallest vertex; the closing edge back to the first vertex is
+// implicit. Self-loops yield length-1 cycles. Intended for query-sized
+// attack graphs, where the number of cycles is small; callers working on
+// fact-level graphs use the bounded searches instead.
+func (g *Digraph) ElementaryCycles() [][]int {
+	var cycles [][]int
+	blocked := make([]bool, g.n)
+	blockMap := make([]map[int]struct{}, g.n)
+	var stack []int
+
+	var unblock func(v int)
+	unblock = func(v int) {
+		blocked[v] = false
+		for w := range blockMap[v] {
+			delete(blockMap[v], w)
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+	}
+
+	// circuit explores from v within the subgraph induced by vertices >= s
+	// intersected with the SCC of s.
+	var circuit func(v, s int, comp map[int]struct{}) bool
+	circuit = func(v, s int, comp map[int]struct{}) bool {
+		found := false
+		stack = append(stack, v)
+		blocked[v] = true
+		for _, w := range g.adj[v] {
+			if _, ok := comp[w]; !ok || w < s {
+				continue
+			}
+			if w == s {
+				cycles = append(cycles, append([]int(nil), stack...))
+				found = true
+			} else if !blocked[w] {
+				if circuit(w, s, comp) {
+					found = true
+				}
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, w := range g.adj[v] {
+				if _, ok := comp[w]; !ok || w < s {
+					continue
+				}
+				if blockMap[w] == nil {
+					blockMap[w] = make(map[int]struct{})
+				}
+				blockMap[w][v] = struct{}{}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		return found
+	}
+
+	for s := 0; s < g.n; s++ {
+		// Restrict to the SCC of s in the subgraph on vertices >= s.
+		vertices := make([]int, 0, g.n-s)
+		for v := s; v < g.n; v++ {
+			vertices = append(vertices, v)
+		}
+		sub, orig := g.Subgraph(vertices)
+		var comp map[int]struct{}
+		for _, c := range sub.SCCs() {
+			for _, v := range c {
+				if orig[v] == s {
+					comp = make(map[int]struct{}, len(c))
+					for _, w := range c {
+						comp[orig[w]] = struct{}{}
+					}
+				}
+			}
+			if comp != nil {
+				break
+			}
+		}
+		if len(comp) == 0 {
+			continue
+		}
+		if len(comp) == 1 {
+			if g.HasEdge(s, s) {
+				cycles = append(cycles, []int{s})
+			}
+			continue
+		}
+		for v := range comp {
+			blocked[v] = false
+			blockMap[v] = nil
+		}
+		circuit(s, s, comp)
+	}
+	return cycles
+}
+
+// CyclesOfLength returns all elementary cycles of exactly length k, each as
+// a vertex sequence of length k starting at its smallest vertex. It runs a
+// depth-limited DFS from every vertex, O(n · d^k), matching the |V|^k bound
+// used in the proof of Theorem 4 (k is a constant of the query, not of the
+// data).
+func (g *Digraph) CyclesOfLength(k int) [][]int {
+	if k < 1 {
+		return nil
+	}
+	var cycles [][]int
+	path := make([]int, 0, k)
+	onPath := make([]bool, g.n)
+	var dfs func(start, v, depth int)
+	dfs = func(start, v, depth int) {
+		path = append(path, v)
+		onPath[v] = true
+		if depth == k {
+			if g.HasEdge(v, start) {
+				cycles = append(cycles, append([]int(nil), path...))
+			}
+		} else {
+			for _, w := range g.adj[v] {
+				// Only start each cycle at its smallest vertex to avoid
+				// reporting rotations.
+				if w > start && !onPath[w] {
+					dfs(start, w, depth+1)
+				}
+			}
+		}
+		onPath[v] = false
+		path = path[:len(path)-1]
+	}
+	for s := 0; s < g.n; s++ {
+		if k == 1 {
+			if g.HasEdge(s, s) {
+				cycles = append(cycles, []int{s})
+			}
+			continue
+		}
+		dfs(s, s, 1)
+	}
+	return cycles
+}
+
+// HasCycleLongerThan reports whether the graph contains an elementary cycle
+// of length strictly greater than k, using the characterization from the
+// proof of Theorem 4: such a cycle exists iff there is a simple path
+// a1,...,ak,a(k+1) with a1 != a(k+1) and a path from a(k+1) back to a1 that
+// uses no edge leaving {a1,...,ak}. When found, it returns a witness: the
+// full elementary cycle (prefix a1..ak followed by the return path without
+// its final vertex a1).
+func (g *Digraph) HasCycleLongerThan(k int) (witness []int, ok bool) {
+	prefix := make([]int, 0, k+1)
+	onPath := make([]bool, g.n)
+	var found []int
+	var dfs func(v, depth int) bool
+	dfs = func(v, depth int) bool {
+		prefix = append(prefix, v)
+		onPath[v] = true
+		defer func() {
+			onPath[v] = false
+			prefix = prefix[:len(prefix)-1]
+		}()
+		if depth == k+1 {
+			first, last := prefix[0], prefix[k]
+			forbidden := make(map[int]struct{}, k)
+			for _, x := range prefix[:k] {
+				forbidden[x] = struct{}{}
+			}
+			ret := g.pathAvoidingPath(last, first, forbidden)
+			if ret == nil {
+				return false
+			}
+			// The cycle is prefix[0..k-1] + ret (ret starts at last and ends
+			// just before first).
+			found = append(append([]int(nil), prefix[:k]...), ret...)
+			return true
+		}
+		for _, w := range g.adj[v] {
+			if !onPath[w] {
+				if dfs(w, depth+1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for s := 0; s < g.n; s++ {
+		if dfs(s, 1) {
+			return found, true
+		}
+	}
+	return nil, false
+}
+
+// pathAvoidingPath returns a path from u to v (u included, v excluded) whose
+// every intermediate vertex (and u) is outside forbiddenSources, or nil.
+// The returned path's vertices are pairwise distinct and disjoint from
+// forbiddenSources, so appending it to the forbidden prefix forms an
+// elementary cycle.
+func (g *Digraph) pathAvoidingPath(u, v int, forbiddenSources map[int]struct{}) []int {
+	if _, bad := forbiddenSources[u]; bad {
+		return nil
+	}
+	if u == v {
+		return []int{}
+	}
+	prev := make(map[int]int, g.n)
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[x] {
+			if w == v {
+				path := []int{}
+				for y := x; ; y = prev[y] {
+					path = append(path, y)
+					if y == u {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			if _, bad := forbiddenSources[w]; bad {
+				continue
+			}
+			if _, seen := prev[w]; !seen {
+				prev[w] = x
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}

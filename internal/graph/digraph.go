@@ -1,0 +1,341 @@
+// Package graph provides the directed-graph algorithms the solvers rely on:
+// strongly connected components (Tarjan), elementary-cycle enumeration
+// (Johnson), reachability and constrained path searches. Vertices are dense
+// integer IDs managed by the caller (the attack graph and the Theorem 4
+// algorithm both maintain their own vertex naming).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digraph is a directed graph on vertices 0..N-1 with adjacency lists.
+// Parallel edges are collapsed; self-loops are allowed.
+type Digraph struct {
+	n   int
+	adj [][]int
+	has []map[int]struct{}
+}
+
+// New returns an empty digraph on n vertices.
+func New(n int) *Digraph {
+	return &Digraph{
+		n:   n,
+		adj: make([][]int, n),
+		has: make([]map[int]struct{}, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// AddEdge inserts the edge u→v (idempotent).
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if g.has[u] == nil {
+		g.has[u] = make(map[int]struct{})
+	}
+	if _, ok := g.has[u][v]; ok {
+		return
+	}
+	g.has[u][v] = struct{}{}
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// HasEdge reports whether u→v is present.
+func (g *Digraph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n {
+		return false
+	}
+	_, ok := g.has[u][v]
+	return ok
+}
+
+// Succ returns the successors of u. The returned slice must not be modified.
+func (g *Digraph) Succ(u int) []int { return g.adj[u] }
+
+// OutDegree returns the number of successors of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.adj[u]) }
+
+// InDegrees returns the in-degree of every vertex.
+func (g *Digraph) InDegrees() []int {
+	in := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			in[v]++
+		}
+	}
+	return in
+}
+
+// Edges returns all edges sorted lexicographically.
+func (g *Digraph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Reverse returns the graph with all edges reversed.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// Subgraph returns the induced subgraph on the given vertices together with
+// the mapping from new IDs to original IDs.
+func (g *Digraph) Subgraph(vertices []int) (*Digraph, []int) {
+	idx := make(map[int]int, len(vertices))
+	orig := make([]int, len(vertices))
+	for i, v := range vertices {
+		idx[v] = i
+		orig[i] = v
+	}
+	sub := New(len(vertices))
+	for _, u := range vertices {
+		for _, v := range g.adj[u] {
+			if j, ok := idx[v]; ok {
+				sub.AddEdge(idx[u], j)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// SCCs returns the strongly connected components in reverse topological
+// order (Tarjan). Each component lists its vertices in discovery order.
+func (g *Digraph) SCCs() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		comps  [][]int
+		nextID int
+	)
+	// Iterative Tarjan to avoid stack overflows on large fact graphs.
+	type frame struct {
+		v, childIdx int
+	}
+	for start := 0; start < g.n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{v: start}}
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.childIdx == 0 {
+				index[v] = nextID
+				low[v] = nextID
+				nextID++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			recursed := false
+			for f.childIdx < len(g.adj[v]) {
+				w := g.adj[v][f.childIdx]
+				f.childIdx++
+				if index[w] == unvisited {
+					callStack = append(callStack, frame{v: w})
+					recursed = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// HasCycle reports whether the graph contains a directed cycle (including
+// self-loops).
+func (g *Digraph) HasCycle() bool {
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			return true
+		}
+		v := comp[0]
+		if g.HasEdge(v, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoSort returns a topological order of the vertices, or ok=false if the
+// graph has a cycle.
+func (g *Digraph) TopoSort() (order []int, ok bool) {
+	in := g.InDegrees()
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if in[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			in[w]--
+			if in[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, len(order) == g.n
+}
+
+// Reachable returns the set of vertices reachable from start (including
+// start itself).
+func (g *Digraph) Reachable(start int) map[int]struct{} {
+	seen := map[int]struct{}{start: {}}
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if _, ok := seen[w]; !ok {
+				seen[w] = struct{}{}
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// ShortestPath returns a shortest path (by edge count) from u to any vertex
+// satisfying goal, or nil if none is reachable. The path includes both
+// endpoints; if goal(u) holds the path is [u].
+func (g *Digraph) ShortestPath(u int, goal func(int) bool) []int {
+	if goal(u) {
+		return []int{u}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if prev[w] != -1 {
+				continue
+			}
+			prev[w] = v
+			if goal(w) {
+				path := []int{w}
+				for x := v; ; x = prev[x] {
+					path = append(path, x)
+					if x == u {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+// PathAvoiding reports whether there is a path from u to v that uses no edge
+// whose source is in forbiddenSources (edges out of v itself are never
+// needed; u ∈ forbiddenSources makes the search fail unless u == v). This is
+// the test used by the Theorem 4 algorithm to find elementary cycles of
+// length greater than k.
+func (g *Digraph) PathAvoiding(u, v int, forbiddenSources map[int]struct{}) bool {
+	if u == v {
+		return true
+	}
+	if _, bad := forbiddenSources[u]; bad {
+		return false
+	}
+	seen := map[int]struct{}{u: {}}
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, bad := forbiddenSources[x]; bad {
+			continue
+		}
+		for _, w := range g.adj[x] {
+			if w == v {
+				return true
+			}
+			if _, ok := seen[w]; !ok {
+				seen[w] = struct{}{}
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// String renders the graph compactly for debugging.
+func (g *Digraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph(%d)", g.n)
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) == 0 {
+			continue
+		}
+		succ := append([]int(nil), g.adj[u]...)
+		sort.Ints(succ)
+		fmt.Fprintf(&b, " %d→%v", u, succ)
+	}
+	return b.String()
+}

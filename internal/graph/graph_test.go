@@ -1,0 +1,356 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ring(n int) *Digraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if got := g.OutDegree(0); got != 1 {
+		t.Errorf("parallel edges not collapsed: outdeg=%d", got)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(-1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range edge should panic")
+			}
+		}()
+		g.AddEdge(0, 5)
+	}()
+}
+
+func TestEdgesAndReverse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 1)
+	edges := g.Edges()
+	want := [][2]int{{0, 1}, {2, 0}}
+	if len(edges) != 2 || edges[0] != want[0] || edges[1] != want[1] {
+		t.Errorf("Edges = %v", edges)
+	}
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(0, 2) || r.HasEdge(0, 1) {
+		t.Errorf("Reverse wrong: %v", r)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge, plus an isolated vertex.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("expected 3 SCCs, got %v", comps)
+	}
+	sizes := []int{}
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Errorf("SCC sizes = %v", sizes)
+	}
+	// Reverse topological order: the component of {2,3} must precede {0,1}.
+	pos := map[int]int{}
+	for i, c := range comps {
+		for _, v := range c {
+			pos[v] = i
+		}
+	}
+	if pos[2] > pos[0] {
+		t.Error("SCCs not in reverse topological order")
+	}
+}
+
+func TestSCCsLargeChainNoOverflow(t *testing.T) {
+	// A long path exercises the iterative Tarjan implementation.
+	n := 200000
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if got := len(g.SCCs()); got != n {
+		t.Errorf("expected %d singleton SCCs, got %d", n, got)
+	}
+}
+
+func TestHasCycleAndTopoSort(t *testing.T) {
+	dag := New(4)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(1, 2)
+	dag.AddEdge(0, 3)
+	if dag.HasCycle() {
+		t.Error("DAG reported cyclic")
+	}
+	order, ok := dag.TopoSort()
+	if !ok || len(order) != 4 {
+		t.Fatalf("TopoSort failed: %v %v", order, ok)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range dag.Edges() {
+		if pos[e[0]] > pos[e[1]] {
+			t.Errorf("topological order violated for edge %v", e)
+		}
+	}
+
+	cyc := ring(3)
+	if !cyc.HasCycle() {
+		t.Error("3-ring reported acyclic")
+	}
+	if _, ok := cyc.TopoSort(); ok {
+		t.Error("TopoSort should fail on a cycle")
+	}
+
+	loop := New(1)
+	loop.AddEdge(0, 0)
+	if !loop.HasCycle() {
+		t.Error("self-loop reported acyclic")
+	}
+}
+
+func TestReachableAndShortestPath(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 4)
+	r := g.Reachable(0)
+	if len(r) != 5 {
+		t.Errorf("Reachable(0) = %v", r)
+	}
+	if _, ok := r[5]; ok {
+		t.Error("5 should be unreachable")
+	}
+	p := g.ShortestPath(0, func(v int) bool { return v == 3 })
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Errorf("ShortestPath = %v", p)
+	}
+	if p := g.ShortestPath(5, func(v int) bool { return v == 0 }); p != nil {
+		t.Errorf("unreachable goal should give nil, got %v", p)
+	}
+	if p := g.ShortestPath(2, func(v int) bool { return v == 2 }); len(p) != 1 {
+		t.Errorf("trivial path = %v", p)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	sub, orig := g.Subgraph([]int{0, 1, 2})
+	if sub.N() != 3 || len(orig) != 3 {
+		t.Fatalf("Subgraph size wrong")
+	}
+	if !sub.HasCycle() {
+		t.Error("triangle subgraph should be cyclic")
+	}
+	if len(sub.Edges()) != 3 {
+		t.Errorf("subgraph edges = %v", sub.Edges())
+	}
+}
+
+func TestElementaryCyclesTriangleAndTwoCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // 2-cycle
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1) // 3-cycle 1-2-3
+	g.AddEdge(0, 0) // self-loop
+	cycles := g.ElementaryCycles()
+	byLen := map[int]int{}
+	for _, c := range cycles {
+		byLen[len(c)]++
+	}
+	if byLen[1] != 1 || byLen[2] != 1 || byLen[3] != 1 || len(cycles) != 3 {
+		t.Errorf("cycles = %v", cycles)
+	}
+}
+
+func TestElementaryCyclesComplete4(t *testing.T) {
+	// K4 with all directed edges: #cycles = 20 (12 len-2? no: C(4,2)=6 len-2,
+	// 8 len-3, 6 len-4 => 20).
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	cycles := g.ElementaryCycles()
+	byLen := map[int]int{}
+	for _, c := range cycles {
+		byLen[len(c)]++
+	}
+	if byLen[2] != 6 || byLen[3] != 8 || byLen[4] != 6 {
+		t.Errorf("cycle census on K4 = %v", byLen)
+	}
+}
+
+func TestCyclesOfLength(t *testing.T) {
+	g := ring(6) // single 6-cycle
+	if got := g.CyclesOfLength(6); len(got) != 1 {
+		t.Errorf("6-ring should have one 6-cycle: %v", got)
+	}
+	if got := g.CyclesOfLength(3); len(got) != 0 {
+		t.Errorf("6-ring has no 3-cycle: %v", got)
+	}
+	k4 := New(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				k4.AddEdge(i, j)
+			}
+		}
+	}
+	if got := k4.CyclesOfLength(3); len(got) != 8 {
+		t.Errorf("K4 has 8 directed triangles, got %d", len(got))
+	}
+	// Every reported cycle must be valid and start at its smallest vertex.
+	for _, c := range k4.CyclesOfLength(3) {
+		for i := 0; i < len(c); i++ {
+			if !k4.HasEdge(c[i], c[(i+1)%len(c)]) {
+				t.Errorf("invalid cycle %v", c)
+			}
+		}
+		if c[0] != min3(c) {
+			t.Errorf("cycle %v does not start at smallest vertex", c)
+		}
+	}
+}
+
+func min3(c []int) int {
+	m := c[0]
+	for _, v := range c {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestHasCycleLongerThan(t *testing.T) {
+	g := ring(6)
+	w, ok := g.HasCycleLongerThan(3)
+	if !ok {
+		t.Fatal("6-ring has a cycle longer than 3")
+	}
+	if len(w) != 6 {
+		t.Errorf("witness = %v", w)
+	}
+	for i := range w {
+		if !g.HasEdge(w[i], w[(i+1)%len(w)]) {
+			t.Errorf("witness %v is not a cycle", w)
+		}
+	}
+	if _, ok := g.HasCycleLongerThan(6); ok {
+		t.Error("6-ring has no cycle longer than 6")
+	}
+	if _, ok := ring(3).HasCycleLongerThan(3); ok {
+		t.Error("3-ring has no cycle longer than 3")
+	}
+	// Two triangles sharing a vertex: longest elementary cycle is 3.
+	g2 := New(5)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(1, 2)
+	g2.AddEdge(2, 0)
+	g2.AddEdge(0, 3)
+	g2.AddEdge(3, 4)
+	g2.AddEdge(4, 0)
+	if _, ok := g2.HasCycleLongerThan(3); ok {
+		t.Error("two triangles sharing a vertex have no cycle > 3")
+	}
+	if _, ok := g2.HasCycleLongerThan(2); !ok {
+		t.Error("triangles are longer than 2")
+	}
+}
+
+func TestPathAvoiding(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 2)
+	if !g.PathAvoiding(0, 2, map[int]struct{}{1: {}}) {
+		t.Error("path 0-3-2 avoids vertex 1")
+	}
+	if g.PathAvoiding(0, 2, map[int]struct{}{1: {}, 3: {}}) {
+		t.Error("no path avoiding both 1 and 3")
+	}
+	if !g.PathAvoiding(2, 2, map[int]struct{}{2: {}}) {
+		t.Error("trivial path u==v always exists")
+	}
+	if g.PathAvoiding(0, 2, map[int]struct{}{0: {}}) {
+		t.Error("forbidden start must fail")
+	}
+}
+
+// Property: on random graphs, ElementaryCycles agrees with CyclesOfLength
+// for every length, and HasCycle agrees with the census.
+func TestQuickCycleCensusConsistency(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			return int(r>>16) % n
+		}
+		n := 2 + next(5)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(next(n), next(n))
+		}
+		all := g.ElementaryCycles()
+		byLen := map[int]int{}
+		for _, c := range all {
+			byLen[len(c)]++
+		}
+		for k := 1; k <= n; k++ {
+			if len(g.CyclesOfLength(k)) != byLen[k] {
+				return false
+			}
+		}
+		if g.HasCycle() != (len(all) > 0) {
+			return false
+		}
+		maxLen := 0
+		for _, c := range all {
+			if len(c) > maxLen {
+				maxLen = len(c)
+			}
+		}
+		for k := 1; k <= n; k++ {
+			if _, ok := g.HasCycleLongerThan(k); ok != (maxLen > k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package jointree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the join tree in Graphviz format with shared-variable edge
+// labels.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph jointree {\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for i, a := range t.Q.Atoms {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, a.String())
+	}
+	for i := 0; i < t.Q.Len(); i++ {
+		for _, j := range t.adj[i] {
+			if i < j {
+				fmt.Fprintf(&b, "  n%d -- n%d [label=%q];\n", i, j, t.Label(i, j).String())
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,293 @@
+// Package jointree decides acyclicity of conjunctive queries and builds join
+// trees (Beeri–Fagin–Maier–Yannakakis). A join tree for q is a tree on the
+// atoms of q satisfying the Connectedness Condition: whenever a variable
+// occurs in two atoms, it occurs in every atom on the path linking them.
+package jointree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// Tree is a join tree (or forest stitched into a tree with empty-label
+// edges) for the query Q. Vertices are atom indexes into Q.Atoms.
+type Tree struct {
+	Q   cq.Query
+	adj [][]int
+}
+
+// ErrCyclic is returned by Build when the query has no join tree.
+type ErrCyclic struct{ Q cq.Query }
+
+func (e ErrCyclic) Error() string {
+	return fmt.Sprintf("jointree: query is cyclic (has no join tree): %s", e.Q)
+}
+
+// IsAcyclic reports whether q has a join tree, using GYO reduction: remove
+// "ears" (atoms whose variables are either exclusive to them or all
+// contained in some other atom) until no atom, or no removable atom, is
+// left. q is acyclic iff at most one atom survives.
+func IsAcyclic(q cq.Query) bool {
+	n := q.Len()
+	if n <= 1 {
+		return true
+	}
+	vars := make([]cq.VarSet, n)
+	alive := make([]bool, n)
+	for i, a := range q.Atoms {
+		vars[i] = a.Vars()
+		alive[i] = true
+	}
+	remaining := n
+	for {
+		removed := false
+		for i := 0; i < n && remaining > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Variables of i shared with some other alive atom.
+			shared := make(cq.VarSet)
+			for v := range vars[i] {
+				for j := 0; j < n; j++ {
+					if j != i && alive[j] && vars[j].Has(v) {
+						shared.Add(v)
+						break
+					}
+				}
+			}
+			// i is an ear if its shared part is contained in a single other
+			// alive atom (possibly the empty set).
+			isEar := shared.Len() == 0
+			if !isEar {
+				for j := 0; j < n; j++ {
+					if j != i && alive[j] && shared.SubsetOf(vars[j]) {
+						isEar = true
+						break
+					}
+				}
+			}
+			if isEar {
+				alive[i] = false
+				remaining--
+				removed = true
+			}
+		}
+		if !removed || remaining <= 1 {
+			break
+		}
+	}
+	return remaining <= 1
+}
+
+// Build constructs a join tree for q, or returns ErrCyclic if none exists.
+// It computes a maximum-weight spanning tree of the intersection graph
+// (weight = number of shared variables), which is a join tree iff the query
+// is acyclic (Maier); the result is verified against the Connectedness
+// Condition. Disconnected queries are stitched with empty-label edges.
+//
+// The tieBreak parameter selects among equal-weight edges; different values
+// can produce different join trees for the same query, which the tests use
+// to check that the attack graph does not depend on the tree chosen.
+func Build(q cq.Query, tieBreak TieBreak) (*Tree, error) {
+	n := q.Len()
+	t := &Tree{Q: q, adj: make([][]int, n)}
+	if n <= 1 {
+		return t, nil
+	}
+	vars := make([]cq.VarSet, n)
+	for i, a := range q.Atoms {
+		vars[i] = a.Vars()
+	}
+	type edge struct {
+		u, v, w int
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edge{i, j, vars[i].Intersect(vars[j]).Len()})
+		}
+	}
+	sort.SliceStable(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w > edges[b].w
+		}
+		switch tieBreak {
+		case TieBreakReverse:
+			if edges[a].u != edges[b].u {
+				return edges[a].u > edges[b].u
+			}
+			return edges[a].v > edges[b].v
+		default:
+			if edges[a].u != edges[b].u {
+				return edges[a].u < edges[b].u
+			}
+			return edges[a].v < edges[b].v
+		}
+	})
+	// Kruskal.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	added := 0
+	for _, e := range edges {
+		ru, rv := find(e.u), find(e.v)
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		t.adj[e.u] = append(t.adj[e.u], e.v)
+		t.adj[e.v] = append(t.adj[e.v], e.u)
+		added++
+		if added == n-1 {
+			break
+		}
+	}
+	if err := t.Verify(); err != nil {
+		return nil, ErrCyclic{Q: q}
+	}
+	return t, nil
+}
+
+// TieBreak selects among equal-weight spanning-tree edges.
+type TieBreak int
+
+const (
+	// TieBreakLex prefers lexicographically smaller atom-index pairs.
+	TieBreakLex TieBreak = iota
+	// TieBreakReverse prefers lexicographically larger atom-index pairs.
+	TieBreakReverse
+)
+
+// Verify checks the Connectedness Condition: for every variable x, the set
+// of atoms containing x induces a connected subtree.
+func (t *Tree) Verify() error {
+	n := t.Q.Len()
+	for x := range t.Q.Vars() {
+		// Collect atoms containing x.
+		inAtoms := make([]bool, n)
+		var first = -1
+		count := 0
+		for i, a := range t.Q.Atoms {
+			if a.HasVar(x) {
+				inAtoms[i] = true
+				count++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		if count <= 1 {
+			continue
+		}
+		// BFS restricted to atoms containing x.
+		seen := make([]bool, n)
+		seen[first] = true
+		queue := []int{first}
+		reached := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range t.adj[v] {
+				if inAtoms[w] && !seen[w] {
+					seen[w] = true
+					reached++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if reached != count {
+			return fmt.Errorf("jointree: variable %s violates the Connectedness Condition", x)
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the tree neighbors of atom i.
+func (t *Tree) Neighbors(i int) []int { return t.adj[i] }
+
+// Label returns the label of the tree edge {i,j}: vars(F_i) ∩ vars(F_j).
+func (t *Tree) Label(i, j int) cq.VarSet {
+	return t.Q.Atoms[i].Vars().Intersect(t.Q.Atoms[j].Vars())
+}
+
+// Path returns the unique path from atom i to atom j (both inclusive), or
+// nil if i and j are in different stitched components (cannot happen for
+// trees built by Build, which always yields a spanning tree).
+func (t *Tree) Path(i, j int) []int {
+	if i == j {
+		return []int{i}
+	}
+	n := t.Q.Len()
+	prev := make([]int, n)
+	for k := range prev {
+		prev[k] = -1
+	}
+	prev[i] = i
+	queue := []int{i}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if prev[w] != -1 {
+				continue
+			}
+			prev[w] = v
+			if w == j {
+				path := []int{j}
+				for x := v; ; x = prev[x] {
+					path = append(path, x)
+					if x == i {
+						break
+					}
+				}
+				for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+					path[a], path[b] = path[b], path[a]
+				}
+				return path
+			}
+			queue = append(queue, w)
+		}
+	}
+	return nil
+}
+
+// PathLabels returns the labels along the unique path from i to j: the label
+// of each consecutive tree edge, in order. Empty for i == j.
+func (t *Tree) PathLabels(i, j int) []cq.VarSet {
+	path := t.Path(i, j)
+	if len(path) < 2 {
+		return nil
+	}
+	labels := make([]cq.VarSet, 0, len(path)-1)
+	for k := 0; k+1 < len(path); k++ {
+		labels = append(labels, t.Label(path[k], path[k+1]))
+	}
+	return labels
+}
+
+// String renders the tree's edges with labels, e.g. "R—S{x}; S—T{x, y}".
+func (t *Tree) String() string {
+	var parts []string
+	for i := 0; i < t.Q.Len(); i++ {
+		for _, j := range t.adj[i] {
+			if i < j {
+				parts = append(parts, fmt.Sprintf("%s—%s%s",
+					t.Q.Atoms[i].Rel, t.Q.Atoms[j].Rel, t.Label(i, j)))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "; ")
+}

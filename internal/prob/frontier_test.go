@@ -1,0 +1,53 @@
+package prob_test
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/jointree"
+	"github.com/cqa-go/certainty/internal/prob"
+)
+
+// TestTheorem6SafeImpliesFO: safe queries have acyclic attack graphs
+// (Theorem 6 + Theorem 1), checked on the catalog and random queries.
+func TestTheorem6SafeImpliesFO(t *testing.T) {
+	check := func(q cq.Query) {
+		t.Helper()
+		if !prob.IsSafe(q) || !jointree.IsAcyclic(q) || q.HasSelfJoin() {
+			return
+		}
+		g, err := core.BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !g.IsAcyclic() {
+			t.Errorf("safe query %s has a cyclic attack graph, contradicting Theorem 6", q)
+		}
+	}
+	check(cq.MustParseQuery("R(x | y)"))
+	check(cq.MustParseQuery("R(x | y), S(x | z)"))
+	check(cq.ConferenceQuery())
+	for seed := int64(0); seed < 300; seed++ {
+		check(gen.RandomAcyclicQuery(seed, 4))
+	}
+}
+
+// TestCorollary2Frontier: for acyclic queries with a cyclic attack graph
+// (CERTAINTY not FO), the query must be unsafe (PROBABILITY ♯P-hard) —
+// the contrapositive of Theorem 6 on the paper's families.
+func TestCorollary2Frontier(t *testing.T) {
+	for _, q := range []cq.Query{cq.Q1(), cq.Q0(), cq.Ck(2), cq.ACk(2), cq.ACk(3), cq.ACk(4), cq.TerminalCyclesQuery()} {
+		g, err := core.BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.IsAcyclic() {
+			t.Fatalf("%s expected cyclic attack graph", q)
+		}
+		if prob.IsSafe(q) {
+			t.Errorf("%s has a cyclic attack graph yet is safe, contradicting Corollary 2", q)
+		}
+	}
+}

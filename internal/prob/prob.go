@@ -1,0 +1,190 @@
+// Package prob implements Section 7 of the paper: block-independent-
+// disjoint (BID) probabilistic databases with exact rational probabilities,
+// the IsSafe algorithm of Dalvi–Ré–Suciu (as reproduced in the paper), the
+// FP evaluation of PROBABILITY(q) for safe queries, possible-world
+// enumeration as ground truth, the Proposition 1 bridge to CERTAINTY(q),
+// and repair counting (the ♯CERTAINTY(q) problem).
+package prob
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// ProbDB is a BID probabilistic database: an uncertain database plus a
+// probability per fact, with each block summing to at most 1. Facts of a
+// block are disjoint events; facts of distinct blocks are independent. The
+// efficient encoding of Theorem 2.4 in [Dalvi–Ré–Suciu] is used: Pr is
+// specified per fact and determines the distribution over possible worlds.
+type ProbDB struct {
+	d     *db.DB
+	probs map[string]*big.Rat // Fact.ID() → probability
+}
+
+// New returns an empty probabilistic database.
+func New() *ProbDB {
+	return &ProbDB{d: db.New(), probs: make(map[string]*big.Rat)}
+}
+
+// Add inserts a fact with the given probability. It rejects probabilities
+// outside (0, 1] and blocks whose total would exceed 1.
+func (p *ProbDB) Add(f db.Fact, pr *big.Rat) error {
+	if pr.Sign() <= 0 || pr.Cmp(big.NewRat(1, 1)) > 0 {
+		return fmt.Errorf("prob: probability %v of %s outside (0, 1]", pr, f)
+	}
+	if p.d.Has(f) {
+		return fmt.Errorf("prob: duplicate fact %s", f)
+	}
+	total := new(big.Rat).Set(pr)
+	for _, g := range p.d.Block(f) {
+		total.Add(total, p.probs[g.ID()])
+	}
+	if total.Cmp(big.NewRat(1, 1)) > 0 {
+		return fmt.Errorf("prob: block of %s exceeds probability 1 (total %v)", f, total)
+	}
+	if err := p.d.Add(f); err != nil {
+		return err
+	}
+	p.probs[f.ID()] = new(big.Rat).Set(pr)
+	return nil
+}
+
+// Uniform turns an uncertain database into a BID probabilistic database by
+// assuming all repairs equally likely: every fact of a block of size m gets
+// probability 1/m. Non-maximal worlds then have probability zero, so
+// Pr(q) = (number of repairs satisfying q) / (number of repairs).
+func Uniform(d *db.DB) *ProbDB {
+	p := New()
+	for _, blk := range d.Blocks() {
+		pr := big.NewRat(1, int64(len(blk)))
+		for _, f := range blk {
+			if err := p.Add(f, pr); err != nil {
+				panic(err) // cannot happen: blocks sum to exactly 1
+			}
+		}
+	}
+	return p
+}
+
+// DB returns the underlying uncertain database. It must not be modified.
+func (p *ProbDB) DB() *db.DB { return p.d }
+
+// Prob returns the probability of a fact (0 if absent).
+func (p *ProbDB) Prob(f db.Fact) *big.Rat {
+	if pr, ok := p.probs[f.ID()]; ok {
+		return new(big.Rat).Set(pr)
+	}
+	return new(big.Rat)
+}
+
+// BlockTotal returns the total probability mass of the block of f.
+func (p *ProbDB) BlockTotal(f db.Fact) *big.Rat {
+	total := new(big.Rat)
+	for _, g := range p.d.Block(f) {
+		total.Add(total, p.probs[g.ID()])
+	}
+	return total
+}
+
+// CertainSubset returns db′ of Proposition 1: the union of the blocks whose
+// probabilities sum to exactly 1 (the blocks guaranteed to contribute a
+// fact to every positive-probability world).
+func (p *ProbDB) CertainSubset() *db.DB {
+	one := big.NewRat(1, 1)
+	out := db.New()
+	for _, blk := range p.d.Blocks() {
+		total := new(big.Rat)
+		for _, f := range blk {
+			total.Add(total, p.probs[f.ID()])
+		}
+		if total.Cmp(one) == 0 {
+			for _, f := range blk {
+				if err := out.Add(f); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders facts with their probabilities, one per line.
+func (p *ProbDB) String() string {
+	s := ""
+	for _, blk := range p.d.Blocks() {
+		for _, f := range blk {
+			s += fmt.Sprintf("%s : %v\n", f, p.probs[f.ID()])
+		}
+	}
+	return s
+}
+
+// RandomBID assigns random rational probabilities to the facts of an
+// uncertain database: each block's masses are positive and sum to at most
+// 1 (to exactly 1 for about half the blocks). Deterministic per seed; used
+// to exercise non-uniform distributions in tests and benchmarks.
+func RandomBID(d *db.DB, seed int64) *ProbDB {
+	r := rand.New(rand.NewSource(seed))
+	p := New()
+	for _, blk := range d.Blocks() {
+		den := int64(4 * len(blk))
+		budget := den
+		if r.Intn(2) == 0 {
+			budget = den - int64(r.Intn(len(blk))+1)
+		}
+		weights := make([]int64, len(blk))
+		for i := range weights {
+			weights[i] = 1
+			budget--
+		}
+		for budget > 0 {
+			weights[r.Intn(len(weights))]++
+			budget--
+		}
+		for i, f := range blk {
+			if err := p.Add(f, big.NewRat(weights[i], den)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// MostProbableRepair returns the repair maximizing probability under the
+// BID distribution restricted to repairs (each block independently picks
+// its most probable fact), together with that probability. Ties break
+// toward insertion order.
+func (p *ProbDB) MostProbableRepair() (*db.DB, *big.Rat) {
+	out := db.New()
+	pr := big.NewRat(1, 1)
+	for _, blk := range p.d.Blocks() {
+		best := blk[0]
+		bestPr := p.probs[best.ID()]
+		for _, f := range blk[1:] {
+			if p.probs[f.ID()].Cmp(bestPr) > 0 {
+				best, bestPr = f, p.probs[f.ID()]
+			}
+		}
+		if err := out.Add(best); err != nil {
+			panic(err)
+		}
+		pr.Mul(pr, bestPr)
+	}
+	// Normalize by the total mass of full repairs so the result is a
+	// probability within the repair-conditioned distribution.
+	total := new(big.Rat).SetInt64(1)
+	for _, blk := range p.d.Blocks() {
+		blockMass := new(big.Rat)
+		for _, f := range blk {
+			blockMass.Add(blockMass, p.probs[f.ID()])
+		}
+		total.Mul(total, blockMass)
+	}
+	if total.Sign() > 0 {
+		pr.Quo(pr, total)
+	}
+	return out, pr
+}

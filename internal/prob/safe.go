@@ -1,0 +1,149 @@
+package prob
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// IsSafe reproduces the paper's Function IsSafe(q) verbatim for self-join-
+// free Boolean conjunctive queries. Safe queries have PROBABILITY(q) in FP;
+// unsafe ones are ♯P-hard (Theorem 5, after Dalvi–Ré–Suciu).
+func IsSafe(q cq.Query) bool {
+	if q.HasSelfJoin() {
+		return false
+	}
+	return isSafe(q)
+}
+
+func isSafe(q cq.Query) bool {
+	// The empty conjunction is trivially true with probability 1.
+	if q.IsEmpty() {
+		return true
+	}
+	// R1: a single ground atom.
+	if q.Len() == 1 && q.Vars().Len() == 0 {
+		return true
+	}
+	// R2: q = q1 ∪ q2 with disjoint variables. Splitting along connected
+	// components is the finest such split and safety distributes over it.
+	if comps := q.ConnectedComponents(); len(comps) > 1 {
+		for _, comp := range comps {
+			atoms := make([]cq.Atom, len(comp))
+			for i, idx := range comp {
+				atoms[i] = q.Atoms[idx]
+			}
+			if !isSafe(cq.Query{Atoms: atoms}) {
+				return false
+			}
+		}
+		return true
+	}
+	// R3: a variable in every key.
+	if x, ok := commonKeyVar(q); ok {
+		return isSafe(q.Substitute(cq.Valuation{x: "⊛"}))
+	}
+	// R4: an atom with an empty key but remaining variables.
+	for _, a := range q.Atoms {
+		if a.KeyVars().Len() == 0 && a.Vars().Len() > 0 {
+			x := a.Vars().Sorted()[0]
+			return isSafe(q.Substitute(cq.Valuation{x: "⊛"}))
+		}
+	}
+	return false
+}
+
+// commonKeyVar returns a variable occurring in the key of every atom (the
+// lexicographically smallest, for determinism).
+func commonKeyVar(q cq.Query) (string, bool) {
+	if q.Len() == 0 {
+		return "", false
+	}
+	common := q.Atoms[0].KeyVars()
+	for _, a := range q.Atoms[1:] {
+		common = common.Intersect(a.KeyVars())
+	}
+	if common.Len() == 0 {
+		return "", false
+	}
+	return common.Sorted()[0], true
+}
+
+// Probability computes Pr(q) on a BID probabilistic database for safe
+// queries, mirroring the IsSafe recursion (the safe-plan evaluation of
+// Dalvi–Ré–Suciu):
+//
+//	R1: Pr of the single ground fact;
+//	R2: product over independent (variable-disjoint) components;
+//	R3: x in every key ⇒ blocks with different x-values are independent:
+//	    Pr(q) = 1 − ∏_{a ∈ D} (1 − Pr(q[x↦a]));
+//	R4: key(F) = ∅ ⇒ the F-facts are pairwise disjoint events:
+//	    Pr(q) = Σ_{a ∈ D} Pr(q[x↦a]) for any x ∈ vars(F).
+//
+// It fails on unsafe queries (whose PROBABILITY problem is ♯P-hard).
+func Probability(q cq.Query, p *ProbDB) (*big.Rat, error) {
+	if q.HasSelfJoin() {
+		return nil, fmt.Errorf("prob: safe-plan evaluation requires self-join-free queries: %s", q)
+	}
+	dom := p.DB().ActiveDomain()
+	return probability(q, p, dom)
+}
+
+func probability(q cq.Query, p *ProbDB, dom []string) (*big.Rat, error) {
+	one := big.NewRat(1, 1)
+	if q.IsEmpty() {
+		return one, nil
+	}
+	// R1.
+	if q.Len() == 1 && q.Vars().Len() == 0 {
+		f, _ := db.FactFromAtom(q.Atoms[0])
+		return p.Prob(f), nil
+	}
+	// R2.
+	if comps := q.ConnectedComponents(); len(comps) > 1 {
+		out := new(big.Rat).Set(one)
+		for _, comp := range comps {
+			atoms := make([]cq.Atom, len(comp))
+			for i, idx := range comp {
+				atoms[i] = q.Atoms[idx]
+			}
+			pr, err := probability(cq.Query{Atoms: atoms}, p, dom)
+			if err != nil {
+				return nil, err
+			}
+			out.Mul(out, pr)
+		}
+		return out, nil
+	}
+	// R3.
+	if x, ok := commonKeyVar(q); ok {
+		allFalse := new(big.Rat).Set(one)
+		for _, a := range dom {
+			pr, err := probability(q.Substitute(cq.Valuation{x: a}), p, dom)
+			if err != nil {
+				return nil, err
+			}
+			factor := new(big.Rat).Sub(one, pr)
+			allFalse.Mul(allFalse, factor)
+		}
+		return new(big.Rat).Sub(one, allFalse), nil
+	}
+	// R4.
+	for _, a := range q.Atoms {
+		if a.KeyVars().Len() == 0 && a.Vars().Len() > 0 {
+			x := a.Vars().Sorted()[0]
+			out := new(big.Rat)
+			for _, c := range dom {
+				pr, err := probability(q.Substitute(cq.Valuation{x: c}), p, dom)
+				if err != nil {
+					return nil, err
+				}
+				out.Add(out, pr)
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("prob: query is not safe: %s", q)
+}

@@ -1,0 +1,87 @@
+package prob
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
+)
+
+// SampleWorld draws one possible world from the BID distribution: per
+// block, a fact is chosen with its probability and the block is absent
+// with the leftover mass.
+func (p *ProbDB) SampleWorld(r *rand.Rand) *db.DB {
+	w := db.New()
+	for _, blk := range p.d.Blocks() {
+		// Draw u ∈ [0,1) and walk the block's cumulative distribution.
+		u := r.Float64()
+		acc := 0.0
+		for _, f := range blk {
+			pr, _ := p.probs[f.ID()].Float64()
+			acc += pr
+			if u < acc {
+				if err := w.Add(f); err != nil {
+					panic(err)
+				}
+				break
+			}
+		}
+	}
+	return w
+}
+
+// SampleRepair draws a uniform random repair of d.
+func SampleRepair(d *db.DB, r *rand.Rand) *db.DB {
+	w := db.New()
+	for _, blk := range d.Blocks() {
+		if err := w.Add(blk[r.Intn(len(blk))]); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+// EstimateProbability estimates Pr(q) by Monte-Carlo sampling of possible
+// worlds: an unbiased estimator whose standard error is at most
+// 1/(2·sqrt(samples)). Exact evaluation (Probability, or
+// ProbabilityByWorlds) should be preferred whenever feasible; sampling
+// covers unsafe queries on databases whose block count defeats world
+// enumeration.
+func (p *ProbDB) EstimateProbability(q cq.Query, samples int, seed int64) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("prob: samples must be positive, got %d", samples)
+	}
+	r := rand.New(rand.NewSource(seed))
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if engine.Eval(q, p.SampleWorld(r)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}
+
+// EstimateCertain tests certainty statistically: it samples uniform
+// repairs and reports false as soon as a falsifying repair is found. A
+// true result is only evidence, not proof (one-sided Monte-Carlo); exact
+// solvers should be preferred. Returns the witnessing repair when
+// certainty is refuted.
+func EstimateCertain(q cq.Query, d *db.DB, samples int, seed int64) (certain bool, witness *db.DB) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		rep := SampleRepair(d, r)
+		if !engine.Eval(q, rep) {
+			return false, rep
+		}
+	}
+	return true, nil
+}
+
+// exactUniform is a helper for tests: Pr(q) under Uniform as a float.
+func exactUniform(q cq.Query, d *db.DB) float64 {
+	v, _ := new(big.Float).SetRat(UniformProbability(q, d)).Float64()
+	return v
+}

@@ -1,0 +1,117 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+func TestSampleWorldRespectsBlocks(t *testing.T) {
+	p := Uniform(gen.ConferenceDB())
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		w := p.SampleWorld(r)
+		if !w.IsConsistent() {
+			t.Fatal("sampled world must be consistent")
+		}
+		// Uniform blocks have mass 1, so every block is represented.
+		if w.NumBlocks() != p.DB().NumBlocks() {
+			t.Fatal("uniform sampling must produce repairs")
+		}
+	}
+	// A block with mass 1/2 must sometimes be absent.
+	p2 := New()
+	p2.Add(db.NewFact("R", 1, "a", "b"), rat(1, 2))
+	absent := 0
+	for i := 0; i < 200; i++ {
+		if p2.SampleWorld(r).Len() == 0 {
+			absent++
+		}
+	}
+	if absent < 50 || absent > 150 {
+		t.Errorf("absence count %d/200 far from expectation 100", absent)
+	}
+}
+
+func TestSampleRepairUniform(t *testing.T) {
+	d := gen.ConferenceDB()
+	r := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	n := 4000
+	for i := 0; i < n; i++ {
+		rep := SampleRepair(d, r)
+		if !rep.IsConsistent() || rep.NumBlocks() != d.NumBlocks() {
+			t.Fatal("sampled repair malformed")
+		}
+		counts[rep.String()]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("expected all 4 repairs sampled, got %d", len(counts))
+	}
+	for k, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Errorf("repair frequency %d/%d looks non-uniform for\n%s", c, n, k)
+		}
+	}
+}
+
+func TestEstimateProbabilityConverges(t *testing.T) {
+	d := gen.ConferenceDB()
+	q := cq.ConferenceQuery()
+	p := Uniform(d)
+	want := exactUniform(q, d) // 0.75
+	got, err := p.EstimateProbability(q, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("estimate %v too far from exact %v", got, want)
+	}
+	if _, err := p.EstimateProbability(q, 0, 1); err == nil {
+		t.Error("nonpositive sample count must be rejected")
+	}
+}
+
+func TestEstimateCertain(t *testing.T) {
+	d := gen.ConferenceDB()
+	q := cq.ConferenceQuery()
+	certain, witness := EstimateCertain(q, d, 200, 3)
+	if certain {
+		t.Error("a falsifying repair exists and should be found in 200 samples (P=3/4 per sample)")
+	}
+	if witness == nil || witness.NumBlocks() != d.NumBlocks() {
+		t.Error("witness must be a full repair")
+	}
+	// A certain instance never yields a witness.
+	d2 := db.MustParse("C(PODS, 2016 | Rome), R(PODS | A)")
+	certain2, w2 := EstimateCertain(q, d2, 50, 3)
+	if !certain2 || w2 != nil {
+		t.Error("consistent satisfying instance must pass")
+	}
+}
+
+func TestMostProbableRepair(t *testing.T) {
+	p := New()
+	p.Add(db.NewFact("R", 1, "a", "x"), rat(1, 4))
+	p.Add(db.NewFact("R", 1, "a", "y"), rat(3, 4))
+	p.Add(db.NewFact("S", 1, "b", "u"), rat(2, 3))
+	p.Add(db.NewFact("S", 1, "b", "v"), rat(1, 3))
+	rep, pr := p.MostProbableRepair()
+	if !rep.Has(db.NewFact("R", 1, "a", "y")) || !rep.Has(db.NewFact("S", 1, "b", "u")) {
+		t.Errorf("repair = \n%s", rep)
+	}
+	// (3/4)(2/3) / ((1)(1)) = 1/2.
+	if pr.Cmp(rat(1, 2)) != 0 {
+		t.Errorf("pr = %v, want 1/2", pr)
+	}
+	// Uniform: every repair equally likely; probability 1/#repairs.
+	u := Uniform(gen.ConferenceDB())
+	_, upr := u.MostProbableRepair()
+	if upr.Cmp(rat(1, 4)) != 0 {
+		t.Errorf("uniform most-probable = %v, want 1/4", upr)
+	}
+}

@@ -1,0 +1,203 @@
+// Package reduction implements the paper's executable reductions: the
+// Theorem 2 construction mapping CERTAINTY(q0) instances to CERTAINTY(q)
+// instances for any acyclic query q with a strong attack cycle (the Venn
+// diagram valuation θ̂ of Fig. 3), and the Lemma 9 all-key completion used
+// by Corollary 1.
+package reduction
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+// tuple encodes a constant sequence as a single constant, unambiguously:
+// ⟨a,b⟩ and ⟨a,b,c⟩ never collide with each other or with plain constants.
+func tuple(parts ...string) string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	b.WriteString("⟩")
+	return b.String()
+}
+
+// Theorem2 is the polynomial-time many-one reduction from CERTAINTY(q0),
+// q0 = {R0(x|y), S0(y,z|x)}, to CERTAINTY(q) for an acyclic self-join-free
+// query q whose attack graph contains a strong cycle.
+type Theorem2 struct {
+	Q cq.Query
+	// F and G index the 2-cycle atoms, with F ↝ G strong (Lemma 4
+	// guarantees such a pair exists).
+	F, G int
+
+	plusF, plusG, fullF cq.VarSet
+}
+
+// NewTheorem2 prepares the reduction for q, failing when q has no strong
+// attack cycle.
+func NewTheorem2(q cq.Query) (*Theorem2, error) {
+	g, err := core.BuildAttackGraph(q, jointree.TieBreakLex)
+	if err != nil {
+		return nil, err
+	}
+	f, gg, ok := g.StrongCycle2()
+	if !ok {
+		return nil, fmt.Errorf("reduction: %s has no strong attack cycle", q)
+	}
+	return &Theorem2{
+		Q:     q,
+		F:     f,
+		G:     gg,
+		plusF: g.Plus(f),
+		plusG: g.Plus(gg),
+		fullF: g.Full(f),
+	}, nil
+}
+
+// HatValuation computes θ̂ over vars(q) from a valuation θ over {x, y, z},
+// following the six Venn regions of Fig. 3 exactly.
+func (r *Theorem2) HatValuation(theta cq.Valuation) cq.Valuation {
+	x, y, z := theta["x"], theta["y"], theta["z"]
+	out := make(cq.Valuation)
+	for u := range r.Q.Vars() {
+		inPlusF := r.plusF.Has(u)
+		inPlusG := r.plusG.Has(u)
+		inFullF := r.fullF.Has(u)
+		switch {
+		case inPlusF && inPlusG:
+			out[u] = "d"
+		case inPlusF && !inPlusG:
+			out[u] = x
+		case inPlusG && !inFullF:
+			out[u] = tuple(y, z)
+		case inPlusG && inFullF && !inPlusF:
+			out[u] = y
+		case inFullF && !inPlusF && !inPlusG:
+			out[u] = tuple(x, y)
+		default: // u ∉ F⊕ ∪ G+
+			out[u] = tuple(x, y, z)
+		}
+	}
+	return out
+}
+
+// Q0Valuations returns V: the valuations θ over {x,y,z} with θ(q0) ⊆ db0.
+func Q0Valuations(db0 *db.DB) []cq.Valuation {
+	return engine.Embeddings(cq.Q0(), db0)
+}
+
+// Apply executes the reduction: purify db0 relative to q0 (Lemma 1), then
+// build db = {θ̂(H) | H ∈ q, θ ∈ V}. The result is in CERTAINTY(q) iff db0
+// is in CERTAINTY(q0).
+func (r *Theorem2) Apply(db0 *db.DB) (*db.DB, error) {
+	pur := engine.Purify(cq.Q0(), db0)
+	out := db.New()
+	for _, theta := range Q0Valuations(pur) {
+		hat := r.HatValuation(theta)
+		for _, H := range r.Q.Atoms {
+			f, ok := db.FactFromAtom(H.Substitute(hat))
+			if !ok {
+				return nil, fmt.Errorf("reduction: atom %s not grounded by θ̂ %v", H, hat)
+			}
+			if err := out.Add(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// MapRepair implements the bijection `map` of the proof (Sublemma 4): it
+// maps a repair r0 of the purified db0 to the corresponding repair of the
+// reduced database. Used by tests to validate the construction.
+func (r *Theorem2) MapRepair(db0Purified *db.DB, repair0 *db.DB) (*db.DB, error) {
+	out := db.New()
+	F, G := r.Q.Atoms[r.F], r.Q.Atoms[r.G]
+	F0 := cq.Q0().Atoms[0]
+	G0 := cq.Q0().Atoms[1]
+	for _, theta := range Q0Valuations(db0Purified) {
+		hat := r.HatValuation(theta)
+		addImage := func(H cq.Atom) error {
+			f, ok := db.FactFromAtom(H.Substitute(hat))
+			if !ok {
+				return fmt.Errorf("reduction: ungrounded image of %s", H)
+			}
+			return out.Add(f)
+		}
+		// dbrest is shared by all repairs.
+		for i, H := range r.Q.Atoms {
+			if i == r.F || i == r.G {
+				continue
+			}
+			if err := addImage(H); err != nil {
+				return nil, err
+			}
+		}
+		if f0, ok := db.FactFromAtom(F0.Substitute(theta)); ok && repair0.Has(f0) {
+			if err := addImage(F); err != nil {
+				return nil, err
+			}
+		}
+		if g0, ok := db.FactFromAtom(G0.Substitute(theta)); ok && repair0.Has(g0) {
+			if err := addImage(G); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Lemma9 completes a database for the reduction of Lemma 9: for every
+// all-key atom R(x̄) in q but not in qPrime, every tuple over the active
+// domain of d is added to R. This yields an AC⁰ many-one reduction from
+// CERTAINTY(qPrime) to CERTAINTY(q). The completion has |D|^|x̄| facts per
+// added relation — polynomial in |d| for fixed q.
+func Lemma9(q, qPrime cq.Query, d *db.DB) (*db.DB, error) {
+	out := d.Clone()
+	dom := d.ActiveDomain()
+	for _, a := range q.Atoms {
+		if qPrime.IndexOf(a) >= 0 {
+			continue
+		}
+		if !a.AllKey() {
+			return nil, fmt.Errorf("reduction: atom %s in q \\ q' must be all-key", a)
+		}
+		args := make([]string, a.Arity())
+		var recurse func(i int) error
+		recurse = func(i int) error {
+			if i == a.Arity() {
+				cp := make([]string, len(args))
+				copy(cp, args)
+				return out.Add(db.Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: cp})
+			}
+			if a.Args[i].IsConst {
+				args[i] = a.Args[i].Value
+				return recurse(i + 1)
+			}
+			for _, c := range dom {
+				args[i] = c
+				if err := recurse(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := recurse(0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,289 @@
+// Package solver implements every decision procedure for CERTAINTY(q) the
+// paper describes: brute-force repair enumeration (ground truth), the
+// first-order rewriting procedure for acyclic attack graphs (Theorem 1),
+// the polynomial algorithm for weak terminal cycles (Theorem 3) with its
+// two-atom base-case solver, the graph-marking algorithm for AC(k)
+// (Theorem 4) and C(k) (Corollary 1), a pruned exponential search for
+// coNP-classified queries, and a dispatcher driven by the classifier.
+package solver
+
+import (
+	"context"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
+)
+
+// BruteForce decides db ∈ CERTAINTY(q) by enumerating every repair and
+// evaluating q on each. Exponential in the number of non-singleton blocks;
+// the ground truth for all other solvers.
+func BruteForce(q cq.Query, d *db.DB) bool {
+	certain := true
+	d.EachRepair(func(r []db.Fact) bool {
+		if !engine.EvalRepair(q, r) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain
+}
+
+// selection is a mutable stack of chosen facts with per-relation indexes,
+// supporting the incremental satisfaction check of FalsifyingRepair.
+type selection struct {
+	q     cq.Query
+	byRel map[string][]db.Fact
+}
+
+func newSelection(q cq.Query) *selection {
+	return &selection{q: q, byRel: make(map[string][]db.Fact, q.Len())}
+}
+
+func (s *selection) push(f db.Fact) { s.byRel[f.Rel] = append(s.byRel[f.Rel], f) }
+
+func (s *selection) pop(f db.Fact) {
+	l := s.byRel[f.Rel]
+	s.byRel[f.Rel] = l[:len(l)-1]
+}
+
+// satisfiedUsing reports whether the selection satisfies q through an
+// embedding that uses f. Under the invariant that the selection did not
+// satisfy q before f was pushed, this decides whether it does now.
+func (s *selection) satisfiedUsing(f db.Fact) bool {
+	for i, a := range s.q.Atoms {
+		if a.Rel != f.Rel {
+			continue
+		}
+		binding, ok := engine.MatchAtom(a, f, cq.Valuation{})
+		if !ok {
+			continue
+		}
+		if s.extend(binding, i, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// extend completes a partial embedding over the remaining atoms (skipping
+// the anchored one) by scanning the selected facts of each relation.
+func (s *selection) extend(binding cq.Valuation, anchor, next int) bool {
+	if next == s.q.Len() {
+		return true
+	}
+	if next == anchor {
+		return s.extend(binding, anchor, next+1)
+	}
+	a := s.q.Atoms[next]
+	for _, g := range s.byRel[a.Rel] {
+		if ext, ok := engine.MatchAtom(a, g, binding); ok {
+			if s.extend(ext, anchor, next+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FalsifyingRepair searches for a repair of d falsifying q using
+// block-by-block backtracking with satisfaction pruning: as soon as the
+// partial selection already satisfies q, every completion does too, and the
+// branch is cut. Returns the falsifying repair and true if one exists.
+// Worst-case exponential (CERTAINTY(q) is coNP-complete for strong-cycle
+// queries), but vastly faster than plain enumeration on typical instances.
+func FalsifyingRepair(q cq.Query, d *db.DB) ([]db.Fact, bool) {
+	return falsifyingRepair(q, d, true)
+}
+
+// FalsifyingRepairStatic is FalsifyingRepair with the dynamic fail-first
+// block ordering disabled (blocks are tried in database order). Exposed for
+// the ordering ablation in the benchmark harness; prefer FalsifyingRepair.
+func FalsifyingRepairStatic(q cq.Query, d *db.DB) ([]db.Fact, bool) {
+	return falsifyingRepair(q, d, false)
+}
+
+func falsifyingRepair(q cq.Query, d *db.DB, dynamic bool) ([]db.Fact, bool) {
+	rels := make(map[string]bool, q.Len())
+	for _, a := range q.Atoms {
+		rels[a.Rel] = true
+	}
+	var relevant, irrelevant [][]db.Fact
+	for _, b := range d.Blocks() {
+		if rels[b[0].Rel] {
+			relevant = append(relevant, b)
+		} else {
+			irrelevant = append(irrelevant, b)
+		}
+	}
+	if q.IsEmpty() {
+		return nil, false // the empty query holds in every repair
+	}
+	sel := newSelection(q)
+	var chosen []db.Fact
+	done := make([]bool, len(relevant))
+	// Fail-first dynamic ordering: at each node, branch on the remaining
+	// block with the fewest safe (non-satisfying) choices. Blocks with zero
+	// safe choices cut the branch immediately, which makes the search
+	// behave like DPLL on constraint-style instances. The static variant
+	// processes blocks in database order instead.
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		safeOf := func(blk []db.Fact) []db.Fact {
+			var safe []db.Fact
+			for _, f := range blk {
+				sel.push(f)
+				if !sel.satisfiedUsing(f) {
+					safe = append(safe, f)
+				}
+				sel.pop(f)
+			}
+			return safe
+		}
+		var best int
+		var bestSafe []db.Fact
+		if dynamic {
+			best = -1
+			for i, blk := range relevant {
+				if done[i] {
+					continue
+				}
+				safe := safeOf(blk)
+				if best == -1 || len(safe) < len(bestSafe) {
+					best, bestSafe = i, safe
+					if len(safe) == 0 {
+						return false
+					}
+				}
+			}
+		} else {
+			best = -1
+			for i := range relevant {
+				if !done[i] {
+					best = i
+					break
+				}
+			}
+			bestSafe = safeOf(relevant[best])
+		}
+		done[best] = true
+		for _, f := range bestSafe {
+			sel.push(f)
+			chosen = append(chosen, f)
+			if rec(remaining - 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			sel.pop(f)
+		}
+		done[best] = false
+		return false
+	}
+	if !rec(len(relevant)) {
+		return nil, false
+	}
+	// Facts of relations outside q never influence satisfaction; complete
+	// the repair with an arbitrary choice per irrelevant block.
+	out := append([]db.Fact(nil), chosen...)
+	for _, b := range irrelevant {
+		out = append(out, b[0])
+	}
+	return out, true
+}
+
+// CertainByFalsifying decides certainty via FalsifyingRepair.
+func CertainByFalsifying(q cq.Query, d *db.DB) bool {
+	_, found := FalsifyingRepair(q, d)
+	return !found
+}
+
+// FalsifyingRepairContext is FalsifyingRepair with cooperative
+// cancellation: the search aborts with ctx.Err() when the context is done.
+// Use it to bound the exponential search on coNP-classified instances.
+func FalsifyingRepairContext(ctx context.Context, q cq.Query, d *db.DB) ([]db.Fact, bool, error) {
+	rels := make(map[string]bool, q.Len())
+	for _, a := range q.Atoms {
+		rels[a.Rel] = true
+	}
+	var relevant, irrelevant [][]db.Fact
+	for _, b := range d.Blocks() {
+		if rels[b[0].Rel] {
+			relevant = append(relevant, b)
+		} else {
+			irrelevant = append(irrelevant, b)
+		}
+	}
+	if q.IsEmpty() {
+		return nil, false, nil
+	}
+	sel := newSelection(q)
+	var chosen []db.Fact
+	done := make([]bool, len(relevant))
+	checked := 0
+	var rec func(remaining int) (bool, error)
+	rec = func(remaining int) (bool, error) {
+		checked++
+		if checked%256 == 0 {
+			select {
+			case <-ctx.Done():
+				return false, ctx.Err()
+			default:
+			}
+		}
+		if remaining == 0 {
+			return true, nil
+		}
+		best, bestSafe := -1, []db.Fact(nil)
+		for i, blk := range relevant {
+			if done[i] {
+				continue
+			}
+			var safe []db.Fact
+			for _, f := range blk {
+				sel.push(f)
+				if !sel.satisfiedUsing(f) {
+					safe = append(safe, f)
+				}
+				sel.pop(f)
+			}
+			if best == -1 || len(safe) < len(bestSafe) {
+				best, bestSafe = i, safe
+				if len(safe) == 0 {
+					return false, nil
+				}
+			}
+		}
+		done[best] = true
+		for _, f := range bestSafe {
+			sel.push(f)
+			chosen = append(chosen, f)
+			found, err := rec(remaining - 1)
+			if err != nil {
+				return false, err
+			}
+			if found {
+				return true, nil
+			}
+			chosen = chosen[:len(chosen)-1]
+			sel.pop(f)
+		}
+		done[best] = false
+		return false, nil
+	}
+	found, err := rec(len(relevant))
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		return nil, false, nil
+	}
+	out := append([]db.Fact(nil), chosen...)
+	for _, b := range irrelevant {
+		out = append(out, b[0])
+	}
+	return out, true, nil
+}

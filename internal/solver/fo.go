@@ -1,0 +1,151 @@
+package solver
+
+import (
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/jointree"
+)
+
+// unifyAtomFact unifies (possibly partially ground) atom a with fact f and
+// returns the valuation over vars(a) induced by f.
+func unifyAtomFact(a cq.Atom, f db.Fact) (cq.Valuation, bool) {
+	if a.Rel != f.Rel || len(a.Args) != len(f.Args) || a.KeyLen != f.KeyLen {
+		return nil, false
+	}
+	v := make(cq.Valuation)
+	for i, t := range a.Args {
+		if t.IsConst {
+			if t.Value != f.Args[i] {
+				return nil, false
+			}
+			continue
+		}
+		if prev, ok := v[t.Value]; ok {
+			if prev != f.Args[i] {
+				return nil, false
+			}
+			continue
+		}
+		v[t.Value] = f.Args[i]
+	}
+	return v, true
+}
+
+// CertainFO decides db ∈ CERTAINTY(q) for queries whose attack graph is
+// acyclic, by executing the certain first-order rewriting of Theorem 1
+// directly against the database: pick an unattacked atom F of relation R;
+// the query is certain iff some R-block exists in which every fact unifies
+// with F and makes the instantiated remainder certain. Substituting
+// constants and removing F preserve acyclicity of the attack graph
+// (Lemma 5), so the recursion always finds an unattacked atom.
+//
+// The attack graph depends only on the positions of variables, not on
+// which constants fill the ground positions, so the unattacked-atom choice
+// is memoized per query shape: each recursion level builds the attack
+// graph once instead of once per candidate fact.
+//
+// The returned error reports queries outside the method's scope (cyclic
+// attack graph, self-join, cyclic query).
+func CertainFO(q cq.Query, d *db.DB) (bool, error) {
+	memo := make(map[string]int)
+	return certainFO(q, d, memo)
+}
+
+// shapeKey renders q with every constant replaced by a placeholder; two
+// queries with the same key have identical attack graphs.
+func shapeKey(q cq.Query) string {
+	masked := make([]cq.Atom, q.Len())
+	for i, a := range q.Atoms {
+		args := make([]cq.Term, len(a.Args))
+		for j, t := range a.Args {
+			if t.IsConst {
+				args[j] = cq.Const("▢")
+			} else {
+				args[j] = t
+			}
+		}
+		masked[i] = cq.Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
+	}
+	return cq.Query{Atoms: masked}.String()
+}
+
+func certainFO(q cq.Query, d *db.DB, memo map[string]int) (bool, error) {
+	if q.IsEmpty() {
+		return true, nil
+	}
+	key := shapeKey(q)
+	idx, ok := memo[key]
+	if !ok {
+		g, err := core.BuildAttackGraph(q, jointree.TieBreakLex)
+		if err != nil {
+			return false, err
+		}
+		un := g.Unattacked()
+		if len(un) == 0 {
+			return false, fmt.Errorf("solver: CertainFO requires an acyclic attack graph: %s", q)
+		}
+		idx = un[0]
+		memo[key] = idx
+	}
+	F := q.Atoms[idx]
+	rest := q.Without(idx)
+	for _, block := range candidateBlocks(d, F) {
+		blockOK := true
+		for _, A := range block {
+			theta, ok := unifyAtomFact(F, A)
+			if !ok {
+				blockOK = false
+				break
+			}
+			sub, err := certainFO(rest.Substitute(theta), d, memo)
+			if err != nil {
+				return false, err
+			}
+			if !sub {
+				blockOK = false
+				break
+			}
+		}
+		if blockOK {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// blocksOf returns the blocks of the given relation.
+func blocksOf(d *db.DB, rel string) [][]db.Fact {
+	var out [][]db.Fact
+	seen := make(map[string]bool)
+	for _, f := range d.FactsOf(rel) {
+		bid := f.BlockID()
+		if seen[bid] {
+			continue
+		}
+		seen[bid] = true
+		out = append(out, d.Block(f))
+	}
+	return out
+}
+
+// candidateBlocks returns the blocks of a's relation that can possibly
+// match a. When a's primary key is ground (the common case in recursive
+// calls, where the parent atom's valuation instantiated the key), the block
+// index narrows the search to a single block.
+func candidateBlocks(d *db.DB, a cq.Atom) [][]db.Fact {
+	key := make([]string, a.KeyLen)
+	for i := 0; i < a.KeyLen; i++ {
+		if a.Args[i].IsVar() {
+			return blocksOf(d, a.Rel)
+		}
+		key[i] = a.Args[i].Value
+	}
+	block := d.Block(db.Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: key})
+	if len(block) == 0 {
+		return nil
+	}
+	return [][]db.Fact{block}
+}

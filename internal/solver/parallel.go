@@ -1,0 +1,59 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
+)
+
+// CertainACkParallel is CertainACk with the per-strong-component decisions
+// fanned out across workers goroutines (0 means GOMAXPROCS). Components
+// are independent in the Theorem 4 algorithm, so the result is identical
+// to the sequential version; the fan-out pays off on databases with many
+// components.
+func CertainACkParallel(q cq.Query, shape *core.CycleShape, d *db.DB, workers int) (bool, error) {
+	if shape == nil || shape.SkAtom < 0 {
+		return false, fmt.Errorf("solver: CertainACkParallel requires an AC(k) shape")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d = engine.Purify(q, d)
+	if d.Len() == 0 {
+		return false, nil
+	}
+	cg, comps, err := buildCycleGraph(q, shape, d, true)
+	if err != nil {
+		return false, err
+	}
+	inC := cg.markedCycles(q, shape, d)
+
+	jobs := make(chan []int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	certain := false
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for comp := range jobs {
+				if !markableComponent(cg, comp, inC) {
+					mu.Lock()
+					certain = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, comp := range comps {
+		jobs <- comp
+	}
+	close(jobs)
+	wg.Wait()
+	return certain, nil
+}

@@ -1,0 +1,102 @@
+package solver
+
+import (
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// Simplification rewrites a CERTAINTY instance (q, db) into an equivalent
+// one with a simpler query. The one rule implemented projects away private
+// non-key columns:
+//
+// If an atom F has non-key arguments that are distinct variables occurring
+// nowhere else in q (and only once in F), then whether a repair satisfies q
+// never depends on *which* fact of an F-block is chosen — any fact of a
+// block with a matching key witnesses the atom. The instance is therefore
+// equivalent to one where F is replaced by an all-key atom over its key
+// arguments and F's relation is projected onto its keys (one fact per
+// block).
+//
+// The rule can move an instance across the complexity chart: the §6.2
+// open-case query {R1(x|y), R2(y|x), S(x,y|z)} becomes AC(2), which
+// Theorem 4 decides in polynomial time — consistent with (and evidence
+// for) Conjecture 1.
+type Simplification struct {
+	// Projected lists the relations whose non-key columns were dropped.
+	Projected []string
+}
+
+// simplifyProjection applies the private-column projection rule to every
+// eligible atom, returning the rewritten query, a database rewriter, and a
+// report. The rewriter must be applied to any database before solving the
+// simplified query.
+func simplifyProjection(q cq.Query) (cq.Query, func(*db.DB) (*db.DB, error), *Simplification) {
+	// Count variable occurrences across the whole query (all positions).
+	occurrences := make(map[string]int)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				occurrences[t.Value]++
+			}
+		}
+	}
+	type projection struct {
+		rel           string
+		keyLen, arity int
+	}
+	var projected []projection
+	atoms := make([]cq.Atom, 0, q.Len())
+	for _, a := range q.Atoms {
+		if a.AllKey() {
+			atoms = append(atoms, a)
+			continue
+		}
+		eligible := true
+		for _, t := range a.NonKeyArgs() {
+			if t.IsConst || occurrences[t.Value] != 1 {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			atoms = append(atoms, a)
+			continue
+		}
+		keyArgs := append([]cq.Term(nil), a.KeyArgs()...)
+		atoms = append(atoms, cq.Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: keyArgs})
+		projected = append(projected, projection{rel: a.Rel, keyLen: a.KeyLen, arity: a.Arity()})
+	}
+	if len(projected) == 0 {
+		return q, nil, nil
+	}
+	byRel := make(map[string]projection, len(projected))
+	report := &Simplification{}
+	for _, p := range projected {
+		byRel[p.rel] = p
+		report.Projected = append(report.Projected, p.rel)
+	}
+	rewrite := func(d *db.DB) (*db.DB, error) {
+		out := db.New()
+		for _, f := range d.Facts() {
+			p, ok := byRel[f.Rel]
+			if !ok {
+				if err := out.Add(f); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if f.KeyLen != p.keyLen || len(f.Args) != p.arity {
+				// Signature mismatch with the query atom: such facts never
+				// match it, and after projection they must not fabricate
+				// all-key facts either — drop them.
+				continue
+			}
+			key := append([]string(nil), f.Args[:p.keyLen]...)
+			if err := out.Add(db.Fact{Rel: f.Rel, KeyLen: p.keyLen, Args: key}); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return cq.Query{Atoms: atoms}, rewrite, report
+}

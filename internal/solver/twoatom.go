@@ -1,0 +1,216 @@
+package solver
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// encodeVector returns an unambiguous length-prefixed encoding of a
+// constant vector, for use as a map key.
+func encodeVector(vals []string) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// This file decides CERTAINTY({F,G}) for two-atom self-join-free queries
+// whose attack graph is a weak 2-cycle — the Kolaitis–Pema "in P but not
+// first-order" case, and the base case of Theorem 3.
+//
+// Kolaitis and Pema solve these instances by reduction to maximum
+// independent set in claw-free graphs (Minty's algorithm). We exploit the
+// structure the weak cycle forces to get a direct polynomial algorithm:
+//
+// Both attacks weak means key(G) ⊆ vars(F) and key(F) ⊆ vars(G), hence
+// both keys lie in the shared variables S = vars(F) ∩ vars(G). For a fact A
+// matching F, let σ(A) be the restriction to S of the valuation induced by
+// A ("signature"). Facts A (of F's relation) and B (of G's) jointly embed q
+// iff σ(A) = σ(B). Because key(F) ⊆ S and key(G) ⊆ S, a signature value
+// determines both the F-block and the G-block containing its facts, so
+// conflicts group into complete-bipartite clusters, one per signature,
+// spanning exactly one F-block and one G-block.
+//
+// A falsifying repair picks one fact per block avoiding every cluster. Per
+// block the choice only matters up to signature, and a fact that matches no
+// partner (or does not match its own atom's constants) is a free choice.
+// Blocks with a free choice are removed together with their incident
+// signatures, iterating to a fixpoint (removing a signature edge can free
+// its other endpoint). What remains is a bipartite multigraph on blocks
+// whose edges are signatures live on both sides; each remaining block must
+// claim one incident edge with no edge claimed twice, which is possible iff
+// every connected component has at least as many edges as vertices (i.e.,
+// is not a tree). Hence:
+//
+//	db is certain ⟺ some component of the reduced signature graph is a tree.
+func certainTwoAtomWeak(F, G cq.Atom, d *db.DB) (bool, error) {
+	sharedF := F.Vars().Intersect(G.Vars())
+	if !G.KeyVars().SubsetOf(F.Vars()) || !F.KeyVars().SubsetOf(G.Vars()) {
+		return false, fmt.Errorf("solver: two-atom solver requires a weak cycle: key(G) ⊆ vars(F) and key(F) ⊆ vars(G) (%s, %s)", F, G)
+	}
+	shared := sharedF.Sorted()
+
+	sig := func(theta cq.Valuation) string {
+		vals := make([]string, len(shared))
+		for i, v := range shared {
+			vals[i] = theta[v]
+		}
+		return encodeVector(vals)
+	}
+
+	// options[blockID] = set of signatures available in the block;
+	// free[blockID] = true if the block has a fact that matches nothing.
+	type blockInfo struct {
+		id      string
+		side    int // 0 = F's relation, 1 = G's relation
+		options map[string]bool
+		free    bool
+	}
+	blocks := make(map[string]*blockInfo)
+	sigSides := make([]map[string][]string, 2) // side → signature → block IDs (singleton)
+	sigSides[0] = make(map[string][]string)
+	sigSides[1] = make(map[string][]string)
+
+	collect := func(atom cq.Atom, side int) {
+		for _, blk := range blocksOf(d, atom.Rel) {
+			bid := blk[0].BlockID()
+			info := &blockInfo{id: bid, side: side, options: make(map[string]bool)}
+			blocks[bid] = info
+			for _, f := range blk {
+				theta, ok := unifyAtomFact(atom, f)
+				if !ok {
+					// A fact that does not match the atom's pattern joins
+					// with nothing: a free choice.
+					info.free = true
+					continue
+				}
+				s := sig(theta)
+				if !info.options[s] {
+					info.options[s] = true
+					sigSides[side][s] = append(sigSides[side][s], bid)
+				}
+			}
+		}
+	}
+	collect(F, 0)
+	collect(G, 1)
+
+	// A signature is a live edge iff present on both sides. Since the keys
+	// are included in the signature, each side of a signature is a single
+	// block; assert that invariant.
+	type edge struct{ u, v string }
+	edgesBySig := make(map[string]edge)
+	edgesAt := make(map[string]map[string]bool) // blockID → live signatures
+	for s, us := range sigSides[0] {
+		vs, ok := sigSides[1][s]
+		if !ok {
+			continue
+		}
+		if len(us) != 1 || len(vs) != 1 {
+			return false, fmt.Errorf("solver: signature spans multiple blocks; weak-cycle invariant violated")
+		}
+		edgesBySig[s] = edge{u: us[0], v: vs[0]}
+		for _, b := range []string{us[0], vs[0]} {
+			if edgesAt[b] == nil {
+				edgesAt[b] = make(map[string]bool)
+			}
+			edgesAt[b][s] = true
+		}
+	}
+
+	// Reduction: repeatedly remove blocks that have a free option or an
+	// option whose signature is not (or no longer) a live edge.
+	removable := func(b *blockInfo) bool {
+		if b.free {
+			return true
+		}
+		for s := range b.options {
+			if _, live := edgesBySig[s]; !live {
+				return true
+			}
+		}
+		return false
+	}
+	queue := make([]string, 0, len(blocks))
+	for bid, b := range blocks {
+		if removable(b) {
+			queue = append(queue, bid)
+		}
+	}
+	removed := make(map[string]bool)
+	for len(queue) > 0 {
+		bid := queue[0]
+		queue = queue[1:]
+		if removed[bid] {
+			continue
+		}
+		removed[bid] = true
+		for s := range edgesAt[bid] {
+			e, live := edgesBySig[s]
+			if !live {
+				continue
+			}
+			delete(edgesBySig, s)
+			other := e.u
+			if other == bid {
+				other = e.v
+			}
+			delete(edgesAt[other], s)
+			if !removed[other] && removable(blocks[other]) {
+				queue = append(queue, other)
+			}
+		}
+	}
+
+	// Remaining blocks: every option is a live edge. Falsifiable iff every
+	// connected component of the block/edge multigraph has #edges >=
+	// #vertices; certain iff some component is a tree.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	compVerts := make(map[string]int)
+	compEdges := make(map[string]int)
+	for bid, b := range blocks {
+		if !removed[bid] {
+			parent[bid] = bid
+			_ = b
+		}
+	}
+	for _, e := range edgesBySig {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	for bid := range parent {
+		compVerts[find(bid)]++
+	}
+	for _, e := range edgesBySig {
+		compEdges[find(e.u)]++
+	}
+	for root, verts := range compVerts {
+		if compEdges[root] < verts {
+			// This component is a tree: no falsifying choice exists within
+			// it, so every repair satisfies q.
+			return true, nil
+		}
+	}
+	// Every component can avoid all conflicts — unless the query cannot be
+	// satisfied at all, in which case no repair satisfies it either and the
+	// answer is "not certain" (consistently handled: zero components mean a
+	// falsifying repair exists whenever the database is nonempty; and for
+	// an empty database the empty repair falsifies the nonempty query q).
+	return false, nil
+}
