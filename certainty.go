@@ -22,6 +22,7 @@
 package certainty
 
 import (
+	"context"
 	"math/big"
 
 	"github.com/cqa-go/certainty/internal/answers"
@@ -154,9 +155,46 @@ func Solve(q Query, d *DB) (Result, error) { return solver.Solve(q, d) }
 // Certain is Solve returning only the decision.
 func Certain(q Query, d *DB) (bool, error) { return solver.Certain(q, d) }
 
+// Governed solving. SolveCtx is Solve under resource governance: the
+// context cancels it (Ctrl-C, deadlines), SolveOptions bounds it (step
+// budget, wall-clock timeout), panics deep in evaluation come back as
+// errors, and a cut-off solve on a coNP-hard instance degrades to an
+// OutcomeUnknown verdict carrying partial search evidence and a sampled
+// repair-satisfaction estimate instead of failing.
+type (
+	// Verdict is the three-valued result of a governed solve.
+	Verdict = solver.Verdict
+	// VerdictOutcome is certain, not certain, or unknown (cut off).
+	VerdictOutcome = solver.Outcome
+	// VerdictEvidence is the partial progress attached to a cut-off solve.
+	VerdictEvidence = solver.Evidence
+	// SolveOptions bounds a governed solve; the zero value imposes no
+	// limits beyond the context itself.
+	SolveOptions = solver.Options
+)
+
+// Outcomes of a governed solve (see Verdict).
+const (
+	OutcomeCertain    = solver.OutcomeCertain
+	OutcomeNotCertain = solver.OutcomeNotCertain
+	OutcomeUnknown    = solver.OutcomeUnknown
+)
+
+// SolveCtx decides certainty under ctx plus the limits in opts; see
+// Verdict for how cutoffs degrade gracefully.
+func SolveCtx(ctx context.Context, q Query, d *DB, opts SolveOptions) (Verdict, error) {
+	return solver.SolveCtx(ctx, q, d, opts)
+}
+
 // CertainBruteForce decides certainty by enumerating every repair
 // (exponential ground truth).
 func CertainBruteForce(q Query, d *DB) bool { return solver.BruteForce(q, d) }
+
+// CertainBruteForceCtx is CertainBruteForce honoring ctx (cancellation,
+// or a budget/deadline governor attached by SolveCtx-style callers).
+func CertainBruteForceCtx(ctx context.Context, q Query, d *DB) (bool, error) {
+	return solver.BruteForceCtx(ctx, q, d)
+}
 
 // CertainAnswers lifts certainty to queries with free variables: it
 // returns the tuples ā (over the listed variables, in order) for which
@@ -179,6 +217,12 @@ func PossibleAnswers(q Query, free []string, d *DB) ([]Answer, error) {
 
 // FalsifyingRepair searches for a repair falsifying q, with pruning.
 func FalsifyingRepair(q Query, d *DB) ([]Fact, bool) { return solver.FalsifyingRepair(q, d) }
+
+// FalsifyingRepairCtx is FalsifyingRepair honoring ctx; on cancellation
+// the partial search is abandoned and ctx's error returned.
+func FalsifyingRepairCtx(ctx context.Context, q Query, d *DB) ([]Fact, bool, error) {
+	return solver.FalsifyingRepairContext(ctx, q, d)
+}
 
 // Eval reports whether d satisfies q (ordinary, non-certain semantics).
 func Eval(q Query, d *DB) bool { return engine.Eval(q, d) }

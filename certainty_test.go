@@ -1,6 +1,8 @@
 package certainty
 
 import (
+	"context"
+	"fmt"
 	"math/big"
 	"strings"
 	"testing"
@@ -312,5 +314,80 @@ func TestFacadeSweep2(t *testing.T) {
 	got, err := compiled.Eval(d)
 	if err != nil || got {
 		t.Errorf("compiled eval = %v, %v (not certain expected)", got, err)
+	}
+}
+
+func TestFacadeGovernedSolve(t *testing.T) {
+	q := Q0()
+	d := MustParseDB("R0(a | b), R0(a | c), S0(b, z | a), S0(c, z | a)")
+
+	// Unlimited: agrees with Solve.
+	v, err := SolveCtx(context.Background(), q, d, SolveOptions{})
+	if err != nil {
+		t.Fatalf("SolveCtx: %v", err)
+	}
+	res, err := Solve(q, d)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if v.Outcome == OutcomeUnknown || v.Result.Certain != res.Certain {
+		t.Fatalf("governed verdict %v/%v disagrees with Solve %v", v.Outcome, v.Result.Certain, res.Certain)
+	}
+
+	// A one-step budget on this coNP instance degrades to unknown with a
+	// sampled estimate (the instance is certain, so no sampled falsifier).
+	v, err = SolveCtx(context.Background(), q, d, SolveOptions{Budget: 1, DegradeSamples: 64})
+	if err != nil {
+		t.Fatalf("SolveCtx(budget): %v", err)
+	}
+	if v.Outcome != OutcomeUnknown {
+		t.Fatalf("Outcome = %v, want unknown under a one-step budget", v.Outcome)
+	}
+	if v.Evidence == nil || v.Evidence.Samples == 0 {
+		t.Fatal("unknown verdict missing the sampled estimate")
+	}
+}
+
+func TestFacadeGovernedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Ten two-fact blocks and a query every repair satisfies: brute force
+	// cannot stop early, so it crosses the cancellation poll interval.
+	bruteDB := NewDB()
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := bruteDB.Add(NewFact("R", 1, k, "a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := bruteDB.Add(NewFact("R", 1, k, "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := CertainBruteForceCtx(ctx, MustParseQuery("R(x | y)"), bruteDB); err == nil {
+		t.Fatal("CertainBruteForceCtx ignored a canceled context")
+	}
+
+	// A large certain q0 ring: the falsifying search needs hundreds of
+	// nodes, well past the poll interval.
+	ringDB := NewDB()
+	n := 61 // odd: the ring is certain, so the search must traverse it all
+	for i := 0; i < n; i++ {
+		xi, xn, zi := fmt.Sprintf("x%d", i), fmt.Sprintf("x%d", (i+1)%n), fmt.Sprintf("z%d", i)
+		for _, f := range []Fact{
+			NewFact("R0", 1, xi, "A"),
+			NewFact("R0", 1, xi, "B"),
+			NewFact("S0", 2, "A", zi, xi),
+			NewFact("S0", 2, "A", zi, xn),
+			NewFact("S0", 2, "B", zi, xi),
+			NewFact("S0", 2, "B", zi, xn),
+		} {
+			if err := ringDB.Add(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := FalsifyingRepairCtx(ctx, Q0(), ringDB); err == nil {
+		t.Fatal("FalsifyingRepairCtx ignored a canceled context")
 	}
 }

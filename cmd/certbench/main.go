@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 )
 
@@ -30,7 +32,16 @@ type benchCtx struct {
 func main() {
 	which := flag.String("experiment", "", "experiment to run (E1..E10); empty = all")
 	quick := flag.Bool("quick", false, "reduced instance sizes")
+	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit); Ctrl-C stops too")
 	flag.Parse()
+
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 
 	experiments := []experiment{
 		{"E1", "Figure 1: conference database and certain answering", runE1},
@@ -53,6 +64,10 @@ func main() {
 	for _, e := range experiments {
 		if *which != "" && !strings.EqualFold(*which, e.id) {
 			continue
+		}
+		if err := runCtx.Err(); err != nil {
+			fmt.Printf("certbench: interrupted (%v) — skipping %s and later experiments\n", err, e.id)
+			return
 		}
 		ran = true
 		fmt.Printf("==== %s: %s ====\n", e.id, e.title)

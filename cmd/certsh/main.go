@@ -15,10 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/cqa-go/certainty/internal/answers"
 	"github.com/cqa-go/certainty/internal/core"
@@ -47,14 +51,23 @@ func main() {
 	}
 }
 
-// shell holds the session state: one mutable uncertain database.
+// shell holds the session state: one mutable uncertain database plus the
+// resource limits applied to every solve ('timeout' and 'budget' commands).
 type shell struct {
-	d   *db.DB
-	out io.Writer
+	d       *db.DB
+	out     io.Writer
+	timeout time.Duration
+	budget  int64
 }
 
 func newShell(out io.Writer) *shell {
 	return &shell{d: db.New(), out: out}
+}
+
+// solveContext returns the context a governed command runs under: Ctrl-C
+// cancels the running solve without killing the shell.
+func (s *shell) solveContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
 }
 
 // exec runs one command line; it returns true when the session should end.
@@ -135,6 +148,10 @@ func (s *shell) exec(line string) bool {
 		})
 	case "answers":
 		err = s.answers(rest)
+	case "timeout":
+		err = s.setTimeout(rest)
+	case "budget":
+		err = s.setBudget(rest)
 	default:
 		err = fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}
@@ -162,8 +179,42 @@ func (s *shell) help() {
   prob <query>           probability under uniform repair semantics
   rewrite <query>        certain first-order rewriting (logic + SQL)
   answers <vars> : <q>   certain/possible answers, e.g. answers x, y : R(x | y)
+  timeout <duration>     wall-clock limit per solve, e.g. timeout 5s (0 = none)
+  budget <steps>         search-step limit per solve (0 = none)
   exit                   leave
+
+Ctrl-C during 'certain' cancels the solve, not the shell. A solve cut off
+by the timeout, budget, or Ctrl-C reports an unknown verdict with partial
+evidence and a sampled repair-satisfaction estimate.
 `)
+}
+
+func (s *shell) setTimeout(rest string) error {
+	if rest == "" {
+		fmt.Fprintf(s.out, "timeout: %v\n", s.timeout)
+		return nil
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil || d < 0 {
+		return fmt.Errorf("usage: timeout <duration>, e.g. timeout 5s (got %q)", rest)
+	}
+	s.timeout = d
+	fmt.Fprintf(s.out, "timeout: %v\n", s.timeout)
+	return nil
+}
+
+func (s *shell) setBudget(rest string) error {
+	if rest == "" {
+		fmt.Fprintf(s.out, "budget: %d\n", s.budget)
+		return nil
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return fmt.Errorf("usage: budget <steps> (got %q)", rest)
+	}
+	s.budget = n
+	fmt.Fprintf(s.out, "budget: %d\n", s.budget)
+	return nil
 }
 
 func (s *shell) add(text string) error {
@@ -286,14 +337,39 @@ func (s *shell) classify(q cq.Query) error {
 }
 
 func (s *shell) certain(q cq.Query) error {
-	res, err := solver.Solve(q, s.d)
+	ctx, stop := s.solveContext()
+	defer stop()
+	v, err := solver.SolveCtx(ctx, q, s.d, solver.Options{Budget: s.budget, Timeout: s.timeout})
 	if err != nil {
 		return err
 	}
+	if v.Outcome == solver.OutcomeUnknown {
+		fmt.Fprintf(s.out, "certain: unknown  (%v; class: %s, method: %s)\n",
+			v.Err, v.Result.Classification.Class, v.Result.Method)
+		if ev := v.Evidence; ev != nil {
+			fmt.Fprintf(s.out, "  search steps: %d\n", ev.Steps)
+			if ev.TotalBlocks > 0 {
+				fmt.Fprintf(s.out, "  best falsifying candidate: %d of %d blocks fixed\n",
+					ev.BestDepth, ev.TotalBlocks)
+			}
+			if ev.Samples > 0 {
+				fmt.Fprintf(s.out, "  sampled %d uniform repairs: %.1f%% satisfy the query\n",
+					ev.Samples, 100*ev.Estimate)
+			}
+		}
+		return nil
+	}
 	fmt.Fprintf(s.out, "certain: %v  (class: %s, method: %s)\n",
-		res.Certain, res.Classification.Class, res.Method)
-	if !res.Certain {
-		if rep, found := solver.FalsifyingRepair(q, s.d); found {
+		v.Result.Certain, v.Result.Classification.Class, v.Result.Method)
+	if !v.Result.Certain {
+		if ev := v.Evidence; ev != nil && ev.FalsifyingSample != nil {
+			fmt.Fprintln(s.out, "falsifying repair (sampled after cutoff):")
+			for _, f := range ev.FalsifyingSample.Facts() {
+				fmt.Fprintf(s.out, "  %s\n", f)
+			}
+			return nil
+		}
+		if rep, found, err := solver.FalsifyingRepairContext(ctx, q, s.d); err == nil && found {
 			fmt.Fprintln(s.out, "falsifying repair:")
 			for _, f := range rep {
 				fmt.Fprintf(s.out, "  %s\n", f)

@@ -152,3 +152,42 @@ func TestShellExplainAndDel(t *testing.T) {
 		t.Error("explain without args should error")
 	}
 }
+
+func TestShellTimeoutBudgetSettings(t *testing.T) {
+	out := runScript(t,
+		"timeout",
+		"timeout 5s",
+		"budget",
+		"budget 1000",
+		"timeout 0s",
+		"budget 0",
+	)
+	for _, want := range []string{"timeout: 0s", "timeout: 5s", "budget: 0", "budget: 1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(runScript(t, "timeout abc"), "error:") {
+		t.Error("bad timeout should report an error")
+	}
+	if !strings.Contains(runScript(t, "budget -3"), "error:") {
+		t.Error("bad budget should report an error")
+	}
+}
+
+func TestShellCertainBudgetUnknown(t *testing.T) {
+	// A strong-cycle (coNP) instance under a one-step budget: the governed
+	// solve is cut off and degrades to an unknown verdict with evidence.
+	out := runScript(t,
+		"add R0(a | b), R0(a | c)",
+		"add S0(b, z | a), S0(c, z | a)",
+		"budget 1",
+		"certain R0(x | y), S0(y, z | x)",
+	)
+	if !strings.Contains(out, "certain: unknown") {
+		t.Fatalf("expected an unknown verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "search steps:") {
+		t.Errorf("unknown verdict missing evidence:\n%s", out)
+	}
+}

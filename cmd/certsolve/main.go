@@ -11,6 +11,12 @@
 // enumeration), falsify (pruned search). With -witness, a falsifying
 // repair is printed when the instance is not certain. With -count, the
 // number of satisfying repairs (♯CERTAINTY) is printed too.
+//
+// Solving is resource-governed: -timeout bounds wall-clock time, -budget
+// caps search steps, and Ctrl-C (SIGINT) cancels the search. A solve cut
+// off on a coNP-hard instance does not just die — it reports an "unknown"
+// verdict with the partial search evidence and a sampled estimate of the
+// fraction of repairs satisfying the query.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"strings"
@@ -26,6 +33,7 @@ import (
 	"github.com/cqa-go/certainty/internal/answers"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/prob"
 	"github.com/cqa-go/certainty/internal/solver"
 )
@@ -38,16 +46,20 @@ func main() {
 	witness := flag.Bool("witness", false, "print a falsifying repair when not certain")
 	count := flag.Bool("count", false, "also print the number of satisfying repairs")
 	free := flag.String("answers", "", "comma-separated free variables: compute certain/possible answers instead of the Boolean decision")
-	timeout := flag.Duration("timeout", 0, "abort the falsifying-repair search after this duration (0 = no limit; applies to -method falsify)")
+	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
+	budget := flag.Int64("budget", 0, "abort the search after this many search steps (0 = no limit)")
 	flag.Parse()
 
-	if err := run(*queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "certsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration) error {
+func run(ctx context.Context, queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration, budget int64) error {
 	var q cq.Query
 	var err error
 	switch {
@@ -108,30 +120,47 @@ func run(queryText, queryFile, dbFile, method string, witness, count bool, free 
 		return nil
 	}
 
+	opts := solver.Options{Budget: budget, Timeout: timeout}
 	var certain bool
 	switch method {
 	case "auto":
-		res, err := solver.Solve(q, d)
+		v, err := solver.SolveCtx(ctx, q, d, opts)
 		if err != nil {
 			return err
 		}
-		certain = res.Certain
-		fmt.Printf("class: %s\n", res.Classification.Class)
-		fmt.Printf("method: %s\n", res.Method)
+		fmt.Printf("class: %s\n", v.Result.Classification.Class)
+		fmt.Printf("method: %s\n", v.Result.Method)
+		if v.Outcome == solver.OutcomeUnknown {
+			printUnknown(v)
+			return nil
+		}
+		if witness && v.Evidence != nil && v.Evidence.FalsifyingSample != nil {
+			// The sampler found the witness after the exact search was cut
+			// off; print it rather than re-running the search below.
+			fmt.Printf("certain: false  (%s)\n", cutoffReason(v.Evidence))
+			fmt.Println("falsifying repair (sampled):")
+			for _, f := range v.Evidence.FalsifyingSample.Facts() {
+				fmt.Printf("  %s\n", f)
+			}
+			return nil
+		}
+		certain = v.Result.Certain
 	case "brute":
-		certain = solver.BruteForce(q, d)
+		g := govern.New(ctx, govern.Options{Budget: budget, Timeout: timeout})
+		defer g.Close()
+		var err error
+		certain, err = solver.BruteForceCtx(g.Attach(), q, d)
+		if err != nil {
+			return fmt.Errorf("search aborted after %d steps: %w", g.Steps(), err)
+		}
 		fmt.Printf("method: %s\n", solver.MethodBruteForce)
 	case "falsify":
-		if timeout > 0 {
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			defer cancel()
-			_, found, err := solver.FalsifyingRepairContext(ctx, q, d)
-			if err != nil {
-				return fmt.Errorf("search aborted: %w", err)
-			}
-			certain = !found
-		} else {
-			certain = solver.CertainByFalsifying(q, d)
+		g := govern.New(ctx, govern.Options{Budget: budget, Timeout: timeout})
+		defer g.Close()
+		var err error
+		certain, err = solver.CertainByFalsifyingCtx(g.Attach(), q, d)
+		if err != nil {
+			return fmt.Errorf("search aborted after %d steps: %w", g.Steps(), err)
 		}
 		fmt.Printf("method: %s\n", solver.MethodFalsifying)
 	default:
@@ -140,7 +169,10 @@ func run(queryText, queryFile, dbFile, method string, witness, count bool, free 
 	fmt.Printf("certain: %v\n", certain)
 
 	if witness && !certain {
-		rep, found := solver.FalsifyingRepair(q, d)
+		rep, found, err := solver.FalsifyingRepairContext(ctx, q, d)
+		if err != nil {
+			return fmt.Errorf("witness search aborted: %w", err)
+		}
 		if found {
 			fmt.Println("falsifying repair:")
 			for _, f := range rep {
@@ -153,4 +185,29 @@ func run(queryText, queryFile, dbFile, method string, witness, count bool, free 
 		fmt.Printf("satisfying repairs: %v of %v\n", n, d.NumRepairs())
 	}
 	return nil
+}
+
+// cutoffReason names what stopped the solve.
+func cutoffReason(ev *solver.Evidence) string {
+	return fmt.Sprintf("search cut off after %d steps", ev.Steps)
+}
+
+// printUnknown reports a cut-off solve: the cause, the partial progress of
+// the exact search, and the degradation sampler's estimate.
+func printUnknown(v solver.Verdict) {
+	fmt.Printf("certain: unknown  (%v)\n", v.Err)
+	ev := v.Evidence
+	if ev == nil {
+		return
+	}
+	fmt.Printf("  search steps: %d\n", ev.Steps)
+	if ev.TotalBlocks > 0 {
+		fmt.Printf("  best falsifying candidate: %d of %d blocks fixed\n", ev.BestDepth, ev.TotalBlocks)
+	}
+	if ev.Samples > 0 {
+		fmt.Printf("  sampled %d uniform repairs: %.1f%% satisfy the query\n", ev.Samples, 100*ev.Estimate)
+		if ev.Estimate == 1 {
+			fmt.Println("  (no sampled repair falsifies the query — evidence for certainty, not proof)")
+		}
+	}
 }

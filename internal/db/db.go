@@ -1,12 +1,14 @@
 package db
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
 	"strings"
 
 	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/govern"
 )
 
 // DB is an uncertain database: a finite set of facts. Facts are deduplicated
@@ -236,6 +238,35 @@ func (d *DB) EachRepair(yield func(repair []Fact) bool) bool {
 			}
 		}
 		return true
+	}
+	return rec(0)
+}
+
+// EachRepairCtx is EachRepair with cooperative cancellation: one governor
+// step is charged per repair yielded, and enumeration aborts with the
+// governor's error on cancellation, deadline, or budget exhaustion. The
+// bool result is false iff some yield returned false (as in EachRepair);
+// it is unspecified when the error is non-nil.
+func (d *DB) EachRepairCtx(ctx context.Context, yield func(repair []Fact) bool) (bool, error) {
+	g := govern.From(ctx)
+	blocks := d.Blocks()
+	repair := make([]Fact, len(blocks))
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(blocks) {
+			if err := g.Step(); err != nil {
+				return false, err
+			}
+			return yield(repair), nil
+		}
+		for _, f := range blocks[i] {
+			repair[i] = f
+			cont, err := rec(i + 1)
+			if err != nil || !cont {
+				return false, err
+			}
+		}
+		return true, nil
 	}
 	return rec(0)
 }

@@ -1,0 +1,79 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/govern"
+)
+
+func repairKey(repair []Fact) string {
+	ids := make([]string, len(repair))
+	for i, f := range repair {
+		ids[i] = f.ID()
+	}
+	sort.Strings(ids)
+	s := ""
+	for _, id := range ids {
+		s += id + ";"
+	}
+	return s
+}
+
+func TestEachRepairCtxMatchesEachRepair(t *testing.T) {
+	d := MustParse("R(a | b), R(a | c), S(x | y), S(x | z), T(q | w)")
+	want := map[string]bool{}
+	d.EachRepair(func(repair []Fact) bool {
+		want[repairKey(repair)] = true
+		return true
+	})
+	got := map[string]bool{}
+	done, err := d.EachRepairCtx(context.Background(), func(repair []Fact) bool {
+		got[repairKey(repair)] = true
+		return true
+	})
+	if err != nil || !done {
+		t.Fatalf("EachRepairCtx: done=%v err=%v", done, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d repairs, EachRepair enumerated %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("repair %s missing from the governed enumeration", k)
+		}
+	}
+}
+
+func TestEachRepairCtxBudget(t *testing.T) {
+	d := MustParse("R(a | b), R(a | c), S(x | y), S(x | z), T(q | w)")
+	g := govern.New(context.Background(), govern.Options{Budget: 2})
+	defer g.Close()
+	var seen int
+	done, err := d.EachRepairCtx(g.Attach(), func([]Fact) bool {
+		seen++
+		return true
+	})
+	if !errors.Is(err, govern.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if done {
+		t.Fatal("done = true on a budget-cut enumeration")
+	}
+	if seen > 2 {
+		t.Fatalf("yielded %d repairs past a 2-step budget", seen)
+	}
+}
+
+func TestEachRepairCtxEarlyStop(t *testing.T) {
+	d := MustParse("R(a | b), R(a | c)")
+	done, err := d.EachRepairCtx(context.Background(), func([]Fact) bool { return false })
+	if err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if done {
+		t.Fatal("done = true after the yield asked to stop")
+	}
+}

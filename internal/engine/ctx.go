@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/govern"
+)
+
+// EachEmbeddingCtx is EachEmbedding with cooperative cancellation: one
+// governor step is charged per search node, and enumeration aborts with
+// the governor's error on cancellation, deadline, or budget exhaustion.
+// The bool result is false iff some yield returned false; it is
+// unspecified when the error is non-nil.
+func EachEmbeddingCtx(ctx context.Context, q cq.Query, d *db.DB, yield func(cq.Valuation) bool) (bool, error) {
+	g := govern.From(ctx)
+	order := orderAtoms(q, d)
+	var rec func(i int, binding cq.Valuation) (bool, error)
+	rec = func(i int, binding cq.Valuation) (bool, error) {
+		if err := g.Step(); err != nil {
+			return false, err
+		}
+		if i == len(order) {
+			return yield(binding), nil
+		}
+		a := q.Atoms[order[i]]
+		for _, f := range candidates(a, binding, d) {
+			if next, ok := MatchAtom(a, f, binding); ok {
+				cont, err := rec(i+1, next)
+				if err != nil || !cont {
+					return false, err
+				}
+			}
+		}
+		return true, nil
+	}
+	return rec(0, cq.Valuation{})
+}
+
+// EvalCtx is Eval with cooperative cancellation.
+func EvalCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	found := false
+	_, err := EachEmbeddingCtx(ctx, q, d, func(cq.Valuation) bool {
+		found = true
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// PurifyCtx is Purify with cooperative cancellation. Purification is
+// polynomial, but its embedding enumeration can still dominate on large
+// databases; the same governor that bounds the enclosing search bounds it.
+func PurifyCtx(ctx context.Context, q cq.Query, d *db.DB) (*db.DB, error) {
+	cur := d
+	for {
+		used := make(map[string]struct{}, cur.Len())
+		_, err := EachEmbeddingCtx(ctx, q, cur, func(v cq.Valuation) bool {
+			for _, a := range q.Atoms {
+				f, ok := db.FactFromAtom(a.Substitute(v))
+				if !ok {
+					continue
+				}
+				used[f.ID()] = struct{}{}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		removeBlocks := make(map[string]struct{})
+		for _, f := range cur.Facts() {
+			if _, ok := used[f.ID()]; !ok {
+				removeBlocks[f.BlockID()] = struct{}{}
+			}
+		}
+		if len(removeBlocks) == 0 {
+			return cur, nil
+		}
+		cur = cur.Restrict(func(f db.Fact) bool {
+			_, drop := removeBlocks[f.BlockID()]
+			return !drop
+		})
+	}
+}

@@ -74,6 +74,11 @@ func candidates(a cq.Atom, binding cq.Valuation, d *db.DB) []db.Fact {
 // already bound (so the block index applies as often as possible).
 func orderAtoms(q cq.Query, d *db.DB) []int {
 	n := q.Len()
+	if n == 0 {
+		// The empty query has no atoms to order; without this guard the
+		// selection loop below would index q.Atoms[-1].
+		return nil
+	}
 	order := make([]int, 0, n)
 	used := make([]bool, n)
 	bound := make(cq.VarSet)

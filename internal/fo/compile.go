@@ -21,9 +21,11 @@ type Compiled struct {
 type compiledNode func(env []string, d *db.DB, domain []string) bool
 
 // Compile translates a formula. Free variables become parameters that must
-// be bound via EvalWith; sentences evaluate with Eval.
-func Compile(f Formula) (*Compiled, error) {
-	c := &Compiled{freeSlot: make(map[string]int)}
+// be bound via EvalWith; sentences evaluate with Eval. Panics on malformed
+// hand-built formulas are converted into errors.
+func Compile(f Formula) (c *Compiled, err error) {
+	defer containPanic(&err)
+	c = &Compiled{freeSlot: make(map[string]int)}
 	slots := make(map[string]int)
 	for x := range FreeVars(f) {
 		slots[x] = c.numSlots
@@ -226,7 +228,8 @@ func (c *Compiled) domain(d *db.DB) []string {
 
 // Eval evaluates a compiled sentence; it fails if the formula has free
 // variables.
-func (c *Compiled) Eval(d *db.DB) (bool, error) {
+func (c *Compiled) Eval(d *db.DB) (ok bool, err error) {
+	defer containPanic(&err)
 	if len(c.freeSlot) > 0 {
 		return false, fmt.Errorf("fo: compiled formula has free variables; use EvalWith")
 	}
@@ -235,7 +238,8 @@ func (c *Compiled) Eval(d *db.DB) (bool, error) {
 }
 
 // EvalWith evaluates with the free variables bound by env.
-func (c *Compiled) EvalWith(d *db.DB, binding cq.Valuation) (bool, error) {
+func (c *Compiled) EvalWith(d *db.DB, binding cq.Valuation) (ok bool, err error) {
+	defer containPanic(&err)
 	env := make([]string, c.numSlots)
 	for x, slot := range c.freeSlot {
 		v, ok := binding[x]

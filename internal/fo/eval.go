@@ -10,8 +10,10 @@ import (
 // Eval evaluates a sentence (no free variables) on the database, with
 // quantifiers ranging over the active domain of d extended by the constants
 // of the formula. All rewritings this package produces are guarded, so
-// active-domain semantics coincides with natural semantics.
-func Eval(f Formula, d *db.DB) (bool, error) {
+// active-domain semantics coincides with natural semantics. Panics on
+// malformed hand-built formulas are converted into errors.
+func Eval(f Formula, d *db.DB) (ok bool, err error) {
+	defer containPanic(&err)
 	if free := FreeVars(f); free.Len() > 0 {
 		return false, fmt.Errorf("fo: Eval requires a sentence; free variables %v", free)
 	}

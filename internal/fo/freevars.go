@@ -120,8 +120,10 @@ func reopenMarkers(f Formula, reopen map[string]string) Formula {
 }
 
 // EvalWith evaluates a formula whose free variables are bound by env;
-// every free variable must be bound.
-func EvalWith(f Formula, d *db.DB, env cq.Valuation) (bool, error) {
+// every free variable must be bound. Panics on malformed hand-built
+// formulas are converted into errors.
+func EvalWith(f Formula, d *db.DB, env cq.Valuation) (ok bool, err error) {
+	defer containPanic(&err)
 	for x := range FreeVars(f) {
 		if _, ok := env[x]; !ok {
 			return false, fmt.Errorf("fo: unbound free variable %s", x)

@@ -1,0 +1,18 @@
+package fo
+
+import "github.com/cqa-go/certainty/internal/govern"
+
+// containPanic converts a panic escaping a public entry point of this
+// package into an error. The internal evaluator and compiler panic on
+// malformed formulas (unknown node types, unbound variables in guarded
+// positions) — invariant violations for formulas this package produces,
+// but reachable through hand-built ASTs. A long-running server must see an
+// error, not a crash.
+//
+// Usage: give the entry point a named error return and
+// `defer containPanic(&err)` as its first statement.
+func containPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = &govern.PanicError{Value: r}
+	}
+}

@@ -16,7 +16,8 @@ import (
 //
 // Variables become correlated references to adom rows. The output is
 // suitable for `SELECT <expr>;` in any SQL dialect with EXISTS.
-func SQL(f Formula) (string, error) {
+func SQL(f Formula) (sql string, err error) {
+	defer containPanic(&err)
 	if free := FreeVars(f); free.Len() > 0 {
 		return "", fmt.Errorf("fo: SQL requires a sentence; free variables %v", free)
 	}

@@ -1,0 +1,120 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBudgetExhaustion(t *testing.T) {
+	g := New(context.Background(), Options{Budget: 10})
+	defer g.Close()
+	for i := 0; i < 10; i++ {
+		if err := g.Step(); err != nil {
+			t.Fatalf("step %d: unexpected error %v", i, err)
+		}
+	}
+	if err := g.Step(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("step 11: got %v, want ErrBudget", err)
+	}
+	// Sticky: further steps keep failing with the same error.
+	if err := g.Step(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("step 12: got %v, want sticky ErrBudget", err)
+	}
+	if err := g.Err(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Err: got %v, want ErrBudget", err)
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("Remaining: got %d, want 0", g.Remaining())
+	}
+}
+
+func TestCancellationPolling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Options{CheckEvery: 4})
+	defer g.Close()
+	cancel()
+	var err error
+	for i := 0; i < 8; i++ {
+		if err = g.Step(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled within CheckEvery steps", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	g := New(context.Background(), Options{Timeout: time.Millisecond, CheckEvery: 1})
+	defer g.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := g.Step(); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("got %v, want DeadlineExceeded", err)
+			}
+			return
+		}
+	}
+	t.Fatal("deadline never fired")
+}
+
+func TestFaultInjection(t *testing.T) {
+	boom := errors.New("boom")
+	g := New(context.Background(), Options{Fault: func(step int64) error {
+		if step == 3 {
+			return boom
+		}
+		return nil
+	}})
+	defer g.Close()
+	var err error
+	steps := 0
+	for ; err == nil; steps++ {
+		err = g.Step()
+	}
+	if !errors.Is(err, boom) || steps != 3 {
+		t.Fatalf("got err=%v after %d steps, want boom after exactly 3", err, steps)
+	}
+}
+
+func TestFromWithoutAttachment(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := From(ctx)
+	if err := g.Step(); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if g.Remaining() != -1 {
+		t.Fatalf("Remaining: got %d, want -1 (unlimited)", g.Remaining())
+	}
+	cancel()
+	var err error
+	for i := 0; i < 512 && err == nil; i++ {
+		err = g.Step()
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestAttachRoundTrip(t *testing.T) {
+	g := New(context.Background(), Options{Budget: 5})
+	defer g.Close()
+	ctx := g.Attach()
+	if From(ctx) != g {
+		t.Fatal("From(g.Attach()) did not return g")
+	}
+}
+
+func TestSafeConvertsPanic(t *testing.T) {
+	err := Safe(func() error { panic("malformed formula") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "malformed formula" {
+		t.Fatalf("got %v, want PanicError wrapping the panic value", err)
+	}
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatalf("Safe on clean fn: got %v, want nil", err)
+	}
+}

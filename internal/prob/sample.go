@@ -1,6 +1,7 @@
 package prob
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/govern"
 )
 
 // SampleWorld draws one possible world from the BID distribution: per
@@ -62,6 +64,41 @@ func (p *ProbDB) EstimateProbability(q cq.Query, samples int, seed int64) (float
 		}
 	}
 	return float64(hits) / float64(samples), nil
+}
+
+// EstimateSatisfactionCtx estimates by Monte-Carlo the fraction of repairs
+// of d satisfying q, drawing up to the requested number of uniform repair
+// samples under the governor carried by ctx (one step per sample). It is
+// the graceful-degradation path of the solver stack: when the exact
+// exponential search is cut off, the partial estimate stands in for the
+// decision. On cutoff the samples drawn so far still yield an estimate,
+// returned together with the governor's error. When a sampled repair
+// falsifies q it is returned as a definitive witness refuting certainty
+// (sampling keeps going, to finish the frequency estimate).
+func EstimateSatisfactionCtx(ctx context.Context, q cq.Query, d *db.DB, samples int, seed int64) (estimate float64, drawn int, falsifier *db.DB, err error) {
+	if samples <= 0 {
+		return 0, 0, nil, fmt.Errorf("prob: samples must be positive, got %d", samples)
+	}
+	g := govern.From(ctx)
+	r := rand.New(rand.NewSource(seed))
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if stepErr := g.Step(); stepErr != nil {
+			err = stepErr
+			break
+		}
+		rep := SampleRepair(d, r)
+		if engine.Eval(q, rep) {
+			hits++
+		} else if falsifier == nil {
+			falsifier = rep
+		}
+		drawn++
+	}
+	if drawn > 0 {
+		estimate = float64(hits) / float64(drawn)
+	}
+	return estimate, drawn, falsifier, err
 }
 
 // EstimateCertain tests certainty statistically: it samples uniform

@@ -1,0 +1,60 @@
+package prob
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/govern"
+)
+
+func TestEstimateSatisfactionCtx(t *testing.T) {
+	// One two-fact block: R(k|a) satisfies q, R(k|b) does not → exact
+	// satisfaction frequency 1/2.
+	q := cq.MustParseQuery("R(x | 'a')")
+	d := db.MustParse("R(k | a), R(k | b)")
+	est, drawn, falsifier, err := EstimateSatisfactionCtx(context.Background(), q, d, 4000, 7)
+	if err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if drawn != 4000 {
+		t.Fatalf("drawn = %d, want 4000", drawn)
+	}
+	if math.Abs(est-0.5) > 0.05 {
+		t.Fatalf("estimate %v too far from 1/2", est)
+	}
+	if falsifier == nil {
+		t.Fatal("expected a sampled falsifying repair on a not-certain instance")
+	}
+	if engineEval := falsifier.Has(db.NewFact("R", 1, "k", "b")); !engineEval {
+		t.Fatalf("falsifier %v does not contain the refuting fact", falsifier)
+	}
+}
+
+func TestEstimateSatisfactionCtxPartialOnCutoff(t *testing.T) {
+	q := cq.MustParseQuery("R(x | 'a')")
+	d := db.MustParse("R(k | a), R(k | b)")
+	g := govern.New(context.Background(), govern.Options{Budget: 100})
+	defer g.Close()
+	est, drawn, _, err := EstimateSatisfactionCtx(g.Attach(), q, d, 4000, 7)
+	if !errors.Is(err, govern.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if drawn != 100 {
+		t.Fatalf("drawn = %d, want exactly the 100-step budget", drawn)
+	}
+	if est < 0 || est > 1 {
+		t.Fatalf("estimate %v out of range", est)
+	}
+}
+
+func TestEstimateSatisfactionCtxRejectsBadSamples(t *testing.T) {
+	q := cq.MustParseQuery("R(x | 'a')")
+	d := db.MustParse("R(k | a)")
+	if _, _, _, err := EstimateSatisfactionCtx(context.Background(), q, d, 0, 1); err == nil {
+		t.Fatal("expected error for samples <= 0")
+	}
+}

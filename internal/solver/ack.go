@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/graph"
 )
 
@@ -75,10 +77,19 @@ func normalizeCycle(c []int) string {
 //     strong component of G contains a k-cycle outside C or an elementary
 //     cycle longer than k.
 func CertainACk(q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
+	return CertainACkCtx(context.Background(), q, shape, d)
+}
+
+// CertainACkCtx is CertainACk with cooperative cancellation: the governor
+// bounds the purification pass and the per-component cycle analysis.
+func CertainACkCtx(ctx context.Context, q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
 	if shape == nil || shape.SkAtom < 0 {
 		return false, fmt.Errorf("solver: CertainACk requires an AC(k) shape")
 	}
-	d = engine.Purify(q, d)
+	d, err := engine.PurifyCtx(ctx, q, d)
+	if err != nil {
+		return false, err
+	}
 	if d.Len() == 0 {
 		return false, nil
 	}
@@ -86,7 +97,7 @@ func CertainACk(q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return decideByComponents(cg, comps, cg.markedCycles(q, shape, d)), nil
+	return decideByComponentsCtx(ctx, cg, comps, cg.markedCycles(q, shape, d))
 }
 
 // CertainCk decides db ∈ CERTAINTY(C(k)) in polynomial time (Corollary 1).
@@ -95,10 +106,18 @@ func CertainACk(q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
 // strong component is falsifiable iff it contains an elementary cycle
 // longer than k. The S_k relation is never materialized.
 func CertainCk(q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
+	return CertainCkCtx(context.Background(), q, shape, d)
+}
+
+// CertainCkCtx is CertainCk with cooperative cancellation.
+func CertainCkCtx(ctx context.Context, q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
 	if shape == nil || shape.SkAtom >= 0 {
 		return false, fmt.Errorf("solver: CertainCk requires a C(k) shape")
 	}
-	d = engine.Purify(q, d)
+	d, err := engine.PurifyCtx(ctx, q, d)
+	if err != nil {
+		return false, err
+	}
 	if d.Len() == 0 {
 		return false, nil
 	}
@@ -106,7 +125,7 @@ func CertainCk(q cq.Query, shape *core.CycleShape, d *db.DB) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return decideByComponents(cg, comps, nil), nil
+	return decideByComponentsCtx(ctx, cg, comps, nil)
 }
 
 // buildCycleGraph constructs the fact graph and its strong components. When
@@ -178,6 +197,22 @@ func decideByComponents(cg *cycleGraph, comps [][]int, inC map[string]bool) bool
 		return true // some strong component forces q in every repair
 	}
 	return false
+}
+
+// decideByComponentsCtx is decideByComponents with one governor step
+// charged per strong component.
+func decideByComponentsCtx(ctx context.Context, cg *cycleGraph, comps [][]int, inC map[string]bool) (bool, error) {
+	g := govern.From(ctx)
+	for _, comp := range comps {
+		if err := g.Step(); err != nil {
+			return false, err
+		}
+		if markableComponent(cg, comp, inC) {
+			continue
+		}
+		return true, nil // some strong component forces q in every repair
+	}
+	return false, nil
 }
 
 func markableComponent(cg *cycleGraph, comp []int, inC map[string]bool) bool {

@@ -13,6 +13,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/govern"
 )
 
 // BruteForce decides db ∈ CERTAINTY(q) by enumerating every repair and
@@ -28,6 +29,25 @@ func BruteForce(q cq.Query, d *db.DB) bool {
 		return true
 	})
 	return certain
+}
+
+// BruteForceCtx is BruteForce with cooperative cancellation: the
+// enumeration aborts with the governor's error on cancellation, deadline,
+// or budget exhaustion. The decision is unspecified when the error is
+// non-nil.
+func BruteForceCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	certain := true
+	_, err := d.EachRepairCtx(ctx, func(r []db.Fact) bool {
+		if !engine.EvalRepair(q, r) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return certain, nil
 }
 
 // selection is a mutable stack of chosen facts with per-relation indexes,
@@ -201,10 +221,22 @@ func CertainByFalsifying(q cq.Query, d *db.DB) bool {
 	return !found
 }
 
-// FalsifyingRepairContext is FalsifyingRepair with cooperative
-// cancellation: the search aborts with ctx.Err() when the context is done.
-// Use it to bound the exponential search on coNP-classified instances.
-func FalsifyingRepairContext(ctx context.Context, q cq.Query, d *db.DB) ([]db.Fact, bool, error) {
+// searchEvidence records the partial progress of a governed falsifying
+// search: how deep it got before being cut off, and the deepest partial
+// selection — the best falsifying candidate found so far (every completion
+// of it was still open when the search stopped).
+type searchEvidence struct {
+	totalBlocks int       // relevant blocks in the search space
+	bestDepth   int       // most blocks ever simultaneously fixed
+	bestChosen  []db.Fact // the selection at that depth
+}
+
+// falsifyingRepairGov is the governed core of the falsifying-repair search
+// (dynamic fail-first ordering): one governor step per search node. On
+// cutoff it returns the governor's error together with the evidence
+// accumulated so far.
+func falsifyingRepairGov(g *govern.Governor, q cq.Query, d *db.DB) ([]db.Fact, bool, searchEvidence, error) {
+	var ev searchEvidence
 	rels := make(map[string]bool, q.Len())
 	for _, a := range q.Atoms {
 		rels[a.Rel] = true
@@ -217,22 +249,17 @@ func FalsifyingRepairContext(ctx context.Context, q cq.Query, d *db.DB) ([]db.Fa
 			irrelevant = append(irrelevant, b)
 		}
 	}
+	ev.totalBlocks = len(relevant)
 	if q.IsEmpty() {
-		return nil, false, nil
+		return nil, false, ev, nil // the empty query holds in every repair
 	}
 	sel := newSelection(q)
 	var chosen []db.Fact
 	done := make([]bool, len(relevant))
-	checked := 0
 	var rec func(remaining int) (bool, error)
 	rec = func(remaining int) (bool, error) {
-		checked++
-		if checked%256 == 0 {
-			select {
-			case <-ctx.Done():
-				return false, ctx.Err()
-			default:
-			}
+		if err := g.Step(); err != nil {
+			return false, err
 		}
 		if remaining == 0 {
 			return true, nil
@@ -261,6 +288,10 @@ func FalsifyingRepairContext(ctx context.Context, q cq.Query, d *db.DB) ([]db.Fa
 		for _, f := range bestSafe {
 			sel.push(f)
 			chosen = append(chosen, f)
+			if len(chosen) > ev.bestDepth {
+				ev.bestDepth = len(chosen)
+				ev.bestChosen = append(ev.bestChosen[:0], chosen...)
+			}
 			found, err := rec(remaining - 1)
 			if err != nil {
 				return false, err
@@ -276,14 +307,33 @@ func FalsifyingRepairContext(ctx context.Context, q cq.Query, d *db.DB) ([]db.Fa
 	}
 	found, err := rec(len(relevant))
 	if err != nil {
-		return nil, false, err
+		return nil, false, ev, err
 	}
 	if !found {
-		return nil, false, nil
+		return nil, false, ev, nil
 	}
 	out := append([]db.Fact(nil), chosen...)
 	for _, b := range irrelevant {
 		out = append(out, b[0])
 	}
-	return out, true, nil
+	return out, true, ev, nil
+}
+
+// FalsifyingRepairContext is FalsifyingRepair with cooperative
+// cancellation: the search aborts with the governor's error (ctx.Err(),
+// budget exhaustion, or an injected fault) when the governor trips. Use it
+// to bound the exponential search on coNP-classified instances.
+func FalsifyingRepairContext(ctx context.Context, q cq.Query, d *db.DB) ([]db.Fact, bool, error) {
+	rep, found, _, err := falsifyingRepairGov(govern.From(ctx), q, d)
+	return rep, found, err
+}
+
+// CertainByFalsifyingCtx is CertainByFalsifying with cooperative
+// cancellation; the decision is unspecified when the error is non-nil.
+func CertainByFalsifyingCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	_, found, err := FalsifyingRepairContext(ctx, q, d)
+	if err != nil {
+		return false, err
+	}
+	return !found, nil
 }

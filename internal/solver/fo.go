@@ -1,11 +1,13 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/jointree"
 )
 
@@ -50,8 +52,14 @@ func unifyAtomFact(a cq.Atom, f db.Fact) (cq.Valuation, bool) {
 // The returned error reports queries outside the method's scope (cyclic
 // attack graph, self-join, cyclic query).
 func CertainFO(q cq.Query, d *db.DB) (bool, error) {
+	return CertainFOCtx(context.Background(), q, d)
+}
+
+// CertainFOCtx is CertainFO with cooperative cancellation: one governor
+// step is charged per recursive rewriting step.
+func CertainFOCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
 	memo := make(map[string]int)
-	return certainFO(q, d, memo)
+	return certainFO(govern.From(ctx), q, d, memo)
 }
 
 // shapeKey renders q with every constant replaced by a placeholder; two
@@ -72,7 +80,10 @@ func shapeKey(q cq.Query) string {
 	return cq.Query{Atoms: masked}.String()
 }
 
-func certainFO(q cq.Query, d *db.DB, memo map[string]int) (bool, error) {
+func certainFO(g *govern.Governor, q cq.Query, d *db.DB, memo map[string]int) (bool, error) {
+	if err := g.Step(); err != nil {
+		return false, err
+	}
 	if q.IsEmpty() {
 		return true, nil
 	}
@@ -100,7 +111,7 @@ func certainFO(q cq.Query, d *db.DB, memo map[string]int) (bool, error) {
 				blockOK = false
 				break
 			}
-			sub, err := certainFO(rest.Substitute(theta), d, memo)
+			sub, err := certainFO(g, rest.Substitute(theta), d, memo)
 			if err != nil {
 				return false, err
 			}

@@ -1,9 +1,11 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
@@ -17,13 +19,25 @@ import (
 // to the sequential version; the fan-out pays off on databases with many
 // components.
 func CertainACkParallel(q cq.Query, shape *core.CycleShape, d *db.DB, workers int) (bool, error) {
+	return CertainACkParallelCtx(context.Background(), q, shape, d, workers)
+}
+
+// CertainACkParallelCtx is CertainACkParallel with cooperative
+// cancellation. One component admitting no marking already decides the
+// instance certain, so the first worker to find one cancels the rest:
+// remaining components are skipped instead of drained. The caller's
+// context cancels the fan-out the same way; its error is surfaced.
+func CertainACkParallelCtx(ctx context.Context, q cq.Query, shape *core.CycleShape, d *db.DB, workers int) (bool, error) {
 	if shape == nil || shape.SkAtom < 0 {
 		return false, fmt.Errorf("solver: CertainACkParallel requires an AC(k) shape")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	d = engine.Purify(q, d)
+	d, err := engine.PurifyCtx(ctx, q, d)
+	if err != nil {
+		return false, err
+	}
 	if d.Len() == 0 {
 		return false, nil
 	}
@@ -33,27 +47,50 @@ func CertainACkParallel(q cq.Query, shape *core.CycleShape, d *db.DB, workers in
 	}
 	inC := cg.markedCycles(q, shape, d)
 
+	// done closes when a decisive component is found or the caller's
+	// context trips; both feeder and workers select on it, so no goroutine
+	// blocks on the unbuffered channel after the early exit.
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	jobs := make(chan []int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	certain := false
+	var certain atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for comp := range jobs {
-				if !markableComponent(cg, comp, inC) {
-					mu.Lock()
-					certain = true
-					mu.Unlock()
+			for {
+				select {
+				case <-fanCtx.Done():
+					return
+				case comp, ok := <-jobs:
+					if !ok {
+						return
+					}
+					if !markableComponent(cg, comp, inC) {
+						certain.Store(true)
+						cancel()
+						return
+					}
 				}
 			}
 		}()
 	}
+feed:
 	for _, comp := range comps {
-		jobs <- comp
+		select {
+		case jobs <- comp:
+		case <-fanCtx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return certain, nil
+	if certain.Load() {
+		return true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return false, nil
 }

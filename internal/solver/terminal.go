@@ -1,12 +1,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/jointree"
 )
 
@@ -28,10 +30,23 @@ import (
 //     solver, and by Sublemma 5 the query is certain iff the union of the
 //     certain partitions satisfies q.
 func CertainTerminal(q cq.Query, d *db.DB) (bool, error) {
+	return CertainTerminalCtx(context.Background(), q, d)
+}
+
+// CertainTerminalCtx is CertainTerminal with cooperative cancellation: the
+// governor bounds the recursive induction steps as well as the embedded
+// purification passes.
+func CertainTerminalCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	if err := govern.From(ctx).Step(); err != nil {
+		return false, err
+	}
 	if q.IsEmpty() {
 		return true, nil
 	}
-	d = engine.Purify(q, d)
+	d, err := engine.PurifyCtx(ctx, q, d)
+	if err != nil {
+		return false, err
+	}
 	if d.Len() == 0 {
 		return false, nil
 	}
@@ -43,13 +58,13 @@ func CertainTerminal(q cq.Query, d *db.DB) (bool, error) {
 		return false, fmt.Errorf("solver: CertainTerminal requires all attack cycles weak and terminal: %s", q)
 	}
 	if un := g.Unattacked(); len(un) > 0 {
-		return terminalStep(q, un[0], d)
+		return terminalStep(ctx, q, un[0], d)
 	}
-	return terminalBase(q, g, d)
+	return terminalBase(ctx, q, g, d)
 }
 
 // terminalStep handles the induction step for unattacked atom q.Atoms[fi].
-func terminalStep(q cq.Query, fi int, d *db.DB) (bool, error) {
+func terminalStep(ctx context.Context, q cq.Query, fi int, d *db.DB) (bool, error) {
 	F := q.Atoms[fi]
 	rest := q.Without(fi)
 	for _, block := range candidateBlocks(d, F) {
@@ -65,7 +80,7 @@ func terminalStep(q cq.Query, fi int, d *db.DB) (bool, error) {
 				blockOK = false
 				break
 			}
-			sub, err := CertainTerminal(rest.Substitute(theta), d)
+			sub, err := CertainTerminalCtx(ctx, rest.Substitute(theta), d)
 			if err != nil {
 				return false, err
 			}
@@ -83,7 +98,7 @@ func terminalStep(q cq.Query, fi int, d *db.DB) (bool, error) {
 
 // terminalBase handles the base case: the attack graph is a disjoint union
 // of weak terminal 2-cycles and d is purified relative to q.
-func terminalBase(q cq.Query, g *core.AttackGraph, d *db.DB) (bool, error) {
+func terminalBase(ctx context.Context, q cq.Query, g *core.AttackGraph, d *db.DB) (bool, error) {
 	cycles := g.TerminalWeakCycles()
 	// Every atom must belong to exactly one cycle.
 	inCycle := make(map[int]bool)
@@ -160,5 +175,5 @@ func terminalBase(q cq.Query, g *core.AttackGraph, d *db.DB) (bool, error) {
 		}
 	}
 	// Sublemma 5: db ∈ CERTAINTY(q) ⟺ ⋃ T db_i U ⊨ q.
-	return engine.Eval(q, good), nil
+	return engine.EvalCtx(ctx, q, good)
 }

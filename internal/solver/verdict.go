@@ -1,0 +1,260 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/fo"
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/prob"
+)
+
+// Outcome is a three-valued CERTAINTY(q) decision: governed solving may be
+// cut off by a deadline or budget before the exact answer is known.
+type Outcome int
+
+const (
+	// OutcomeCertain: q holds in every repair.
+	OutcomeCertain Outcome = iota
+	// OutcomeNotCertain: some repair falsifies q.
+	OutcomeNotCertain
+	// OutcomeUnknown: the search was cut off; see Verdict.Err and
+	// Verdict.Evidence for the cause and the partial evidence.
+	OutcomeUnknown
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCertain:
+		return "certain"
+	case OutcomeNotCertain:
+		return "not certain"
+	case OutcomeUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Evidence carries the partial progress of a governed solve that was cut
+// off, plus the results of the graceful-degradation sampling pass.
+type Evidence struct {
+	// Steps is the number of governor steps (search nodes) executed.
+	Steps int64
+	// TotalBlocks is the number of relevant blocks in the falsifying
+	// search space (0 when the cutoff happened outside that search).
+	TotalBlocks int
+	// BestDepth is the largest number of blocks the falsifying search ever
+	// had simultaneously fixed without satisfying q.
+	BestDepth int
+	// BestCandidate is the partial selection at BestDepth — the best
+	// falsifying candidate found before the cutoff.
+	BestCandidate []db.Fact
+	// Samples is the number of uniform repairs drawn by the degradation
+	// sampler; 0 when sampling was disabled or did not run.
+	Samples int
+	// Estimate is the sampled fraction of repairs satisfying q (valid when
+	// Samples > 0). An estimate near 1 is evidence for certainty; exactly
+	// 1 over many samples makes a falsifying repair unlikely but does not
+	// exclude it.
+	Estimate float64
+	// FalsifyingSample, when non-nil, is a sampled repair falsifying q — a
+	// definitive witness that the instance is not certain even though the
+	// exact search was cut off.
+	FalsifyingSample *db.DB
+}
+
+// Verdict is the result of a governed solve. When Outcome is
+// OutcomeUnknown, Err holds the cutoff cause (context.DeadlineExceeded,
+// context.Canceled, govern.ErrBudget, or an injected fault) and Evidence
+// the partial progress; Result.Certain is meaningless then, but
+// Result.Classification and Result.Method still report what was attempted.
+type Verdict struct {
+	Outcome  Outcome
+	Result   Result
+	Err      error
+	Evidence *Evidence
+}
+
+// Options bounds a governed solve. The zero value imposes no limits, so
+// SolveCtx(ctx, q, d, Options{}) is Solve plus cancellation via ctx and
+// panic containment.
+type Options struct {
+	// Budget caps the total number of search steps; 0 means unlimited.
+	Budget int64
+	// Timeout bounds wall-clock time; 0 means no deadline.
+	Timeout time.Duration
+	// Fault is the governor's fault-injection hook (testing); nil disables.
+	Fault func(step int64) error
+	// DegradeSamples caps the uniform repair samples drawn after a cutoff
+	// on the exponential path; 0 means the default (1024), negative
+	// disables the degradation sampling entirely.
+	DegradeSamples int
+	// SampleSeed seeds the degradation sampler (deterministic per seed).
+	SampleSeed int64
+	// SampleTimeout bounds the wall-clock time of the degradation
+	// sampling pass; 0 means the default (250ms).
+	SampleTimeout time.Duration
+}
+
+// SolveCtx is the resource-governed Solve: it dispatches exactly like
+// Solve, but every decision procedure runs under a Governor enforcing
+// ctx's cancellation plus the step budget and deadline of opts, and any
+// panic escaping the stack (malformed inputs deep in formula evaluation,
+// say) is converted into an error rather than crashing the process.
+//
+// On budget or deadline exhaustion in the exponential falsifying-repair
+// search, SolveCtx degrades gracefully instead of failing: it returns an
+// OutcomeUnknown verdict carrying the search's partial evidence and a
+// Monte-Carlo estimate of the repair-satisfaction frequency from a bounded
+// sampling pass (Section 7's uniform-repair semantics). If that sampling
+// pass happens to draw a repair falsifying q, the verdict is a definitive
+// OutcomeNotCertain with the sampled repair as witness. Cutoffs on
+// polynomial paths — only possible under very tight budgets — yield an
+// OutcomeUnknown verdict without a sampling pass.
+func SolveCtx(ctx context.Context, q cq.Query, d *db.DB, opts Options) (Verdict, error) {
+	g := govern.New(ctx, govern.Options{Budget: opts.Budget, Timeout: opts.Timeout, Fault: opts.Fault})
+	defer g.Close()
+	gctx := g.Attach()
+	var v Verdict
+	err := govern.Safe(func() error {
+		var innerErr error
+		v, innerErr = solveGoverned(gctx, g, q, d, opts)
+		return innerErr
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}
+
+// solveGoverned mirrors Solve's dispatch (including the projection
+// simplification attempt) over the context-aware procedure variants.
+func solveGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, opts Options) (Verdict, error) {
+	cls, err := core.Classify(q)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if !cls.Class.InP() {
+		if q2, rewrite, rep := simplifyProjection(q); rep != nil {
+			if cls2, err2 := core.Classify(q2); err2 == nil && cls2.Class.InP() {
+				d2, err := rewrite(d)
+				if err != nil {
+					return Verdict{}, err
+				}
+				v, err := dispatchGoverned(ctx, g, q2, d2, cls2, opts)
+				if err != nil {
+					return Verdict{}, err
+				}
+				v.Result.Classification = cls
+				v.Result.Simplified = rep
+				v.Result.SimplifiedClass = cls2.Class
+				return v, nil
+			}
+		}
+	}
+	return dispatchGoverned(ctx, g, q, d, cls, opts)
+}
+
+func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, cls core.Classification, opts Options) (Verdict, error) {
+	res := Result{Classification: cls, SimplifiedClass: cls.Class}
+	var certain bool
+	var err error
+	switch cls.Class {
+	case core.ClassFO:
+		if cls.Graph == nil {
+			// Cyclic hypergraph but safe: evaluate the Theorem 6 rewriting.
+			res.Method = MethodSafeRewriting
+			var phi fo.Formula
+			phi, err = fo.RewriteSafe(q)
+			if err == nil {
+				certain, err = fo.Eval(phi, d)
+			}
+		} else {
+			res.Method = MethodFO
+			certain, err = CertainFOCtx(ctx, q, d)
+		}
+	case core.ClassPTimeTerminal:
+		res.Method = MethodTerminal
+		certain, err = CertainTerminalCtx(ctx, q, d)
+	case core.ClassPTimeACk:
+		res.Method = MethodACk
+		certain, err = CertainACkCtx(ctx, q, cls.Shape, d)
+	case core.ClassPTimeCk:
+		res.Method = MethodCk
+		certain, err = CertainCkCtx(ctx, q, cls.Shape, d)
+	default:
+		res.Method = MethodFalsifying
+		var found bool
+		var sev searchEvidence
+		_, found, sev, err = falsifyingRepairGov(govern.From(ctx), q, d)
+		if err != nil && g.Err() != nil {
+			// Governed cutoff on the exponential path: degrade to sampling.
+			return degradedVerdict(g, q, d, res, sev, opts), nil
+		}
+		certain = !found
+	}
+	if err != nil {
+		if g.Err() != nil {
+			// Governed cutoff on a polynomial or rewriting path.
+			return Verdict{
+				Outcome:  OutcomeUnknown,
+				Result:   res,
+				Err:      g.Err(),
+				Evidence: &Evidence{Steps: g.Steps()},
+			}, nil
+		}
+		return Verdict{}, err
+	}
+	res.Certain = certain
+	out := OutcomeNotCertain
+	if certain {
+		out = OutcomeCertain
+	}
+	return Verdict{Outcome: out, Result: res}, nil
+}
+
+// degradedVerdict builds the OutcomeUnknown verdict for a cut-off
+// exponential search: partial search evidence plus a bounded Monte-Carlo
+// estimate of the repair-satisfaction frequency. The sampling pass runs
+// under its own small governor (the parent's is already tripped), so it
+// terminates promptly even after a SIGINT or deadline.
+func degradedVerdict(g *govern.Governor, q cq.Query, d *db.DB, res Result, sev searchEvidence, opts Options) Verdict {
+	ev := &Evidence{
+		Steps:         g.Steps(),
+		TotalBlocks:   sev.totalBlocks,
+		BestDepth:     sev.bestDepth,
+		BestCandidate: sev.bestChosen,
+	}
+	v := Verdict{Outcome: OutcomeUnknown, Result: res, Err: g.Err(), Evidence: ev}
+	samples := opts.DegradeSamples
+	if samples == 0 {
+		samples = 1024
+	}
+	if samples < 0 {
+		return v
+	}
+	timeout := opts.SampleTimeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	sg := govern.New(context.Background(), govern.Options{Timeout: timeout})
+	defer sg.Close()
+	est, drawn, falsifier, _ := prob.EstimateSatisfactionCtx(sg.Attach(), q, d, samples, opts.SampleSeed)
+	ev.Samples = drawn
+	ev.Estimate = est
+	if falsifier != nil {
+		// A sampled repair falsifies q: the one-sided Monte-Carlo test is
+		// conclusive in this direction, so the cutoff no longer matters.
+		ev.FalsifyingSample = falsifier
+		v.Outcome = OutcomeNotCertain
+		v.Result.Certain = false
+		v.Err = nil
+	}
+	return v
+}
