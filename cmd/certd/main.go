@@ -1,0 +1,103 @@
+// Command certd serves CERTAINTY(q) over HTTP/JSON. It wraps the governed
+// solver stack (internal/solver + internal/govern) in the resilient
+// service layer of internal/server: a bounded worker pool with admission
+// control and load shedding, operator-clamped per-request deadlines and
+// step budgets, per-query-class circuit breakers that degrade persistent
+// coNP cutoffs to bounded Monte-Carlo verdicts, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/solve     decide CERTAINTY(q) for a query + database
+//	POST /v1/classify  classify a query's complexity (no database)
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
+//
+// Example:
+//
+//	certd -addr :8377 -workers 8 -max-budget 5000000 -max-timeout 10s
+//	curl -s localhost:8377/v1/solve -d '{"query":"R(x | y)","db":"R(a | b)"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8377", "listen address")
+		workers        = flag.Int("workers", 4, "concurrent solve slots")
+		queue          = flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+		maxTimeout     = flag.Duration("max-timeout", 30*time.Second, "hard cap on per-request solve time")
+		maxBudget      = flag.Int64("max-budget", 10_000_000, "hard cap on per-request search steps")
+		defTimeout     = flag.Duration("default-timeout", 5*time.Second, "solve time applied when the request asks for none")
+		defBudget      = flag.Int64("default-budget", 1_000_000, "search steps applied when the request asks for none")
+		rejectOverAsk  = flag.Bool("reject-over-ask", false, "reject requests exceeding the caps instead of clamping them")
+		breakThresh    = flag.Int("breaker-threshold", 3, "consecutive cutoffs that trip a class breaker (<0 disables)")
+		breakCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a recovery probe")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		degradeSamples = flag.Int("degrade-samples", 0, "cap on Monte-Carlo samples per degraded verdict (0 = solver default)")
+		grace          = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight solves")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "certd: ", log.LstdFlags)
+	s := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Policy: govern.Policy{
+			MaxTimeout:     *maxTimeout,
+			MaxBudget:      *maxBudget,
+			DefaultTimeout: *defTimeout,
+			DefaultBudget:  *defBudget,
+			Reject:         *rejectOverAsk,
+		},
+		BreakerThreshold: *breakThresh,
+		BreakerCooldown:  *breakCooldown,
+		RetryAfter:       *retryAfter,
+		DegradeSamples:   *degradeSamples,
+		Logger:           logger,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d workers, budget cap %d, timeout cap %v)",
+			*addr, *workers, *maxBudget, *maxTimeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	// Graceful shutdown: stop admitting (new requests get 503), cancel
+	// in-flight governors so searches return partial verdicts, let the HTTP
+	// layer flush those responses, then wait for the pool to empty.
+	logger.Printf("signal received; draining (grace %v)", *grace)
+	s.BeginDrain()
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(graceCtx); err != nil {
+		logger.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -17,6 +17,10 @@
 // off on a coNP-hard instance does not just die — it reports an "unknown"
 // verdict with the partial search evidence and a sampled estimate of the
 // fraction of repairs satisfying the query.
+//
+// With -remote URL the solve runs on a certd server (see cmd/certd)
+// instead of in-process: the request is retried with backoff on shedding,
+// and the remote three-valued verdict prints exactly as a local one would.
 package main
 
 import (
@@ -31,10 +35,12 @@ import (
 	"strings"
 
 	"github.com/cqa-go/certainty/internal/answers"
+	"github.com/cqa-go/certainty/internal/client"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/prob"
+	"github.com/cqa-go/certainty/internal/server"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -48,18 +54,19 @@ func main() {
 	free := flag.String("answers", "", "comma-separated free variables: compute certain/possible answers instead of the Boolean decision")
 	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
 	budget := flag.Int64("budget", 0, "abort the search after this many search steps (0 = no limit)")
+	remote := flag.String("remote", "", "solve on a certd server at this base URL instead of in-process")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, *queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout, *budget); err != nil {
+	if err := run(ctx, *queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout, *budget, *remote); err != nil {
 		fmt.Fprintln(os.Stderr, "certsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration, budget int64) error {
+func run(ctx context.Context, queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration, budget int64, remote string) error {
 	var q cq.Query
 	var err error
 	switch {
@@ -98,6 +105,13 @@ func run(ctx context.Context, queryText, queryFile, dbFile, method string, witne
 	fmt.Printf("query: %s\n", q)
 	fmt.Printf("database: %d facts in %d blocks, %v repairs\n",
 		d.Len(), d.NumBlocks(), d.NumRepairs())
+
+	if remote != "" {
+		if free != "" || count || method != "auto" {
+			return fmt.Errorf("-remote supports only the default method (no -answers, -count, or -method)")
+		}
+		return runRemote(ctx, remote, q, string(data), timeout, budget, witness)
+	}
 
 	if free != "" {
 		vars := strings.Split(free, ",")
@@ -184,6 +198,48 @@ func run(ctx context.Context, queryText, queryFile, dbFile, method string, witne
 		n := prob.CountSatisfyingRepairs(q, d)
 		fmt.Printf("satisfying repairs: %v of %v\n", n, d.NumRepairs())
 	}
+	return nil
+}
+
+// runRemote solves on a certd server and prints the verdict exactly as
+// the local path does, plus the service envelope (clamped limits, breaker
+// state) when the server reports it.
+func runRemote(ctx context.Context, baseURL string, q cq.Query, dbText string, timeout time.Duration, budget int64, witness bool) error {
+	cl := client.New(baseURL)
+	resp, err := cl.Solve(ctx, server.SolveRequest{
+		Query:     q.String(),
+		DB:        dbText,
+		TimeoutMS: timeout.Milliseconds(),
+		Budget:    budget,
+	})
+	if err != nil {
+		return err
+	}
+	v := resp.Verdict
+	fmt.Printf("class: %s\n", v.Result.Classification.Class)
+	fmt.Printf("method: %s  (remote, %dms)\n", v.Result.Method, resp.ElapsedMS)
+	if c := resp.Clamped; c != nil {
+		fmt.Printf("server clamped limits: budget %d, timeout %dms\n", c.BudgetVal, c.TimeoutMS)
+	}
+	switch resp.Breaker {
+	case server.BreakerOpen:
+		fmt.Println("breaker: open — exact search skipped, degraded sampling verdict")
+	case server.BreakerProbe:
+		fmt.Println("breaker: half-open — this solve was the recovery probe")
+	}
+	if v.Outcome == solver.OutcomeUnknown {
+		printUnknown(v)
+		return nil
+	}
+	if witness && v.Evidence != nil && v.Evidence.FalsifyingSample != nil {
+		fmt.Printf("certain: false  (%s)\n", cutoffReason(v.Evidence))
+		fmt.Println("falsifying repair (sampled):")
+		for _, f := range v.Evidence.FalsifyingSample.Facts() {
+			fmt.Printf("  %s\n", f)
+		}
+		return nil
+	}
+	fmt.Printf("certain: %v\n", v.Result.Certain)
 	return nil
 }
 

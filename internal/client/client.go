@@ -1,0 +1,213 @@
+// Package client is the Go client for certd (internal/server). It speaks
+// the same wire types as the server, so a remote solve surfaces the same
+// three-valued solver.Verdict — including errors.Is-matchable cutoff causes
+// — as a local solver.SolveCtx call.
+//
+// The client retries transient failures (shed, shutdown, transport errors,
+// 5xx) with capped exponential backoff and jitter, honoring the server's
+// Retry-After hint as a lower bound on the delay. Permanent errors
+// (malformed input, unsupported queries, policy rejections) are never
+// retried: the same request can never succeed, so retrying only adds load
+// to a service that is already telling us no.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// Client talks to one certd server. The zero value is not usable; call New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8377".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries is the number of re-attempts after the first try (so a
+	// request is sent at most MaxRetries+1 times). Default 3.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. Defaults 100ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Test seams: sleep waits out a backoff (default: timer + ctx), rng
+	// drives jitter (default: math/rand global).
+	sleep func(context.Context, time.Duration) error
+	rng   func() float64
+}
+
+// New returns a client with default retry settings.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		HTTPClient:  http.DefaultClient,
+		MaxRetries:  3,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+	}
+}
+
+// Solve posts a solve request and returns the server's response. On a
+// non-200 outcome the returned error is (or wraps) *server.ErrorBody.
+func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (server.SolveResponse, error) {
+	var resp server.SolveResponse
+	err := c.do(ctx, "/v1/solve", req, &resp)
+	return resp, err
+}
+
+// Classify posts a classification request.
+func (c *Client) Classify(ctx context.Context, query string) (server.ClassifyResponse, error) {
+	var resp server.ClassifyResponse
+	err := c.do(ctx, "/v1/classify", server.ClassifyRequest{Query: query}, &resp)
+	return resp, err
+}
+
+// retryable reports whether an error response may succeed on a later
+// attempt, and the server's minimum delay hint if it gave one.
+func retryable(status int, body *server.ErrorBody) (bool, time.Duration) {
+	var hint time.Duration
+	if body != nil && body.RetryAfterMS > 0 {
+		hint = time.Duration(body.RetryAfterMS) * time.Millisecond
+	}
+	if body != nil {
+		switch body.Code {
+		case server.CodeMalformed, server.CodeUnsupported, server.CodePolicy:
+			return false, 0
+		case server.CodeShed, server.CodeShutdown, server.CodeInternal:
+			return true, hint
+		}
+	}
+	// No recognizable body: fall back on the status class.
+	switch {
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		return true, hint
+	case status >= 500:
+		return true, hint
+	default:
+		return false, 0
+	}
+}
+
+// do sends one JSON request with retries and decodes a 200 body into out.
+func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retry, hint, err := c.attempt(ctx, httpc, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry || attempt >= c.MaxRetries {
+			return lastErr
+		}
+		if err := c.backoff(ctx, attempt, hint); err != nil {
+			return fmt.Errorf("client: giving up after %d attempts: %w (last error: %v)", attempt+1, err, lastErr)
+		}
+	}
+}
+
+// attempt sends the request once. It reports whether a failure is worth
+// retrying and any server-provided delay hint.
+func (c *Client) attempt(ctx context.Context, httpc *http.Client, path string, payload []byte, out any) (retry bool, hint time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return false, 0, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, 0, ctx.Err() // cancellation is not a server failure
+		}
+		return true, 0, fmt.Errorf("client: %w", err) // transport errors are transient
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return true, 0, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, 0, fmt.Errorf("client: decode response: %w", err)
+		}
+		return false, 0, nil
+	}
+	body := new(server.ErrorBody)
+	if json.Unmarshal(data, body) != nil || body.Code == "" {
+		body = nil
+	}
+	if body != nil && body.RetryAfterMS == 0 {
+		// Fall back on the standard header (seconds).
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			body.RetryAfterMS = int64(s) * 1000
+		}
+	}
+	retry, hint = retryable(resp.StatusCode, body)
+	if body != nil {
+		return retry, hint, body
+	}
+	return retry, hint, fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, data)
+}
+
+// backoff waits before retry number attempt+1: exponential growth from
+// BaseBackoff capped at MaxBackoff, jittered to [50%, 100%] to decorrelate
+// competing clients, and never below the server's Retry-After hint.
+func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	d := c.BaseBackoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	rng := c.rng
+	if rng == nil {
+		rng = rand.Float64
+	}
+	d = d/2 + time.Duration(rng()*float64(d/2))
+	if d < hint {
+		d = hint
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = ctxSleep
+	}
+	return sleep(ctx, d)
+}
+
+// ctxSleep waits for d or until the context ends.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

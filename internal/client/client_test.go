@@ -1,0 +1,254 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/server"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// scriptedServer answers each attempt from the script, then serves the
+// final handler.
+func scriptedServer(t *testing.T, script []func(w http.ResponseWriter), final http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1) - 1
+		if int(n) < len(script) {
+			script[n](w)
+			return
+		}
+		final(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func writeErrorBody(w http.ResponseWriter, status int, body server.ErrorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func okVerdict(w http.ResponseWriter, _ *http.Request) {
+	resp := server.SolveResponse{
+		Verdict: solver.Verdict{
+			Outcome: solver.OutcomeCertain,
+			Result:  solver.Result{Certain: true},
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// testClient returns a client whose backoff sleeps are recorded, not slept.
+func testClient(url string) (*Client, *[]time.Duration) {
+	c := New(url)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	c.rng = func() float64 { return 1 } // deterministic max jitter
+	return c, &slept
+}
+
+// TestRetriesShedThenSucceeds: two sheds with Retry-After hints, then a
+// verdict. The client must make three attempts and wait at least the hint
+// each time.
+func TestRetriesShedThenSucceeds(t *testing.T) {
+	shed := func(w http.ResponseWriter) {
+		writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed, RetryAfterMS: 250})
+	}
+	ts, calls := scriptedServer(t, []func(http.ResponseWriter){shed, shed}, okVerdict)
+	c, slept := testClient(ts.URL)
+
+	resp, err := c.Solve(context.Background(), server.SolveRequest{Query: "R(x | y)", DB: "R(a | b)"})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !resp.Verdict.Result.Certain {
+		t.Fatalf("verdict = %+v, want certain", resp.Verdict)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3", calls.Load())
+	}
+	for i, d := range *slept {
+		if d < 250*time.Millisecond {
+			t.Errorf("backoff %d = %v, below the 250ms Retry-After hint", i, d)
+		}
+	}
+}
+
+// TestRetryAfterHeaderFallback: a shed body without the hint still honors
+// the standard Retry-After header.
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	shed := func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "2")
+		writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed})
+	}
+	ts, _ := scriptedServer(t, []func(http.ResponseWriter){shed}, okVerdict)
+	c, slept := testClient(ts.URL)
+	if _, err := c.Solve(context.Background(), server.SolveRequest{Query: "R(x | y)", DB: "R(a | b)"}); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 2*time.Second {
+		t.Fatalf("slept %v, want one wait of at least the 2s header hint", *slept)
+	}
+}
+
+// TestPermanentErrorsNotRetried: each permanent code gets exactly one
+// attempt and surfaces as *server.ErrorBody.
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	for _, code := range []string{server.CodeMalformed, server.CodeUnsupported, server.CodePolicy} {
+		t.Run(code, func(t *testing.T) {
+			status := http.StatusBadRequest
+			if code != server.CodeMalformed {
+				status = http.StatusUnprocessableEntity
+			}
+			ts, calls := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+				writeErrorBody(w, status, server.ErrorBody{Code: code, Message: "no"})
+			})
+			c, slept := testClient(ts.URL)
+			_, err := c.Solve(context.Background(), server.SolveRequest{})
+			var body *server.ErrorBody
+			if !errors.As(err, &body) || body.Code != code {
+				t.Fatalf("err = %v, want ErrorBody with code %q", err, code)
+			}
+			if calls.Load() != 1 || len(*slept) != 0 {
+				t.Fatalf("attempts = %d, sleeps = %d; permanent errors must not be retried", calls.Load(), len(*slept))
+			}
+		})
+	}
+}
+
+// TestRetriesExhausted: a server that always sheds makes the client give up
+// after MaxRetries+1 attempts with the last error.
+func TestRetriesExhausted(t *testing.T) {
+	ts, calls := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		writeErrorBody(w, http.StatusServiceUnavailable, server.ErrorBody{Code: server.CodeShutdown})
+	})
+	c, _ := testClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Solve(context.Background(), server.SolveRequest{})
+	var body *server.ErrorBody
+	if !errors.As(err, &body) || body.Code != server.CodeShutdown {
+		t.Fatalf("err = %v, want the last shutdown error", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// TestCancelDuringBackoff: a context cancelled while waiting out a backoff
+// aborts the retry loop with the context error.
+func TestCancelDuringBackoff(t *testing.T) {
+	ts, _ := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed})
+	})
+	c := New(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	_, err := c.Solve(ctx, server.SolveRequest{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}
+
+// TestTransportErrorRetried: connection failures are transient.
+func TestTransportErrorRetried(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens now
+	c, slept := testClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Solve(context.Background(), server.SolveRequest{})
+	if err == nil {
+		t.Fatal("want a transport error")
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %d, want 2 retries of a transport error", len(*slept))
+	}
+}
+
+// TestBackoffGrowsAndCaps: without server hints the delays grow
+// exponentially from BaseBackoff and cap at MaxBackoff.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	ts, _ := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		writeErrorBody(w, http.StatusInternalServerError, server.ErrorBody{Code: server.CodeInternal})
+	})
+	c, slept := testClient(ts.URL)
+	c.MaxRetries = 4
+	c.BaseBackoff = 100 * time.Millisecond
+	c.MaxBackoff = 400 * time.Millisecond
+	_, _ = c.Solve(context.Background(), server.SolveRequest{})
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("sleeps = %v, want %d of them", *slept, len(want))
+	}
+	for i, d := range *slept {
+		if d != want[i] { // rng()==1 → jitter keeps the full delay
+			t.Errorf("backoff %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestRemoteMatchesLocal runs a real server and checks the remote verdict
+// — outcome, result, evidence, and the errors.Is-matchable cutoff cause —
+// is identical to a local solve, for both an exact FO solve and a governed
+// coNP cutoff.
+func TestRemoteMatchesLocal(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+
+	cases := []struct {
+		name string
+		req  server.SolveRequest
+	}{
+		{"fo-exact", server.SolveRequest{Query: "R(x | y)", DB: "R(a | b), R(a | c)"}},
+		{"conp-cutoff", server.SolveRequest{
+			Query: "R0(x | y), S0(y, z | x)", DB: oddRingText(21),
+			Budget: 60, DegradeSamples: 50, SampleSeed: 1,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := c.Solve(context.Background(), tc.req)
+			if err != nil {
+				t.Fatalf("remote Solve: %v", err)
+			}
+			local := solveLocally(t, tc.req)
+			remote := resp.Verdict
+			if remote.Outcome != local.Outcome {
+				t.Errorf("outcome: remote %v, local %v", remote.Outcome, local.Outcome)
+			}
+			if remote.Result.Certain != local.Result.Certain || remote.Result.Method != local.Result.Method {
+				t.Errorf("result: remote %+v, local %+v", remote.Result, local.Result)
+			}
+			if (remote.Err == nil) != (local.Err == nil) {
+				t.Fatalf("err: remote %v, local %v", remote.Err, local.Err)
+			}
+			if local.Err != nil && !errors.Is(remote.Err, govern.ErrBudget) {
+				t.Errorf("remote err %v is not errors.Is-matchable to the local cutoff cause", remote.Err)
+			}
+			if (remote.Evidence == nil) != (local.Evidence == nil) {
+				t.Fatalf("evidence presence differs: remote %+v, local %+v", remote.Evidence, local.Evidence)
+			}
+			if local.Evidence != nil && remote.Evidence.Samples != local.Evidence.Samples {
+				t.Errorf("samples: remote %d, local %d", remote.Evidence.Samples, local.Evidence.Samples)
+			}
+		})
+	}
+}

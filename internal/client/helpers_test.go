@@ -1,0 +1,53 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/server"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// oddRingText renders the odd-ring coNP instance for q0 (see
+// internal/solver/cancel_test.go) in the textual database format.
+func oddRingText(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		xi := fmt.Sprintf("x%d", i)
+		xn := fmt.Sprintf("x%d", (i+1)%n)
+		zi := fmt.Sprintf("z%d", i)
+		fmt.Fprintf(&b, "R0(%s | A)\nR0(%s | B)\n", xi, xi)
+		fmt.Fprintf(&b, "S0(A, %s | %s)\nS0(A, %s | %s)\n", zi, xi, zi, xn)
+		fmt.Fprintf(&b, "S0(B, %s | %s)\nS0(B, %s | %s)\n", zi, xi, zi, xn)
+	}
+	return b.String()
+}
+
+// solveLocally runs the same request through the in-process solver, for
+// comparing remote and local verdicts.
+func solveLocally(t *testing.T, req server.SolveRequest) solver.Verdict {
+	t.Helper()
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		t.Fatalf("parse query: %v", err)
+	}
+	d, err := db.Parse(req.DB)
+	if err != nil {
+		t.Fatalf("parse db: %v", err)
+	}
+	v, err := solver.SolveCtx(context.Background(), q, d, solver.Options{
+		Budget:         req.Budget,
+		Timeout:        time.Duration(req.TimeoutMS) * time.Millisecond,
+		DegradeSamples: req.DegradeSamples,
+		SampleSeed:     req.SampleSeed,
+	})
+	if err != nil {
+		t.Fatalf("local SolveCtx: %v", err)
+	}
+	return v
+}

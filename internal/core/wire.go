@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Code returns the stable wire identifier of the class, used by the JSON
+// encodings of classifications and verdicts. String() remains the verbose
+// human-readable form; Code is the machine-readable one and must never
+// change for an existing class.
+func (c Class) Code() string {
+	switch c {
+	case ClassFO:
+		return "fo"
+	case ClassPTimeTerminal:
+		return "ptime-terminal"
+	case ClassPTimeACk:
+		return "ptime-ack"
+	case ClassPTimeCk:
+		return "ptime-ck"
+	case ClassCoNPComplete:
+		return "conp-complete"
+	case ClassOpenConjecturedPTime:
+		return "open"
+	default:
+		return fmt.Sprintf("class-%d", int(c))
+	}
+}
+
+// classCodes is the inverse of Code for the known classes.
+var classCodes = map[string]Class{
+	"fo":             ClassFO,
+	"ptime-terminal": ClassPTimeTerminal,
+	"ptime-ack":      ClassPTimeACk,
+	"ptime-ck":       ClassPTimeCk,
+	"conp-complete":  ClassCoNPComplete,
+	"open":           ClassOpenConjecturedPTime,
+}
+
+// MarshalText encodes the class as its wire code.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.Code()), nil }
+
+// UnmarshalText decodes a wire code produced by MarshalText.
+func (c *Class) UnmarshalText(text []byte) error {
+	cls, ok := classCodes[string(text)]
+	if !ok {
+		return fmt.Errorf("core: unknown class code %q", text)
+	}
+	*c = cls
+	return nil
+}
+
+// classificationWire is the JSON shape of a Classification. The witnessing
+// structures (attack graph, cycle shape) are in-memory artifacts full of
+// internal indexes; only the class and the human-readable reason travel
+// over the wire.
+type classificationWire struct {
+	Class  Class  `json:"class"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// MarshalJSON encodes the classification's class and reason. Graph and
+// Shape are deliberately omitted: they are recomputable from the query and
+// meaningless without it.
+func (c Classification) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classificationWire{Class: c.Class, Reason: c.Reason})
+}
+
+// UnmarshalJSON decodes a classification produced by MarshalJSON. Graph and
+// Shape are left nil; use Classify on the original query to recover them.
+func (c *Classification) UnmarshalJSON(data []byte) error {
+	var w classificationWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*c = Classification{Class: w.Class, Reason: w.Reason}
+	return nil
+}

@@ -10,6 +10,7 @@ func FuzzParseQuery(f *testing.F) {
 		"R(x | y), S(y | x)",
 		"C(x, y | 'Rome'), R(x | 'A')",
 		"R('it\\'s', 'a\\\\b' | x)",
+		"R('line\\\nbreak' | x)",
 		"# comment\nR(x | y)\nS(y | z)",
 		"N(1, -2 | 3.5)",
 		"R(x",

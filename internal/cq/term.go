@@ -36,11 +36,15 @@ func Const(value string) Term { return Term{IsConst: true, Value: value} }
 func (t Term) IsVar() bool { return !t.IsConst }
 
 // String renders the term in the textual query language: variables are bare
-// identifiers, constants are single-quoted.
+// identifiers, constants are single-quoted. Newlines inside constants are
+// rendered as an escaped (backslash-prefixed) newline, which the lexer
+// reads back verbatim — a raw newline would terminate the quoted constant
+// and break the round trip.
 func (t Term) String() string {
 	if t.IsConst {
 		escaped := strings.ReplaceAll(t.Value, `\`, `\\`)
 		escaped = strings.ReplaceAll(escaped, "'", `\'`)
+		escaped = strings.ReplaceAll(escaped, "\n", "\\\n")
 		return "'" + escaped + "'"
 	}
 	return t.Value

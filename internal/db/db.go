@@ -308,7 +308,14 @@ func Union(a, b *DB) (*DB, error) {
 //
 // Bare identifiers and numbers denote constants; quoted strings are also
 // constants. Variables are not allowed in database files.
+//
+// Parse is hardened against adversarial input: NUL bytes are rejected up
+// front, rows wider than MaxArity and signature conflicts between rows of
+// the same relation are reported as errors, and no input can panic.
 func Parse(input string) (*DB, error) {
+	if i := strings.IndexByte(input, 0); i >= 0 {
+		return nil, fmt.Errorf("db: input contains a NUL byte at offset %d", i)
+	}
 	q, err := cq.ParseQuery(input)
 	if err != nil {
 		return nil, err

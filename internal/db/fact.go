@@ -16,9 +16,9 @@ import (
 // Fact is a ground atom: a relation name, a key length, and constant
 // arguments. The first KeyLen arguments are the primary key.
 type Fact struct {
-	Rel    string
-	KeyLen int
-	Args   []string
+	Rel    string   `json:"rel"`
+	KeyLen int      `json:"key_len"`
+	Args   []string `json:"args"`
 }
 
 // NewFact builds a fact, panicking on an invalid signature (programming
@@ -31,13 +31,32 @@ func NewFact(rel string, keyLen int, args ...string) Fact {
 	return f
 }
 
-// Validate checks the signature constraint n >= k >= 1.
+// MaxArity caps the number of arguments a fact may carry. Real schemas are
+// tiny; the cap exists so adversarial inputs (hand-crafted snapshots,
+// generated text files) cannot make a single row arbitrarily large.
+const MaxArity = 1024
+
+// Validate checks the signature constraint n >= k >= 1 plus the defensive
+// input limits: bounded arity and no NUL bytes (which would corrupt the
+// length-prefixed ID encodings' readability in logs and break the textual
+// interchange format).
 func (f Fact) Validate() error {
 	if f.Rel == "" {
 		return fmt.Errorf("db: fact with empty relation name")
 	}
+	if len(f.Args) > MaxArity {
+		return fmt.Errorf("db: fact %s has %d arguments, exceeding the maximum arity %d", f.Rel, len(f.Args), MaxArity)
+	}
 	if f.KeyLen < 1 || f.KeyLen > len(f.Args) {
 		return fmt.Errorf("db: fact %s has invalid signature [%d,%d]", f.Rel, len(f.Args), f.KeyLen)
+	}
+	if strings.IndexByte(f.Rel, 0) >= 0 {
+		return fmt.Errorf("db: relation name contains a NUL byte")
+	}
+	for _, a := range f.Args {
+		if strings.IndexByte(a, 0) >= 0 {
+			return fmt.Errorf("db: fact %s has an argument containing a NUL byte", f.Rel)
+		}
 	}
 	return nil
 }

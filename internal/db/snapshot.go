@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"github.com/cqa-go/certainty/internal/govern"
 )
 
 // snapshot is the serialized form of a database. Facts are stored once;
@@ -28,10 +30,20 @@ func (d *DB) WriteSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
+// MaxSnapshotBytes bounds how much input ReadSnapshot will consume, so a
+// truncated-length or endless adversarial stream cannot exhaust memory.
+const MaxSnapshotBytes = 1 << 30
+
 // ReadSnapshot deserializes a database written by WriteSnapshot.
+//
+// The decode path is hardened for untrusted input: it reads at most
+// MaxSnapshotBytes, contains any decoder panic as an error, and validates
+// every fact (arity cap, NUL bytes, signature conflicts) before it enters
+// the database.
 func ReadSnapshot(r io.Reader) (*DB, error) {
 	var s snapshot
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+	dec := gob.NewDecoder(bufio.NewReader(io.LimitReader(r, MaxSnapshotBytes)))
+	if err := govern.Safe(func() error { return dec.Decode(&s) }); err != nil {
 		return nil, fmt.Errorf("db: snapshot decode: %w", err)
 	}
 	if s.Version != snapshotVersion {

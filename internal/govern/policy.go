@@ -1,0 +1,91 @@
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrPolicy marks a request whose explicit resource demands exceed what a
+// Policy permits. It is a permanent error: retrying the same request
+// cannot succeed, so clients must not back off and retry on it.
+var ErrPolicy = errors.New("govern: request exceeds policy limits")
+
+// Policy is a server-side clamp on client-supplied governance options.
+// CERTAINTY(q) is coNP-complete for strong-cycle queries, so a shared
+// endpoint cannot let callers pick unbounded budgets or deadlines; Clamp
+// maps whatever the caller asked for onto what the operator allows.
+//
+// The zero value imposes no limits and supplies no defaults, preserving
+// the Options semantics of unbounded solving.
+type Policy struct {
+	// MaxTimeout caps the per-request wall-clock deadline; 0 means no cap.
+	MaxTimeout time.Duration
+	// MaxBudget caps the per-request step budget; 0 means no cap.
+	MaxBudget int64
+	// DefaultTimeout applies when the request leaves Timeout unset (0).
+	// When 0, unset requests fall back to MaxTimeout.
+	DefaultTimeout time.Duration
+	// DefaultBudget applies when the request leaves Budget unset (0).
+	// When 0, unset requests fall back to MaxBudget.
+	DefaultBudget int64
+	// Reject, when true, turns explicit over-limit requests into ErrPolicy
+	// instead of silently clamping them. Unset (zero) request fields are
+	// never rejected; they take the defaults.
+	Reject bool
+}
+
+// Clamped reports which request fields Clamp tightened, so servers can tell
+// clients their request was honored only partially.
+type Clamped struct {
+	// Timeout is true when the effective deadline is tighter than asked
+	// (including an "unlimited" request that was given a finite default).
+	Timeout bool
+	// Budget is true when the effective step budget is tighter than asked.
+	Budget bool
+}
+
+// Any reports whether anything was clamped.
+func (c Clamped) Any() bool { return c.Timeout || c.Budget }
+
+// Clamp maps requested Options onto the policy: unset fields take the
+// defaults, explicit requests are capped at the maxima (or rejected with an
+// error wrapping ErrPolicy when Reject is set). The returned Options are
+// always within policy; the Clamped report records what was tightened.
+func (p Policy) Clamp(o Options) (Options, Clamped, error) {
+	var c Clamped
+	switch {
+	case o.Timeout <= 0:
+		// Unlimited request: impose the default (or the cap).
+		if p.DefaultTimeout > 0 {
+			o.Timeout = p.DefaultTimeout
+			c.Timeout = true
+		} else if p.MaxTimeout > 0 {
+			o.Timeout = p.MaxTimeout
+			c.Timeout = true
+		}
+	case p.MaxTimeout > 0 && o.Timeout > p.MaxTimeout:
+		if p.Reject {
+			return o, c, fmt.Errorf("timeout %v exceeds maximum %v: %w", o.Timeout, p.MaxTimeout, ErrPolicy)
+		}
+		o.Timeout = p.MaxTimeout
+		c.Timeout = true
+	}
+	switch {
+	case o.Budget <= 0:
+		if p.DefaultBudget > 0 {
+			o.Budget = p.DefaultBudget
+			c.Budget = true
+		} else if p.MaxBudget > 0 {
+			o.Budget = p.MaxBudget
+			c.Budget = true
+		}
+	case p.MaxBudget > 0 && o.Budget > p.MaxBudget:
+		if p.Reject {
+			return o, c, fmt.Errorf("budget %d exceeds maximum %d: %w", o.Budget, p.MaxBudget, ErrPolicy)
+		}
+		o.Budget = p.MaxBudget
+		c.Budget = true
+	}
+	return o, c, nil
+}

@@ -1,0 +1,76 @@
+package govern
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPolicyClamp(t *testing.T) {
+	pol := Policy{
+		MaxTimeout:     10 * time.Second,
+		MaxBudget:      1000,
+		DefaultTimeout: 2 * time.Second,
+		DefaultBudget:  100,
+	}
+	cases := []struct {
+		name        string
+		pol         Policy
+		in          Options
+		wantTimeout time.Duration
+		wantBudget  int64
+		wantClamped Clamped
+		wantErr     bool
+	}{
+		{"zero policy is identity", Policy{}, Options{Timeout: time.Hour, Budget: 1 << 40},
+			time.Hour, 1 << 40, Clamped{}, false},
+		{"unset fields take defaults", pol, Options{},
+			2 * time.Second, 100, Clamped{Timeout: true, Budget: true}, false},
+		{"within limits untouched", pol, Options{Timeout: 5 * time.Second, Budget: 500},
+			5 * time.Second, 500, Clamped{}, false},
+		{"over limits clamped", pol, Options{Timeout: time.Minute, Budget: 1 << 40},
+			10 * time.Second, 1000, Clamped{Timeout: true, Budget: true}, false},
+		{"no default falls back to cap", Policy{MaxTimeout: 3 * time.Second, MaxBudget: 7}, Options{},
+			3 * time.Second, 7, Clamped{Timeout: true, Budget: true}, false},
+		{"reject explicit over-ask", Policy{MaxBudget: 10, Reject: true}, Options{Budget: 11},
+			0, 0, Clamped{}, true},
+		{"reject leaves unset fields defaulted", Policy{MaxBudget: 10, DefaultBudget: 5, Reject: true}, Options{},
+			0, 5, Clamped{Budget: true}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, clamped, err := tc.pol.Clamp(tc.in)
+			if tc.wantErr {
+				if !errors.Is(err, ErrPolicy) {
+					t.Fatalf("err = %v, want ErrPolicy", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Clamp: %v", err)
+			}
+			if out.Timeout != tc.wantTimeout || out.Budget != tc.wantBudget {
+				t.Errorf("Clamp = (timeout %v, budget %d), want (%v, %d)",
+					out.Timeout, out.Budget, tc.wantTimeout, tc.wantBudget)
+			}
+			if clamped != tc.wantClamped {
+				t.Errorf("Clamped = %+v, want %+v", clamped, tc.wantClamped)
+			}
+			if clamped.Any() != (clamped.Timeout || clamped.Budget) {
+				t.Error("Any disagrees with fields")
+			}
+		})
+	}
+}
+
+func TestPolicyClampPreservesOtherFields(t *testing.T) {
+	fault := func(int64) error { return nil }
+	in := Options{CheckEvery: 7, Fault: fault}
+	out, _, err := Policy{MaxBudget: 5}.Clamp(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CheckEvery != 7 || out.Fault == nil {
+		t.Errorf("Clamp dropped unrelated fields: %+v", out)
+	}
+}

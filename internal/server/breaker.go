@@ -1,0 +1,151 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/core"
+)
+
+// breakerMode is what the breaker tells the handler to do with a request.
+type breakerMode int
+
+const (
+	// modeFull: run the exact governed solve.
+	modeFull breakerMode = iota
+	// modeProbe: run the exact solve as the half-open recovery probe; the
+	// caller must report the outcome so the breaker can close or re-open.
+	modeProbe
+	// modeShortCircuit: skip the exact solve; answer from the degraded
+	// Monte-Carlo path.
+	modeShortCircuit
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a per-query-class circuit breaker. Closed, it counts
+// consecutive governor cutoffs (budget or deadline exhaustion on the
+// exact path); threshold consecutive cutoffs trip it open. Open, requests
+// short-circuit to the degraded verdict until cooldown elapses, at which
+// point it goes half-open and lets exactly one probe run the exact solve:
+// a conclusive probe closes the breaker, a cut-off probe re-opens it.
+// Requests that end neutrally (client cancellation, shutdown) neither trip
+// nor heal.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// admit decides how the next request of this class runs.
+func (b *breaker) admit() breakerMode {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return modeFull
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return modeShortCircuit
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return modeProbe
+	default: // half-open
+		if b.probing {
+			return modeShortCircuit // one probe at a time
+		}
+		b.probing = true
+		return modeProbe
+	}
+}
+
+// record reports how a request admitted with the given mode ended.
+// cutoff is true when the governor cut the exact search off (budget or
+// deadline); conclusive is true when the solve reached a definitive
+// verdict. Neither being true is a neutral ending.
+func (b *breaker) record(mode breakerMode, cutoff, conclusive bool) {
+	if mode == modeShortCircuit {
+		return // degraded answers say nothing about the exact path
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if mode == modeProbe {
+		b.probing = false
+		switch {
+		case conclusive:
+			b.state = stateClosed
+			b.consecutive = 0
+		case cutoff:
+			b.state = stateOpen
+			b.openedAt = b.now()
+		}
+		// Neutral probe: stay half-open; the next request probes again.
+		return
+	}
+	// Full-path request while closed.
+	switch {
+	case conclusive:
+		b.consecutive = 0
+	case cutoff:
+		b.consecutive++
+		if b.state == stateClosed && b.consecutive >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// snapshot returns the state for health reporting and tests.
+func (b *breaker) snapshot() (breakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.consecutive
+}
+
+// breakerSet lazily manages one breaker per hard query class.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	m         map[core.Class]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration, now func() time.Time) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, now: now, m: make(map[core.Class]*breaker)}
+}
+
+// forClass returns the breaker guarding cls, or nil when breaking is
+// disabled or the class is tractable (polynomial solves are never cut off
+// under sane policies, and must never be short-circuited).
+func (s *breakerSet) forClass(cls core.Class) *breaker {
+	if s == nil || s.threshold <= 0 || cls.InP() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[cls]
+	if !ok {
+		b = newBreaker(s.threshold, s.cooldown, s.now)
+		s.m[cls] = b
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/core"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerAutomaton(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(2, 5*time.Second, clock.Now)
+
+	// Closed: conclusive solves keep it closed, resetting the streak.
+	for i := 0; i < 3; i++ {
+		if mode := b.admit(); mode != modeFull {
+			t.Fatalf("closed breaker admitted %v, want full", mode)
+		}
+		b.record(modeFull, false, true)
+	}
+	// One cutoff then a conclusive: streak resets, still closed.
+	b.record(modeFull, true, false)
+	b.record(modeFull, false, true)
+	if st, n := b.snapshot(); st != stateClosed || n != 0 {
+		t.Fatalf("state = %v streak %d, want closed 0", st, n)
+	}
+	// Two consecutive cutoffs trip it.
+	b.record(modeFull, true, false)
+	b.record(modeFull, true, false)
+	if st, _ := b.snapshot(); st != stateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	// Open within cooldown: short-circuit.
+	if mode := b.admit(); mode != modeShortCircuit {
+		t.Fatalf("open breaker admitted %v, want short-circuit", mode)
+	}
+	b.record(modeShortCircuit, false, false) // degraded endings are ignored
+	// After cooldown: exactly one probe; concurrent requests short-circuit.
+	clock.Advance(6 * time.Second)
+	if mode := b.admit(); mode != modeProbe {
+		t.Fatalf("cooled-down breaker admitted %v, want probe", mode)
+	}
+	if mode := b.admit(); mode != modeShortCircuit {
+		t.Fatalf("second admit during probe = %v, want short-circuit", mode)
+	}
+	// The probe is cut off: re-open for a fresh cooldown.
+	b.record(modeProbe, true, false)
+	if mode := b.admit(); mode != modeShortCircuit {
+		t.Fatalf("re-opened breaker admitted %v, want short-circuit", mode)
+	}
+	// Cool down again; a neutral probe (client hung up) neither closes nor
+	// re-opens — the next request probes again.
+	clock.Advance(6 * time.Second)
+	if mode := b.admit(); mode != modeProbe {
+		t.Fatal("want a probe after second cooldown")
+	}
+	b.record(modeProbe, false, false)
+	if mode := b.admit(); mode != modeProbe {
+		t.Fatal("neutral probe must allow an immediate re-probe")
+	}
+	// A conclusive probe closes the breaker.
+	b.record(modeProbe, false, true)
+	if st, n := b.snapshot(); st != stateClosed || n != 0 {
+		t.Fatalf("state = %v streak %d, want closed 0 after recovery", st, n)
+	}
+	if mode := b.admit(); mode != modeFull {
+		t.Fatal("closed breaker must admit full solves")
+	}
+}
+
+func TestBreakerSetScope(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	s := newBreakerSet(3, time.Second, clock.Now)
+	if s.forClass(core.ClassFO) != nil {
+		t.Error("tractable classes must never be broken")
+	}
+	if s.forClass(core.ClassPTimeACk) != nil {
+		t.Error("tractable classes must never be broken")
+	}
+	b1 := s.forClass(core.ClassCoNPComplete)
+	b2 := s.forClass(core.ClassCoNPComplete)
+	if b1 == nil || b1 != b2 {
+		t.Error("hard classes get one stable breaker each")
+	}
+	if b3 := s.forClass(core.ClassOpenConjecturedPTime); b3 == nil || b3 == b1 {
+		t.Error("distinct hard classes get distinct breakers")
+	}
+	disabled := newBreakerSet(-1, time.Second, clock.Now)
+	if disabled.forClass(core.ClassCoNPComplete) != nil {
+		t.Error("negative threshold disables breaking")
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// settleGoroutines asserts the goroutine count returns to its baseline,
+// reusing the settle-loop pattern from internal/solver/cancel_test.go.
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownWhileSolvingNoLeak drains a server whose pool is saturated
+// and whose queue is occupied: running solves must return partial verdicts,
+// queued requests must be released with 503, Drain must return, and no
+// handler or governor goroutine may outlive the drain.
+func TestShutdownWhileSolvingNoLeak(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	cfg := Config{Workers: 2, QueueDepth: 2}
+	cfg.solve = blockingSolve(entered, gate)
+	s := New(cfg)
+
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, 4)
+	for i := range recs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs[i] = doJSON(t, s, nil, "POST", "/v1/solve", SolveRequest{Query: "R(x | y)", DB: "R(a | b)"})
+		}()
+	}
+	<-entered
+	<-entered // both workers busy; the other two requests sit in the queue
+	waitUntil(t, "two requests to queue", func() bool { return s.queued.Load() == 2 })
+
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+
+	var partial, shutdown int
+	for _, rec := range recs {
+		switch rec.Code {
+		case http.StatusOK:
+			resp := decodeSolve(t, rec)
+			if resp.Verdict.Outcome != solver.OutcomeUnknown || resp.Verdict.Evidence == nil {
+				t.Errorf("drained solve verdict = %+v, want partial", resp.Verdict)
+			}
+			partial++
+		case http.StatusServiceUnavailable:
+			decodeError(t, rec, http.StatusServiceUnavailable, CodeShutdown)
+			shutdown++
+		default:
+			t.Errorf("unexpected status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	if partial != 2 || shutdown != 2 {
+		t.Errorf("got %d partial + %d shutdown responses, want 2 + 2", partial, shutdown)
+	}
+
+	settleGoroutines(t, before)
+}
+
+// TestClientDisconnectMidSolveNoLeak cancels request contexts while their
+// solves are running and while they are queued, then proves the worker
+// slots all came back by completing a full pool's worth of normal solves.
+func TestClientDisconnectMidSolveNoLeak(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: 1}
+	cfg.solve = blockingSolve(entered, gate)
+	s := New(cfg)
+
+	// Disconnect mid-solve, repeatedly: the hook sees ctx.Done and returns a
+	// partial verdict; the handler must still release the slot every time.
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan *httptest.ResponseRecorder, 1)
+		go func() {
+			rec := doJSON(t, s, ctx, "POST", "/v1/solve", SolveRequest{Query: "R(x | y)", DB: "R(a | b)"})
+			done <- rec
+		}()
+		<-entered
+		cancel()
+		rec := <-done
+		resp := decodeSolve(t, rec)
+		if resp.Verdict.Outcome != solver.OutcomeUnknown {
+			t.Fatalf("round %d: verdict = %+v, want partial", i, resp.Verdict)
+		}
+	}
+
+	// Disconnect while queued: the waiter must leave the queue without ever
+	// taking a slot.
+	holdCtx, holdCancel := context.WithCancel(context.Background())
+	holdDone := make(chan struct{})
+	go func() {
+		defer close(holdDone)
+		doJSON(t, s, holdCtx, "POST", "/v1/solve", SolveRequest{Query: "R(x | y)", DB: "R(a | b)"})
+	}()
+	<-entered // the holder occupies the only worker
+	queuedCtx, queuedCancel := context.WithCancel(context.Background())
+	queuedDone := make(chan struct{})
+	go func() {
+		defer close(queuedDone)
+		doJSON(t, s, queuedCtx, "POST", "/v1/solve", SolveRequest{Query: "R(x | y)", DB: "R(a | b)"})
+	}()
+	waitUntil(t, "request to queue", func() bool { return s.queued.Load() == 1 })
+	queuedCancel()
+	<-queuedDone
+	waitUntil(t, "queue to empty", func() bool { return s.queued.Load() == 0 })
+	holdCancel()
+	<-holdDone
+
+	// Every slot must be back: a full pool's worth of gated solves completes.
+	close(gate)
+	rec := doJSON(t, s, nil, "POST", "/v1/solve", SolveRequest{Query: "R(x | y)", DB: "R(a | b)"})
+	resp := decodeSolve(t, rec)
+	if resp.Verdict.Outcome != solver.OutcomeCertain {
+		t.Fatalf("post-disconnect solve = %+v, want certain (slot leaked?)", resp.Verdict)
+	}
+
+	settleGoroutines(t, before)
+}

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// Config tunes a Server. The zero value gets sane production defaults from
+// New; see the field comments for them.
+type Config struct {
+	// Workers bounds concurrent solves (default 4). Requests beyond it
+	// wait in the admission queue.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// (default 2×Workers). Requests beyond it are shed with 429.
+	QueueDepth int
+	// Policy clamps client-supplied deadlines and budgets. The zero
+	// policy imposes no limits — operators should set maxima.
+	Policy govern.Policy
+	// RetryAfter is the hint attached to shed and shutdown responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// BreakerThreshold is how many consecutive governor cutoffs on one
+	// hard query class trip its circuit breaker (default 3; negative
+	// disables breaking).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker short-circuits before
+	// allowing a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// DegradeSamples / SampleTimeout bound the Monte-Carlo degradation
+	// pass for all requests (0 = solver defaults).
+	DegradeSamples int
+	SampleTimeout  time.Duration
+	// Logger, when non-nil, receives one line per solve and lifecycle
+	// event.
+	Logger *log.Logger
+
+	// now and solve are test seams: a fake clock for the breaker automaton
+	// and a replacement solve function. Nil means real clock / real solver.
+	now   func() time.Time
+	solve func(context.Context, cq.Query, *db.DB, solver.Options) (solver.Verdict, error)
+}
+
+// Server is the resilient CERTAINTY(q) service. Create with New, expose
+// via Handler, stop with BeginDrain then Drain.
+type Server struct {
+	cfg      Config
+	classify *core.Cache
+	breakers *breakerSet
+	mux      *http.ServeMux
+
+	slots    chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	wg       sync.WaitGroup
+
+	draining    atomic.Bool
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+}
+
+// New builds a Server from cfg, applying defaults for unset fields.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.solve == nil {
+		cfg.solve = solver.SolveCtx
+	}
+	s := &Server{
+		cfg:      cfg,
+		classify: core.NewCache(),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		slots:    make(chan struct{}, cfg.Workers),
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain moves the server into draining mode: new requests are refused
+// with 503, queued requests are released with 503, and the governors of
+// in-flight solves are cancelled so they come back promptly with partial
+// (OutcomeUnknown) verdicts that the HTTP layer can still deliver. Safe to
+// call more than once.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logf("drain: admission stopped, cancelling %d in-flight solves", s.inflight.Load())
+		s.drainCancel()
+	}
+}
+
+// Drain blocks until every in-flight request has finished writing its
+// response, or ctx expires. Call after BeginDrain; pair with
+// http.Server.Shutdown, which waits for the connections themselves.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Admission outcomes.
+var (
+	errShed  = errors.New("admission queue full")
+	errDrain = errors.New("server draining")
+)
+
+// acquire claims a worker slot, waiting in the bounded admission queue if
+// the pool is busy. It fails fast with errShed when the queue is full,
+// errDrain when the server starts draining, or the request context's error
+// when the client goes away while queued.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errShed
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-s.drainCtx.Done():
+		return errDrain
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the taxonomy error body; shed/shutdown also carry the
+// Retry-After header (whole seconds, rounded up, minimum 1).
+func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	body := ErrorBody{Code: code, Message: message}
+	if code == CodeShed || code == CodeShutdown {
+		ra := s.cfg.RetryAfter
+		body.RetryAfterMS = ra.Milliseconds()
+		secs := int64((ra + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, &body)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeShutdown, "server is draining")
+		return
+	}
+	var req SolveRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "body: "+err.Error())
+		return
+	}
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "query: "+err.Error())
+		return
+	}
+	d, err := db.Parse(req.DB)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "db: "+err.Error())
+		return
+	}
+	cls, err := s.classify.Classify(q)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, CodeUnsupported, err.Error())
+		return
+	}
+
+	gopts, clamped, err := s.cfg.Policy.Clamp(govern.Options{
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Budget:  req.Budget,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, CodePolicy, err.Error())
+		return
+	}
+	opts := solver.Options{
+		Timeout:        gopts.Timeout,
+		Budget:         gopts.Budget,
+		DegradeSamples: req.DegradeSamples,
+		SampleSeed:     req.SampleSeed,
+		SampleTimeout:  s.cfg.SampleTimeout,
+	}
+	if s.cfg.DegradeSamples != 0 && (opts.DegradeSamples == 0 || opts.DegradeSamples > s.cfg.DegradeSamples) {
+		opts.DegradeSamples = s.cfg.DegradeSamples
+	}
+
+	br := s.breakers.forClass(cls.Class)
+	mode := modeFull
+	if br != nil {
+		mode = br.admit()
+	}
+
+	switch err := s.acquire(r.Context()); {
+	case errors.Is(err, errShed):
+		s.writeError(w, http.StatusTooManyRequests, CodeShed, "worker pool and admission queue are full")
+		return
+	case errors.Is(err, errDrain):
+		s.writeError(w, http.StatusServiceUnavailable, CodeShutdown, "server is draining")
+		return
+	case err != nil:
+		// Client went away while queued; nothing to write.
+		return
+	}
+	defer s.release()
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	// The solve obeys both the client (request context) and the drain:
+	// either cancels the governor, which surfaces as a prompt partial
+	// verdict rather than an abandoned goroutine.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.drainCtx, cancel)
+	defer stopAfter()
+
+	start := time.Now()
+	var v solver.Verdict
+	if mode == modeShortCircuit {
+		v, err = solver.Degraded(ctx, q, d, opts)
+	} else {
+		v, err = s.cfg.solve(ctx, q, d, opts)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		if br != nil {
+			br.record(mode, false, false) // neutral: no exact-path signal
+		}
+		s.logf("solve %s: internal error after %v: %v", cls.Class.Code(), elapsed, err)
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+
+	// Classify the ending for the breaker: did the exact search get cut
+	// off by its budget/deadline (including the lucky sampled-witness
+	// upgrade, which still burned the whole budget), did it conclude, or
+	// was it ended neutrally (client cancellation, shutdown)?
+	exactCutoff := (v.Evidence != nil && v.Evidence.FalsifyingSample != nil) ||
+		(v.Outcome == solver.OutcomeUnknown &&
+			(errors.Is(v.Err, govern.ErrBudget) || errors.Is(v.Err, context.DeadlineExceeded)))
+	conclusive := !exactCutoff && v.Outcome != solver.OutcomeUnknown
+	if br != nil {
+		br.record(mode, exactCutoff, conclusive)
+	}
+
+	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds()}
+	switch mode {
+	case modeShortCircuit:
+		resp.Breaker = BreakerOpen
+	case modeProbe:
+		resp.Breaker = BreakerProbe
+	}
+	if clamped.Any() {
+		resp.Clamped = &ClampReport{
+			Timeout:   clamped.Timeout,
+			Budget:    clamped.Budget,
+			TimeoutMS: opts.Timeout.Milliseconds(),
+			BudgetVal: opts.Budget,
+		}
+	}
+	s.logf("solve %s: %s in %v (breaker=%q)", cls.Class.Code(), v.Outcome, elapsed, resp.Breaker)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeShutdown, "server is draining")
+		return
+	}
+	var req ClassifyRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "body: "+err.Error())
+		return
+	}
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "query: "+err.Error())
+		return
+	}
+	cls, err := s.classify.Classify(q)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, CodeUnsupported, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ClassifyResponse{Class: cls.Class, Reason: cls.Reason, InP: cls.Class.InP()})
+}
+
+func (s *Server) health() HealthResponse {
+	return HealthResponse{
+		Status:   "ok",
+		Workers:  s.cfg.Workers,
+		Inflight: s.inflight.Load(),
+		Queued:   s.queued.Load(),
+		Draining: s.draining.Load(),
+	}
+}
+
+// handleHealthz reports liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReadyz reports readiness: 503 once draining so load balancers stop
+// routing here while in-flight work finishes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	if h.Draining {
+		h.Status = "draining"
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,151 @@
+// Package server implements certd's HTTP/JSON service layer over the
+// CERTAINTY(q) solver stack. The layer exists because the workload is
+// bimodal: FO-rewritable queries answer in microseconds while strong-cycle
+// queries are coNP-complete (Theorem 2), so a shared endpoint must keep the
+// hard requests from starving everything else. The server composes four
+// defenses, in request order:
+//
+//  1. Admission control: a bounded worker pool with a bounded wait queue;
+//     requests beyond both are shed immediately with 429 + Retry-After.
+//  2. Policy clamping: client-supplied deadlines and step budgets are
+//     mapped onto the in-process governor (internal/govern) and clamped to
+//     operator maxima, so no request can demand unbounded work.
+//  3. Per-class circuit breakers: repeated governor cutoffs on a hard query
+//     class trip that class's breaker; while open, its requests
+//     short-circuit to the bounded Monte-Carlo degraded verdict instead of
+//     burning a worker on a search that keeps timing out. Half-open probes
+//     recover. Tractable classes are unaffected and keep answering exactly.
+//  4. Graceful shutdown: draining stops admission (503), cancels in-flight
+//     governors so searches return partial verdicts promptly, and lets the
+//     HTTP layer flush those responses before the process exits.
+package server
+
+import (
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// Error taxonomy codes carried in ErrorBody.Code. Clients use them to
+// decide retryability: malformed, unsupported, and policy errors are
+// permanent (the same request can never succeed); shed and shutdown are
+// transient (retry after backoff); internal may be retried a bounded
+// number of times.
+const (
+	// CodeMalformed: the request body, query, or database text does not
+	// parse. HTTP 400.
+	CodeMalformed = "malformed"
+	// CodeUnsupported: the query is well-formed but outside the paper's
+	// scope (self-joins, unrecognized cyclic queries). HTTP 422.
+	CodeUnsupported = "unsupported"
+	// CodePolicy: the request's explicit resource demands exceed server
+	// policy and the server is configured to reject rather than clamp.
+	// HTTP 422.
+	CodePolicy = "policy"
+	// CodeShed: the worker pool and its admission queue are full; the
+	// request was not started. HTTP 429 with Retry-After.
+	CodeShed = "shed"
+	// CodeShutdown: the server is draining and admits no new work.
+	// HTTP 503 with Retry-After.
+	CodeShutdown = "shutdown"
+	// CodeInternal: the solve failed unexpectedly (e.g. a contained
+	// panic). HTTP 500.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the JSON body of every non-200 response.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message,omitempty"`
+	// RetryAfterMS, when positive, is the server's hint for when to retry
+	// (shed and shutdown responses). Also sent as the Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Error renders the error body.
+func (e *ErrorBody) Error() string {
+	if e.Message == "" {
+		return "certd: " + e.Code
+	}
+	return fmt.Sprintf("certd: %s: %s", e.Code, e.Message)
+}
+
+// SolveRequest asks the server to decide CERTAINTY(q) for the query and
+// database given in the shared textual formats. TimeoutMS and Budget are
+// requests, not guarantees: the server clamps them to its policy and
+// reports what it applied in SolveResponse.Clamped.
+type SolveRequest struct {
+	// Query in the textual query language, e.g. "R(x | y), S(y | x)".
+	Query string `json:"query"`
+	// DB in the textual database format, one fact per line or
+	// comma-separated.
+	DB string `json:"db"`
+	// TimeoutMS bounds wall-clock solve time in milliseconds; 0 asks for
+	// the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Budget caps governor search steps; 0 asks for the server default.
+	Budget int64 `json:"budget,omitempty"`
+	// DegradeSamples caps the Monte-Carlo samples drawn after a cutoff;
+	// 0 means the solver default, negative disables sampling.
+	DegradeSamples int `json:"degrade_samples,omitempty"`
+	// SampleSeed seeds the degradation sampler (deterministic per seed).
+	SampleSeed int64 `json:"sample_seed,omitempty"`
+}
+
+// ClampReport tells the client which of its requested limits the server
+// tightened, and the effective values applied.
+type ClampReport struct {
+	Timeout   bool  `json:"timeout,omitempty"`
+	Budget    bool  `json:"budget,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms"`
+	BudgetVal int64 `json:"budget_val"`
+}
+
+// Breaker states reported in SolveResponse.Breaker.
+const (
+	// BreakerOpen: the class's breaker short-circuited this request to the
+	// degraded Monte-Carlo path without running the exact search.
+	BreakerOpen = "open"
+	// BreakerProbe: the breaker was half-open and this request ran the
+	// exact search as the recovery probe.
+	BreakerProbe = "probe"
+)
+
+// SolveResponse carries the three-valued verdict plus the service-level
+// envelope. The verdict is exactly solver.Verdict's wire form, so remote
+// and local solves surface identically.
+type SolveResponse struct {
+	Verdict solver.Verdict `json:"verdict"`
+	// Clamped is present when the server tightened the requested limits.
+	Clamped *ClampReport `json:"clamped,omitempty"`
+	// Breaker is "" for a normal solve, BreakerOpen for a short-circuited
+	// degraded answer, BreakerProbe for a half-open recovery probe.
+	Breaker string `json:"breaker,omitempty"`
+	// ElapsedMS is the server-side solve latency in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ClassifyRequest asks for the complexity classification of a query alone;
+// classification is polynomial in the query, so these requests bypass the
+// worker pool.
+type ClassifyRequest struct {
+	Query string `json:"query"`
+}
+
+// ClassifyResponse reports the Koutris–Wijsen-style classification of the
+// query: the class of CERTAINTY(q) and whether it is tractable.
+type ClassifyResponse struct {
+	Class  core.Class `json:"class"`
+	Reason string     `json:"reason,omitempty"`
+	InP    bool       `json:"in_p"`
+}
+
+// HealthResponse is the body of /healthz and /readyz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Workers  int    `json:"workers"`
+	Inflight int64  `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Draining bool   `json:"draining"`
+}

@@ -23,7 +23,7 @@ import (
 // for) Conjecture 1.
 type Simplification struct {
 	// Projected lists the relations whose non-key columns were dropped.
-	Projected []string
+	Projected []string `json:"projected"`
 }
 
 // simplifyProjection applies the private-column projection rule to every

@@ -56,15 +56,15 @@ func (m Method) String() string {
 
 // Result reports a CERTAINTY(q) decision together with how it was obtained.
 type Result struct {
-	Certain        bool
-	Method         Method
-	Classification core.Classification
+	Certain        bool                `json:"certain"`
+	Method         Method              `json:"method"`
+	Classification core.Classification `json:"classification"`
 	// Simplified is non-nil when an equivalence-preserving rewrite moved
 	// the instance to a more tractable class before solving; the
 	// Classification field still reports the paper-faithful class of the
 	// original query, and SimplifiedClass the class actually solved.
-	Simplified      *Simplification
-	SimplifiedClass core.Class
+	Simplified      *Simplification `json:"simplified,omitempty"`
+	SimplifiedClass core.Class      `json:"simplified_class"`
 }
 
 // Solve classifies q with the paper's effective method and dispatches to

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -45,28 +46,28 @@ func (o Outcome) String() string {
 // off, plus the results of the graceful-degradation sampling pass.
 type Evidence struct {
 	// Steps is the number of governor steps (search nodes) executed.
-	Steps int64
+	Steps int64 `json:"steps"`
 	// TotalBlocks is the number of relevant blocks in the falsifying
 	// search space (0 when the cutoff happened outside that search).
-	TotalBlocks int
+	TotalBlocks int `json:"total_blocks,omitempty"`
 	// BestDepth is the largest number of blocks the falsifying search ever
 	// had simultaneously fixed without satisfying q.
-	BestDepth int
+	BestDepth int `json:"best_depth,omitempty"`
 	// BestCandidate is the partial selection at BestDepth — the best
 	// falsifying candidate found before the cutoff.
-	BestCandidate []db.Fact
+	BestCandidate []db.Fact `json:"best_candidate,omitempty"`
 	// Samples is the number of uniform repairs drawn by the degradation
 	// sampler; 0 when sampling was disabled or did not run.
-	Samples int
+	Samples int `json:"samples,omitempty"`
 	// Estimate is the sampled fraction of repairs satisfying q (valid when
 	// Samples > 0). An estimate near 1 is evidence for certainty; exactly
 	// 1 over many samples makes a falsifying repair unlikely but does not
 	// exclude it.
-	Estimate float64
+	Estimate float64 `json:"estimate,omitempty"`
 	// FalsifyingSample, when non-nil, is a sampled repair falsifying q — a
 	// definitive witness that the instance is not certain even though the
 	// exact search was cut off.
-	FalsifyingSample *db.DB
+	FalsifyingSample *db.DB `json:"falsifying_sample,omitempty"`
 }
 
 // Verdict is the result of a governed solve. When Outcome is
@@ -232,29 +233,71 @@ func degradedVerdict(g *govern.Governor, q cq.Query, d *db.DB, res Result, sev s
 		BestCandidate: sev.bestChosen,
 	}
 	v := Verdict{Outcome: OutcomeUnknown, Result: res, Err: g.Err(), Evidence: ev}
+	sampleInto(context.Background(), &v, q, d, opts)
+	return v
+}
+
+// sampleInto runs the bounded Monte-Carlo degradation pass and folds its
+// results into v's evidence. A sampled falsifying repair is a conclusive
+// one-sided witness, so it upgrades the verdict to OutcomeNotCertain and
+// clears the cutoff error. The pass runs under its own small governor
+// derived from ctx, so it terminates promptly even when the caller's
+// governor has already tripped (pass context.Background then).
+func sampleInto(ctx context.Context, v *Verdict, q cq.Query, d *db.DB, opts Options) {
 	samples := opts.DegradeSamples
 	if samples == 0 {
 		samples = 1024
 	}
 	if samples < 0 {
-		return v
+		return
 	}
 	timeout := opts.SampleTimeout
 	if timeout <= 0 {
 		timeout = 250 * time.Millisecond
 	}
-	sg := govern.New(context.Background(), govern.Options{Timeout: timeout})
+	sg := govern.New(ctx, govern.Options{Timeout: timeout})
 	defer sg.Close()
 	est, drawn, falsifier, _ := prob.EstimateSatisfactionCtx(sg.Attach(), q, d, samples, opts.SampleSeed)
-	ev.Samples = drawn
-	ev.Estimate = est
+	v.Evidence.Samples = drawn
+	v.Evidence.Estimate = est
 	if falsifier != nil {
-		// A sampled repair falsifies q: the one-sided Monte-Carlo test is
-		// conclusive in this direction, so the cutoff no longer matters.
-		ev.FalsifyingSample = falsifier
+		v.Evidence.FalsifyingSample = falsifier
 		v.Outcome = OutcomeNotCertain
 		v.Result.Certain = false
 		v.Err = nil
 	}
-	return v
+}
+
+// ErrExactSkipped is the Verdict.Err of a solve that deliberately skipped
+// the exact decision procedure — a server whose circuit breaker is open
+// short-circuits hard queries straight to the Monte-Carlo degraded path.
+var ErrExactSkipped = errors.New("solver: exact search skipped (degraded mode)")
+
+// Degraded answers a CERTAINTY(q) request with the bounded Monte-Carlo
+// degradation pass only, skipping the exact decision procedure entirely.
+// It is the fast fallback a resilient server uses when repeated cutoffs
+// show the exact coNP-path search cannot finish within policy: the verdict
+// is OutcomeUnknown with Err = ErrExactSkipped and a sampled
+// repair-satisfaction estimate — unless a sampled repair falsifies q, which
+// is a conclusive OutcomeNotCertain witness. The classification is still
+// exact (it is polynomial in the query alone).
+func Degraded(ctx context.Context, q cq.Query, d *db.DB, opts Options) (Verdict, error) {
+	cls, err := core.Classify(q)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{
+		Outcome:  OutcomeUnknown,
+		Result:   Result{Classification: cls, SimplifiedClass: cls.Class, Method: MethodFalsifying},
+		Err:      ErrExactSkipped,
+		Evidence: &Evidence{},
+	}
+	err = govern.Safe(func() error {
+		sampleInto(ctx, &v, q, d, opts)
+		return nil
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
 }

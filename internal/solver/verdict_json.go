@@ -1,0 +1,176 @@
+package solver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/govern"
+)
+
+// This file defines the JSON wire format of verdicts, shared by the certd
+// server and its client. The format is stable: outcomes, methods, and
+// error causes travel as fixed string codes so that a client can match
+// them with errors.Is after a round trip.
+
+// outcomeCodes maps the wire code of each outcome.
+var outcomeCodes = map[Outcome]string{
+	OutcomeCertain:    "certain",
+	OutcomeNotCertain: "not-certain",
+	OutcomeUnknown:    "unknown",
+}
+
+// MarshalText encodes the outcome as its wire code.
+func (o Outcome) MarshalText() ([]byte, error) {
+	if s, ok := outcomeCodes[o]; ok {
+		return []byte(s), nil
+	}
+	return nil, fmt.Errorf("solver: cannot encode Outcome(%d)", int(o))
+}
+
+// UnmarshalText decodes an outcome wire code.
+func (o *Outcome) UnmarshalText(text []byte) error {
+	for k, v := range outcomeCodes {
+		if v == string(text) {
+			*o = k
+			return nil
+		}
+	}
+	return fmt.Errorf("solver: unknown outcome code %q", text)
+}
+
+// methodCodes maps the wire code of each decision method.
+var methodCodes = map[Method]string{
+	MethodFO:            "fo-rewriting",
+	MethodTerminal:      "terminal",
+	MethodACk:           "ack-marking",
+	MethodCk:            "ck-marking",
+	MethodFalsifying:    "falsifying-search",
+	MethodBruteForce:    "brute-force",
+	MethodSafeRewriting: "safe-rewriting",
+}
+
+// MarshalText encodes the method as its wire code.
+func (m Method) MarshalText() ([]byte, error) {
+	if s, ok := methodCodes[m]; ok {
+		return []byte(s), nil
+	}
+	return nil, fmt.Errorf("solver: cannot encode Method(%d)", int(m))
+}
+
+// UnmarshalText decodes a method wire code.
+func (m *Method) UnmarshalText(text []byte) error {
+	for k, v := range methodCodes {
+		if v == string(text) {
+			*m = k
+			return nil
+		}
+	}
+	return fmt.Errorf("solver: unknown method code %q", text)
+}
+
+// Cutoff cause codes. Codes with canonical in-process errors decode back
+// to those errors, so errors.Is works identically on both ends of the wire.
+const (
+	errCodeDeadline = "deadline"
+	errCodeCanceled = "canceled"
+	errCodeBudget   = "budget"
+	errCodeSkipped  = "skipped"
+	errCodePanic    = "panic"
+	errCodeInternal = "internal"
+)
+
+// WireError is a verdict cutoff cause as transported over the wire. Causes
+// without a canonical error value (contained panics, unexpected internal
+// errors) decode to a *WireError carrying the original message.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message,omitempty"`
+}
+
+// Error renders the transported cause.
+func (e *WireError) Error() string {
+	if e.Message == "" {
+		return "remote cutoff: " + e.Code
+	}
+	return fmt.Sprintf("remote cutoff (%s): %s", e.Code, e.Message)
+}
+
+// encodeVerdictErr maps a cutoff cause to its wire form.
+func encodeVerdictErr(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	var pe *govern.PanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &WireError{Code: errCodeDeadline}
+	case errors.Is(err, context.Canceled):
+		return &WireError{Code: errCodeCanceled}
+	case errors.Is(err, govern.ErrBudget):
+		return &WireError{Code: errCodeBudget}
+	case errors.Is(err, ErrExactSkipped):
+		return &WireError{Code: errCodeSkipped}
+	case errors.As(err, &pe):
+		return &WireError{Code: errCodePanic, Message: err.Error()}
+	default:
+		return &WireError{Code: errCodeInternal, Message: err.Error()}
+	}
+}
+
+// decodeVerdictErr maps a wire cause back to the canonical in-process
+// error where one exists.
+func decodeVerdictErr(w *WireError) error {
+	if w == nil {
+		return nil
+	}
+	switch w.Code {
+	case errCodeDeadline:
+		return context.DeadlineExceeded
+	case errCodeCanceled:
+		return context.Canceled
+	case errCodeBudget:
+		return govern.ErrBudget
+	case errCodeSkipped:
+		return ErrExactSkipped
+	default:
+		return w
+	}
+}
+
+// verdictWire is the JSON shape of a Verdict.
+type verdictWire struct {
+	Outcome  Outcome    `json:"outcome"`
+	Result   Result     `json:"result"`
+	Error    *WireError `json:"error,omitempty"`
+	Evidence *Evidence  `json:"evidence,omitempty"`
+}
+
+// MarshalJSON encodes the verdict for the wire. The Err field travels as a
+// {code, message} pair; see WireError for the code set.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return json.Marshal(verdictWire{
+		Outcome:  v.Outcome,
+		Result:   v.Result,
+		Error:    encodeVerdictErr(v.Err),
+		Evidence: v.Evidence,
+	})
+}
+
+// UnmarshalJSON decodes a verdict produced by MarshalJSON. Canonical cutoff
+// causes (deadline, cancellation, budget, skipped-exact) decode back to
+// their in-process error values.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	var w verdictWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*v = Verdict{
+		Outcome:  w.Outcome,
+		Result:   w.Result,
+		Err:      decodeVerdictErr(w.Error),
+		Evidence: w.Evidence,
+	}
+	return nil
+}
