@@ -38,6 +38,12 @@ type Client struct {
 	// doubles it, capped at MaxBackoff. Defaults 100ms and 5s.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// MaxResponseBytes caps how much of a response body the client will
+	// read (default 64 MiB). A verdict whose body exceeds it — e.g. one
+	// carrying a very large FalsifyingSample database — fails with a
+	// distinct "response body exceeds ... limit" error rather than a
+	// confusing JSON decode failure.
+	MaxResponseBytes int64
 
 	// Test seams: sleep waits out a backoff (default: timer + ctx), rng
 	// drives jitter (default: math/rand global).
@@ -140,9 +146,19 @@ func (c *Client) attempt(ctx context.Context, httpc *http.Client, path string, p
 		return true, 0, fmt.Errorf("client: %w", err) // transport errors are transient
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	limit := c.MaxResponseBytes
+	if limit <= 0 {
+		limit = 64 << 20
+	}
+	// Read one byte past the cap so hitting it is distinguishable from a
+	// body that is exactly at it.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
 		return true, 0, fmt.Errorf("client: read response: %w", err)
+	}
+	if int64(len(data)) > limit {
+		// The same request would produce the same oversized body: permanent.
+		return false, 0, fmt.Errorf("client: response body exceeds %d byte limit", limit)
 	}
 	if resp.StatusCode == http.StatusOK {
 		if err := json.Unmarshal(data, out); err != nil {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -250,5 +251,48 @@ func TestRemoteMatchesLocal(t *testing.T) {
 				t.Errorf("samples: remote %d, local %d", remote.Evidence.Samples, local.Evidence.Samples)
 			}
 		})
+	}
+}
+
+// TestOversizedResponseNotRetried: a 200 body larger than MaxResponseBytes
+// surfaces as a distinct "exceeds ... limit" error after exactly one
+// attempt — the same request would yield the same oversized body, so
+// retrying is pure extra load.
+func TestOversizedResponseNotRetried(t *testing.T) {
+	ts, calls := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(make([]byte, 2048))
+	})
+	c, slept := testClient(ts.URL)
+	c.MaxResponseBytes = 1024
+	_, err := c.Solve(context.Background(), server.SolveRequest{})
+	if err == nil || !strings.Contains(err.Error(), "exceeds 1024 byte limit") {
+		t.Fatalf("err = %v, want a response-too-large error", err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("attempts = %d, sleeps = %d; oversized responses must not be retried", calls.Load(), len(*slept))
+	}
+}
+
+// TestResponseExactlyAtLimit: a body of exactly MaxResponseBytes is not a
+// violation — the limit+1 sentinel read must not misfire at the boundary.
+func TestResponseExactlyAtLimit(t *testing.T) {
+	resp := server.SolveResponse{Verdict: solver.Verdict{Outcome: solver.OutcomeCertain, Result: solver.Result{Certain: true}}}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	})
+	c, _ := testClient(ts.URL)
+	c.MaxResponseBytes = int64(len(payload))
+	got, err := c.Solve(context.Background(), server.SolveRequest{})
+	if err != nil {
+		t.Fatalf("Solve at exact limit: %v", err)
+	}
+	if got.Verdict.Outcome != solver.OutcomeCertain {
+		t.Fatalf("verdict = %+v, want certain", got.Verdict)
 	}
 }

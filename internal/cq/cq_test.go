@@ -303,6 +303,19 @@ func TestParseQuotedEscapes(t *testing.T) {
 	}
 }
 
+// TestLineNumbersAfterEscapedNewline: escaped newlines inside a quoted
+// constant still count toward line numbering, so an error after a
+// multi-line constant reports the right line.
+func TestLineNumbersAfterEscapedNewline(t *testing.T) {
+	_, err := ParseQuery("R('a\\\nb' | x),\n$(y)")
+	if err == nil {
+		t.Fatal("ParseQuery should fail on $")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want it to report line 3 (escaped newline counted)", err)
+	}
+}
+
 func TestFamilies(t *testing.T) {
 	q1 := Q1()
 	if got := q1.String(); !strings.Contains(got, "R(u | 'a', x)") {

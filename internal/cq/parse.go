@@ -94,6 +94,9 @@ func (l *lexer) lexQuoted() (token, error) {
 			if l.pos+1 >= len(l.input) {
 				return token{}, fmt.Errorf("line %d: unterminated escape in constant", l.line)
 			}
+			if l.input[l.pos+1] == '\n' {
+				l.line++ // keep line numbers honest across escaped newlines
+			}
 			b.WriteByte(l.input[l.pos+1])
 			l.pos += 2
 		case '\'':

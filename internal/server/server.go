@@ -261,11 +261,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		opts.DegradeSamples = s.cfg.DegradeSamples
 	}
 
-	br := s.breakers.forClass(cls.Class)
-	mode := modeFull
-	if br != nil {
-		mode = br.admit()
-	}
+	// Register with the drain WaitGroup before claiming a slot so Drain
+	// cannot return while a request sits between acquire and solve.
+	s.wg.Add(1)
+	defer s.wg.Done()
 
 	switch err := s.acquire(r.Context()); {
 	case errors.Is(err, errShed):
@@ -279,10 +278,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	s.wg.Add(1)
-	defer s.wg.Done()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+
+	// Consult the breaker only once a worker slot is held: every admitted
+	// mode — in particular a half-open probe — is now guaranteed to reach
+	// br.record below, so a shed, drained, or abandoned request can never
+	// strand the breaker's single probe slot.
+	br := s.breakers.forClass(cls.Class)
+	mode := modeFull
+	if br != nil {
+		mode = br.admit()
+	}
 
 	// The solve obeys both the client (request context) and the drain:
 	// either cancels the governor, which surfaces as a prompt partial

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -304,6 +305,78 @@ func TestBreakerResilience(t *testing.T) {
 		t.Fatalf("probe verdict = %+v, want certain", resp.Verdict)
 	}
 	resp = decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", probe))
+	if resp.Breaker != "" {
+		t.Fatalf("post-recovery Breaker = %q, want closed-path solve", resp.Breaker)
+	}
+}
+
+// TestShedDoesNotLeakBreakerProbe is a regression test: a hard-class
+// request that is shed (or otherwise fails admission) after its breaker's
+// cooldown has elapsed must NOT consume the half-open probe slot. If it
+// did, probing would stay true forever, every later hard request would
+// short-circuit to the degraded verdict, and the class could never recover
+// exact service. The breaker is therefore consulted only after a worker
+// slot is held.
+func TestShedDoesNotLeakBreakerProbe(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	var cutoff atomic.Bool
+	cutoff.Store(true)
+	cfg := Config{
+		Workers:          1,
+		QueueDepth:       -1, // no admission queue: saturation sheds instantly
+		BreakerThreshold: 1,
+		BreakerCooldown:  5 * time.Second,
+	}
+	cfg.now = clock.Now
+	cfg.solve = func(ctx context.Context, q cq.Query, d *db.DB, opts solver.Options) (solver.Verdict, error) {
+		if len(q.Atoms) == 1 { // the FO filler query: block until released
+			entered <- struct{}{}
+			<-gate
+			return solver.Verdict{Outcome: solver.OutcomeCertain, Result: solver.Result{Certain: true}}, nil
+		}
+		if cutoff.Load() {
+			return solver.Verdict{Outcome: solver.OutcomeUnknown, Err: govern.ErrBudget}, nil
+		}
+		return solver.Verdict{Outcome: solver.OutcomeCertain, Result: solver.Result{Certain: true}}, nil
+	}
+	s := New(cfg)
+	hard := SolveRequest{Query: q0Text(), DB: oddRingText(3)}
+	fo := SolveRequest{Query: "R(x | y)", DB: "R(a | b)"}
+
+	// One cutoff trips the hard class's breaker (threshold 1).
+	resp := decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", hard))
+	if !errors.Is(resp.Verdict.Err, govern.ErrBudget) {
+		t.Fatalf("tripping request err = %v, want budget cutoff", resp.Verdict.Err)
+	}
+	clock.Advance(6 * time.Second) // past cooldown: next admit would probe
+
+	// Saturate the single worker with an FO solve, then shed a hard request.
+	done := make(chan struct{})
+	var foRec *httptest.ResponseRecorder
+	go func() {
+		defer close(done)
+		foRec = doJSON(t, s, nil, "POST", "/v1/solve", fo)
+	}()
+	<-entered
+	decodeError(t, doJSON(t, s, nil, "POST", "/v1/solve", hard),
+		http.StatusTooManyRequests, CodeShed)
+	close(gate)
+	<-done
+	decodeSolve(t, foRec)
+
+	// The shed request must not have claimed the probe: the next admitted
+	// hard request gets it, concludes, and closes the breaker.
+	cutoff.Store(false)
+	resp = decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", hard))
+	if resp.Breaker != BreakerProbe {
+		t.Fatalf("post-shed Breaker = %q, want %q (probe leaked to the shed request?)", resp.Breaker, BreakerProbe)
+	}
+	if resp.Verdict.Outcome != solver.OutcomeCertain {
+		t.Fatalf("probe verdict = %+v, want certain", resp.Verdict)
+	}
+	resp = decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", hard))
 	if resp.Breaker != "" {
 		t.Fatalf("post-recovery Breaker = %q, want closed-path solve", resp.Breaker)
 	}
