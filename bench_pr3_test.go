@@ -1,0 +1,196 @@
+package certainty
+
+// PR 3 performance benchmarks: seed-vs-indexed pairs for the optimization
+// layers added in this PR. Each pair runs the retained pre-index baseline
+// next to the production path on identical instances so a regression in
+// either the index, the compiled FO program, or the plan layer shows up as
+// a ratio change, not just an absolute drift. cmd/certbench -json runs the
+// same matrix and records it in BENCH_pr3.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+var pr3FOScales = []int{8, 32, 128}
+
+func pr3FOInstance(b testing.TB, n int) (cq.Query, *db.DB) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	d := gen.RandomDB(q, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
+	d.Digest() // warm the structural index outside the timed region
+	return q, d
+}
+
+// BenchmarkFOSeed is the pre-index FO recursion retained as the baseline
+// oracle: block lists recomputed per step, fresh valuation maps.
+func BenchmarkFOSeed(b *testing.B) {
+	for _, n := range pr3FOScales {
+		b.Run(fmt.Sprintf("emb=%d", n), func(b *testing.B) {
+			q, d := pr3FOInstance(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CertainFOBaseline(q, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFOIndexed is the production path: compiled FO program over the
+// memoized block index with pooled valuations.
+func BenchmarkFOIndexed(b *testing.B) {
+	for _, n := range pr3FOScales {
+		b.Run(fmt.Sprintf("emb=%d", n), func(b *testing.B) {
+			q, d := pr3FOInstance(b, n)
+			prog, err := solver.CompileFO(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Certain(q, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTerminalIndexed: Theorem 3 over the relation-level index views.
+func BenchmarkTerminalIndexed(b *testing.B) {
+	q := gen.TerminalPairsQuery(2, true)
+	for _, emb := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("emb=%d", emb), func(b *testing.B) {
+			d := gen.RandomDB(q, gen.Config{Embeddings: emb, Noise: 2, Domain: 3}, int64(emb))
+			d.Digest()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CertainTerminal(q, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkACkSequential / BenchmarkACkParallel: Theorem 4 graph marking,
+// sequential vs component-parallel fan-out (workers clamped to component
+// count).
+func benchACk(b *testing.B, parallel bool) {
+	q := cq.ACk(3)
+	shape, ok := core.MatchCycleShape(q, true)
+	if !ok {
+		b.Fatal("AC(3) shape match failed")
+	}
+	for _, comps := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("comps=%d", comps), func(b *testing.B) {
+			d := gen.CycleDB(gen.CycleConfig{K: 3, Components: comps, Width: 2, EncodeAll: true})
+			d.Digest()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if parallel {
+					_, err = solver.CertainACkParallel(q, shape, d, 0)
+				} else {
+					_, err = solver.CertainACk(q, shape, d)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkACkSequential(b *testing.B) { benchACk(b, false) }
+func BenchmarkACkParallel(b *testing.B)   { benchACk(b, true) }
+
+// BenchmarkFalsifyingSearch: the coNP falsifying-repair search on
+// Monotone-SAT-encoded q0 instances (hard by Theorem 2).
+func BenchmarkFalsifyingSearch(b *testing.B) {
+	q := cq.Q0()
+	for _, vars := range []int{6, 9, 12} {
+		b.Run(fmt.Sprintf("vars=%d", vars), func(b *testing.B) {
+			f := gen.RandomMonotoneSAT(vars, 5*vars, 3, int64(100*vars))
+			d := gen.MonotoneSATQ0DB(f)
+			d.Digest()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solver.CertainByFalsifying(q, d)
+			}
+		})
+	}
+}
+
+// BenchmarkSolvePlan: end-to-end Solve through a compiled plan vs the
+// per-call classify+dispatch path.
+func BenchmarkSolvePerCall(b *testing.B) {
+	q, d := pr3FOInstance(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolvePlan(b *testing.B) {
+	q, d := pr3FOInstance(b, 32)
+	p, err := solver.CompilePlan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFOIndexedAllocRegression pins the allocation win of the indexed FO
+// path: on the largest benchmark scale the compiled program must allocate
+// strictly less than the seed baseline, and stay under an absolute ceiling
+// generous enough to absorb runtime jitter but far below the baseline's
+// hundreds of allocations per decision.
+func TestFOIndexedAllocRegression(t *testing.T) {
+	n := pr3FOScales[len(pr3FOScales)-1]
+	q, d := pr3FOInstance(t, n)
+	prog, err := solver.CompileFO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := testing.AllocsPerRun(20, func() {
+		if _, err := solver.CertainFOBaseline(q, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	indexed := testing.AllocsPerRun(20, func() {
+		if _, err := prog.Certain(q, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op at emb=%d: baseline=%.0f indexed=%.0f", n, baseline, indexed)
+	if indexed >= baseline {
+		t.Fatalf("indexed FO allocates %.0f/op, not below baseline %.0f/op", indexed, baseline)
+	}
+	const ceiling = 120 // baseline sits in the hundreds at this scale
+	if indexed > ceiling {
+		t.Fatalf("indexed FO allocates %.0f/op, above the %d ceiling", indexed, ceiling)
+	}
+}

@@ -8,6 +8,7 @@
 //	certbench                 # run everything
 //	certbench -experiment E4  # one experiment
 //	certbench -quick          # reduced sizes
+//	certbench -json BENCH_pr3.json  # machine-readable perf baseline
 package main
 
 import (
@@ -33,7 +34,16 @@ func main() {
 	which := flag.String("experiment", "", "experiment to run (E1..E10); empty = all")
 	quick := flag.Bool("quick", false, "reduced instance sizes")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit); Ctrl-C stops too")
+	jsonOut := flag.String("json", "", "run the performance baseline matrix (ns/op, allocs/op per method × scale) and write it to this file instead of the experiments")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runPerfJSON(*jsonOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "certbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// perfEntry is one (method, variant, scale) measurement of the performance
+// baseline matrix. Variants come in pairs — "seed" measures the pre-index
+// code path retained as a baseline, "indexed" the production path — so the
+// file records the speedup each optimization layer bought and gives future
+// PRs a trajectory to beat.
+type perfEntry struct {
+	Name      string  `json:"name"`
+	Method    string  `json:"method"`
+	Variant   string  `json:"variant"`
+	Scale     int     `json:"scale"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	SpeedupVs string  `json:"speedup_vs,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+type perfReport struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	Quick     bool        `json:"quick"`
+	Entries   []perfEntry `json:"benchmarks"`
+}
+
+// measure runs fn under testing.Benchmark and extracts ns/op and allocs/op.
+func measure(name, method, variant string, scale int, fn func(b *testing.B)) perfEntry {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return perfEntry{
+		Name:     name,
+		Method:   method,
+		Variant:  variant,
+		Scale:    scale,
+		NsPerOp:  r.NsPerOp(),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// pairSpeedup annotates the indexed entry of a seed/indexed pair.
+func pairSpeedup(seed, indexed perfEntry) perfEntry {
+	indexed.SpeedupVs = seed.Name
+	if indexed.NsPerOp > 0 {
+		indexed.Speedup = float64(seed.NsPerOp) / float64(indexed.NsPerOp)
+	}
+	return indexed
+}
+
+// runPerfJSON runs the PR 3 performance matrix — FO rewriting (seed vs
+// indexed+compiled), Terminal, AC(k) (sequential vs parallel), the
+// falsifying search, and end-to-end Solve (per-call vs compiled plan) at
+// three database scales each — and writes the machine-readable report.
+func runPerfJSON(path string, quick bool) error {
+	scales := []int{8, 32, 128}
+	satVars := []int{6, 9, 12}
+	comps := []int{8, 32, 128}
+	if quick {
+		scales = []int{4, 8, 16}
+		satVars = []int{4, 6, 8}
+		comps = []int{4, 8, 16}
+	}
+	report := perfReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+	}
+	add := func(e perfEntry) {
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("  %-28s scale=%-4d %12d ns/op %8d allocs/op %10d B/op\n",
+			e.Name, e.Scale, e.NsPerOp, e.AllocsOp, e.BytesOp)
+	}
+
+	// FO rewriting: the seed path re-derives block lists per recursive step
+	// and memoizes shape keys lazily; the indexed path runs the compiled
+	// program over the memoized block index with pooled valuations.
+	foQ := cq.MustParseQuery("R(x | y), S(y | z)")
+	for _, n := range scales {
+		d := gen.RandomDB(foQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
+		d.Digest() // build the index outside the timed region, as a server would
+		seed := measure(fmt.Sprintf("fo/seed/emb=%d", n), "fo", "seed", n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CertainFOBaseline(foQ, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		prog, err := solver.CompileFO(foQ)
+		if err != nil {
+			return err
+		}
+		indexed := measure(fmt.Sprintf("fo/indexed/emb=%d", n), "fo", "indexed", n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Certain(foQ, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(seed)
+		add(pairSpeedup(seed, indexed))
+	}
+
+	// Terminal weak cycles (Theorem 3).
+	termQ := gen.TerminalPairsQuery(2, true)
+	for _, n := range scales {
+		emb := n / 4
+		if emb < 1 {
+			emb = 1
+		}
+		d := gen.RandomDB(termQ, gen.Config{Embeddings: emb, Noise: 2, Domain: 3}, int64(n))
+		d.Digest()
+		add(measure(fmt.Sprintf("terminal/indexed/emb=%d", emb), "terminal", "indexed", emb, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CertainTerminal(termQ, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// AC(k) graph marking, sequential vs parallel fan-out.
+	ackQ := cq.ACk(3)
+	shape, ok := core.MatchCycleShape(ackQ, true)
+	if !ok {
+		return fmt.Errorf("AC(3) shape match failed")
+	}
+	for _, c := range comps {
+		d := gen.CycleDB(gen.CycleConfig{K: 3, Components: c, Width: 2, EncodeAll: true})
+		d.Digest()
+		seq := measure(fmt.Sprintf("ack/seq/comps=%d", c), "ack", "seq", c, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CertainACk(ackQ, shape, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		par := measure(fmt.Sprintf("ack/par/comps=%d", c), "ack", "par", c, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CertainACkParallel(ackQ, shape, d, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(seq)
+		add(pairSpeedup(seq, par))
+	}
+
+	// Falsifying-repair search on Monotone-SAT-encoded q0 instances.
+	falsQ := cq.Q0()
+	for _, v := range satVars {
+		f := gen.RandomMonotoneSAT(v, 5*v, 3, int64(100*v))
+		d := gen.MonotoneSATQ0DB(f)
+		d.Digest()
+		add(measure(fmt.Sprintf("falsifying/indexed/vars=%d", v), "falsifying", "indexed", v, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				solver.CertainByFalsifying(falsQ, d)
+			}
+		}))
+	}
+
+	// End-to-end Solve: per-call classification vs the compiled plan.
+	for _, n := range scales {
+		d := gen.RandomDB(foQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
+		d.Digest()
+		seed := measure(fmt.Sprintf("solve/per-call/emb=%d", n), "solve", "seed", n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(foQ, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		p, err := solver.CompilePlan(foQ)
+		if err != nil {
+			return err
+		}
+		planned := measure(fmt.Sprintf("solve/plan/emb=%d", n), "solve", "plan", n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Solve(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(seed)
+		add(pairSpeedup(seed, planned))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
+	return nil
+}

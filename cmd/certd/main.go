@@ -48,6 +48,8 @@ func main() {
 		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 		degradeSamples = flag.Int("degrade-samples", 0, "cap on Monte-Carlo samples per degraded verdict (0 = solver default)")
 		grace          = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight solves")
+		planCache      = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default)")
+		verdictCache   = flag.Int("verdict-cache", 0, "verdict cache capacity (0 = default, <0 disables)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,8 @@ func main() {
 		BreakerCooldown:  *breakCooldown,
 		RetryAfter:       *retryAfter,
 		DegradeSamples:   *degradeSamples,
+		PlanCacheSize:    *planCache,
+		VerdictCacheSize: *verdictCache,
 		Logger:           logger,
 	})
 

@@ -4,15 +4,24 @@ import (
 	"sync"
 
 	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/lru"
 )
+
+// DefaultCacheSize bounds a classification cache built with NewCache. The
+// canonical-form working set of real workloads is small (queries repeat up
+// to renaming); the bound exists so an adversarial stream of never-repeating
+// queries cannot grow the cache without limit.
+const DefaultCacheSize = 4096
 
 // Cache memoizes classifications by the canonical form of the query, so
 // that repeated Solve calls over renamed/reordered copies of the same query
 // (the answers fast path, per-candidate dispatch, interactive sessions) pay
-// for the attack-graph analysis once. Safe for concurrent use.
+// for the attack-graph analysis once. The cache is a capped LRU: least
+// recently used classifications are evicted once the bound is reached.
+// Safe for concurrent use.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[string]cacheEntry
+	mu sync.Mutex
+	c  *lru.Cache[string, cacheEntry]
 }
 
 type cacheEntry struct {
@@ -20,9 +29,16 @@ type cacheEntry struct {
 	err error
 }
 
-// NewCache returns an empty classification cache.
+// NewCache returns an empty classification cache bounded at
+// DefaultCacheSize entries.
 func NewCache() *Cache {
-	return &Cache{m: make(map[string]cacheEntry)}
+	return NewCacheSize(DefaultCacheSize)
+}
+
+// NewCacheSize returns an empty classification cache holding at most size
+// entries (floored at one).
+func NewCacheSize(size int) *Cache {
+	return &Cache{c: lru.New[string, cacheEntry](size)}
 }
 
 // Classify is Classify with memoization. The classification is computed on
@@ -37,23 +53,30 @@ func NewCache() *Cache {
 // original naming should use the Graph of a direct Classify call.
 func (c *Cache) Classify(q cq.Query) (Classification, error) {
 	key := cq.CanonicalKey(q)
-	c.mu.RLock()
-	e, ok := c.m[key]
-	c.mu.RUnlock()
+	c.mu.Lock()
+	e, ok := c.c.Get(key)
+	c.mu.Unlock()
 	if ok {
 		return e.cls, e.err
 	}
 	canon, _ := cq.Canonicalize(q)
 	cls, err := Classify(canon)
 	c.mu.Lock()
-	c.m[key] = cacheEntry{cls: cls, err: err}
+	c.c.Put(key, cacheEntry{cls: cls, err: err})
 	c.mu.Unlock()
 	return cls, err
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Len()
+}
+
+// Stats returns the cache's occupancy and hit/miss/eviction counters.
+func (c *Cache) Stats() lru.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Stats()
 }

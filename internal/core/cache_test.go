@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// TestCacheBounded: the classification cache is a capped LRU — an unbounded
+// stream of distinct canonical queries never grows it past its capacity, and
+// the least recently used entries are the ones evicted.
+func TestCacheBounded(t *testing.T) {
+	c := NewCacheSize(2)
+	qs := make([]cq.Query, 3)
+	for i := range qs {
+		qs[i] = cq.MustParseQuery(fmt.Sprintf("R%d(x | y), S%d(y | x)", i, i))
+	}
+	if _, err := c.Classify(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify(qs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Touch qs[0] so qs[1] is the LRU entry.
+	if _, err := c.Classify(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Classify(qs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", c.Len())
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+	if s.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1 (the qs[0] re-touch)", s.Hits)
+	}
+	// qs[1] was evicted: classifying it again must miss (miss count grows).
+	missesBefore := s.Misses
+	if _, err := c.Classify(qs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != missesBefore+1 {
+		t.Fatalf("Misses = %d, want %d (evicted entry must be recomputed)", got, missesBefore+1)
+	}
+}
+
+// TestCacheEvictionCorrectness: results served after evictions are identical
+// to direct classification.
+func TestCacheEvictionCorrectness(t *testing.T) {
+	c := NewCacheSize(1)
+	for i := 0; i < 8; i++ {
+		q := cq.MustParseQuery(fmt.Sprintf("T%d(x | y)", i%3))
+		direct, derr := Classify(q)
+		cached, cerr := c.Classify(q)
+		if (derr == nil) != (cerr == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", q, derr, cerr)
+		}
+		if derr == nil && direct.Class != cached.Class {
+			t.Fatalf("%s: direct %v cached %v", q, direct.Class, cached.Class)
+		}
+		if c.Len() > 1 {
+			t.Fatalf("Len = %d exceeds capacity 1", c.Len())
+		}
+	}
+}

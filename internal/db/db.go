@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/govern"
@@ -14,6 +15,10 @@ import (
 // DB is an uncertain database: a finite set of facts. Facts are deduplicated
 // and kept in insertion order for deterministic iteration. The zero value is
 // not ready for use; call New.
+//
+// Reads (including the lazily built structural index, see index.go) are safe
+// for concurrent use; mutations (Add, Remove, RemoveBlock) are not and must
+// not race with reads.
 type DB struct {
 	facts      []Fact
 	ids        map[string]int    // Fact.ID() → index into facts
@@ -21,6 +26,9 @@ type DB struct {
 	rels       map[string][]int  // relation name → indices
 	sigs       map[string][2]int // relation name → [arity, keyLen]
 	blockOrder []string          // block IDs in first-insertion order
+
+	mu  sync.Mutex // guards idx
+	idx *dbIndex   // memoized structural index; nil until built, reset on mutation
 }
 
 // New returns an empty uncertain database.
@@ -64,21 +72,30 @@ func (d *DB) Add(f Fact) error {
 		return fmt.Errorf("db: relation %s used with signatures [%d,%d] and [%d,%d]",
 			f.Rel, prev[0], prev[1], sig[0], sig[1])
 	}
+	d.addValidated(f)
+	return nil
+}
+
+// addValidated inserts a fact that is already known to be valid and
+// signature-consistent with the database (facts coming from another DB that
+// validated them on first insert). Skipping re-validation keeps derived
+// databases (Restrict, WithoutBlock, RepairDB) off the per-fact error paths.
+func (d *DB) addValidated(f Fact) {
 	id := f.ID()
 	if _, ok := d.ids[id]; ok {
-		return nil
+		return
 	}
+	d.invalidate()
 	idx := len(d.facts)
 	d.facts = append(d.facts, f)
 	d.ids[id] = idx
-	d.sigs[f.Rel] = sig
+	d.sigs[f.Rel] = [2]int{len(f.Args), f.KeyLen}
 	bid := f.BlockID()
 	if _, ok := d.blocks[bid]; !ok {
 		d.blockOrder = append(d.blockOrder, bid)
 	}
 	d.blocks[bid] = append(d.blocks[bid], idx)
 	d.rels[f.Rel] = append(d.rels[f.Rel], idx)
-	return nil
 }
 
 // Len returns the number of facts.
@@ -178,25 +195,45 @@ func (d *DB) ActiveDomain() []string {
 }
 
 // Clone returns a copy of the database sharing fact values (facts are
-// immutable by convention).
+// immutable by convention). The copy is structural: the internal maps and
+// slices are duplicated directly instead of re-validating and re-encoding
+// every fact through Add, so cloning is a flat O(n) copy. The memoized
+// structural index is shared with the original (it describes identical
+// content and is immutable); either database rebuilds its own on mutation.
 func (d *DB) Clone() *DB {
-	c := New()
-	for _, f := range d.facts {
-		if err := c.Add(f); err != nil {
-			panic(err) // cannot happen: d was consistent with itself
-		}
+	c := &DB{
+		facts:      append([]Fact(nil), d.facts...),
+		ids:        make(map[string]int, len(d.ids)),
+		blocks:     make(map[string][]int, len(d.blocks)),
+		rels:       make(map[string][]int, len(d.rels)),
+		sigs:       make(map[string][2]int, len(d.sigs)),
+		blockOrder: append([]string(nil), d.blockOrder...),
 	}
+	for k, v := range d.ids {
+		c.ids[k] = v
+	}
+	for k, v := range d.blocks {
+		c.blocks[k] = append([]int(nil), v...)
+	}
+	for k, v := range d.rels {
+		c.rels[k] = append([]int(nil), v...)
+	}
+	for k, v := range d.sigs {
+		c.sigs[k] = v
+	}
+	d.mu.Lock()
+	c.idx = d.idx
+	d.mu.Unlock()
 	return c
 }
 
 // Restrict returns the sub-database containing only facts satisfying keep.
+// Facts were validated on first insertion, so the copy skips re-validation.
 func (d *DB) Restrict(keep func(Fact) bool) *DB {
 	c := New()
 	for _, f := range d.facts {
 		if keep(f) {
-			if err := c.Add(f); err != nil {
-				panic(err)
-			}
+			c.addValidated(f)
 		}
 	}
 	return c
@@ -272,13 +309,12 @@ func (d *DB) EachRepairCtx(ctx context.Context, yield func(repair []Fact) bool) 
 }
 
 // RepairDB materializes a repair (as produced by EachRepair) into a
-// consistent database.
+// consistent database. The facts must come from a valid database; they are
+// not re-validated.
 func RepairDB(repair []Fact) *DB {
 	d := New()
 	for _, f := range repair {
-		if err := d.Add(f); err != nil {
-			panic(err)
-		}
+		d.addValidated(f)
 	}
 	return d
 }
@@ -404,13 +440,30 @@ func (d *DB) Remove(f Fact) bool {
 			facts = append(facts, g)
 		}
 	}
-	*d = *New()
-	for _, g := range facts {
-		if err := d.Add(g); err != nil {
-			panic(err) // cannot happen: facts came from a valid database
-		}
-	}
+	d.rebuild(facts)
 	return true
+}
+
+// rebuild replaces d's contents with the given already-validated facts,
+// reconstructing every internal index.
+func (d *DB) rebuild(facts []Fact) {
+	n := New()
+	for _, g := range facts {
+		n.addValidated(g)
+	}
+	d.assignFrom(n)
+}
+
+// assignFrom moves n's content into d field-wise (d's mutex must not be
+// copied), dropping any memoized index of d.
+func (d *DB) assignFrom(n *DB) {
+	d.invalidate()
+	d.facts = n.facts
+	d.ids = n.ids
+	d.blocks = n.blocks
+	d.rels = n.rels
+	d.sigs = n.sigs
+	d.blockOrder = n.blockOrder
 }
 
 // RemoveBlock deletes the entire block of f, reporting how many facts were
@@ -429,11 +482,6 @@ func (d *DB) RemoveBlock(f Fact) int {
 	if n == 0 {
 		return 0
 	}
-	*d = *New()
-	for _, g := range facts {
-		if err := d.Add(g); err != nil {
-			panic(err)
-		}
-	}
+	d.rebuild(facts)
 	return n
 }

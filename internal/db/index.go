@@ -1,0 +1,164 @@
+package db
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// dbIndex is the lazily built, immutable structural view of a DB that the
+// solver hot paths consult instead of re-deriving per call:
+//
+//   - relFacts: relation → its facts in insertion order, as a single shared
+//     slice (FactsOf copies on every call; the index pays the copy once).
+//   - relBlocks: relation → its blocks in first-insertion order (the list
+//     blocksOf used to rebuild from a map on every recursive step of the
+//     Theorem 1 rewriting).
+//   - blockFacts: block ID → the block's facts as a shared slice (Block
+//     copies on every call).
+//   - postings: (relation, argument position, value) → the facts carrying
+//     that value at that position, in insertion order. Embedding search uses
+//     these to narrow candidate scans when any atom position is determined,
+//     not just the full primary key.
+//   - digest: a content digest of the fact set (order-independent), used by
+//     the serving layer to key verdict caches.
+//
+// The index is built at most once per DB content under DB.mu and then read
+// without locks; every slice is shared and must be treated as immutable.
+// Mutations (Add, Remove, RemoveBlock) invalidate the index, so derived
+// structure can never go stale.
+type dbIndex struct {
+	relFacts   map[string][]Fact
+	relBlocks  map[string][][]Fact
+	blockFacts map[string][]Fact
+	postings   map[string][]Fact
+	digest     string
+}
+
+// postingKey encodes (relation, position, value) unambiguously; NUL is safe
+// as a separator because Validate rejects NUL bytes in relation names and
+// arguments.
+func postingKey(rel string, pos int, value string) string {
+	var b strings.Builder
+	b.Grow(len(rel) + len(value) + 8)
+	b.WriteString(rel)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(pos))
+	b.WriteByte(0)
+	b.WriteString(value)
+	return b.String()
+}
+
+// index returns the memoized structural index, building it on first use.
+func (d *DB) index() *dbIndex {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.idx == nil {
+		d.idx = d.buildIndex()
+	}
+	return d.idx
+}
+
+// invalidate drops the memoized index; callers mutate d afterwards.
+func (d *DB) invalidate() {
+	d.mu.Lock()
+	d.idx = nil
+	d.mu.Unlock()
+}
+
+func (d *DB) buildIndex() *dbIndex {
+	ix := &dbIndex{
+		relFacts:   make(map[string][]Fact, len(d.rels)),
+		relBlocks:  make(map[string][][]Fact, len(d.rels)),
+		blockFacts: make(map[string][]Fact, len(d.blockOrder)),
+		postings:   make(map[string][]Fact),
+	}
+	for rel, idxs := range d.rels {
+		fs := make([]Fact, len(idxs))
+		for i, idx := range idxs {
+			fs[i] = d.facts[idx]
+		}
+		ix.relFacts[rel] = fs
+	}
+	for _, bid := range d.blockOrder {
+		idxs := d.blocks[bid]
+		blk := make([]Fact, len(idxs))
+		for i, idx := range idxs {
+			blk[i] = d.facts[idx]
+		}
+		ix.blockFacts[bid] = blk
+		rel := blk[0].Rel
+		ix.relBlocks[rel] = append(ix.relBlocks[rel], blk)
+	}
+	for _, f := range d.facts {
+		for pos, v := range f.Args {
+			key := postingKey(f.Rel, pos, v)
+			ix.postings[key] = append(ix.postings[key], f)
+		}
+	}
+	ix.digest = computeDigest(d.facts)
+	return ix
+}
+
+// computeDigest hashes the fact set order-independently: each fact is
+// rendered as its length-prefixed canonical encoding (including the key
+// length, which Fact.ID omits), the encodings are sorted, and the sorted
+// sequence is hashed with per-entry length prefixes so concatenation is
+// unambiguous.
+func computeDigest(facts []Fact) string {
+	enc := make([]string, len(facts))
+	for i, f := range facts {
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(f.KeyLen))
+		b.WriteByte('|')
+		b.WriteString(f.ID())
+		enc[i] = b.String()
+	}
+	sort.Strings(enc)
+	h := sha256.New()
+	var lenBuf [16]byte
+	for _, e := range enc {
+		n := strconv.AppendInt(lenBuf[:0], int64(len(e)), 10)
+		h.Write(n)
+		h.Write([]byte{':'})
+		h.Write([]byte(e))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns a content digest of the database: two databases have equal
+// digests iff they contain the same set of facts (up to SHA-256 collision),
+// regardless of insertion order. Memoized with the structural index; the
+// serving layer uses it to key verdict caches.
+func (d *DB) Digest() string { return d.index().digest }
+
+// RelationFacts returns the facts of the given relation in insertion order
+// as a shared slice. The caller must not modify it; use FactsOf for an
+// owned copy. Memoized: repeated calls return the same backing array until
+// the database is mutated.
+func (d *DB) RelationFacts(rel string) []Fact { return d.index().relFacts[rel] }
+
+// RelationSize returns the number of facts of the given relation without
+// materializing them.
+func (d *DB) RelationSize(rel string) int { return len(d.rels[rel]) }
+
+// BlocksOf returns the blocks of the given relation in first-insertion
+// order, as shared slices the caller must not modify. This is the memoized
+// form of the per-call block-list derivation the Theorem 1 rewriting used
+// to perform on every recursive step.
+func (d *DB) BlocksOf(rel string) [][]Fact { return d.index().relBlocks[rel] }
+
+// BlockView returns the block of the given fact as a shared slice the
+// caller must not modify; use Block for an owned copy.
+func (d *DB) BlockView(f Fact) []Fact { return d.index().blockFacts[f.BlockID()] }
+
+// FactsAt returns the facts of rel whose argument at position pos equals
+// value, in insertion order, as a shared slice the caller must not modify.
+// It returns nil when pos is out of range for the relation's arity. This is
+// the per-(relation, position) posting-list index consulted by embedding
+// search when an atom has any determined position short of its full key.
+func (d *DB) FactsAt(rel string, pos int, value string) []Fact {
+	return d.index().postings[postingKey(rel, pos, value)]
+}

@@ -1,0 +1,247 @@
+package db
+
+import (
+	"reflect"
+	"testing"
+)
+
+func indexTestDB(t *testing.T) *DB {
+	t.Helper()
+	return MustParse(`
+		R(a | b)
+		R(a | c)
+		R(b | b)
+		S(b, c | a)
+		S(b, c | d)
+		T(x | y)
+	`)
+}
+
+// legacyClone is the pre-index Clone path: re-inserting every fact through
+// Add. The structural copy must be indistinguishable from it.
+func legacyClone(d *DB) *DB {
+	c := New()
+	for _, f := range d.Facts() {
+		if err := c.Add(f); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+func TestCloneStructuralMatchesLegacy(t *testing.T) {
+	d := indexTestDB(t)
+	structural := d.Clone()
+	legacy := legacyClone(d)
+
+	if !structural.Equal(legacy) || !legacy.Equal(structural) {
+		t.Fatal("structural clone differs from legacy clone as a fact set")
+	}
+	if structural.String() != legacy.String() {
+		t.Fatalf("rendering differs:\n%s\nvs\n%s", structural, legacy)
+	}
+	if !reflect.DeepEqual(structural.Blocks(), legacy.Blocks()) {
+		t.Fatal("block structure differs")
+	}
+	if !reflect.DeepEqual(structural.Relations(), legacy.Relations()) {
+		t.Fatal("relation sets differ")
+	}
+	for _, rel := range legacy.Relations() {
+		if !reflect.DeepEqual(structural.FactsOf(rel), legacy.FactsOf(rel)) {
+			t.Fatalf("FactsOf(%s) differs", rel)
+		}
+		a1, k1, _ := structural.Signature(rel)
+		a2, k2, _ := legacy.Signature(rel)
+		if a1 != a2 || k1 != k2 {
+			t.Fatalf("Signature(%s) differs", rel)
+		}
+	}
+	if structural.NumRepairs().Cmp(legacy.NumRepairs()) != 0 {
+		t.Fatal("repair counts differ")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	d := indexTestDB(t)
+	c := d.Clone()
+	if err := c.Add(NewFact("U", 1, "new")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Has(NewFact("U", 1, "new")) {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	if !c.Remove(NewFact("T", 1, "x", "y")) {
+		t.Fatal("Remove on clone failed")
+	}
+	if !d.Has(NewFact("T", 1, "x", "y")) {
+		t.Fatal("removing from the clone leaked into the original")
+	}
+}
+
+func TestBlocksOfMatchesDerivation(t *testing.T) {
+	d := indexTestDB(t)
+	// Reference: the per-call derivation the solver used to perform.
+	want := func(rel string) [][]Fact {
+		var out [][]Fact
+		seen := make(map[string]bool)
+		for _, f := range d.FactsOf(rel) {
+			bid := f.BlockID()
+			if seen[bid] {
+				continue
+			}
+			seen[bid] = true
+			out = append(out, d.Block(f))
+		}
+		return out
+	}
+	for _, rel := range d.Relations() {
+		if got := d.BlocksOf(rel); !reflect.DeepEqual(got, want(rel)) {
+			t.Fatalf("BlocksOf(%s) = %v, want %v", rel, got, want(rel))
+		}
+	}
+	if d.BlocksOf("missing") != nil {
+		t.Fatal("BlocksOf of an absent relation must be nil")
+	}
+}
+
+func TestRelationFactsShared(t *testing.T) {
+	d := indexTestDB(t)
+	for _, rel := range d.Relations() {
+		if !reflect.DeepEqual(d.RelationFacts(rel), d.FactsOf(rel)) {
+			t.Fatalf("RelationFacts(%s) differs from FactsOf", rel)
+		}
+		if d.RelationSize(rel) != len(d.FactsOf(rel)) {
+			t.Fatalf("RelationSize(%s) mismatch", rel)
+		}
+	}
+	// Memoized: same backing array across calls.
+	a := d.RelationFacts("R")
+	b := d.RelationFacts("R")
+	if &a[0] != &b[0] {
+		t.Fatal("RelationFacts is not memoized")
+	}
+}
+
+func TestFactsAtPostings(t *testing.T) {
+	d := indexTestDB(t)
+	// Reference: filter the relation scan.
+	want := func(rel string, pos int, value string) []Fact {
+		var out []Fact
+		for _, f := range d.FactsOf(rel) {
+			if pos < len(f.Args) && f.Args[pos] == value {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		rel   string
+		pos   int
+		value string
+	}{
+		{"R", 0, "a"}, {"R", 1, "b"}, {"R", 1, "c"},
+		{"S", 0, "b"}, {"S", 2, "a"}, {"S", 2, "d"},
+		{"R", 0, "zzz"}, {"R", 5, "a"}, {"Q", 0, "a"},
+	}
+	for _, c := range cases {
+		got := d.FactsAt(c.rel, c.pos, c.value)
+		if !reflect.DeepEqual(got, want(c.rel, c.pos, c.value)) {
+			t.Fatalf("FactsAt(%s,%d,%s) = %v, want %v", c.rel, c.pos, c.value, got, want(c.rel, c.pos, c.value))
+		}
+	}
+}
+
+func TestBlockViewMatchesBlock(t *testing.T) {
+	d := indexTestDB(t)
+	for _, f := range d.Facts() {
+		if !reflect.DeepEqual(d.BlockView(f), d.Block(f)) {
+			t.Fatalf("BlockView(%v) differs from Block", f)
+		}
+	}
+	if d.BlockView(NewFact("R", 1, "nope", "x")) != nil {
+		t.Fatal("BlockView of an absent block must be nil")
+	}
+}
+
+func TestIndexInvalidationOnMutation(t *testing.T) {
+	d := MustParse("R(a | b)")
+	if n := len(d.BlocksOf("R")); n != 1 {
+		t.Fatalf("BlocksOf(R) = %d blocks, want 1", n)
+	}
+	dig1 := d.Digest()
+
+	// Add a key-equal fact: the block list, postings, and digest must all
+	// reflect it.
+	if err := d.Add(NewFact("R", 1, "a", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.BlocksOf("R")[0]); n != 2 {
+		t.Fatalf("block size after Add = %d, want 2", n)
+	}
+	if len(d.FactsAt("R", 1, "c")) != 1 {
+		t.Fatal("postings not rebuilt after Add")
+	}
+	if d.Digest() == dig1 {
+		t.Fatal("digest did not change after Add")
+	}
+
+	// Remove: back to the original content, digest must round-trip.
+	if !d.Remove(NewFact("R", 1, "a", "c")) {
+		t.Fatal("Remove failed")
+	}
+	if d.Digest() != dig1 {
+		t.Fatal("digest does not round-trip after Remove")
+	}
+
+	// RemoveBlock: empty database.
+	if n := d.RemoveBlock(NewFact("R", 1, "a", "b")); n != 1 {
+		t.Fatalf("RemoveBlock = %d, want 1", n)
+	}
+	if d.BlocksOf("R") != nil || d.Len() != 0 {
+		t.Fatal("index stale after RemoveBlock")
+	}
+}
+
+func TestDigestOrderIndependent(t *testing.T) {
+	a := MustParse("R(a | b), R(a | c), S(x | y)")
+	b := MustParse("S(x | y), R(a | c), R(a | b)")
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest must be insertion-order independent")
+	}
+	c := MustParse("R(a | b), R(a | c)")
+	if a.Digest() == c.Digest() {
+		t.Fatal("different fact sets must digest differently")
+	}
+	// Key length participates: same rendered args, different signature.
+	d1 := MustFromFacts(Fact{Rel: "R", KeyLen: 1, Args: []string{"a", "b"}})
+	d2 := MustFromFacts(Fact{Rel: "R", KeyLen: 2, Args: []string{"a", "b"}})
+	if d1.Digest() == d2.Digest() {
+		t.Fatal("digest must distinguish key lengths")
+	}
+}
+
+func TestDigestSharedByClone(t *testing.T) {
+	d := indexTestDB(t)
+	if d.Clone().Digest() != d.Digest() {
+		t.Fatal("clone digest differs")
+	}
+}
+
+func TestConcurrentIndexReads(t *testing.T) {
+	d := indexTestDB(t)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				_ = d.Digest()
+				_ = d.BlocksOf("R")
+				_ = d.RelationFacts("S")
+				_ = d.FactsAt("R", 0, "a")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

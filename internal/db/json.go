@@ -28,6 +28,6 @@ func (d *DB) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	*d = *out
+	d.assignFrom(out)
 	return nil
 }

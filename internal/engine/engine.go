@@ -48,11 +48,16 @@ func MatchAtom(a cq.Atom, f db.Fact, binding cq.Valuation) (cq.Valuation, bool) 
 	return out, true
 }
 
-// candidates returns the facts of d that could match atom a under binding.
-// When all key terms of a are determined, the block index narrows the scan
-// to a single block; otherwise all facts of the relation are scanned.
+// candidates returns the facts of d that could match atom a under binding,
+// as a shared slice from the database's memoized index (callers only read).
+// When all key terms of a are determined the block index narrows the scan to
+// a single block; failing that, any single determined position narrows it to
+// that position's posting list; only a fully undetermined atom scans the
+// whole relation. Posting lists preserve insertion order and only omit facts
+// MatchAtom would reject, so enumeration order is unchanged.
 func candidates(a cq.Atom, binding cq.Valuation, d *db.DB) []db.Fact {
 	key := make([]string, a.KeyLen)
+	keyDetermined := true
 	for i := 0; i < a.KeyLen; i++ {
 		t := a.Args[i]
 		if t.IsConst {
@@ -61,12 +66,24 @@ func candidates(a cq.Atom, binding cq.Valuation, d *db.DB) []db.Fact {
 		}
 		v, ok := binding[t.Value]
 		if !ok {
-			return d.FactsOf(a.Rel)
+			keyDetermined = false
+			break
 		}
 		key[i] = v
 	}
-	probe := db.Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: key}
-	return d.Block(probe)
+	if keyDetermined {
+		probe := db.Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: key}
+		return d.BlockView(probe)
+	}
+	for pos, t := range a.Args {
+		if t.IsConst {
+			return d.FactsAt(a.Rel, pos, t.Value)
+		}
+		if v, ok := binding[t.Value]; ok {
+			return d.FactsAt(a.Rel, pos, v)
+		}
+	}
+	return d.RelationFacts(a.Rel)
 }
 
 // orderAtoms returns an evaluation order: start from the atom with the
@@ -89,7 +106,7 @@ func orderAtoms(q cq.Query, d *db.DB) []int {
 				continue
 			}
 			b := a.Vars().Intersect(bound).Len()
-			size := len(d.FactsOf(a.Rel))
+			size := d.RelationSize(a.Rel)
 			if best == -1 || b > bestBound || (b == bestBound && size < bestSize) {
 				best, bestBound, bestSize = i, b, size
 			}

@@ -1,0 +1,100 @@
+// Package plan provides the shared compiled-plan cache of the serving
+// layer: a bounded LRU of solver.Plan values keyed by the query's canonical
+// form, with singleflight deduplication so concurrent requests for the same
+// query never duplicate classification and compilation work.
+package plan
+
+import (
+	"sync"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/lru"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// DefaultCacheSize bounds a plan cache built with NewCache.
+const DefaultCacheSize = 1024
+
+type entry struct {
+	p   *solver.Plan
+	err error
+}
+
+// call is an in-flight compilation; waiters block on wg and read p/err
+// afterwards.
+type call struct {
+	wg  sync.WaitGroup
+	p   *solver.Plan
+	err error
+}
+
+// Cache is a bounded, singleflight-deduplicated cache of compiled plans.
+// Plans are compiled for the canonical form of the query, so queries equal
+// up to variable renaming and atom reordering share one plan (and the plan's
+// Result/Verdict values describe the canonical query, consistently with the
+// classification the server already reports). Compilation errors are cached
+// like plans: an unclassifiable query costs the analysis once. Safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	c        *lru.Cache[string, entry]
+	inflight map[string]*call
+}
+
+// NewCache returns an empty plan cache holding at most size plans (floored
+// at one; size <= 0 selects DefaultCacheSize).
+func NewCache(size int) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Cache{
+		c:        lru.New[string, entry](size),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the compiled plan for q's canonical form, compiling it at
+// most once per canonical key even under concurrent misses: the first
+// caller compiles while the rest wait for its result.
+func (c *Cache) Get(q cq.Query) (*solver.Plan, error) {
+	key := cq.CanonicalKey(q)
+	c.mu.Lock()
+	if e, ok := c.c.Get(key); ok {
+		c.mu.Unlock()
+		return e.p, e.err
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		cl.wg.Wait()
+		return cl.p, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	canon, _ := cq.Canonicalize(q)
+	cl.p, cl.err = solver.CompilePlan(canon)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.c.Put(key, entry{p: cl.p, err: cl.err})
+	c.mu.Unlock()
+	cl.wg.Done()
+	return cl.p, cl.err
+}
+
+// Len returns the number of cached plans (not counting in-flight
+// compilations).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Len()
+}
+
+// Stats returns the cache's occupancy and hit/miss/eviction counters.
+func (c *Cache) Stats() lru.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Stats()
+}

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+func TestSharedAcrossIsomorphicQueries(t *testing.T) {
+	c := NewCache(8)
+	a := cq.MustParseQuery("R(x | y), S(y | z)")
+	b := cq.MustParseQuery("S(q | r), R(p | q)") // same canonical form
+	pa, err := c.Get(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Get(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatal("isomorphic queries must share one compiled plan")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestConcurrentGetsCompileOnce(t *testing.T) {
+	c := NewCache(8)
+	q := cq.MustParseQuery("R(x | y), S(y | z), T(z | w)")
+	const n = 16
+	plans := make([]*solver.Plan, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Get(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent gets must return the single-flighted plan")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestErrorsCached(t *testing.T) {
+	c := NewCache(8)
+	selfJoin := cq.MustParseQuery("R(x | y), R(y | x)")
+	if _, err := c.Get(selfJoin); err == nil {
+		t.Fatal("self-join must fail to compile")
+	}
+	if _, err := c.Get(selfJoin); err == nil {
+		t.Fatal("cached compile error must be returned")
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("second Get must hit the cached error, stats %+v", s)
+	}
+}
+
+func TestBounded(t *testing.T) {
+	c := NewCache(2)
+	for i := 0; i < 5; i++ {
+		q := cq.MustParseQuery(fmt.Sprintf("R%d(x | y)", i))
+		if _, err := c.Get(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want capacity 2", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 3 {
+		t.Fatalf("Evictions = %d, want 3", s.Evictions)
+	}
+}
+
+// TestPlanSolvesCanonically: the cached plan decides the same instances as
+// solving the original query directly (decisions are invariant under the
+// canonicalization's variable renaming).
+func TestPlanSolvesCanonically(t *testing.T) {
+	c := NewCache(8)
+	q := cq.MustParseQuery("Emp(name | dept), Dept(dept | floor)")
+	p, err := c.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		d := gen.RandomDB(q, gen.Config{Embeddings: 4, Noise: 3, Domain: 3}, seed)
+		want, err := solver.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Solve(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Certain != want {
+			t.Fatalf("seed %d: plan %v, direct %v", seed, got.Certain, want)
+		}
+	}
+	// Also across an explicit fact set with constants shared by the query.
+	d := db.MustParse("Emp(alice | sales), Emp(alice | hr), Dept(sales | 1), Dept(hr | 1)")
+	want, err := solver.Certain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certain != want {
+		t.Fatalf("explicit instance: plan %v, direct %v", res.Certain, want)
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/lru"
+	"github.com/cqa-go/certainty/internal/plan"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -46,6 +48,17 @@ type Config struct {
 	// pass for all requests (0 = solver defaults).
 	DegradeSamples int
 	SampleTimeout  time.Duration
+	// PlanCacheSize bounds the compiled-plan cache (default
+	// plan.DefaultCacheSize). Plans are keyed by the query's canonical
+	// form and compiled at most once per form, singleflighted across
+	// concurrent requests.
+	PlanCacheSize int
+	// VerdictCacheSize bounds the verdict cache, keyed by (canonical
+	// query, database content digest). Only conclusive verdicts are
+	// cached — cut-off (OutcomeUnknown) verdicts depend on the request's
+	// budget and are always recomputed. Default 4096; negative disables
+	// verdict caching.
+	VerdictCacheSize int
 	// Logger, when non-nil, receives one line per solve and lifecycle
 	// event.
 	Logger *log.Logger
@@ -61,6 +74,8 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	classify *core.Cache
+	plans    *plan.Cache
+	verdicts *verdictCache
 	breakers *breakerSet
 	mux      *http.ServeMux
 
@@ -100,14 +115,30 @@ func New(cfg Config) *Server {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
-	if cfg.solve == nil {
-		cfg.solve = solver.SolveCtx
+	if cfg.VerdictCacheSize == 0 {
+		cfg.VerdictCacheSize = 4096
 	}
 	s := &Server{
 		cfg:      cfg,
 		classify: core.NewCache(),
+		plans:    plan.NewCache(cfg.PlanCacheSize),
 		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
 		slots:    make(chan struct{}, cfg.Workers),
+	}
+	if cfg.VerdictCacheSize > 0 {
+		s.verdicts = newVerdictCache(cfg.VerdictCacheSize)
+	}
+	if s.cfg.solve == nil {
+		// The default solve path goes through the compiled-plan cache:
+		// classification, method selection, and the FO program are computed
+		// once per canonical query and reused across requests.
+		s.cfg.solve = func(ctx context.Context, q cq.Query, d *db.DB, opts solver.Options) (solver.Verdict, error) {
+			p, err := s.plans.Get(q)
+			if err != nil {
+				return solver.Verdict{}, err
+			}
+			return p.SolveCtx(ctx, d, opts)
+		}
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -115,7 +146,46 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
+}
+
+// verdictCache memoizes conclusive verdicts by (canonical query, database
+// content digest). Conclusive verdicts are exact and independent of any
+// budget or deadline, so serving one for a repeated instance is always
+// correct; OutcomeUnknown verdicts are never stored. Safe for concurrent
+// use.
+type verdictCache struct {
+	mu sync.Mutex
+	c  *lru.Cache[string, solver.Verdict]
+}
+
+func newVerdictCache(size int) *verdictCache {
+	return &verdictCache{c: lru.New[string, solver.Verdict](size)}
+}
+
+// verdictKey joins the canonical query key and the DB digest; NUL cannot
+// occur in either part.
+func verdictKey(q cq.Query, d *db.DB) string {
+	return cq.CanonicalKey(q) + "\x00" + d.Digest()
+}
+
+func (vc *verdictCache) get(key string) (solver.Verdict, bool) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.c.Get(key)
+}
+
+func (vc *verdictCache) put(key string, v solver.Verdict) {
+	vc.mu.Lock()
+	vc.c.Put(key, v)
+	vc.mu.Unlock()
+}
+
+func (vc *verdictCache) stats() lru.Stats {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.c.Stats()
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -261,6 +331,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		opts.DegradeSamples = s.cfg.DegradeSamples
 	}
 
+	// Memoized serving: a conclusive verdict for the same canonical query
+	// and database content is exact under any limits, so it is served
+	// straight from the cache — no worker slot, no breaker interaction.
+	var vkey string
+	if s.verdicts != nil {
+		vkey = verdictKey(q, d)
+		if v, ok := s.verdicts.get(vkey); ok {
+			resp := SolveResponse{Verdict: v, Cached: true}
+			if clamped.Any() {
+				resp.Clamped = &ClampReport{
+					Timeout:   clamped.Timeout,
+					Budget:    clamped.Budget,
+					TimeoutMS: opts.Timeout.Milliseconds(),
+					BudgetVal: opts.Budget,
+				}
+			}
+			s.logf("solve %s: %s from verdict cache", cls.Class.Code(), v.Outcome)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
 	// Register with the drain WaitGroup before claiming a slot so Drain
 	// cannot return while a request sits between acquire and solve.
 	s.wg.Add(1)
@@ -327,6 +419,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if br != nil {
 		br.record(mode, exactCutoff, conclusive)
 	}
+	// Cache only conclusive verdicts (Err == nil excludes degraded answers
+	// that carry ErrExactSkipped): those are independent of the request's
+	// budget and deadline, so a later request with different limits may
+	// reuse them.
+	if s.verdicts != nil && v.Err == nil && v.Outcome != solver.OutcomeUnknown {
+		s.verdicts.put(vkey, v)
+	}
 
 	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds()}
 	switch mode {
@@ -379,6 +478,19 @@ func (s *Server) health() HealthResponse {
 		Queued:   s.queued.Load(),
 		Draining: s.draining.Load(),
 	}
+}
+
+// handleStatsz reports the serving-layer cache counters: classification,
+// compiled plans, and verdicts.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	resp := StatszResponse{
+		Classify: s.classify.Stats(),
+		Plans:    s.plans.Stats(),
+	}
+	if s.verdicts != nil {
+		resp.Verdicts = s.verdicts.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports liveness: the process is up and serving.

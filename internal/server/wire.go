@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/lru"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -122,6 +123,11 @@ type SolveResponse struct {
 	// Breaker is "" for a normal solve, BreakerOpen for a short-circuited
 	// degraded answer, BreakerProbe for a half-open recovery probe.
 	Breaker string `json:"breaker,omitempty"`
+	// Cached is true when the verdict was served from the verdict cache
+	// (same canonical query, same database content digest) without running
+	// a solve. Only conclusive verdicts are ever cached, so a cached answer
+	// is exact regardless of the request's budget or deadline.
+	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the server-side solve latency in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
@@ -148,4 +154,13 @@ type HealthResponse struct {
 	Inflight int64  `json:"inflight"`
 	Queued   int64  `json:"queued"`
 	Draining bool   `json:"draining"`
+}
+
+// StatszResponse is the body of /statsz: occupancy and hit/miss/eviction
+// counters for each serving-layer cache. Verdicts is all-zero when the
+// verdict cache is disabled (VerdictCacheSize < 0).
+type StatszResponse struct {
+	Classify lru.Stats `json:"classify"`
+	Plans    lru.Stats `json:"plans"`
+	Verdicts lru.Stats `json:"verdicts"`
 }

@@ -139,7 +139,7 @@ func buildCycleGraph(q cq.Query, shape *core.CycleShape, d *db.DB, withSk bool) 
 	var edges []pendingEdge
 	for pos, atomIdx := range shape.CycleAtoms {
 		rel := q.Atoms[atomIdx].Rel
-		for _, f := range d.FactsOf(rel) {
+		for _, f := range d.RelationFacts(rel) {
 			u := cg.vertex(pos, f.Args[0])
 			v := cg.vertex((pos+1)%k, f.Args[1])
 			edges = append(edges, pendingEdge{u, v})
@@ -157,7 +157,7 @@ func buildCycleGraph(q cq.Query, shape *core.CycleShape, d *db.DB, withSk bool) 
 func (cg *cycleGraph) markedCycles(q cq.Query, shape *core.CycleShape, d *db.DB) map[string]bool {
 	out := make(map[string]bool)
 	rel := q.Atoms[shape.SkAtom].Rel
-	for _, f := range d.FactsOf(rel) {
+	for _, f := range d.RelationFacts(rel) {
 		cycle := make([]int, shape.K)
 		ok := true
 		for j, val := range f.Args {

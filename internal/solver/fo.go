@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
@@ -14,26 +15,182 @@ import (
 // unifyAtomFact unifies (possibly partially ground) atom a with fact f and
 // returns the valuation over vars(a) induced by f.
 func unifyAtomFact(a cq.Atom, f db.Fact) (cq.Valuation, bool) {
-	if a.Rel != f.Rel || len(a.Args) != len(f.Args) || a.KeyLen != f.KeyLen {
+	v := make(cq.Valuation)
+	if !unifyAtomFactInto(a, f, v) {
 		return nil, false
 	}
-	v := make(cq.Valuation)
+	return v, true
+}
+
+// unifyAtomFactInto is unifyAtomFact writing into a caller-provided (empty)
+// valuation, so hot loops can reuse pooled maps instead of allocating one
+// per candidate fact. On failure the map may hold partial bindings; the
+// caller clears it before reuse.
+func unifyAtomFactInto(a cq.Atom, f db.Fact, v cq.Valuation) bool {
+	if a.Rel != f.Rel || len(a.Args) != len(f.Args) || a.KeyLen != f.KeyLen {
+		return false
+	}
 	for i, t := range a.Args {
 		if t.IsConst {
 			if t.Value != f.Args[i] {
-				return nil, false
+				return false
 			}
 			continue
 		}
 		if prev, ok := v[t.Value]; ok {
 			if prev != f.Args[i] {
-				return nil, false
+				return false
 			}
 			continue
 		}
 		v[t.Value] = f.Args[i]
 	}
-	return v, true
+	return true
+}
+
+// valuationPool recycles the scratch valuations of the FO rewriting's hot
+// recursion. A valuation is returned to the pool as soon as the recursive
+// call that consumed it returns; Substitute copies bindings into fresh
+// atoms, so nothing retains the map.
+var valuationPool = sync.Pool{
+	New: func() any { return make(cq.Valuation, 8) },
+}
+
+func getValuation() cq.Valuation { return valuationPool.Get().(cq.Valuation) }
+
+func putValuation(v cq.Valuation) {
+	clear(v)
+	valuationPool.Put(v)
+}
+
+// shapePlaceholder stands in for every constant when only the query's shape
+// matters: the attack graph depends on the positions of variables, not on
+// which constants fill the ground positions.
+const shapePlaceholder = "▢"
+
+// FOProgram is the compiled static shape of the Theorem 1 rewriting: the
+// sequence of unattacked-atom choices the recursion makes, computed once
+// per query. At recursion depth L the residual query always has the same
+// shape — the same atoms minus the first L eliminated ones, with exactly
+// the variables of the eliminated atoms grounded — so the unattacked-atom
+// choice at each depth is a function of the original query alone. Compiling
+// it eagerly removes the per-call shape-key rendering and attack-graph
+// memoization from the hot recursion entirely.
+//
+// A program is immutable and safe for concurrent use; compile once per
+// canonical query (the plan cache does) and reuse across databases.
+type FOProgram struct {
+	steps []int // steps[L] = index, within the depth-L residual query, of the atom to eliminate
+}
+
+// CompileFO builds the FO rewriting program for q. It fails exactly where
+// CertainFO would: on queries whose attack graph is cyclic (or whose
+// residuals ever lose all unattacked atoms, which Lemma 5 rules out for
+// acyclic attack graphs).
+func CompileFO(q cq.Query) (*FOProgram, error) {
+	// Mask constants so the simulation works on the pure shape.
+	cur := maskShape(q)
+	steps := make([]int, 0, q.Len())
+	for !cur.IsEmpty() {
+		g, err := core.BuildAttackGraph(cur, jointree.TieBreakLex)
+		if err != nil {
+			return nil, err
+		}
+		un := g.Unattacked()
+		if len(un) == 0 {
+			return nil, fmt.Errorf("solver: CertainFO requires an acyclic attack graph: %s", cur)
+		}
+		idx := un[0]
+		F := cur.Atoms[idx]
+		theta := make(cq.Valuation)
+		for _, t := range F.Args {
+			if t.IsVar() {
+				theta[t.Value] = shapePlaceholder
+			}
+		}
+		cur = cur.Without(idx).Substitute(theta)
+		steps = append(steps, idx)
+	}
+	return &FOProgram{steps: steps}, nil
+}
+
+// maskShape replaces every constant of q with the shape placeholder.
+func maskShape(q cq.Query) cq.Query {
+	masked := make([]cq.Atom, q.Len())
+	for i, a := range q.Atoms {
+		args := make([]cq.Term, len(a.Args))
+		for j, t := range a.Args {
+			if t.IsConst {
+				args[j] = cq.Const(shapePlaceholder)
+			} else {
+				args[j] = t
+			}
+		}
+		masked[i] = cq.Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
+	}
+	return cq.Query{Atoms: masked}
+}
+
+// Certain decides db ∈ CERTAINTY(q) for the query the program was compiled
+// for (or any query with the same shape).
+func (p *FOProgram) Certain(q cq.Query, d *db.DB) (bool, error) {
+	return p.CertainCtx(context.Background(), q, d)
+}
+
+// CertainCtx is Certain with cooperative cancellation: one governor step is
+// charged per recursive rewriting step, exactly as in CertainFOCtx.
+func (p *FOProgram) CertainCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	if q.Len() != len(p.steps) {
+		return false, fmt.Errorf("solver: FO program compiled for %d atoms applied to %d-atom query", len(p.steps), q.Len())
+	}
+	return p.run(govern.From(ctx), q, d, 0)
+}
+
+func (p *FOProgram) run(g *govern.Governor, q cq.Query, d *db.DB, level int) (bool, error) {
+	if err := g.Step(); err != nil {
+		return false, err
+	}
+	return p.stepped(g, q, d, level)
+}
+
+// stepped is run after its governor step has been charged; CertainFOCtx
+// uses it to poll the governor before compiling, preserving the seed
+// behavior that cancellation surfaces ahead of scope errors.
+func (p *FOProgram) stepped(g *govern.Governor, q cq.Query, d *db.DB, level int) (bool, error) {
+	if q.IsEmpty() {
+		return true, nil
+	}
+	idx := p.steps[level]
+	F := q.Atoms[idx]
+	rest := q.Without(idx)
+	for _, block := range candidateBlocks(d, F) {
+		blockOK := true
+		for _, A := range block {
+			theta := getValuation()
+			if !unifyAtomFactInto(F, A, theta) {
+				putValuation(theta)
+				blockOK = false
+				break
+			}
+			next := rest
+			if len(theta) > 0 {
+				next = rest.Substitute(theta)
+			}
+			putValuation(theta)
+			sub, err := p.run(g, next, d, level+1)
+			if err != nil {
+				return false, err
+			}
+			if !sub {
+				blockOK = false
+				break
+			}
+		}
+		if blockOK {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // CertainFO decides db ∈ CERTAINTY(q) for queries whose attack graph is
@@ -44,10 +201,11 @@ func unifyAtomFact(a cq.Atom, f db.Fact) (cq.Valuation, bool) {
 // constants and removing F preserve acyclicity of the attack graph
 // (Lemma 5), so the recursion always finds an unattacked atom.
 //
-// The attack graph depends only on the positions of variables, not on
-// which constants fill the ground positions, so the unattacked-atom choice
-// is memoized per query shape: each recursion level builds the attack
-// graph once instead of once per candidate fact.
+// The unattacked-atom choices depend only on the query's shape, so they are
+// compiled once into an FOProgram and the recursion itself does no graph
+// work; candidate blocks come from the database's memoized per-relation
+// block index. Callers solving the same query repeatedly should compile
+// (or use the plan cache) once and reuse the program.
 //
 // The returned error reports queries outside the method's scope (cyclic
 // attack graph, self-join, cyclic query).
@@ -56,31 +214,44 @@ func CertainFO(q cq.Query, d *db.DB) (bool, error) {
 }
 
 // CertainFOCtx is CertainFO with cooperative cancellation: one governor
-// step is charged per recursive rewriting step.
+// step is charged per recursive rewriting step. The first step is charged
+// before compilation so that cancellation surfaces ahead of scope errors,
+// exactly as in the uncompiled recursion.
 func CertainFOCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	g := govern.From(ctx)
+	if err := g.Step(); err != nil {
+		return false, err
+	}
+	p, err := CompileFO(q)
+	if err != nil {
+		return false, err
+	}
+	return p.stepped(g, q, d, 0)
+}
+
+// CertainFOBaseline is the pre-index reference implementation of CertainFO:
+// it re-derives the relation's block list on every recursive step and
+// memoizes unattacked-atom choices lazily per rendered shape key, exactly
+// as the seed revision did. Retained as the differential-testing oracle and
+// the "seed" column of the certbench performance baseline; production
+// callers should use CertainFO.
+func CertainFOBaseline(q cq.Query, d *db.DB) (bool, error) {
+	return CertainFOBaselineCtx(context.Background(), q, d)
+}
+
+// CertainFOBaselineCtx is CertainFOBaseline with cooperative cancellation.
+func CertainFOBaselineCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
 	memo := make(map[string]int)
-	return certainFO(govern.From(ctx), q, d, memo)
+	return certainFOBaseline(govern.From(ctx), q, d, memo)
 }
 
 // shapeKey renders q with every constant replaced by a placeholder; two
 // queries with the same key have identical attack graphs.
 func shapeKey(q cq.Query) string {
-	masked := make([]cq.Atom, q.Len())
-	for i, a := range q.Atoms {
-		args := make([]cq.Term, len(a.Args))
-		for j, t := range a.Args {
-			if t.IsConst {
-				args[j] = cq.Const("▢")
-			} else {
-				args[j] = t
-			}
-		}
-		masked[i] = cq.Atom{Rel: a.Rel, KeyLen: a.KeyLen, Args: args}
-	}
-	return cq.Query{Atoms: masked}.String()
+	return maskShape(q).String()
 }
 
-func certainFO(g *govern.Governor, q cq.Query, d *db.DB, memo map[string]int) (bool, error) {
+func certainFOBaseline(g *govern.Governor, q cq.Query, d *db.DB, memo map[string]int) (bool, error) {
 	if err := g.Step(); err != nil {
 		return false, err
 	}
@@ -103,7 +274,7 @@ func certainFO(g *govern.Governor, q cq.Query, d *db.DB, memo map[string]int) (b
 	}
 	F := q.Atoms[idx]
 	rest := q.Without(idx)
-	for _, block := range candidateBlocks(d, F) {
+	for _, block := range candidateBlocksSeed(d, F) {
 		blockOK := true
 		for _, A := range block {
 			theta, ok := unifyAtomFact(F, A)
@@ -111,7 +282,7 @@ func certainFO(g *govern.Governor, q cq.Query, d *db.DB, memo map[string]int) (b
 				blockOK = false
 				break
 			}
-			sub, err := certainFO(g, rest.Substitute(theta), d, memo)
+			sub, err := certainFOBaseline(g, rest.Substitute(theta), d, memo)
 			if err != nil {
 				return false, err
 			}
@@ -127,8 +298,10 @@ func certainFO(g *govern.Governor, q cq.Query, d *db.DB, memo map[string]int) (b
 	return false, nil
 }
 
-// blocksOf returns the blocks of the given relation.
-func blocksOf(d *db.DB, rel string) [][]db.Fact {
+// blocksOfSeed re-derives the blocks of the given relation from a full
+// relation scan, as the seed revision did on every recursive step. Kept
+// only for the baseline path; indexed callers use db.DB.BlocksOf.
+func blocksOfSeed(d *db.DB, rel string) [][]db.Fact {
 	var out [][]db.Fact
 	seen := make(map[string]bool)
 	for _, f := range d.FactsOf(rel) {
@@ -143,14 +316,33 @@ func blocksOf(d *db.DB, rel string) [][]db.Fact {
 }
 
 // candidateBlocks returns the blocks of a's relation that can possibly
-// match a. When a's primary key is ground (the common case in recursive
-// calls, where the parent atom's valuation instantiated the key), the block
-// index narrows the search to a single block.
+// match a, from the database's memoized index. When a's primary key is
+// ground (the common case in recursive calls, where the parent atom's
+// valuation instantiated the key), the block index narrows the search to a
+// single block. The returned blocks are shared slices; callers must not
+// modify them.
 func candidateBlocks(d *db.DB, a cq.Atom) [][]db.Fact {
 	key := make([]string, a.KeyLen)
 	for i := 0; i < a.KeyLen; i++ {
 		if a.Args[i].IsVar() {
-			return blocksOf(d, a.Rel)
+			return d.BlocksOf(a.Rel)
+		}
+		key[i] = a.Args[i].Value
+	}
+	block := d.BlockView(db.Fact{Rel: a.Rel, KeyLen: a.KeyLen, Args: key})
+	if len(block) == 0 {
+		return nil
+	}
+	return [][]db.Fact{block}
+}
+
+// candidateBlocksSeed is candidateBlocks without the memoized index,
+// re-deriving block lists per call; kept for the baseline path.
+func candidateBlocksSeed(d *db.DB, a cq.Atom) [][]db.Fact {
+	key := make([]string, a.KeyLen)
+	for i := 0; i < a.KeyLen; i++ {
+		if a.Args[i].IsVar() {
+			return blocksOfSeed(d, a.Rel)
 		}
 		key[i] = a.Args[i].Value
 	}

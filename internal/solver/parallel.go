@@ -46,6 +46,12 @@ func CertainACkParallelCtx(ctx context.Context, q cq.Query, shape *core.CycleSha
 		return false, err
 	}
 	inC := cg.markedCycles(q, shape, d)
+	// Never spin up more workers than there are components to decide: the
+	// extras would only park on the jobs channel and inflate goroutine churn
+	// on small instances.
+	if workers > len(comps) {
+		workers = len(comps)
+	}
 
 	// done closes when a decisive component is found or the caller's
 	// context trips; both feeder and workers select on it, so no goroutine

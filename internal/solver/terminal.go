@@ -149,12 +149,12 @@ func terminalBase(ctx context.Context, q cq.Query, g *core.AttackGraph, d *db.DB
 			}
 			return p.Add(f)
 		}
-		for _, f := range d.FactsOf(Fi.Rel) {
+		for _, f := range d.RelationFacts(Fi.Rel) {
 			if err := addFact(Fi, f); err != nil {
 				return false, err
 			}
 		}
-		for _, f := range d.FactsOf(Gi.Rel) {
+		for _, f := range d.RelationFacts(Gi.Rel) {
 			if err := addFact(Gi, f); err != nil {
 				return false, err
 			}

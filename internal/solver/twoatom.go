@@ -79,7 +79,7 @@ func certainTwoAtomWeak(F, G cq.Atom, d *db.DB) (bool, error) {
 	sigSides[1] = make(map[string][]string)
 
 	collect := func(atom cq.Atom, side int) {
-		for _, blk := range blocksOf(d, atom.Rel) {
+		for _, blk := range d.BlocksOf(atom.Rel) {
 			bid := blk[0].BlockID()
 			info := &blockInfo{id: bid, side: side, options: make(map[string]bool)}
 			blocks[bid] = info

@@ -148,7 +148,7 @@ func solveGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB
 				if err != nil {
 					return Verdict{}, err
 				}
-				v, err := dispatchGoverned(ctx, g, q2, d2, cls2, opts)
+				v, err := dispatchGoverned(ctx, g, q2, d2, cls2, opts, nil)
 				if err != nil {
 					return Verdict{}, err
 				}
@@ -159,10 +159,14 @@ func solveGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB
 			}
 		}
 	}
-	return dispatchGoverned(ctx, g, q, d, cls, opts)
+	return dispatchGoverned(ctx, g, q, d, cls, opts, nil)
 }
 
-func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, cls core.Classification, opts Options) (Verdict, error) {
+// dispatchGoverned runs the decision procedure for cls on (q, d). When a
+// compiled plan is supplied, its precompiled artifacts (the FO program, the
+// safe rewriting) replace the per-call compilation; governor step accounting
+// is identical either way, so the two modes produce byte-identical Verdicts.
+func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, cls core.Classification, opts Options, p *Plan) (Verdict, error) {
 	res := Result{Classification: cls, SimplifiedClass: cls.Class}
 	var certain bool
 	var err error
@@ -172,13 +176,21 @@ func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db
 			// Cyclic hypergraph but safe: evaluate the Theorem 6 rewriting.
 			res.Method = MethodSafeRewriting
 			var phi fo.Formula
-			phi, err = fo.RewriteSafe(q)
+			if p != nil {
+				phi = p.safePhi
+			} else {
+				phi, err = fo.RewriteSafe(q)
+			}
 			if err == nil {
 				certain, err = fo.Eval(phi, d)
 			}
 		} else {
 			res.Method = MethodFO
-			certain, err = CertainFOCtx(ctx, q, d)
+			if p != nil {
+				certain, err = p.foProg.CertainCtx(ctx, q, d)
+			} else {
+				certain, err = CertainFOCtx(ctx, q, d)
+			}
 		}
 	case core.ClassPTimeTerminal:
 		res.Method = MethodTerminal
