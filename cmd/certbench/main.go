@@ -34,11 +34,19 @@ func main() {
 	which := flag.String("experiment", "", "experiment to run (E1..E10); empty = all")
 	quick := flag.Bool("quick", false, "reduced instance sizes")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit); Ctrl-C stops too")
-	jsonOut := flag.String("json", "", "run the performance baseline matrix (ns/op, allocs/op per method × scale) and write it to this file instead of the experiments")
+	jsonOut := flag.String("json", "", "run the performance baseline matrix (ns/op, p50/p95/p99, allocs/op per method × scale) and write it to this file instead of the experiments")
+	trace := flag.Bool("trace", false, "solve one instance per paper family with tracing on and print the span trees instead of the experiments")
 	flag.Parse()
 
 	if *jsonOut != "" {
 		if err := runPerfJSON(*jsonOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "certbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trace {
+		if err := runTraceDemo(*quick); err != nil {
 			fmt.Fprintf(os.Stderr, "certbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -3,13 +3,16 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -17,13 +20,19 @@ import (
 // baseline matrix. Variants come in pairs — "seed" measures the pre-index
 // code path retained as a baseline, "indexed" the production path — so the
 // file records the speedup each optimization layer bought and gives future
-// PRs a trajectory to beat.
+// PRs a trajectory to beat. Alongside the ns/op mean, each entry reports
+// p50/p95/p99 per-op latency from an internal/obs histogram: tail latency is
+// what the serving layer's deadlines actually meet, and a mean alone hides
+// it.
 type perfEntry struct {
 	Name      string  `json:"name"`
 	Method    string  `json:"method"`
 	Variant   string  `json:"variant"`
 	Scale     int     `json:"scale"`
 	NsPerOp   int64   `json:"ns_per_op"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
 	AllocsOp  int64   `json:"allocs_per_op"`
 	BytesOp   int64   `json:"bytes_per_op"`
 	SpeedupVs string  `json:"speedup_vs,omitempty"`
@@ -38,21 +47,75 @@ type perfReport struct {
 	Entries   []perfEntry `json:"benchmarks"`
 }
 
-// measure runs fn under testing.Benchmark and extracts ns/op and allocs/op.
-func measure(name, method, variant string, scale int, fn func(b *testing.B)) perfEntry {
+// perfBuckets is a 1-2-5 series from 100ns to 10s: three edges per decade,
+// so interpolated percentiles resolve within a factor of ~2 instead of the
+// full decade obs.DefBuckets would give. The serving layer keeps the coarse
+// fixed buckets (exposition stability matters there); this histogram is
+// local to one certbench run, so finer edges cost nothing.
+func perfBuckets() []float64 {
+	var edges []float64
+	for e := -7; e <= 0; e++ {
+		d := math.Pow(10, float64(e))
+		edges = append(edges, 1*d, 2*d, 5*d)
+	}
+	return append(edges, 10)
+}
+
+// measure benchmarks one operation: testing.Benchmark supplies the mean
+// (ns/op, allocs/op), then a separate sampling pass times individual ops
+// into an obs histogram for the percentile columns. The passes are distinct
+// so the per-op clock reads never perturb the mean the speedup pairs
+// compare.
+func measure(name, method, variant string, scale int, op func() error) (perfEntry, error) {
+	var benchErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		fn(b)
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
 	})
+	if benchErr != nil {
+		return perfEntry{}, fmt.Errorf("%s: %w", name, benchErr)
+	}
+	h := obs.NewHistogram(perfBuckets())
+	samples := r.N
+	if samples > 2000 {
+		samples = 2000
+	}
+	if samples < 50 {
+		samples = 50
+	}
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		if err := op(); err != nil {
+			return perfEntry{}, fmt.Errorf("%s: %w", name, err)
+		}
+		h.Observe(time.Since(start).Seconds())
+	}
 	return perfEntry{
 		Name:     name,
 		Method:   method,
 		Variant:  variant,
 		Scale:    scale,
 		NsPerOp:  r.NsPerOp(),
+		P50Ns:    quantileNs(h, 0.50),
+		P95Ns:    quantileNs(h, 0.95),
+		P99Ns:    quantileNs(h, 0.99),
 		AllocsOp: r.AllocsPerOp(),
 		BytesOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// quantileNs reads a histogram quantile in nanoseconds (0 when empty).
+func quantileNs(h *obs.Histogram, p float64) int64 {
+	q := h.Quantile(p)
+	if math.IsNaN(q) {
+		return 0
 	}
+	return int64(q * 1e9)
 }
 
 // pairSpeedup annotates the indexed entry of a seed/indexed pair.
@@ -85,8 +148,8 @@ func runPerfJSON(path string, quick bool) error {
 	}
 	add := func(e perfEntry) {
 		report.Entries = append(report.Entries, e)
-		fmt.Printf("  %-28s scale=%-4d %12d ns/op %8d allocs/op %10d B/op\n",
-			e.Name, e.Scale, e.NsPerOp, e.AllocsOp, e.BytesOp)
+		fmt.Printf("  %-28s scale=%-4d %12d ns/op  p50=%d p95=%d p99=%d ns %8d allocs/op %10d B/op\n",
+			e.Name, e.Scale, e.NsPerOp, e.P50Ns, e.P95Ns, e.P99Ns, e.AllocsOp, e.BytesOp)
 	}
 
 	// FO rewriting: the seed path re-derives block lists per recursive step
@@ -96,24 +159,24 @@ func runPerfJSON(path string, quick bool) error {
 	for _, n := range scales {
 		d := gen.RandomDB(foQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
 		d.Digest() // build the index outside the timed region, as a server would
-		seed := measure(fmt.Sprintf("fo/seed/emb=%d", n), "fo", "seed", n, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := solver.CertainFOBaseline(foQ, d); err != nil {
-					b.Fatal(err)
-				}
-			}
+		seed, err := measure(fmt.Sprintf("fo/seed/emb=%d", n), "fo", "seed", n, func() error {
+			_, err := solver.CertainFOBaseline(foQ, d)
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		prog, err := solver.CompileFO(foQ)
 		if err != nil {
 			return err
 		}
-		indexed := measure(fmt.Sprintf("fo/indexed/emb=%d", n), "fo", "indexed", n, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := prog.Certain(foQ, d); err != nil {
-					b.Fatal(err)
-				}
-			}
+		indexed, err := measure(fmt.Sprintf("fo/indexed/emb=%d", n), "fo", "indexed", n, func() error {
+			_, err := prog.Certain(foQ, d)
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		add(seed)
 		add(pairSpeedup(seed, indexed))
 	}
@@ -127,13 +190,14 @@ func runPerfJSON(path string, quick bool) error {
 		}
 		d := gen.RandomDB(termQ, gen.Config{Embeddings: emb, Noise: 2, Domain: 3}, int64(n))
 		d.Digest()
-		add(measure(fmt.Sprintf("terminal/indexed/emb=%d", emb), "terminal", "indexed", emb, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := solver.CertainTerminal(termQ, d); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}))
+		e, err := measure(fmt.Sprintf("terminal/indexed/emb=%d", emb), "terminal", "indexed", emb, func() error {
+			_, err := solver.CertainTerminal(termQ, d)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		add(e)
 	}
 
 	// AC(k) graph marking, sequential vs parallel fan-out.
@@ -145,20 +209,20 @@ func runPerfJSON(path string, quick bool) error {
 	for _, c := range comps {
 		d := gen.CycleDB(gen.CycleConfig{K: 3, Components: c, Width: 2, EncodeAll: true})
 		d.Digest()
-		seq := measure(fmt.Sprintf("ack/seq/comps=%d", c), "ack", "seq", c, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := solver.CertainACk(ackQ, shape, d); err != nil {
-					b.Fatal(err)
-				}
-			}
+		seq, err := measure(fmt.Sprintf("ack/seq/comps=%d", c), "ack", "seq", c, func() error {
+			_, err := solver.CertainACk(ackQ, shape, d)
+			return err
 		})
-		par := measure(fmt.Sprintf("ack/par/comps=%d", c), "ack", "par", c, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := solver.CertainACkParallel(ackQ, shape, d, 0); err != nil {
-					b.Fatal(err)
-				}
-			}
+		if err != nil {
+			return err
+		}
+		par, err := measure(fmt.Sprintf("ack/par/comps=%d", c), "ack", "par", c, func() error {
+			_, err := solver.CertainACkParallel(ackQ, shape, d, 0)
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		add(seq)
 		add(pairSpeedup(seq, par))
 	}
@@ -169,35 +233,38 @@ func runPerfJSON(path string, quick bool) error {
 		f := gen.RandomMonotoneSAT(v, 5*v, 3, int64(100*v))
 		d := gen.MonotoneSATQ0DB(f)
 		d.Digest()
-		add(measure(fmt.Sprintf("falsifying/indexed/vars=%d", v), "falsifying", "indexed", v, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				solver.CertainByFalsifying(falsQ, d)
-			}
-		}))
+		e, err := measure(fmt.Sprintf("falsifying/indexed/vars=%d", v), "falsifying", "indexed", v, func() error {
+			solver.CertainByFalsifying(falsQ, d)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		add(e)
 	}
 
 	// End-to-end Solve: per-call classification vs the compiled plan.
 	for _, n := range scales {
 		d := gen.RandomDB(foQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
 		d.Digest()
-		seed := measure(fmt.Sprintf("solve/per-call/emb=%d", n), "solve", "seed", n, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := solver.Solve(foQ, d); err != nil {
-					b.Fatal(err)
-				}
-			}
+		seed, err := measure(fmt.Sprintf("solve/per-call/emb=%d", n), "solve", "seed", n, func() error {
+			_, err := solver.Solve(foQ, d)
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		p, err := solver.CompilePlan(foQ)
 		if err != nil {
 			return err
 		}
-		planned := measure(fmt.Sprintf("solve/plan/emb=%d", n), "solve", "plan", n, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := p.Solve(d); err != nil {
-					b.Fatal(err)
-				}
-			}
+		planned, err := measure(fmt.Sprintf("solve/plan/emb=%d", n), "solve", "plan", n, func() error {
+			_, err := p.Solve(d)
+			return err
 		})
+		if err != nil {
+			return err
+		}
 		add(seed)
 		add(pairSpeedup(seed, planned))
 	}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// runTraceDemo solves one representative instance per paper family with
+// tracing on and prints each span tree: which phases ran, in what nesting,
+// and where the time went. The coNP case runs twice — once unbounded on a
+// small instance (exact falsifying search) and once budget-cut on a larger
+// one, so the degrade/sample phase shows up too.
+func runTraceDemo(quick bool) error {
+	n := 32
+	if quick {
+		n = 8
+	}
+	termQ := gen.TerminalPairsQuery(2, true)
+	ackQ := cq.ACk(3)
+	demos := []struct {
+		name string
+		q    cq.Query
+		d    *db.DB
+		opts solver.Options
+	}{
+		{"fo (Theorem 1)", cq.MustParseQuery("R(x | y), S(y | z)"),
+			gen.RandomDB(cq.MustParseQuery("R(x | y), S(y | z)"), gen.Config{Embeddings: n, Noise: n, Domain: n}, 1),
+			solver.Options{}},
+		{"terminal (Theorem 3)", termQ,
+			gen.RandomDB(termQ, gen.Config{Embeddings: 4, Noise: 2, Domain: 3}, 1),
+			solver.Options{}},
+		{"ack (Theorem 4)", ackQ,
+			gen.CycleDB(gen.CycleConfig{K: 3, Components: n, Width: 2, EncodeAll: true}),
+			solver.Options{}},
+		{"conp exact (Theorem 2)", cq.Q0(), gen.Q0DB(n, 2, n, 1), solver.Options{}},
+		{"conp cutoff + degrade", cq.Q0(),
+			gen.MonotoneSATQ0DB(gen.RandomMonotoneSAT(3*n, 15*n, 3, 1)),
+			solver.Options{Budget: 10, DegradeSamples: 64, SampleSeed: 1}},
+	}
+	for _, demo := range demos {
+		tr := obs.NewTracer(obs.TracerOptions{})
+		ctx := obs.WithTracer(context.Background(), tr)
+		v, err := solver.SolveCtx(ctx, demo.q, demo.d, demo.opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", demo.name, err)
+		}
+		fmt.Printf("---- %s: outcome=%s ----\n", demo.name, v.Outcome)
+		fmt.Print(obs.FormatTree(tr.Snapshot()))
+		fmt.Println()
+	}
+	return nil
+}

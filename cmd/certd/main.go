@@ -12,11 +12,15 @@
 //	POST /v1/classify  classify a query's complexity (no database)
 //	GET  /healthz      liveness (always 200 while the process runs)
 //	GET  /readyz       readiness (503 once draining)
+//	GET  /statsz       serving-layer cache counters (JSON)
+//	GET  /metrics      Prometheus text exposition of the whole process
+//	GET  /debug/pprof  profiling endpoints (only with -pprof)
 //
 // Example:
 //
 //	certd -addr :8377 -workers 8 -max-budget 5000000 -max-timeout 10s
 //	curl -s localhost:8377/v1/solve -d '{"query":"R(x | y)","db":"R(a | b)"}'
+//	curl -s localhost:8377/metrics | grep certd_solve_total
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/server"
 )
 
@@ -50,6 +55,7 @@ func main() {
 		grace          = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight solves")
 		planCache      = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default)")
 		verdictCache   = flag.Int("verdict-cache", 0, "verdict cache capacity (0 = default, <0 disables)")
+		pprofOn        = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -71,6 +77,11 @@ func main() {
 		PlanCacheSize:    *planCache,
 		VerdictCacheSize: *verdictCache,
 		Logger:           logger,
+		// The process-wide registry, so /metrics also exposes the solver,
+		// db, governor, and engine counters recorded below the service
+		// layer.
+		Registry:    obs.Default,
+		EnablePprof: *pprofOn,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

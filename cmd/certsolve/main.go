@@ -18,6 +18,11 @@
 // verdict with the partial search evidence and a sampled estimate of the
 // fraction of repairs satisfying the query.
 //
+// With -trace, the solver records a span per phase (classification,
+// simplification, the method's evaluation, degradation sampling) and the
+// span tree is printed with per-phase durations after the verdict. Tracing
+// works with the local auto method only.
+//
 // With -remote URL the solve runs on a certd server (see cmd/certd)
 // instead of in-process: the request is retried with backoff on shedding,
 // and the remote three-valued verdict prints exactly as a local one would.
@@ -39,6 +44,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/prob"
 	"github.com/cqa-go/certainty/internal/server"
 	"github.com/cqa-go/certainty/internal/solver"
@@ -55,18 +61,19 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
 	budget := flag.Int64("budget", 0, "abort the search after this many search steps (0 = no limit)")
 	remote := flag.String("remote", "", "solve on a certd server at this base URL instead of in-process")
+	trace := flag.Bool("trace", false, "print the solver's span tree with per-phase durations (local auto method)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, *queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout, *budget, *remote); err != nil {
+	if err := run(ctx, *queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout, *budget, *remote, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "certsolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration, budget int64, remote string) error {
+func run(ctx context.Context, queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration, budget int64, remote string, trace bool) error {
 	var q cq.Query
 	var err error
 	switch {
@@ -110,6 +117,9 @@ func run(ctx context.Context, queryText, queryFile, dbFile, method string, witne
 		if free != "" || count || method != "auto" {
 			return fmt.Errorf("-remote supports only the default method (no -answers, -count, or -method)")
 		}
+		if trace {
+			return fmt.Errorf("-trace is local-only (the span tree lives in the serving process)")
+		}
 		return runRemote(ctx, remote, q, string(data), timeout, budget, witness)
 	}
 
@@ -134,6 +144,15 @@ func run(ctx context.Context, queryText, queryFile, dbFile, method string, witne
 		return nil
 	}
 
+	if trace && method != "auto" {
+		return fmt.Errorf("-trace requires the auto method")
+	}
+	var tracer *obs.Tracer
+	if trace {
+		tracer = obs.NewTracer(obs.TracerOptions{})
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	opts := solver.Options{Budget: budget, Timeout: timeout}
 	var certain bool
 	switch method {
@@ -141,6 +160,10 @@ func run(ctx context.Context, queryText, queryFile, dbFile, method string, witne
 		v, err := solver.SolveCtx(ctx, q, d, opts)
 		if err != nil {
 			return err
+		}
+		if tracer != nil {
+			fmt.Println("trace:")
+			fmt.Print(obs.FormatTree(tracer.Snapshot()))
 		}
 		fmt.Printf("class: %s\n", v.Result.Classification.Class)
 		fmt.Printf("method: %s\n", v.Result.Method)

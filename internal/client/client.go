@@ -22,8 +22,15 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/server"
 )
+
+func init() {
+	obs.Default.Help("client_requests_total", "Client calls, by endpoint path and final outcome (ok/error).")
+	obs.Default.Help("client_attempts_total", "HTTP attempts sent, by endpoint path (includes retries).")
+	obs.Default.Help("client_retries_total", "Backoff-and-retry rounds, by endpoint path.")
+}
 
 // Client talks to one certd server. The zero value is not usable; call New.
 type Client struct {
@@ -45,10 +52,23 @@ type Client struct {
 	// confusing JSON decode failure.
 	MaxResponseBytes int64
 
+	// Registry receives the client's request/attempt/retry counters.
+	// Defaults to obs.Default.
+	Registry *obs.Registry
+
 	// Test seams: sleep waits out a backoff (default: timer + ctx), rng
 	// drives jitter (default: math/rand global).
 	sleep func(context.Context, time.Duration) error
 	rng   func() float64
+}
+
+// registry returns the counter destination, defaulting to the process-wide
+// registry.
+func (c *Client) registry() *obs.Registry {
+	if c.Registry != nil {
+		return c.Registry
+	}
+	return obs.Default
 }
 
 // New returns a client with default retry settings.
@@ -105,8 +125,10 @@ func retryable(status int, body *server.ErrorBody) (bool, time.Duration) {
 
 // do sends one JSON request with retries and decodes a 200 body into out.
 func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	r := c.registry()
 	payload, err := json.Marshal(in)
 	if err != nil {
+		r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "error"}).Inc()
 		return fmt.Errorf("client: encode request: %w", err)
 	}
 	httpc := c.HTTPClient
@@ -116,15 +138,20 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		r.Counter("client_attempts_total", obs.L{K: "path", V: path}).Inc()
 		retry, hint, err := c.attempt(ctx, httpc, path, payload, out)
 		if err == nil {
+			r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "ok"}).Inc()
 			return nil
 		}
 		lastErr = err
 		if !retry || attempt >= c.MaxRetries {
+			r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "error"}).Inc()
 			return lastErr
 		}
+		r.Counter("client_retries_total", obs.L{K: "path", V: path}).Inc()
 		if err := c.backoff(ctx, attempt, hint); err != nil {
+			r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "error"}).Inc()
 			return fmt.Errorf("client: giving up after %d attempts: %w (last error: %v)", attempt+1, err, lastErr)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/lru"
+	"github.com/cqa-go/certainty/internal/obs"
 )
 
 // DefaultCacheSize bounds a classification cache built with NewCache. The
@@ -22,6 +23,7 @@ const DefaultCacheSize = 4096
 type Cache struct {
 	mu sync.Mutex
 	c  *lru.Cache[string, cacheEntry]
+	m  *obs.CacheMetrics
 }
 
 type cacheEntry struct {
@@ -41,6 +43,17 @@ func NewCacheSize(size int) *Cache {
 	return &Cache{c: lru.New[string, cacheEntry](size)}
 }
 
+// Instrument mirrors the cache's hits, misses, evictions, and occupancy
+// into the given metrics (obs.NewCacheMetrics). A nil argument leaves the
+// cache uninstrumented. Must be called before the cache is shared across
+// goroutines.
+func (c *Cache) Instrument(m *obs.CacheMetrics) {
+	c.m = m
+	if m != nil {
+		m.SetSize(c.c.Len(), c.c.Cap())
+	}
+}
+
 // Classify is Classify with memoization. The classification is computed on
 // the caller's query (so atom indexes in the result match the input), but
 // the hit/miss decision uses the canonical key: a cache hit recomputes
@@ -57,12 +70,17 @@ func (c *Cache) Classify(q cq.Query) (Classification, error) {
 	e, ok := c.c.Get(key)
 	c.mu.Unlock()
 	if ok {
+		c.m.Hit()
 		return e.cls, e.err
 	}
+	c.m.Miss()
 	canon, _ := cq.Canonicalize(q)
 	cls, err := Classify(canon)
 	c.mu.Lock()
-	c.c.Put(key, cacheEntry{cls: cls, err: err})
+	if c.c.Put(key, cacheEntry{cls: cls, err: err}) {
+		c.m.Evicted(1)
+	}
+	c.m.SetSize(c.c.Len(), c.c.Cap())
 	c.mu.Unlock()
 	return cls, err
 }

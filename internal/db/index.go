@@ -6,7 +6,27 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/obs"
 )
+
+// Index telemetry, recorded into the process-wide registry. Handles are
+// resolved once at init, so the hot path pays one atomic add per (rare)
+// build/invalidation — reads of a memoized index record nothing.
+var (
+	indexBuilds        = obs.Default.Counter("db_index_builds_total")
+	indexInvalidations = obs.Default.Counter("db_index_invalidations_total")
+	digestComputations = obs.Default.Counter("db_digest_computations_total")
+	indexBuildSeconds  = obs.Default.Histogram("db_index_build_seconds", nil)
+)
+
+func init() {
+	obs.Default.Help("db_index_builds_total", "Structural index builds (first use after mutation).")
+	obs.Default.Help("db_index_invalidations_total", "Structural index invalidations caused by mutations.")
+	obs.Default.Help("db_digest_computations_total", "Content digest computations over the fact set.")
+	obs.Default.Help("db_index_build_seconds", "Wall-clock time to build the structural index.")
+}
 
 // dbIndex is the lazily built, immutable structural view of a DB that the
 // solver hot paths consult instead of re-deriving per call:
@@ -64,11 +84,15 @@ func (d *DB) index() *dbIndex {
 // invalidate drops the memoized index; callers mutate d afterwards.
 func (d *DB) invalidate() {
 	d.mu.Lock()
+	if d.idx != nil {
+		indexInvalidations.Inc()
+	}
 	d.idx = nil
 	d.mu.Unlock()
 }
 
 func (d *DB) buildIndex() *dbIndex {
+	start := time.Now()
 	ix := &dbIndex{
 		relFacts:   make(map[string][]Fact, len(d.rels)),
 		relBlocks:  make(map[string][][]Fact, len(d.rels)),
@@ -99,6 +123,8 @@ func (d *DB) buildIndex() *dbIndex {
 		}
 	}
 	ix.digest = computeDigest(d.facts)
+	indexBuilds.Inc()
+	indexBuildSeconds.Observe(time.Since(start).Seconds())
 	return ix
 }
 
@@ -108,6 +134,7 @@ func (d *DB) buildIndex() *dbIndex {
 // sequence is hashed with per-entry length prefixes so concatenation is
 // unambiguous.
 func computeDigest(facts []Fact) string {
+	digestComputations.Inc()
 	enc := make([]string, len(facts))
 	for i, f := range facts {
 		var b strings.Builder

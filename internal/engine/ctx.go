@@ -6,7 +6,17 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
 )
+
+// One enumeration counter for the whole engine: resolved once, one atomic
+// add per EachEmbeddingCtx call (not per search node — the governor already
+// counts nodes as steps).
+var embeddingEnumerations = obs.Default.Counter("engine_embedding_enumerations_total")
+
+func init() {
+	obs.Default.Help("engine_embedding_enumerations_total", "Embedding enumerations started (EachEmbeddingCtx calls).")
+}
 
 // EachEmbeddingCtx is EachEmbedding with cooperative cancellation: one
 // governor step is charged per search node, and enumeration aborts with
@@ -14,6 +24,7 @@ import (
 // The bool result is false iff some yield returned false; it is
 // unspecified when the error is non-nil.
 func EachEmbeddingCtx(ctx context.Context, q cq.Query, d *db.DB, yield func(cq.Valuation) bool) (bool, error) {
+	embeddingEnumerations.Inc()
 	g := govern.From(ctx)
 	order := orderAtoms(q, d)
 	var rec func(i int, binding cq.Valuation) (bool, error)

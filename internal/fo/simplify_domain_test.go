@@ -1,0 +1,47 @@
+package fo
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// Simplify is only evaluation-preserving for unguarded quantifiers when the
+// database's active domain covers the formula's constants: Eval quantifies
+// over adom(d) ∪ consts(φ), so erasing a tautological subformula that holds
+// the sole occurrence of a constant shrinks the domain. These pinned
+// formulas (minimized from testing/quick counterexamples) flip their value
+// on U(a), U(b) — where 'c' lives only in the erased subformula — and must
+// agree once the database itself supplies 'c'.
+func TestSimplifyConstantDropKeepsDomainStable(t *testing.T) {
+	uc := Atom{A: cq.NewAtom("U", 1, cq.Const("c"))}
+	uq := Atom{A: cq.NewAtom("U", 1, cq.Var("q"))}
+	cases := []Formula{
+		// ((U('c') → ⊤) ∨ ¬⊥) ∧ ¬(∀q ('a' = 'b' ∨ U(q)))
+		NewAnd(
+			NewOr(Implies{Hyp: uc, Concl: Truth(true)}, Not{F: Truth(false)}),
+			Not{F: Forall{Vars: []string{"q"}, F: NewOr(Eq{L: cq.Const("a"), R: cq.Const("b")}, uq)}},
+		),
+		// (∀q (¬'a' = 'a' ∨ U(q))) ∧ (U('c') → ⊤)
+		NewAnd(
+			Forall{Vars: []string{"q"}, F: NewOr(Not{F: Eq{L: cq.Const("a"), R: cq.Const("a")}}, uq)},
+			Implies{Hyp: uc, Concl: Truth(true)},
+		),
+	}
+	d := db.MustParse("U(a), U(b), V(c)")
+	for _, phi := range cases {
+		want, err := Eval(phi, d)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", phi, err)
+		}
+		simp := Simplify(phi)
+		got, err := Eval(simp, d)
+		if err != nil {
+			t.Fatalf("Eval(Simplify(%s) = %s): %v", phi, simp, err)
+		}
+		if got != want {
+			t.Errorf("%s (=%v) simplified to %s (=%v)", phi, want, simp, got)
+		}
+	}
+}

@@ -53,8 +53,14 @@ func TestQuickSimplifyPreservesEvaluation(t *testing.T) {
 		}
 	}
 
-	// Random formula generator over one unary relation.
-	d := db.MustParse("U(a), U(b)")
+	// Random formula generator over one unary relation. The generator emits
+	// unguarded quantifiers, and Eval ranges them over the active domain of
+	// the database extended by the formula's constants — so the database
+	// must already contain every constant the generator can emit ('a', 'b',
+	// 'c'). Otherwise Simplify erasing a tautological subformula such as
+	// U('c') → ⊤ shrinks the domain and legitimately changes the value of an
+	// unguarded quantifier (see TestSimplifyConstantDropKeepsDomainStable).
+	d := db.MustParse("U(a), U(b), V(c)")
 	var build func(r *uint32, depth int) Formula
 	next := func(r *uint32, n int) int {
 		*r = *r*1664525 + 1013904223

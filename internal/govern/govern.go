@@ -20,10 +20,30 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/cqa-go/certainty/internal/obs"
 )
 
 // ErrBudget is the sticky error reported once the step budget is exhausted.
 var ErrBudget = errors.New("govern: step budget exhausted")
+
+// Governance telemetry, recorded into the process-wide registry: which
+// cause stops governed computations (budget, deadline, cancellation,
+// injected fault) and how many panics the containment boundary absorbed.
+// The handles are resolved once; recording is one atomic add on the cold
+// (failure) path only.
+var (
+	cutoffBudget   = obs.Default.Counter("govern_cutoffs_total", obs.L{K: "cause", V: "budget"})
+	cutoffDeadline = obs.Default.Counter("govern_cutoffs_total", obs.L{K: "cause", V: "deadline"})
+	cutoffCanceled = obs.Default.Counter("govern_cutoffs_total", obs.L{K: "cause", V: "canceled"})
+	cutoffOther    = obs.Default.Counter("govern_cutoffs_total", obs.L{K: "cause", V: "other"})
+	panicsTotal    = obs.Default.Counter("govern_panics_contained_total")
+)
+
+func init() {
+	obs.Default.Help("govern_cutoffs_total", "Governed computations stopped, by cause.")
+	obs.Default.Help("govern_panics_contained_total", "Panics converted to errors at the API boundary.")
+}
 
 // PanicError wraps a recovered panic value so that malformed inputs deep in
 // the stack surface as errors at the public API boundary instead of
@@ -143,9 +163,11 @@ func (g *Governor) Err() error {
 }
 
 func (g *Governor) fail(err error) error {
+	first := false
 	g.mu.Lock()
 	if g.err == nil {
 		g.err = err
+		first = true
 	} else {
 		err = g.err // first failure wins
 	}
@@ -154,7 +176,25 @@ func (g *Governor) fail(err error) error {
 	if g.cancel != nil {
 		g.cancel()
 	}
+	if first {
+		cutoffCounter(err).Inc()
+	}
 	return err
+}
+
+// cutoffCounter maps the sticky error that stopped a governed computation to
+// its cause-labelled counter.
+func cutoffCounter(err error) *obs.Counter {
+	switch {
+	case errors.Is(err, ErrBudget):
+		return cutoffBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return cutoffDeadline
+	case errors.Is(err, context.Canceled):
+		return cutoffCanceled
+	default:
+		return cutoffOther
+	}
 }
 
 // Step records one unit of work and reports whether the computation must
@@ -190,6 +230,7 @@ func (g *Governor) Step() error {
 func Safe(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			panicsTotal.Inc()
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency bucket edges in seconds. They span the
+// stack's real range — FO rewritings answer in microseconds, governed coNP
+// searches run up to the operator's multi-second caps — and they are FIXED:
+// exposition and golden tests depend on the bucket set being identical
+// across processes and releases, so (unlike adaptive schemes) the edges
+// never move with the data.
+var DefBuckets = []float64{
+	100e-9, 1e-6, 10e-6, 100e-6, 1e-3, 10e-3, 100e-3, 0.5, 1, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets. Following the
+// Prometheus convention, bucket i counts observations v <= edges[i]
+// cumulatively at exposition time (counts are stored per-bucket and summed
+// on read); an implicit +Inf bucket catches the rest. Safe for concurrent
+// use: Observe is two atomic adds plus an atomic CAS loop for the sum.
+type Histogram struct {
+	edges   []float64       // strictly increasing upper bounds, +Inf excluded
+	counts  []atomic.Uint64 // len(edges)+1; last is the +Inf overflow bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// newHistogram builds a histogram over the given edges. Edges must be
+// strictly increasing; they are copied and sorted defensively.
+func newHistogram(edges []float64) *Histogram {
+	owned := make([]float64, len(edges))
+	copy(owned, edges)
+	sort.Float64s(owned)
+	return &Histogram{
+		edges:  owned,
+		counts: make([]atomic.Uint64, len(owned)+1),
+	}
+}
+
+// NewHistogram returns a standalone histogram (not attached to a registry)
+// over the given edges, nil selecting DefBuckets. Standalone histograms
+// back ad-hoc aggregations like certbench's per-op latency percentiles.
+func NewHistogram(edges []float64) *Histogram {
+	if edges == nil {
+		edges = DefBuckets
+	}
+	return newHistogram(edges)
+}
+
+// bucketIndex returns the index of the bucket that counts v: the first
+// edge >= v, or the overflow bucket. Binary search keeps Observe O(log n)
+// with no allocation.
+func (h *Histogram) bucketIndex(v float64) int {
+	lo, hi := 0, len(h.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Edges returns the bucket upper bounds (excluding +Inf). The slice is
+// shared; callers must not modify it.
+func (h *Histogram) Edges() []float64 { return h.edges }
+
+// Cumulative returns, for each edge plus +Inf, the number of observations
+// less than or equal to it. The snapshot is not atomic across buckets —
+// concurrent Observe calls may be partially visible — which is the standard
+// exposition trade-off; totals converge once writers quiesce.
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by linear interpolation
+// within the bucket holding the rank, the same estimate Prometheus's
+// histogram_quantile computes. The lowest bucket interpolates from zero;
+// ranks in the +Inf bucket clamp to the highest finite edge, so the
+// estimate is always finite. Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := h.Cumulative()
+	idx := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if idx >= len(h.edges) {
+		// Overflow bucket: no finite upper edge to interpolate toward.
+		if len(h.edges) == 0 {
+			return math.NaN()
+		}
+		return h.edges[len(h.edges)-1]
+	}
+	lower := 0.0
+	var below uint64
+	if idx > 0 {
+		lower = h.edges[idx-1]
+		below = cum[idx-1]
+	}
+	upper := h.edges[idx]
+	inBucket := cum[idx] - below
+	if inBucket == 0 {
+		return upper
+	}
+	return lower + (upper-lower)*(rank-float64(below))/float64(inBucket)
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries locks the Prometheus "le" convention: an
+// observation equal to an edge counts in that edge's bucket (upper bound
+// inclusive), and anything above the last edge lands in +Inf. The bucket
+// edges are fixed so this table is exhaustive for the interesting cases.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	edges := []float64{1, 10, 100}
+	tests := []struct {
+		v    float64
+		want int // index of the bucket the value increments
+	}{
+		{0, 0},
+		{0.5, 0},
+		{1, 0}, // exactly on the first edge: le="1" counts it
+		{1.0001, 1},
+		{10, 1}, // exactly on an interior edge
+		{10.5, 2},
+		{100, 2},   // exactly on the last finite edge
+		{100.1, 3}, // overflow → +Inf
+		{math.MaxFloat64, 3},
+	}
+	for _, tc := range tests {
+		h := newHistogram(edges)
+		h.Observe(tc.v)
+		for i := range h.counts {
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Errorf("Observe(%g): bucket[%d] = %d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+}
+
+// TestHistogramCumulative: exposition counts are cumulative per the text
+// format, ending at the total.
+func TestHistogramCumulative(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500} {
+		h.Observe(v)
+	}
+	got := h.Cumulative()
+	want := []uint64{2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-556.2) > 1e-9 {
+		t.Fatalf("sum = %g, want 556.2", h.Sum())
+	}
+}
+
+// TestHistogramQuantile: linear interpolation within the rank's bucket,
+// clamping the +Inf bucket to the highest finite edge.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 10 observations uniform in (0,10]: all in the first bucket.
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 5 (interpolated midpoint of the first bucket)", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p100 = %g, want 10", got)
+	}
+
+	// Observations beyond the last edge clamp to it.
+	h2 := newHistogram([]float64{10, 20})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 20 {
+		t.Fatalf("overflow quantile = %g, want clamp to 20", got)
+	}
+
+	// Empty histogram has no quantiles.
+	h3 := newHistogram([]float64{1})
+	if got := h3.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %g, want NaN", got)
+	}
+}
+
+// TestHistogramConcurrentObserve: no observations are lost and the sum is
+// exact for integer-valued observations (run under -race in CI).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if h.Sum() != goroutines*perG {
+		t.Fatalf("sum = %g, want %d", h.Sum(), goroutines*perG)
+	}
+}
+
+// TestHistogramEdgesAreSorted: constructor sorts defensively so a caller
+// passing unsorted edges still gets a well-formed histogram.
+func TestHistogramEdgesAreSorted(t *testing.T) {
+	h := newHistogram([]float64{100, 1, 10})
+	h.Observe(5)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Fatalf("Observe(5) with unsorted edges: bucket[1] = %d, want 1", got)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families are sorted by
+// name and series by their canonical label key, so a scripted request
+// sequence produces byte-identical text — the property the golden-output
+// tests lock.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {k="v",...} from already-sorted labels, with extra
+// appended last (used for the histogram "le" label).
+func formatLabels(labels []L, extra ...L) string {
+	all := make([]L, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.V))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, +Inf spelled literally.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// write renders one family. Families with no series (pre-registered help
+// text only) are skipped entirely, matching client_golang behavior.
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	series := make([]*series, len(f.ordered))
+	copy(series, f.ordered)
+	f.mu.Unlock()
+	if len(series) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := f.writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, s *series) error {
+	switch f.typ {
+	case typeCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels), s.c.Value())
+		return err
+	case typeGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels), s.g.Value())
+		return err
+	case typeHistogram:
+		h := s.h
+		cum := h.Cumulative()
+		for i, edge := range h.edges {
+			le := L{"le", formatFloat(edge)}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, le), cum[i]); err != nil {
+				return err
+			}
+		}
+		inf := L{"le", "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, inf), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(s.labels), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels), h.Count())
+		return err
+	}
+	return nil
+}

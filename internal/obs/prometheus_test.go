@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks the exposition byte-for-byte: families
+// sorted by name, series sorted by canonical label key, histogram buckets
+// cumulative with +Inf, sum, and count. Any format drift breaks real
+// scrapers, so this is a contract test, not a snapshot of convenience.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("certd_solve_total", "Solve requests by class and verdict.")
+	r.Counter("certd_solve_total", L{"class", "fo"}, L{"verdict", "certain"}).Add(2)
+	r.Counter("certd_solve_total", L{"class", "conp-complete"}, L{"verdict", "degraded"}).Inc()
+	r.Gauge("certd_inflight").Set(3)
+	h := r.Histogram("certd_solve_seconds", []float64{0.001, 0.1}, L{"class", "fo"})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE certd_inflight gauge
+certd_inflight 3
+# TYPE certd_solve_seconds histogram
+certd_solve_seconds_bucket{class="fo",le="0.001"} 1
+certd_solve_seconds_bucket{class="fo",le="0.1"} 2
+certd_solve_seconds_bucket{class="fo",le="+Inf"} 3
+certd_solve_seconds_sum{class="fo"} 2.0505
+certd_solve_seconds_count{class="fo"} 3
+# HELP certd_solve_total Solve requests by class and verdict.
+# TYPE certd_solve_total counter
+certd_solve_total{class="conp-complete",verdict="degraded"} 1
+certd_solve_total{class="fo",verdict="certain"} 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusEscaping: label values with quotes, backslashes, and
+// newlines are escaped per the format.
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", L{"q", "R(x | \"a\")\\\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE weird_total counter\n" +
+		"weird_total{q=\"R(x | \\\"a\\\")\\\\\\n\"} 1\n"
+	if got := b.String(); got != want {
+		t.Fatalf("escaping drifted.\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestWritePrometheusEmptyFamilySkipped: a family that only ever received
+// Help text produces no output.
+func TestWritePrometheusEmptyFamilySkipped(t *testing.T) {
+	r := NewRegistry()
+	r.Help("never_used_total", "no series yet")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("expected empty exposition, got %q", b.String())
+	}
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The span tracer records where a solve spends its time: one span per
+// solver phase (classify, simplify, plan, method evaluation, degradation
+// sampling), parent-linked into a tree. It is built for a hot serving
+// path:
+//
+//   - Disabled is free. When no Tracer rides the context, StartSpan
+//     returns the context unchanged and a nil *Span whose methods are
+//     no-ops — zero allocations, one context value lookup. A regression
+//     test holds this at exactly zero allocs.
+//   - Enabled is bounded. Completed spans land in a fixed-capacity ring
+//     buffer (oldest evicted first), and sampling (record one of every N
+//     traces, decided at the root) keeps per-request cost proportional to
+//     the sample rate.
+//
+// Attributes are flat key/value string pairs; SetInt formats integers at
+// record time (only ever on the sampled path).
+
+// Attr is one span attribute.
+type Attr struct {
+	Key, Value string
+}
+
+// SpanRecord is a completed span as stored in the tracer's ring.
+type SpanRecord struct {
+	// ID and ParentID link the tree; ParentID is 0 for root spans.
+	ID, ParentID uint64
+	// Name identifies the phase, e.g. "solve", "classify", "eval/fo".
+	Name string
+	// Start is the wall-clock start; Duration the measured span length.
+	Start    time.Time
+	Duration time.Duration
+	// Attrs are the span's attributes in the order they were set.
+	Attrs []Attr
+}
+
+// TracerOptions configures NewTracer. The zero value records every trace
+// into a DefaultSpanCapacity ring.
+type TracerOptions struct {
+	// Capacity bounds the completed-span ring; 0 means
+	// DefaultSpanCapacity. When full, the oldest span is evicted.
+	Capacity int
+	// SampleEvery records one of every N traces (decided at the root
+	// span; children follow their root's fate). 0 and 1 record all.
+	SampleEvery int
+}
+
+// DefaultSpanCapacity is the ring size used when TracerOptions.Capacity
+// is zero: enough for a few hundred requests' phase spans without
+// unbounded growth.
+const DefaultSpanCapacity = 4096
+
+// Tracer collects completed spans into a bounded ring. Safe for
+// concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []SpanRecord
+	head    int // index of the oldest record
+	n       int // records currently held
+	dropped uint64
+
+	every   int
+	rootSeq atomic.Uint64
+	idSeq   atomic.Uint64
+}
+
+// NewTracer builds a tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	every := opts.SampleEvery
+	if every <= 0 {
+		every = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity), every: every}
+}
+
+// Span is an in-flight span. A nil *Span is valid and inert: every method
+// is a no-op, which is how the disabled-tracing path stays free.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// unsampled marks a trace the root sampling decision skipped, so
+// descendant StartSpan calls return immediately instead of re-deciding.
+var unsampled = &Span{}
+
+// WithTracer returns a context carrying the tracer; StartSpan calls below
+// it record spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span named name under the current span of ctx (or as
+// a trace root when there is none) and returns the context to pass to
+// child work. When ctx carries no tracer — tracing disabled — it returns
+// ctx unchanged and a nil span, performing no allocation.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	cur, _ := ctx.Value(spanKey{}).(*Span)
+	if cur == unsampled {
+		return ctx, nil
+	}
+	if cur != nil && cur.tr == nil {
+		// The context's span already ended — a use-after-End the tracer
+		// tolerates by treating the context as untraced.
+		cur = nil
+	}
+	var tr *Tracer
+	var parent uint64
+	if cur != nil {
+		tr = cur.tr
+		parent = cur.id
+	} else {
+		tr = TracerFrom(ctx)
+		if tr == nil {
+			return ctx, nil
+		}
+		if tr.every > 1 && tr.rootSeq.Add(1)%uint64(tr.every) != 1 {
+			// Unsampled trace: mark the subtree so children skip quickly.
+			return context.WithValue(ctx, spanKey{}, unsampled), nil
+		}
+	}
+	sp := &Span{
+		tr:     tr,
+		id:     tr.idSeq.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SetAttr attaches a string attribute. No-op on a nil span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt attaches an integer attribute. No-op on a nil span.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// End completes the span, recording it into the tracer's ring. No-op on a
+// nil span and on a second End. The span must not be used after End.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	rec := SpanRecord{
+		ID:       s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+	}
+	tr := s.tr
+	s.tr = nil
+	tr.record(rec)
+}
+
+// record appends rec, evicting the oldest record when the ring is full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < len(t.ring) {
+		t.ring[(t.head+t.n)%len(t.ring)] = rec
+		t.n++
+		return
+	}
+	t.ring[t.head] = rec
+	t.head = (t.head + 1) % len(t.ring)
+	t.dropped++
+}
+
+// Snapshot returns the completed spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.head+i)%len(t.ring)]
+	}
+	return out
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all completed spans (in-flight spans are unaffected and
+// will record normally).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.head, t.n = 0, 0
+}
+
+// FormatTree renders completed spans as an indented tree with per-phase
+// durations and attributes, children ordered by start time:
+//
+//	solve                 1.214ms  class=fo method=fo-rewriting
+//	  classify            310µs
+//	  eval/fo             801µs    steps=1234
+//
+// Spans whose parent is missing from recs (evicted from the ring) are
+// promoted to roots, so a partial snapshot still renders.
+func FormatTree(recs []SpanRecord) string {
+	byID := make(map[uint64]SpanRecord, len(recs))
+	children := make(map[uint64][]SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	var roots []SpanRecord
+	for _, r := range recs {
+		if _, ok := byID[r.ParentID]; r.ParentID != 0 && ok {
+			children[r.ParentID] = append(children[r.ParentID], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	byStart := func(s []SpanRecord) {
+		sort.Slice(s, func(i, j int) bool {
+			if !s[i].Start.Equal(s[j].Start) {
+				return s[i].Start.Before(s[j].Start)
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	// First pass computes the widest name column so durations align.
+	width := 0
+	var walk func(r SpanRecord, depth int)
+	var order []struct {
+		rec   SpanRecord
+		depth int
+	}
+	walk = func(r SpanRecord, depth int) {
+		if n := 2*depth + len(r.Name); n > width {
+			width = n
+		}
+		order = append(order, struct {
+			rec   SpanRecord
+			depth int
+		}{r, depth})
+		for _, c := range children[r.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+
+	var b strings.Builder
+	for _, e := range order {
+		indent := strings.Repeat("  ", e.depth)
+		fmt.Fprintf(&b, "%-*s  %10s", width, indent+e.rec.Name, e.rec.Duration.Round(time.Microsecond))
+		for _, a := range e.rec.Attrs {
+			b.WriteString("  ")
+			b.WriteString(a.Key)
+			b.WriteByte('=')
+			b.WriteString(a.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

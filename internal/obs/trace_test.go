@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSpanParentChild: nested StartSpan calls link children to parents and
+// records land in completion order.
+func TestSpanParentChild(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "solve")
+	ctx2, child := StartSpan(ctx1, "classify")
+	_, grand := StartSpan(ctx2, "attack-graph")
+	grand.End()
+	child.End()
+	root.SetAttr("class", "fo")
+	root.SetInt("steps", 42)
+	root.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(recs))
+	}
+	// Completion order: grand, child, root.
+	if recs[0].Name != "attack-graph" || recs[1].Name != "classify" || recs[2].Name != "solve" {
+		t.Fatalf("completion order = %v", []string{recs[0].Name, recs[1].Name, recs[2].Name})
+	}
+	if recs[2].ParentID != 0 {
+		t.Fatalf("root has parent %d", recs[2].ParentID)
+	}
+	if recs[1].ParentID != recs[2].ID {
+		t.Fatalf("classify parent = %d, want %d", recs[1].ParentID, recs[2].ID)
+	}
+	if recs[0].ParentID != recs[1].ID {
+		t.Fatalf("grandchild parent = %d, want %d", recs[0].ParentID, recs[1].ID)
+	}
+	if len(recs[2].Attrs) != 2 || recs[2].Attrs[0] != (Attr{"class", "fo"}) || recs[2].Attrs[1] != (Attr{"steps", "42"}) {
+		t.Fatalf("attrs = %+v", recs[2].Attrs)
+	}
+	for _, r := range recs {
+		if r.Duration <= 0 {
+			t.Fatalf("span %s has non-positive duration %v", r.Name, r.Duration)
+		}
+	}
+}
+
+// TestRingEvictionOrder: once the ring is full the OLDEST span is evicted
+// first, and Snapshot returns survivors oldest-first.
+func TestRingEvictionOrder(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 3})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recs))
+	}
+	want := []string{"s2", "s3", "s4"}
+	for i, r := range recs {
+		if r.Name != want[i] {
+			t.Fatalf("survivors = %v, want %v", names(recs), want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func names(recs []SpanRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// TestSampling: SampleEvery=3 records roots 1, 4, 7, ... and the children
+// of unsampled roots are skipped with them.
+func TestSampling(t *testing.T) {
+	tr := NewTracer(TracerOptions{SampleEvery: 3})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 6; i++ {
+		rctx, root := StartSpan(ctx, fmt.Sprintf("root%d", i))
+		_, child := StartSpan(rctx, "child")
+		child.End()
+		root.End()
+	}
+	recs := tr.Snapshot()
+	// Traces 0 and 3 are sampled: 2 spans each.
+	if len(recs) != 4 {
+		t.Fatalf("recorded %v, want 4 spans from 2 sampled traces", names(recs))
+	}
+	if recs[1].Name != "root0" || recs[3].Name != "root3" {
+		t.Fatalf("sampled roots = %v", names(recs))
+	}
+	// Children of unsampled roots must not have been recorded as roots.
+	for _, r := range recs {
+		if r.Name == "child" && r.ParentID == 0 {
+			t.Fatalf("child of unsampled trace recorded as root")
+		}
+	}
+}
+
+// TestDisabledTracingIsFree: with no tracer on the context, StartSpan
+// returns the context unchanged, records nothing, and — the acceptance
+// contract — allocates nothing.
+func TestDisabledTracingIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "solve")
+	if ctx2 != ctx {
+		t.Fatalf("disabled StartSpan must return the context unchanged")
+	}
+	if sp != nil {
+		t.Fatalf("disabled StartSpan must return a nil span")
+	}
+	sp.SetAttr("k", "v") // all no-ops on nil
+	sp.SetInt("steps", 1)
+	sp.End()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := StartSpan(ctx, "solve")
+		s.SetAttr("class", "fo")
+		s.SetInt("steps", 123)
+		s.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %v per span, want 0", allocs)
+	}
+}
+
+// TestUseAfterEndTolerated: starting a span from a context whose span has
+// already ended degrades to no tracing instead of crashing or recording
+// garbage parents.
+func TestUseAfterEndTolerated(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	sctx, sp := StartSpan(ctx, "solve")
+	sp.End()
+	sp.End() // double End is a no-op
+	_, late := StartSpan(sctx, "late")
+	if late == nil {
+		t.Fatalf("stale context should fall back to the tracer, got nil span")
+	}
+	late.End()
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d spans, want 2 (double End must not duplicate)", len(recs))
+	}
+	if recs[1].ParentID != 0 {
+		t.Fatalf("late span must re-root, got parent %d", recs[1].ParentID)
+	}
+}
+
+// TestFormatTree renders the indented tree with durations and attributes.
+func TestFormatTree(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := StartSpan(ctx, "solve")
+	c1ctx, c1 := StartSpan(rctx, "classify")
+	c1.End()
+	_ = c1ctx
+	_, c2 := StartSpan(rctx, "eval/fo")
+	c2.SetInt("steps", 7)
+	c2.End()
+	root.SetAttr("class", "fo")
+	root.End()
+
+	out := FormatTree(tr.Snapshot())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "solve") || !strings.Contains(lines[0], "class=fo") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  classify") {
+		t.Fatalf("first child line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  eval/fo") || !strings.Contains(lines[2], "steps=7") {
+		t.Fatalf("second child line = %q", lines[2])
+	}
+}
+
+// TestReset clears completed spans without breaking later recording.
+func TestReset(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 4})
+	ctx := WithTracer(context.Background(), tr)
+	_, a := StartSpan(ctx, "a")
+	a.End()
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Fatalf("Reset left spans behind")
+	}
+	_, b := StartSpan(ctx, "b")
+	b.End()
+	if got := tr.Snapshot(); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("post-Reset snapshot = %v", names(got))
+	}
+}

@@ -5,10 +5,12 @@
 package plan
 
 import (
+	"context"
 	"sync"
 
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/lru"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -39,6 +41,7 @@ type Cache struct {
 	mu       sync.Mutex
 	c        *lru.Cache[string, entry]
 	inflight map[string]*call
+	m        *obs.CacheMetrics
 }
 
 // NewCache returns an empty plan cache holding at most size plans (floored
@@ -53,18 +56,32 @@ func NewCache(size int) *Cache {
 	}
 }
 
+// Instrument mirrors the cache's hits, misses, evictions, and occupancy
+// into the given metrics (obs.NewCacheMetrics). A nil argument leaves the
+// cache uninstrumented. Must be called before the cache is shared across
+// goroutines.
+func (c *Cache) Instrument(m *obs.CacheMetrics) {
+	c.m = m
+	if m != nil {
+		m.SetSize(c.c.Len(), c.c.Cap())
+	}
+}
+
 // Get returns the compiled plan for q's canonical form, compiling it at
 // most once per canonical key even under concurrent misses: the first
-// caller compiles while the rest wait for its result.
-func (c *Cache) Get(q cq.Query) (*solver.Plan, error) {
+// caller compiles while the rest wait for its result. A traced context
+// records a plan/compile span around the (at most one) compilation.
+func (c *Cache) Get(ctx context.Context, q cq.Query) (*solver.Plan, error) {
 	key := cq.CanonicalKey(q)
 	c.mu.Lock()
 	if e, ok := c.c.Get(key); ok {
 		c.mu.Unlock()
+		c.m.Hit()
 		return e.p, e.err
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
+		c.m.Miss()
 		cl.wg.Wait()
 		return cl.p, cl.err
 	}
@@ -72,13 +89,19 @@ func (c *Cache) Get(q cq.Query) (*solver.Plan, error) {
 	cl.wg.Add(1)
 	c.inflight[key] = cl
 	c.mu.Unlock()
+	c.m.Miss()
 
+	_, sp := obs.StartSpan(ctx, "plan/compile")
 	canon, _ := cq.Canonicalize(q)
 	cl.p, cl.err = solver.CompilePlan(canon)
+	sp.End()
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	c.c.Put(key, entry{p: cl.p, err: cl.err})
+	if c.c.Put(key, entry{p: cl.p, err: cl.err}) {
+		c.m.Evicted(1)
+	}
+	c.m.SetSize(c.c.Len(), c.c.Cap())
 	c.mu.Unlock()
 	cl.wg.Done()
 	return cl.p, cl.err

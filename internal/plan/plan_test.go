@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -15,11 +16,11 @@ func TestSharedAcrossIsomorphicQueries(t *testing.T) {
 	c := NewCache(8)
 	a := cq.MustParseQuery("R(x | y), S(y | z)")
 	b := cq.MustParseQuery("S(q | r), R(p | q)") // same canonical form
-	pa, err := c.Get(a)
+	pa, err := c.Get(context.Background(), a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := c.Get(b)
+	pb, err := c.Get(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestConcurrentGetsCompileOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := c.Get(q)
+			p, err := c.Get(context.Background(), q)
 			if err != nil {
 				t.Error(err)
 				return
@@ -66,10 +67,10 @@ func TestConcurrentGetsCompileOnce(t *testing.T) {
 func TestErrorsCached(t *testing.T) {
 	c := NewCache(8)
 	selfJoin := cq.MustParseQuery("R(x | y), R(y | x)")
-	if _, err := c.Get(selfJoin); err == nil {
+	if _, err := c.Get(context.Background(), selfJoin); err == nil {
 		t.Fatal("self-join must fail to compile")
 	}
-	if _, err := c.Get(selfJoin); err == nil {
+	if _, err := c.Get(context.Background(), selfJoin); err == nil {
 		t.Fatal("cached compile error must be returned")
 	}
 	if s := c.Stats(); s.Hits != 1 {
@@ -81,7 +82,7 @@ func TestBounded(t *testing.T) {
 	c := NewCache(2)
 	for i := 0; i < 5; i++ {
 		q := cq.MustParseQuery(fmt.Sprintf("R%d(x | y)", i))
-		if _, err := c.Get(q); err != nil {
+		if _, err := c.Get(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,7 +100,7 @@ func TestBounded(t *testing.T) {
 func TestPlanSolvesCanonically(t *testing.T) {
 	c := NewCache(8)
 	q := cq.MustParseQuery("Emp(name | dept), Dept(dept | floor)")
-	p, err := c.Get(q)
+	p, err := c.Get(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

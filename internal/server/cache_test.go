@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -28,7 +29,7 @@ func decodeStatsz(t *testing.T, s *Server) StatszResponse {
 // verdict is served from the cache with Cached=true, and /statsz shows the
 // hit.
 func TestVerdictCacheHit(t *testing.T) {
-	s := New(Config{})
+	s := New(Config{Registry: obs.NewRegistry()})
 	req := SolveRequest{Query: "R(x | y)", DB: "R(a | b), R(a | c)"}
 
 	first := decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", req))
@@ -77,7 +78,7 @@ func TestVerdictCacheHit(t *testing.T) {
 // TestInconclusiveVerdictsNotCached: budget cutoffs must be recomputed —
 // they depend on the request's limits.
 func TestInconclusiveVerdictsNotCached(t *testing.T) {
-	s := New(Config{Policy: govern.Policy{MaxBudget: 1 << 20}})
+	s := New(Config{Registry: obs.NewRegistry(), Policy: govern.Policy{MaxBudget: 1 << 20}})
 	hard := SolveRequest{Query: q0Text(), DB: oddRingText(21), Budget: 60, DegradeSamples: 10, SampleSeed: 1}
 	for i := 0; i < 2; i++ {
 		resp := decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", hard))
@@ -95,7 +96,7 @@ func TestInconclusiveVerdictsNotCached(t *testing.T) {
 
 // TestVerdictCacheBounded: the cache evicts at capacity.
 func TestVerdictCacheBounded(t *testing.T) {
-	s := New(Config{VerdictCacheSize: 2})
+	s := New(Config{Registry: obs.NewRegistry(), VerdictCacheSize: 2})
 	dbs := []string{"R(a | b)", "R(c | d)", "R(e | f)"}
 	for _, body := range dbs {
 		decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", SolveRequest{Query: "R(x | y)", DB: body}))
@@ -113,7 +114,7 @@ func TestVerdictCacheBounded(t *testing.T) {
 
 // TestVerdictCacheDisabled: a negative size turns memoization off.
 func TestVerdictCacheDisabled(t *testing.T) {
-	s := New(Config{VerdictCacheSize: -1})
+	s := New(Config{Registry: obs.NewRegistry(), VerdictCacheSize: -1})
 	req := SolveRequest{Query: "R(x | y)", DB: "R(a | b), R(a | c)"}
 	decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", req))
 	resp := decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", req))
@@ -128,7 +129,7 @@ func TestVerdictCacheDisabled(t *testing.T) {
 // TestCachesConcurrent hammers the same and distinct instances from many
 // goroutines; run under -race this validates the serving-layer locking.
 func TestCachesConcurrent(t *testing.T) {
-	s := New(Config{Workers: 4})
+	s := New(Config{Registry: obs.NewRegistry(), Workers: 4})
 	reqs := []SolveRequest{
 		{Query: "R(x | y)", DB: "R(a | b), R(a | c)"},
 		{Query: "R(p | q)", DB: "R(a | c), R(a | b)"},

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/lru"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/plan"
 	"github.com/cqa-go/certainty/internal/solver"
 )
@@ -62,6 +64,16 @@ type Config struct {
 	// Logger, when non-nil, receives one line per solve and lifecycle
 	// event.
 	Logger *log.Logger
+	// Registry receives the server's metrics — request counters and latency
+	// histograms labeled by query class and verdict kind, plus the cache
+	// counters — and backs GET /metrics. Nil selects obs.Default, so certd
+	// exposes the whole process (solver, db, govern, engine) on one page;
+	// tests pass their own registry for isolation.
+	Registry *obs.Registry
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ for CPU,
+	// heap, and goroutine profiling. Off by default: profiles reveal query
+	// shapes and cost, so operators opt in (certd -pprof).
+	EnablePprof bool
 
 	// now and solve are test seams: a fake clock for the breaker automaton
 	// and a replacement solve function. Nil means real clock / real solver.
@@ -79,6 +91,13 @@ type Server struct {
 	breakers *breakerSet
 	mux      *http.ServeMux
 
+	reg       *obs.Registry
+	classifyM *obs.CacheMetrics
+	plansM    *obs.CacheMetrics
+	verdictsM *obs.CacheMetrics
+	mInflight *obs.Gauge
+	mQueued   *obs.Gauge
+
 	slots    chan struct{}
 	queued   atomic.Int64
 	inflight atomic.Int64
@@ -88,6 +107,15 @@ type Server struct {
 	drainCtx    context.Context
 	drainCancel context.CancelFunc
 }
+
+// Metric names exposed on /metrics.
+const (
+	metricSolveTotal      = "certd_solve_total"
+	metricSolveSeconds    = "certd_solve_seconds"
+	metricRejectionsTotal = "certd_rejections_total"
+	metricInflight        = "certd_inflight"
+	metricQueued          = "certd_queued"
+)
 
 // New builds a Server from cfg, applying defaults for unset fields.
 func New(cfg Config) *Server {
@@ -125,15 +153,31 @@ func New(cfg Config) *Server {
 		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
 		slots:    make(chan struct{}, cfg.Workers),
 	}
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		s.reg = obs.Default
+	}
+	s.reg.Help(metricSolveTotal, "Solve requests answered, by query class and verdict kind.")
+	s.reg.Help(metricSolveSeconds, "Solve latency in seconds, by query class.")
+	s.reg.Help(metricRejectionsTotal, "Non-200 responses, by error code.")
+	s.reg.Help(metricInflight, "Solves currently executing.")
+	s.reg.Help(metricQueued, "Requests waiting for a worker slot.")
+	s.mInflight = s.reg.Gauge(metricInflight)
+	s.mQueued = s.reg.Gauge(metricQueued)
+	s.classifyM = obs.NewCacheMetrics(s.reg, "classify")
+	s.classify.Instrument(s.classifyM)
+	s.plansM = obs.NewCacheMetrics(s.reg, "plans")
+	s.plans.Instrument(s.plansM)
 	if cfg.VerdictCacheSize > 0 {
-		s.verdicts = newVerdictCache(cfg.VerdictCacheSize)
+		s.verdictsM = obs.NewCacheMetrics(s.reg, "verdicts")
+		s.verdicts = newVerdictCache(cfg.VerdictCacheSize, s.verdictsM)
 	}
 	if s.cfg.solve == nil {
 		// The default solve path goes through the compiled-plan cache:
 		// classification, method selection, and the FO program are computed
 		// once per canonical query and reused across requests.
 		s.cfg.solve = func(ctx context.Context, q cq.Query, d *db.DB, opts solver.Options) (solver.Verdict, error) {
-			p, err := s.plans.Get(q)
+			p, err := s.plans.Get(ctx, q)
 			if err != nil {
 				return solver.Verdict{}, err
 			}
@@ -147,6 +191,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -158,10 +210,13 @@ func New(cfg Config) *Server {
 type verdictCache struct {
 	mu sync.Mutex
 	c  *lru.Cache[string, solver.Verdict]
+	m  *obs.CacheMetrics
 }
 
-func newVerdictCache(size int) *verdictCache {
-	return &verdictCache{c: lru.New[string, solver.Verdict](size)}
+func newVerdictCache(size int, m *obs.CacheMetrics) *verdictCache {
+	vc := &verdictCache{c: lru.New[string, solver.Verdict](size), m: m}
+	m.SetSize(vc.c.Len(), vc.c.Cap())
+	return vc
 }
 
 // verdictKey joins the canonical query key and the DB digest; NUL cannot
@@ -172,13 +227,22 @@ func verdictKey(q cq.Query, d *db.DB) string {
 
 func (vc *verdictCache) get(key string) (solver.Verdict, bool) {
 	vc.mu.Lock()
-	defer vc.mu.Unlock()
-	return vc.c.Get(key)
+	v, ok := vc.c.Get(key)
+	vc.mu.Unlock()
+	if ok {
+		vc.m.Hit()
+	} else {
+		vc.m.Miss()
+	}
+	return v, ok
 }
 
 func (vc *verdictCache) put(key string, v solver.Verdict) {
 	vc.mu.Lock()
-	vc.c.Put(key, v)
+	if vc.c.Put(key, v) {
+		vc.m.Evicted(1)
+	}
+	vc.m.SetSize(vc.c.Len(), vc.c.Cap())
 	vc.mu.Unlock()
 }
 
@@ -245,11 +309,13 @@ func (s *Server) acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
-	if n := s.queued.Add(1); n > int64(s.cfg.QueueDepth) {
-		s.queued.Add(-1)
+	n := s.queued.Add(1)
+	s.mQueued.Set(n)
+	if n > int64(s.cfg.QueueDepth) {
+		s.mQueued.Set(s.queued.Add(-1))
 		return errShed
 	}
-	defer s.queued.Add(-1)
+	defer func() { s.mQueued.Set(s.queued.Add(-1)) }()
 	select {
 	case s.slots <- struct{}{}:
 		return nil
@@ -272,6 +338,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError writes the taxonomy error body; shed/shutdown also carry the
 // Retry-After header (whole seconds, rounded up, minimum 1).
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
+	s.reg.Counter(metricRejectionsTotal, obs.L{K: "code", V: code}).Inc()
 	body := ErrorBody{Code: code, Message: message}
 	if code == CodeShed || code == CodeShutdown {
 		ra := s.cfg.RetryAfter
@@ -347,6 +414,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 					BudgetVal: opts.Budget,
 				}
 			}
+			s.countSolve(cls.Class.Code(), v)
 			s.logf("solve %s: %s from verdict cache", cls.Class.Code(), v.Outcome)
 			writeJSON(w, http.StatusOK, resp)
 			return
@@ -370,8 +438,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	s.mInflight.Set(s.inflight.Add(1))
+	defer func() { s.mInflight.Set(s.inflight.Add(-1)) }()
 
 	// Consult the breaker only once a worker slot is held: every admitted
 	// mode — in particular a half-open probe — is now guaranteed to reach
@@ -426,6 +494,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.verdicts != nil && v.Err == nil && v.Outcome != solver.OutcomeUnknown {
 		s.verdicts.put(vkey, v)
 	}
+	s.countSolve(cls.Class.Code(), v)
+	s.reg.Histogram(metricSolveSeconds, nil, obs.L{K: "class", V: cls.Class.Code()}).Observe(elapsed.Seconds())
 
 	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds()}
 	switch mode {
@@ -480,17 +550,62 @@ func (s *Server) health() HealthResponse {
 	}
 }
 
+// countSolve increments the class/verdict-kind request counter for one
+// answered solve (cached or computed).
+func (s *Server) countSolve(class string, v solver.Verdict) {
+	s.reg.Counter(metricSolveTotal,
+		obs.L{K: "class", V: class},
+		obs.L{K: "verdict", V: verdictKind(v)}).Inc()
+}
+
+// verdictKind maps a verdict to its counter label: the outcome wire code
+// ("certain", "not-certain", "unknown"), except that a breaker-skipped exact
+// search reports "degraded" so operators can see short-circuiting directly.
+func verdictKind(v solver.Verdict) string {
+	if errors.Is(v.Err, solver.ErrExactSkipped) {
+		return "degraded"
+	}
+	b, err := v.Outcome.MarshalText()
+	if err != nil {
+		return "unknown"
+	}
+	return string(b)
+}
+
+// statsFrom renders one cache's obs counters in the legacy /statsz wire
+// shape. The obs mirror is updated in the same critical sections as the
+// lru-internal counters, so the two views are always equal (locked by a
+// regression test).
+func statsFrom(m *obs.CacheMetrics) lru.Stats {
+	return lru.Stats{
+		Len:       m.Len(),
+		Cap:       m.Cap(),
+		Hits:      m.Hits(),
+		Misses:    m.Misses(),
+		Evictions: m.Evictions(),
+	}
+}
+
 // handleStatsz reports the serving-layer cache counters: classification,
-// compiled plans, and verdicts.
+// compiled plans, and verdicts. Since the metrics migration the numbers are
+// read from the obs registry rather than the lru internals; the JSON shape
+// and values are unchanged.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp := StatszResponse{
-		Classify: s.classify.Stats(),
-		Plans:    s.plans.Stats(),
+		Classify: statsFrom(s.classifyM),
+		Plans:    statsFrom(s.plansM),
 	}
 	if s.verdicts != nil {
-		resp.Verdicts = s.verdicts.stats()
+		resp.Verdicts = statsFrom(s.verdictsM)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 // handleHealthz reports liveness: the process is up and serving.

@@ -8,6 +8,7 @@ import (
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/fo"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
 )
 
 // Plan is the immutable compiled decision strategy for one query: the
@@ -122,8 +123,12 @@ func (p *Plan) Solve(d *db.DB) (Result, error) {
 // SolveCtx is the resource-governed execution of the plan, mirroring
 // SolveCtx over the precompiled artifacts: same governor wiring, same panic
 // containment, same graceful degradation on cut-off exponential searches,
-// and byte-identical Verdicts.
+// and byte-identical Verdicts. Traced solves record the same span tree as
+// the uncompiled path minus the classify span (classification was paid at
+// compile time), with a plan=compiled attribute on the root.
 func (p *Plan) SolveCtx(ctx context.Context, d *db.DB, opts Options) (Verdict, error) {
+	ctx, root := obs.StartSpan(ctx, "solve")
+	root.SetAttr("plan", "compiled")
 	g := govern.New(ctx, govern.Options{Budget: opts.Budget, Timeout: opts.Timeout, Fault: opts.Fault})
 	defer g.Close()
 	gctx := g.Attach()
@@ -133,6 +138,7 @@ func (p *Plan) SolveCtx(ctx context.Context, d *db.DB, opts Options) (Verdict, e
 		v, innerErr = p.solveGoverned(gctx, g, d, opts)
 		return innerErr
 	})
+	endSolveSpan(root, g, v, err)
 	if err != nil {
 		return Verdict{}, err
 	}

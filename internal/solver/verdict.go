@@ -11,6 +11,7 @@ import (
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/fo"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/prob"
 )
 
@@ -119,6 +120,7 @@ type Options struct {
 // polynomial paths — only possible under very tight budgets — yield an
 // OutcomeUnknown verdict without a sampling pass.
 func SolveCtx(ctx context.Context, q cq.Query, d *db.DB, opts Options) (Verdict, error) {
+	ctx, root := obs.StartSpan(ctx, "solve")
 	g := govern.New(ctx, govern.Options{Budget: opts.Budget, Timeout: opts.Timeout, Fault: opts.Fault})
 	defer g.Close()
 	gctx := g.Attach()
@@ -128,23 +130,49 @@ func SolveCtx(ctx context.Context, q cq.Query, d *db.DB, opts Options) (Verdict,
 		v, innerErr = solveGoverned(gctx, g, q, d, opts)
 		return innerErr
 	})
+	endSolveSpan(root, g, v, err)
 	if err != nil {
 		return Verdict{}, err
 	}
 	return v, nil
 }
 
+// endSolveSpan finishes a root solve span with the class, method, outcome,
+// and the governor's total step count as attributes. All calls are no-ops
+// when tracing is off (root is nil).
+func endSolveSpan(root *obs.Span, g *govern.Governor, v Verdict, err error) {
+	if root == nil {
+		return
+	}
+	if err == nil {
+		root.SetAttr("class", v.Result.Classification.Class.Code())
+		root.SetAttr("method", methodCodes[v.Result.Method])
+		root.SetAttr("outcome", outcomeCodes[v.Outcome])
+	} else {
+		root.SetAttr("error", err.Error())
+	}
+	root.SetInt("steps", g.Steps())
+	root.End()
+}
+
 // solveGoverned mirrors Solve's dispatch (including the projection
-// simplification attempt) over the context-aware procedure variants.
+// simplification attempt) over the context-aware procedure variants. Each
+// phase — classification, the simplification attempt, the method's
+// evaluation — records a span when a tracer rides ctx.
 func solveGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, opts Options) (Verdict, error) {
+	_, csp := obs.StartSpan(ctx, "classify")
 	cls, err := core.Classify(q)
+	csp.End()
 	if err != nil {
 		return Verdict{}, err
 	}
 	if !cls.Class.InP() {
+		_, ssp := obs.StartSpan(ctx, "simplify")
 		if q2, rewrite, rep := simplifyProjection(q); rep != nil {
 			if cls2, err2 := core.Classify(q2); err2 == nil && cls2.Class.InP() {
 				d2, err := rewrite(d)
+				ssp.SetAttr("rewritten-class", cls2.Class.Code())
+				ssp.End()
 				if err != nil {
 					return Verdict{}, err
 				}
@@ -158,8 +186,29 @@ func solveGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB
 				return v, nil
 			}
 		}
+		ssp.End()
 	}
 	return dispatchGoverned(ctx, g, q, d, cls, opts, nil)
+}
+
+// methodForClass resolves the decision procedure dispatchGoverned will run
+// for a classification, mirroring its switch.
+func methodForClass(cls core.Classification) Method {
+	switch cls.Class {
+	case core.ClassFO:
+		if cls.Graph == nil {
+			return MethodSafeRewriting
+		}
+		return MethodFO
+	case core.ClassPTimeTerminal:
+		return MethodTerminal
+	case core.ClassPTimeACk:
+		return MethodACk
+	case core.ClassPTimeCk:
+		return MethodCk
+	default:
+		return MethodFalsifying
+	}
 }
 
 // dispatchGoverned runs the decision procedure for cls on (q, d). When a
@@ -167,51 +216,47 @@ func solveGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB
 // safe rewriting) replace the per-call compilation; governor step accounting
 // is identical either way, so the two modes produce byte-identical Verdicts.
 func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, cls core.Classification, opts Options, p *Plan) (Verdict, error) {
-	res := Result{Classification: cls, SimplifiedClass: cls.Class}
+	method := methodForClass(cls)
+	res := Result{Classification: cls, SimplifiedClass: cls.Class, Method: method}
+	ectx, esp := obs.StartSpan(ctx, "eval/"+methodCodes[method])
 	var certain bool
 	var err error
-	switch cls.Class {
-	case core.ClassFO:
-		if cls.Graph == nil {
-			// Cyclic hypergraph but safe: evaluate the Theorem 6 rewriting.
-			res.Method = MethodSafeRewriting
-			var phi fo.Formula
-			if p != nil {
-				phi = p.safePhi
-			} else {
-				phi, err = fo.RewriteSafe(q)
-			}
-			if err == nil {
-				certain, err = fo.Eval(phi, d)
-			}
+	switch method {
+	case MethodSafeRewriting:
+		// Cyclic hypergraph but safe: evaluate the Theorem 6 rewriting.
+		var phi fo.Formula
+		if p != nil {
+			phi = p.safePhi
 		} else {
-			res.Method = MethodFO
-			if p != nil {
-				certain, err = p.foProg.CertainCtx(ctx, q, d)
-			} else {
-				certain, err = CertainFOCtx(ctx, q, d)
-			}
+			phi, err = fo.RewriteSafe(q)
 		}
-	case core.ClassPTimeTerminal:
-		res.Method = MethodTerminal
-		certain, err = CertainTerminalCtx(ctx, q, d)
-	case core.ClassPTimeACk:
-		res.Method = MethodACk
-		certain, err = CertainACkCtx(ctx, q, cls.Shape, d)
-	case core.ClassPTimeCk:
-		res.Method = MethodCk
-		certain, err = CertainCkCtx(ctx, q, cls.Shape, d)
+		if err == nil {
+			certain, err = fo.Eval(phi, d)
+		}
+	case MethodFO:
+		if p != nil {
+			certain, err = p.foProg.CertainCtx(ectx, q, d)
+		} else {
+			certain, err = CertainFOCtx(ectx, q, d)
+		}
+	case MethodTerminal:
+		certain, err = CertainTerminalCtx(ectx, q, d)
+	case MethodACk:
+		certain, err = CertainACkCtx(ectx, q, cls.Shape, d)
+	case MethodCk:
+		certain, err = CertainCkCtx(ectx, q, cls.Shape, d)
 	default:
-		res.Method = MethodFalsifying
 		var found bool
 		var sev searchEvidence
-		_, found, sev, err = falsifyingRepairGov(govern.From(ctx), q, d)
+		_, found, sev, err = falsifyingRepairGov(govern.From(ectx), q, d)
 		if err != nil && g.Err() != nil {
 			// Governed cutoff on the exponential path: degrade to sampling.
-			return degradedVerdict(g, q, d, res, sev, opts), nil
+			endEvalSpan(esp, g)
+			return degradedVerdict(ctx, g, q, d, res, sev, opts), nil
 		}
 		certain = !found
 	}
+	endEvalSpan(esp, g)
 	if err != nil {
 		if g.Err() != nil {
 			// Governed cutoff on a polynomial or rewriting path.
@@ -232,12 +277,21 @@ func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db
 	return Verdict{Outcome: out, Result: res}, nil
 }
 
+// endEvalSpan finishes an evaluation-phase span, attaching the governor's
+// step count so traces show where the budget went. No-op when tracing is
+// off.
+func endEvalSpan(sp *obs.Span, g *govern.Governor) {
+	sp.SetInt("steps", g.Steps())
+	sp.End()
+}
+
 // degradedVerdict builds the OutcomeUnknown verdict for a cut-off
 // exponential search: partial search evidence plus a bounded Monte-Carlo
 // estimate of the repair-satisfaction frequency. The sampling pass runs
-// under its own small governor (the parent's is already tripped), so it
-// terminates promptly even after a SIGINT or deadline.
-func degradedVerdict(g *govern.Governor, q cq.Query, d *db.DB, res Result, sev searchEvidence, opts Options) Verdict {
+// under its own small governor (the parent's is already tripped, so ctx's
+// cancellation is stripped while its values — the tracer among them —
+// survive), and it terminates promptly even after a SIGINT or deadline.
+func degradedVerdict(ctx context.Context, g *govern.Governor, q cq.Query, d *db.DB, res Result, sev searchEvidence, opts Options) Verdict {
 	ev := &Evidence{
 		Steps:         g.Steps(),
 		TotalBlocks:   sev.totalBlocks,
@@ -245,7 +299,7 @@ func degradedVerdict(g *govern.Governor, q cq.Query, d *db.DB, res Result, sev s
 		BestCandidate: sev.bestChosen,
 	}
 	v := Verdict{Outcome: OutcomeUnknown, Result: res, Err: g.Err(), Evidence: ev}
-	sampleInto(context.Background(), &v, q, d, opts)
+	sampleInto(context.WithoutCancel(ctx), &v, q, d, opts)
 	return v
 }
 
@@ -267,9 +321,12 @@ func sampleInto(ctx context.Context, v *Verdict, q cq.Query, d *db.DB, opts Opti
 	if timeout <= 0 {
 		timeout = 250 * time.Millisecond
 	}
+	ctx, sp := obs.StartSpan(ctx, "degrade/sample")
 	sg := govern.New(ctx, govern.Options{Timeout: timeout})
 	defer sg.Close()
 	est, drawn, falsifier, _ := prob.EstimateSatisfactionCtx(sg.Attach(), q, d, samples, opts.SampleSeed)
+	sp.SetInt("samples", int64(drawn))
+	sp.End()
 	v.Evidence.Samples = drawn
 	v.Evidence.Estimate = est
 	if falsifier != nil {
