@@ -141,7 +141,7 @@ func BenchmarkSolvePerCall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Solve(q, d); err != nil {
+		if _, err := solver.SolveResult(q, d); err != nil {
 			b.Fatal(err)
 		}
 	}

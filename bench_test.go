@@ -28,7 +28,7 @@ func BenchmarkE1Conference(b *testing.B) {
 	d := ConferenceDB()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := solver.Solve(q, d)
+		res, err := solver.SolveResult(q, d)
 		if err != nil || res.Certain {
 			b.Fatal("unexpected result")
 		}

@@ -150,7 +150,7 @@ func Classify(q Query) (Classification, error) { return core.Classify(q) }
 // Solve decides whether every repair of d satisfies q, dispatching on the
 // classification (polynomial algorithms where the paper provides them, an
 // exact exponential search otherwise).
-func Solve(q Query, d *DB) (Result, error) { return solver.Solve(q, d) }
+func Solve(q Query, d *DB) (Result, error) { return solver.SolveResult(q, d) }
 
 // Certain is Solve returning only the decision.
 func Certain(q Query, d *DB) (bool, error) { return solver.Certain(q, d) }
@@ -182,8 +182,66 @@ const (
 
 // SolveCtx decides certainty under ctx plus the limits in opts; see
 // Verdict for how cutoffs degrade gracefully.
+//
+// Deprecated-style convenience: SolveContext with functional options is the
+// unified entry point; SolveCtx remains for callers holding a SolveOptions
+// struct.
 func SolveCtx(ctx context.Context, q Query, d *DB, opts SolveOptions) (Verdict, error) {
 	return solver.SolveCtx(ctx, q, d, opts)
+}
+
+// Functional-option solving. SolveContext replaces the former proliferation
+// of entry points (Solve, SolveCtx, compiled plans, parallel variants) with
+// one governed call configured by options:
+//
+//	v, err := certainty.SolveContext(ctx, q, d,
+//	    certainty.WithBudget(1_000_000),
+//	    certainty.WithDeadline(2*time.Second),
+//	    certainty.WithShards(-1), // component-partitioned parallel solve
+//	)
+//
+// Conclusive verdicts are identical across every option combination;
+// options change resource limits and scheduling, never answers.
+type (
+	// SolveOption configures SolveContext and SolveBatch.
+	SolveOption = solver.Option
+	// BatchInstance is one (query, database) instance of a batch.
+	BatchInstance = solver.BatchItem
+	// BatchVerdict is one batch instance's outcome.
+	BatchVerdict = solver.BatchResult
+)
+
+// Options for SolveContext and SolveBatch (see internal/solver for the full
+// set).
+var (
+	// WithBudget caps governor search steps (0 = unlimited).
+	WithBudget = solver.WithBudget
+	// WithDeadline bounds wall-clock solve time.
+	WithDeadline = solver.WithDeadline
+	// WithShards enables component-partitioned parallel solving with at
+	// most n data shards per query component (< 0 = automatic).
+	WithShards = solver.WithShards
+	// WithDegradeSamples caps post-cutoff Monte-Carlo sampling (< 0
+	// disables it).
+	WithDegradeSamples = solver.WithDegradeSamples
+	// WithSampleSeed makes the degradation sampler deterministic.
+	WithSampleSeed = solver.WithSampleSeed
+	// WithObserver streams batch results as items complete (SolveBatch).
+	WithObserver = solver.WithObserver
+)
+
+// SolveContext is the unified governed solve: cancellation from ctx, limits
+// and scheduling from the options.
+func SolveContext(ctx context.Context, q Query, d *DB, opts ...SolveOption) (Verdict, error) {
+	return solver.Solve(ctx, q, d, opts...)
+}
+
+// SolveBatch decides many instances at once, amortizing classification and
+// plan compilation across items that share a canonical query and fanning
+// the work out on the bounded worker pool. Results are indexed in item
+// order; add WithObserver to stream them as they complete.
+func SolveBatch(ctx context.Context, items []BatchInstance, opts ...SolveOption) []BatchVerdict {
+	return solver.SolveBatch(ctx, items, opts...)
 }
 
 // CertainBruteForce decides certainty by enumerating every repair
@@ -300,6 +358,22 @@ func ProbabilityByWorlds(q Query, p *ProbDB) *big.Rat { return prob.ProbabilityB
 
 // CountSatisfyingRepairs solves ♯CERTAINTY(q) by enumeration.
 func CountSatisfyingRepairs(q Query, d *DB) *big.Int { return prob.CountSatisfyingRepairs(q, d) }
+
+// CountSatisfyingSharded solves ♯CERTAINTY(q) through the shard
+// decomposition — exact, same number as CountSatisfyingRepairs, but the
+// enumeration splits along independent sub-instances solved in parallel
+// (∏ᵢNᵢ − ∏ᵢ(Nᵢ−sᵢ) per connected component, products across components).
+// maxShards caps the shards per component; ≤ 0 keeps the finest partition.
+func CountSatisfyingSharded(q Query, d *DB, maxShards int) *big.Int {
+	return prob.CountSatisfyingSharded(q, d, maxShards)
+}
+
+// UniformProbabilitySharded computes Pr(q) under uniform repair choice
+// through the shard decomposition (1 − ∏ᵢ(1−pᵢ) per component, products
+// across components); exact, same rational as world enumeration.
+func UniformProbabilitySharded(q Query, d *DB, maxShards int) *big.Rat {
+	return prob.UniformProbabilitySharded(q, d, maxShards)
+}
 
 // CountViaUniform solves ♯CERTAINTY(q) through the uniform BID safe plan
 // (polynomial for safe queries).

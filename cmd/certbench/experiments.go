@@ -38,7 +38,7 @@ func runE1(ctx *benchCtx) {
 	sat := prob.CountSatisfyingRepairs(q, d)
 	fmt.Printf("repairs satisfying q: %v of %v (paper: \"true in only three repairs\")\n",
 		sat, d.NumRepairs())
-	res, err := solver.Solve(q, d)
+	res, err := solver.SolveResult(q, d)
 	must(err)
 	fmt.Printf("certain: %v  via %s\n", res.Certain, res.Method)
 	fmt.Printf("agrees with brute force: %v\n", res.Certain == solver.BruteForce(q, d))
@@ -428,7 +428,7 @@ func runE10(ctx *benchCtx) {
 		var method solver.Method
 		for seed := int64(0); seed < seeds; seed++ {
 			d := gen.RandomDB(nq.q, gen.Config{Embeddings: 2, Noise: 2, Domain: 2}, seed)
-			res, err := solver.Solve(nq.q, d)
+			res, err := solver.SolveResult(nq.q, d)
 			must(err)
 			method = res.Method
 			if res.Certain != solver.BruteForce(nq.q, d) {
@@ -495,7 +495,7 @@ func runE11(ctx *benchCtx) {
 		var res solver.Result
 		durSolve := timed(func() {
 			var err error
-			res, err = solver.Solve(q, d)
+			res, err = solver.SolveResult(q, d)
 			must(err)
 		})
 		method = res.Method.String()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -11,8 +12,10 @@ import (
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/gen"
 	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/prob"
 	"github.com/cqa-go/certainty/internal/solver"
 )
 
@@ -40,11 +43,57 @@ type perfEntry struct {
 }
 
 type perfReport struct {
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	Quick     bool        `json:"quick"`
-	Entries   []perfEntry `json:"benchmarks"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Quick     bool         `json:"quick"`
+	Entries   []perfEntry  `json:"benchmarks"`
+	Summary   *perfSummary `json:"summary,omitempty"`
+}
+
+// perfSummary compares this run against a previous baseline report
+// (certbench -json NEW -baseline OLD): for every benchmark name present in
+// both files it records baseline_ns / current_ns, so a PR's report carries
+// its own before/after story instead of requiring the reader to diff two
+// JSON files by hand.
+type perfSummary struct {
+	Baseline string             `json:"baseline"`
+	Compared int                `json:"compared"`
+	Geomean  float64            `json:"geomean_speedup"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// summarize loads the baseline report and computes per-name speedups for
+// the intersection of benchmark names.
+func summarize(baselinePath string, entries []perfEntry) (*perfSummary, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var base perfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseNs := make(map[string]int64, len(base.Entries))
+	for _, e := range base.Entries {
+		baseNs[e.Name] = e.NsPerOp
+	}
+	s := &perfSummary{Baseline: baselinePath, Speedups: map[string]float64{}}
+	logSum := 0.0
+	for _, e := range entries {
+		b, ok := baseNs[e.Name]
+		if !ok || b <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		sp := float64(b) / float64(e.NsPerOp)
+		s.Speedups[e.Name] = sp
+		logSum += math.Log(sp)
+		s.Compared++
+	}
+	if s.Compared > 0 {
+		s.Geomean = math.Exp(logSum / float64(s.Compared))
+	}
+	return s, nil
 }
 
 // perfBuckets is a 1-2-5 series from 100ns to 10s: three edges per decade,
@@ -127,11 +176,38 @@ func pairSpeedup(seed, indexed perfEntry) perfEntry {
 	return indexed
 }
 
-// runPerfJSON runs the PR 3 performance matrix — FO rewriting (seed vs
+// chainComponentsDB builds an instance for the FO join query
+// R(x | y), S(y | z) whose fact co-occurrence graph has exactly comps
+// connected components: component i contributes the block R(a_i | b_i,
+// b_i') and the block S(b_i | c_i, c_i') over constants private to i. Per
+// component there are 4 repairs of which 2 satisfy the query (those where
+// the R block keeps b_i), so the instance is not certain, the total repair
+// count is 4^comps, and monolithic repair enumeration is exponential in
+// comps while the shard decomposition solves comps independent 4-repair
+// sub-instances.
+func chainComponentsDB(comps int) *db.DB {
+	facts := make([]db.Fact, 0, 4*comps)
+	for i := 0; i < comps; i++ {
+		a, b, b2 := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), fmt.Sprintf("b%d'", i)
+		c, c2 := fmt.Sprintf("c%d", i), fmt.Sprintf("c%d'", i)
+		facts = append(facts,
+			db.Fact{Rel: "R", KeyLen: 1, Args: []string{a, b}},
+			db.Fact{Rel: "R", KeyLen: 1, Args: []string{a, b2}},
+			db.Fact{Rel: "S", KeyLen: 1, Args: []string{b, c}},
+			db.Fact{Rel: "S", KeyLen: 1, Args: []string{b, c2}},
+		)
+	}
+	return db.MustFromFacts(facts...)
+}
+
+// runPerfJSON runs the performance matrix — FO rewriting (seed vs
 // indexed+compiled), Terminal, AC(k) (sequential vs parallel), the
-// falsifying search, and end-to-end Solve (per-call vs compiled plan) at
-// three database scales each — and writes the machine-readable report.
-func runPerfJSON(path string, quick bool) error {
+// falsifying search, end-to-end Solve (per-call vs compiled plan),
+// component-sharded counting/probability/solving (monolithic vs 8-way
+// shard decomposition), and batch serving (per-call loop vs memoized
+// SolveBatch) — and writes the machine-readable report. With a baseline
+// file, the report also carries a per-name speedup summary against it.
+func runPerfJSON(path, baseline string, quick bool) error {
 	scales := []int{8, 32, 128}
 	satVars := []int{6, 9, 12}
 	comps := []int{8, 32, 128}
@@ -248,7 +324,7 @@ func runPerfJSON(path string, quick bool) error {
 		d := gen.RandomDB(foQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
 		d.Digest()
 		seed, err := measure(fmt.Sprintf("solve/per-call/emb=%d", n), "solve", "seed", n, func() error {
-			_, err := solver.Solve(foQ, d)
+			_, err := solver.SolveResult(foQ, d)
 			return err
 		})
 		if err != nil {
@@ -267,6 +343,134 @@ func runPerfJSON(path string, quick bool) error {
 		}
 		add(seed)
 		add(pairSpeedup(seed, planned))
+	}
+
+	// Component-sharded ♯CERTAINTY and PROBABILITY (§7): monolithic repair
+	// enumeration visits 4^comps repairs; the shard decomposition visits
+	// comps independent 4-repair sub-instances and combines with the exact
+	// product algebra. The speedup is algorithmic (sum of shard spaces
+	// instead of their product), on top of the worker-pool parallelism.
+	shardComps := []int{4, 6, 8}
+	if quick {
+		shardComps = []int{2, 3, 4}
+	}
+	const shardWorkers = 8
+	for _, c := range shardComps {
+		d := chainComponentsDB(c)
+		d.Digest()
+		mono, err := measure(fmt.Sprintf("count/mono/comps=%d", c), "count", "mono", c, func() error {
+			prob.CountSatisfyingRepairs(foQ, d)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sharded, err := measure(fmt.Sprintf("count/sharded/comps=%d", c), "count", "sharded", c, func() error {
+			prob.CountSatisfyingSharded(foQ, d, shardWorkers)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		add(mono)
+		add(pairSpeedup(mono, sharded))
+	}
+	{
+		c := shardComps[len(shardComps)-1]
+		d := chainComponentsDB(c)
+		d.Digest()
+		mono, err := measure(fmt.Sprintf("prob/mono/comps=%d", c), "prob", "mono", c, func() error {
+			prob.UniformProbability(foQ, d)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sharded, err := measure(fmt.Sprintf("prob/sharded/comps=%d", c), "prob", "sharded", c, func() error {
+			prob.UniformProbabilitySharded(foQ, d, shardWorkers)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		add(mono)
+		add(pairSpeedup(mono, sharded))
+	}
+
+	// End-to-end sharded decision on the same multi-component instances:
+	// records what the shard machinery costs (or buys) for a query whose
+	// monolithic method is already polynomial — the honest overhead number
+	// next to the exponential counting win above.
+	{
+		c := shardComps[len(shardComps)-1]
+		d := chainComponentsDB(c)
+		d.Digest()
+		mono, err := measure(fmt.Sprintf("solve/mono/comps=%d", c), "solve", "mono", c, func() error {
+			_, err := solver.SolveCtx(context.Background(), foQ, d, solver.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		sharded, err := measure(fmt.Sprintf("solve/sharded/comps=%d", c), "solve", "sharded", c, func() error {
+			_, err := solver.Solve(context.Background(), foQ, d, solver.WithShards(shardWorkers))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		add(mono)
+		add(pairSpeedup(mono, sharded))
+	}
+
+	// Batch serving: a loop of independent SolveCtx calls re-classifies the
+	// query per item; SolveBatch memoizes the compiled plan per canonical
+	// query and fans items out on the worker pool.
+	batchSizes := []int{32, 128}
+	if quick {
+		batchSizes = []int{8, 16}
+	}
+	for _, n := range batchSizes {
+		items := make([]solver.BatchItem, n)
+		for i := range items {
+			d := gen.RandomDB(foQ, gen.Config{Embeddings: 8, Noise: 8, Domain: 8}, int64(i+1))
+			d.Digest()
+			items[i] = solver.BatchItem{Query: foQ, DB: d}
+		}
+		loop, err := measure(fmt.Sprintf("batch/loop/items=%d", n), "batch", "loop", n, func() error {
+			for _, it := range items {
+				if _, err := solver.SolveCtx(context.Background(), it.Query, it.DB, solver.Options{}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		memo, err := measure(fmt.Sprintf("batch/memo/items=%d", n), "batch", "memo", n, func() error {
+			for _, r := range solver.SolveBatch(context.Background(), items) {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		add(loop)
+		add(pairSpeedup(loop, memo))
+	}
+
+	if baseline != "" {
+		s, err := summarize(baseline, report.Entries)
+		if err != nil {
+			return err
+		}
+		report.Summary = s
+		fmt.Printf("  summary vs %s: %d shared benchmarks, geomean speedup %.2fx\n",
+			s.Baseline, s.Compared, s.Geomean)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -6,20 +6,26 @@
 // coNP cutoffs to bounded Monte-Carlo verdicts, and graceful drain on
 // SIGINT/SIGTERM.
 //
-// Endpoints:
+// Endpoints (see API.md for the wire contract):
 //
-//	POST /v1/solve     decide CERTAINTY(q) for a query + database
-//	POST /v1/classify  classify a query's complexity (no database)
-//	GET  /healthz      liveness (always 200 while the process runs)
-//	GET  /readyz       readiness (503 once draining)
-//	GET  /statsz       serving-layer cache counters (JSON)
-//	GET  /metrics      Prometheus text exposition of the whole process
-//	GET  /debug/pprof  profiling endpoints (only with -pprof)
+//	POST /v1/solve        decide CERTAINTY(q) for a query + database
+//	POST /v1/solve/batch  solve many items in one request (JSON or NDJSON stream)
+//	POST /v1/classify     classify a query's complexity (no database)
+//	GET  /v1/statsz       serving-layer cache counters (JSON)
+//	GET  /healthz         liveness (always 200 while the process runs)
+//	GET  /readyz          readiness (503 once draining)
+//	GET  /metrics         Prometheus text exposition of the whole process
+//	GET  /debug/pprof     profiling endpoints (only with -pprof)
+//
+// The unversioned paths /solve, /solve/batch, and /classify answer with
+// 308 Permanent Redirect to their /v1/ successors; GET /statsz still
+// serves in place. All legacy responses carry a Deprecation header.
 //
 // Example:
 //
 //	certd -addr :8377 -workers 8 -max-budget 5000000 -max-timeout 10s
 //	curl -s localhost:8377/v1/solve -d '{"query":"R(x | y)","db":"R(a | b)"}'
+//	curl -s localhost:8377/v1/solve/batch -d '{"query":"R(x | y)","items":[{"db":"R(a | b)"},{"db":"R(a | b) R(a | c)"}]}'
 //	curl -s localhost:8377/metrics | grep certd_solve_total
 package main
 
@@ -55,6 +61,7 @@ func main() {
 		grace          = flag.Duration("grace", 10*time.Second, "shutdown grace period for draining in-flight solves")
 		planCache      = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default)")
 		verdictCache   = flag.Int("verdict-cache", 0, "verdict cache capacity (0 = default, <0 disables)")
+		maxBatch       = flag.Int("max-batch", 0, "maximum items per /v1/solve/batch request (0 = default)")
 		pprofOn        = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -76,6 +83,7 @@ func main() {
 		DegradeSamples:   *degradeSamples,
 		PlanCacheSize:    *planCache,
 		VerdictCacheSize: *verdictCache,
+		MaxBatchItems:    *maxBatch,
 		Logger:           logger,
 		// The process-wide registry, so /metrics also exposes the solver,
 		// db, governor, and engine counters recorded below the service

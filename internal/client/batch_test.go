@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+func batchFixture() server.BatchSolveRequest {
+	return server.BatchSolveRequest{
+		Query: "R(x | y), S(y | z)",
+		Items: []server.BatchSolveItem{
+			{DB: "R(a | b) S(b | c)"},
+			{DB: "R(a | b) R(a | b2) S(b | c)"},
+			{Query: "R(x |", DB: "R(a | b)"},
+			{DB: "R(a | b) S(b | c) S(b | c2)"},
+		},
+	}
+}
+
+// TestBatchRoundTrip: the client's batch call against a real server returns
+// per-item results matching individual solves.
+func TestBatchRoundTrip(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+
+	resp, err := c.SolveBatch(context.Background(), batchFixture())
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	wantCertain := []bool{true, false, false, true}
+	for i, r := range resp.Results {
+		if i == 2 {
+			if r.Error == nil || r.Error.Code != server.CodeMalformed {
+				t.Errorf("item 2: %+v, want malformed error", r)
+			}
+			continue
+		}
+		if r.Error != nil {
+			t.Fatalf("item %d: %v", i, r.Error)
+		}
+		if r.Verdict.Result.Certain != wantCertain[i] {
+			t.Errorf("item %d: certain = %v, want %v", i, r.Verdict.Result.Certain, wantCertain[i])
+		}
+	}
+}
+
+// TestStreamRoundTrip: the streaming call delivers every item exactly once
+// against a real server.
+func TestStreamRoundTrip(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+
+	seen := make(map[int]int)
+	err := c.SolveStream(context.Background(), batchFixture(), func(r server.BatchItemResult) {
+		seen[r.Index]++
+	})
+	if err != nil {
+		t.Fatalf("SolveStream: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if seen[i] != 1 {
+			t.Errorf("item %d delivered %d times, want 1", i, seen[i])
+		}
+	}
+}
+
+// TestBatchPerItemRetry: an item that comes back with a transient
+// item-level error is re-solved individually; the caller sees the verdict,
+// not the shed.
+func TestBatchPerItemRetry(t *testing.T) {
+	var solo atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		resp := server.BatchSolveResponse{Results: []server.BatchItemResult{
+			{Index: 0, Error: &server.ErrorBody{Code: server.CodeInternal, Message: "worker died"}},
+		}}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&resp)
+	})
+	real := server.New(server.Config{})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		solo.Add(1)
+		real.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+
+	req := server.BatchSolveRequest{
+		Query: "R(x | y), S(y | z)",
+		Items: []server.BatchSolveItem{{DB: "R(a | b) S(b | c)"}},
+	}
+	resp, err := c.SolveBatch(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if solo.Load() == 0 {
+		t.Fatal("transient item was not retried individually")
+	}
+	if resp.Results[0].Error != nil || resp.Results[0].Verdict == nil || !resp.Results[0].Verdict.Result.Certain {
+		t.Fatalf("result after per-item retry = %+v, want certain verdict", resp.Results[0])
+	}
+}
+
+// TestBatchPermanentItemNotRetried: malformed items are not re-solved.
+func TestBatchPermanentItemNotRetried(t *testing.T) {
+	var solo atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		resp := server.BatchSolveResponse{Results: []server.BatchItemResult{
+			{Index: 0, Error: &server.ErrorBody{Code: server.CodeMalformed, Message: "query: bad"}},
+		}}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&resp)
+	})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		solo.Add(1)
+		http.Error(w, "unexpected", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+
+	resp, err := c.SolveBatch(context.Background(), server.BatchSolveRequest{
+		Items: []server.BatchSolveItem{{Query: "R(x |", DB: "R(a | b)"}},
+	})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if solo.Load() != 0 {
+		t.Fatal("permanent item error triggered a pointless retry")
+	}
+	if resp.Results[0].Error == nil || resp.Results[0].Error.Code != server.CodeMalformed {
+		t.Fatalf("result = %+v, want the original malformed error", resp.Results[0])
+	}
+}
+
+// TestStreamWholeRequestRetry: a shed before any item was delivered retries
+// the whole stream.
+func TestStreamWholeRequestRetry(t *testing.T) {
+	var calls atomic.Int64
+	real := server.New(server.Config{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(&server.ErrorBody{Code: server.CodeShed, RetryAfterMS: 1})
+			return
+		}
+		real.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+
+	var n int
+	err := c.SolveStream(context.Background(), batchFixture(), func(server.BatchItemResult) { n++ })
+	if err != nil {
+		t.Fatalf("SolveStream: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("batch endpoint called %d times, want 2", calls.Load())
+	}
+	if n != 4 {
+		t.Fatalf("delivered %d items, want 4", n)
+	}
+}

@@ -239,6 +239,25 @@ func (d *DB) Restrict(keep func(Fact) bool) *DB {
 	return c
 }
 
+// PartitionFacts splits the database into n sub-databases in one validated
+// pass: fact i goes to part label(i, f), and labels outside [0, n) drop the
+// fact. Each part preserves the original insertion order, so partitions are
+// deterministic for a given database and label function. The shard layer
+// uses this to materialize all of a decomposition's sub-instances in O(facts)
+// instead of one Restrict scan per shard.
+func (d *DB) PartitionFacts(n int, label func(i int, f Fact) int) []*DB {
+	parts := make([]*DB, n)
+	for i := range parts {
+		parts[i] = New()
+	}
+	for i, f := range d.facts {
+		if g := label(i, f); g >= 0 && g < n {
+			parts[g].addValidated(f)
+		}
+	}
+	return parts
+}
+
 // WithoutBlock returns the database with the entire block of f removed
 // (Lemma 1's purification step removes whole blocks).
 func (d *DB) WithoutBlock(f Fact) *DB {

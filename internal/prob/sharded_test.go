@@ -1,0 +1,99 @@
+package prob
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+func shardedCases(t *testing.T) []struct {
+	name string
+	q    cq.Query
+	d    *db.DB
+} {
+	t.Helper()
+	joinQ := cq.MustParseQuery("R(x | y), S(y | z)")
+	twoCompQ := cq.MustParseQuery("R(x | y), S(y | z), U(u | v)")
+	selfQ := cq.MustParseQuery("R(x | y), R(y | z)")
+	return []struct {
+		name string
+		q    cq.Query
+		d    *db.DB
+	}{
+		{"join-chains", joinQ, db.MustParse(`
+			R(a | v) R(a | v9) S(v | b)
+			R(c | w) S(w | d) S(w | d2)
+			S(lone | e)
+			T(k | t1) T(k | t2)
+		`)},
+		{"two-components", twoCompQ, db.MustParse(`
+			R(a | v) S(v | b)
+			R(a2 | v2) S(v2 | b2)
+			U(k | w) U(k | w2)
+		`)},
+		{"empty-relation", twoCompQ, db.MustParse(`R(a | v) S(v | b)`)},
+		{"self-join", selfQ, db.MustParse(`R(a | b) R(b | c) R(d | e)`)},
+		{"random", joinQ, gen.RandomDB(joinQ, gen.Config{Embeddings: 3, Noise: 3, Domain: 3}, 17)},
+	}
+}
+
+// TestCountSatisfyingShardedMatches: the ∏ᵢNᵢ − ∏ᵢ(Nᵢ−sᵢ) convolution over
+// the shard decomposition reproduces plain repair enumeration exactly, at
+// every shard cap.
+func TestCountSatisfyingShardedMatches(t *testing.T) {
+	for _, tc := range shardedCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			want := CountSatisfyingRepairs(tc.q, tc.d)
+			for _, n := range []int{0, 1, 2, runtime.NumCPU(), 1 << 10} {
+				if got := CountSatisfyingSharded(tc.q, tc.d, n); got.Cmp(want) != 0 {
+					t.Errorf("maxShards=%d: count %s, want %s", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestUniformProbabilityShardedMatches: 1 − ∏ᵢ(1−pᵢ) per component and the
+// product across components reproduce exact world enumeration.
+func TestUniformProbabilityShardedMatches(t *testing.T) {
+	for _, tc := range shardedCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			want := UniformProbability(tc.q, tc.d)
+			for _, n := range []int{0, 1, 2, runtime.NumCPU(), 1 << 10} {
+				if got := UniformProbabilitySharded(tc.q, tc.d, n); got.Cmp(want) != 0 {
+					t.Errorf("maxShards=%d: Pr %s, want %s", n, got.RatString(), want.RatString())
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCountShuffleProperty is the counting half of the satellite
+// property test: component-preserving fact shuffles and arbitrary shard
+// counts never change the repair count or the uniform probability.
+func TestShardedCountShuffleProperty(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	for seed := int64(0); seed < 3; seed++ {
+		d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 4, Domain: 3}, 300+seed)
+		wantCount := CountSatisfyingRepairs(q, d)
+		wantPr := UniformProbability(q, d)
+		r := rand.New(rand.NewSource(seed*31 + 7))
+		for trial := 0; trial < 3; trial++ {
+			facts := append([]db.Fact(nil), d.Facts()...)
+			r.Shuffle(len(facts), func(i, j int) { facts[i], facts[j] = facts[j], facts[i] })
+			perm := db.MustFromFacts(facts...)
+			for _, n := range []int{1, 2, runtime.NumCPU(), 1 << 10} {
+				if got := CountSatisfyingSharded(q, perm, n); got.Cmp(wantCount) != 0 {
+					t.Errorf("seed %d trial %d shards %d: count %s, want %s", seed, trial, n, got, wantCount)
+				}
+				if got := UniformProbabilitySharded(q, perm, n); got.Cmp(wantPr) != 0 {
+					t.Errorf("seed %d trial %d shards %d: Pr %s, want %s", seed, trial, n, got.RatString(), wantPr.RatString())
+				}
+			}
+		}
+	}
+}

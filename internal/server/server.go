@@ -46,6 +46,10 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// MaxBatchItems caps how many items one POST /v1/solve/batch request may
+	// carry (default 256). Larger batches are rejected with a policy error
+	// rather than admitted and half-served.
+	MaxBatchItems int
 	// DegradeSamples / SampleTimeout bound the Monte-Carlo degradation
 	// pass for all requests (0 = solver defaults).
 	DegradeSamples int
@@ -140,6 +144,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 256
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -186,12 +193,28 @@ func New(cfg Config) *Server {
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
+	// The versioned surface: everything a client program calls lives under
+	// /v1/ (see API.md for the wire contract).
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	// Operational probes stay unversioned by convention (load balancers and
+	// scrapers address them directly).
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Legacy aliases. POSTable endpoints redirect with 308 (method- and
+	// body-preserving); GET /statsz keeps answering in place because
+	// monitoring scrapers often do not follow redirects. All three advertise
+	// the successor and carry a deprecation marker.
+	s.mux.HandleFunc("POST /solve", s.legacyRedirect("/v1/solve"))
+	s.mux.HandleFunc("POST /solve/batch", s.legacyRedirect("/v1/solve/batch"))
+	s.mux.HandleFunc("POST /classify", s.legacyRedirect("/v1/classify"))
+	s.mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		deprecateHeaders(w, "/v1/statsz")
+		s.handleStatsz(w, r)
+	})
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -200,6 +223,23 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return s
+}
+
+// deprecateHeaders marks a legacy-path response: Deprecation (RFC 9745)
+// plus a Link to the successor endpoint.
+func deprecateHeaders(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "@1754352000") // 2025-08-05, the /v1/ cutover
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+}
+
+// legacyRedirect answers a legacy POST path with 308 Permanent Redirect to
+// its /v1/ successor; 308 preserves both method and body, so old clients
+// keep working through one extra round trip.
+func (s *Server) legacyRedirect(successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		deprecateHeaders(w, successor)
+		http.Redirect(w, r, successor, http.StatusPermanentRedirect)
+	}
 }
 
 // verdictCache memoizes conclusive verdicts by (canonical query, database

@@ -132,6 +132,65 @@ type SolveResponse struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
+// BatchSolveItem is one instance of a batch. Empty Query or DB fields fall
+// back to the batch-level defaults in BatchSolveRequest, so a batch of many
+// queries over one snapshot (or one query over many snapshots) states the
+// shared part once.
+type BatchSolveItem struct {
+	Query string `json:"query,omitempty"`
+	DB    string `json:"db,omitempty"`
+}
+
+// BatchSolveRequest decides many CERTAINTY(q) instances in one request.
+// The batch occupies a single worker slot; inside it, items (and, with
+// Shards, sub-instances of each item) fan out on the process-wide bounded
+// worker pool, and plan compilation is amortized across items sharing a
+// canonical query. Limits (TimeoutMS, Budget, DegradeSamples, SampleSeed)
+// apply per item and are clamped by server policy exactly like a single
+// solve's.
+type BatchSolveRequest struct {
+	Items []BatchSolveItem `json:"items"`
+	// Query and DB are defaults for items that omit theirs.
+	Query string `json:"query,omitempty"`
+	DB    string `json:"db,omitempty"`
+	// Per-item limits; see SolveRequest for semantics.
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+	Budget         int64 `json:"budget,omitempty"`
+	DegradeSamples int   `json:"degrade_samples,omitempty"`
+	SampleSeed     int64 `json:"sample_seed,omitempty"`
+	// Shards enables component-partitioned parallel solving per item: > 0
+	// caps the data shards per query component, < 0 selects an automatic
+	// count, 0 (default) solves each item monolithically. Sharding never
+	// changes verdicts.
+	Shards int `json:"shards,omitempty"`
+	// Stream asks for an NDJSON response: one BatchItemResult object per
+	// line, written as each item completes (completion order, use Index to
+	// reorder). Equivalent to sending "Accept: application/x-ndjson".
+	Stream bool `json:"stream,omitempty"`
+}
+
+// BatchItemResult is one item's outcome. Exactly one of Verdict and Error
+// is set: Error carries the same taxonomy codes as top-level failures
+// (malformed, unsupported, internal), scoped to this item — other items are
+// unaffected.
+type BatchItemResult struct {
+	Index   int             `json:"index"`
+	Verdict *solver.Verdict `json:"verdict,omitempty"`
+	Error   *ErrorBody      `json:"error,omitempty"`
+	// Cached is true when the verdict came from the verdict cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// BatchSolveResponse is the non-streaming batch response: one result per
+// item, in item order.
+type BatchSolveResponse struct {
+	Results []BatchItemResult `json:"results"`
+	// Clamped is present when server policy tightened the requested limits.
+	Clamped *ClampReport `json:"clamped,omitempty"`
+	// ElapsedMS is the server-side wall-clock time for the whole batch.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
 // ClassifyRequest asks for the complexity classification of a query alone;
 // classification is polynomial in the query, so these requests bypass the
 // worker pool.

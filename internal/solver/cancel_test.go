@@ -300,7 +300,7 @@ func TestSolveCtxUnlimitedMatchesSolve(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			want, err := Solve(tc.q, tc.d)
+			want, err := SolveResult(tc.q, tc.d)
 			if err != nil {
 				t.Fatalf("Solve: %v", err)
 			}

@@ -112,7 +112,7 @@ func TestPlanMatchesSolve(t *testing.T) {
 				t.Fatalf("Class %v disagrees with Classification %v", p.Class, p.Classification().Class)
 			}
 			for i, d := range tc.dbs {
-				want, err := Solve(tc.q, d)
+				want, err := SolveResult(tc.q, d)
 				if err != nil {
 					t.Fatalf("db %d: Solve: %v", i, err)
 				}

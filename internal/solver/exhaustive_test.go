@@ -76,13 +76,13 @@ func TestExhaustiveAC2(t *testing.T) {
 			candidates = append(candidates, db.NewFact("S2", 2, a, b))
 		}
 	}
-	res, err := Solve(q, db.New())
+	res, err := SolveResult(q, db.New())
 	if err != nil || res.Certain {
 		t.Fatalf("empty database sanity: %v %v", res, err)
 	}
 	enumerateDatabases(t, candidates, func(d *db.DB) {
 		want := BruteForce(q, d)
-		r, err := Solve(q, d)
+		r, err := SolveResult(q, d)
 		if err != nil {
 			t.Fatalf("db:\n%s: %v", d, err)
 		}
@@ -179,7 +179,7 @@ func TestExhaustiveOpenCase(t *testing.T) {
 	}
 	enumerateDatabases(t, candidates, func(d *db.DB) {
 		want := BruteForce(q, d)
-		res, err := Solve(q, d)
+		res, err := SolveResult(q, d)
 		if err != nil {
 			t.Fatalf("db:\n%s: %v", d, err)
 		}
@@ -217,7 +217,7 @@ func TestExhaustiveOpenCaseWithBlockChoices(t *testing.T) {
 			}
 		}
 		want := BruteForce(q, d)
-		res, err := Solve(q, d)
+		res, err := SolveResult(q, d)
 		if err != nil {
 			t.Fatalf("db:\n%s: %v", d, err)
 		}

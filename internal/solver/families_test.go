@@ -43,7 +43,7 @@ func TestOpenCaseSolvedViaSimplification(t *testing.T) {
 	q := gen.OpenCaseQuery()
 	for seed := int64(0); seed < 40; seed++ {
 		d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 2, Domain: 2}, seed)
-		res, err := Solve(q, d)
+		res, err := SolveResult(q, d)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -72,7 +72,7 @@ func TestSimplificationAcrossClasses(t *testing.T) {
 	q := cq.MustParseQuery("R(u | 'a', x), S(y | x, z), T(x | y), P(x | z, w)")
 	for seed := int64(0); seed < 15; seed++ {
 		d := gen.RandomDB(q, gen.Config{Embeddings: 2, Noise: 1, Domain: 2}, seed)
-		res, err := Solve(q, d)
+		res, err := SolveResult(q, d)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -146,7 +146,7 @@ func TestCyclicSafeDispatch(t *testing.T) {
 	q := cq.MustParseQuery("R(w | x, y), S(w | y, z), T(w | z, x)")
 	for seed := int64(0); seed < 25; seed++ {
 		d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 2, Domain: 2}, seed)
-		res, err := Solve(q, d)
+		res, err := SolveResult(q, d)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/engine"
+	"github.com/cqa-go/certainty/internal/govern"
 )
 
 // CertainACkParallel is CertainACk with the per-strong-component decisions
@@ -47,50 +48,51 @@ func CertainACkParallelCtx(ctx context.Context, q cq.Query, shape *core.CycleSha
 	}
 	inC := cg.markedCycles(q, shape, d)
 	// Never spin up more workers than there are components to decide: the
-	// extras would only park on the jobs channel and inflate goroutine churn
-	// on small instances.
+	// extras would only contend on the index counter and inflate goroutine
+	// churn on small instances.
 	if workers > len(comps) {
 		workers = len(comps)
 	}
 
-	// done closes when a decisive component is found or the caller's
-	// context trips; both feeder and workers select on it, so no goroutine
-	// blocks on the unbuffered channel after the early exit.
+	// fanCtx trips when a decisive component is found or the caller's
+	// context does; workers claiming the next index check it first, so the
+	// early exit skips the remaining components instead of draining them.
 	fanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	jobs := make(chan []int)
-	var wg sync.WaitGroup
 	var certain atomic.Bool
-	for w := 0; w < workers; w++ {
+	var next atomic.Int64
+	work := func() {
+		for fanCtx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= len(comps) {
+				return
+			}
+			if !markableComponent(cg, comps[i], inC) {
+				certain.Store(true)
+				cancel()
+				return
+			}
+		}
+	}
+	// The fan-out draws its extra goroutines from the process-wide worker
+	// gate shared with the shard pool: when this call runs inside a shard
+	// solve that already saturated the gate, no goroutines are spawned and
+	// the components are decided inline on the caller's goroutine — the two
+	// layers share one GOMAXPROCS-derived budget instead of multiplying.
+	gate := govern.Workers()
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < workers-1; spawned++ {
+		if !gate.TryAcquire() {
+			break
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				select {
-				case <-fanCtx.Done():
-					return
-				case comp, ok := <-jobs:
-					if !ok {
-						return
-					}
-					if !markableComponent(cg, comp, inC) {
-						certain.Store(true)
-						cancel()
-						return
-					}
-				}
-			}
+			defer gate.Release()
+			work()
 		}()
 	}
-feed:
-	for _, comp := range comps {
-		select {
-		case jobs <- comp:
-		case <-fanCtx.Done():
-			break feed
-		}
-	}
-	close(jobs)
+	work()
 	wg.Wait()
 	if certain.Load() {
 		return true, nil

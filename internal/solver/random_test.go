@@ -28,7 +28,7 @@ func TestSolveRandomQueries(t *testing.T) {
 			if d.NumRepairs().Cmp(big.NewInt(4096)) > 0 {
 				continue
 			}
-			res, err := Solve(q, d)
+			res, err := SolveResult(q, d)
 			if err != nil {
 				t.Fatalf("q=%s dseed=%d: %v", q, dseed, err)
 			}
@@ -73,7 +73,7 @@ func TestSolveRandomKeySwappedQueries(t *testing.T) {
 			if d.NumRepairs().Cmp(big.NewInt(100_000)) > 0 {
 				continue
 			}
-			res, err := Solve(q, d)
+			res, err := SolveResult(q, d)
 			if err != nil {
 				t.Fatalf("%s dseed=%d: %v", fam, dseed, err)
 			}

@@ -67,13 +67,18 @@ type Result struct {
 	SimplifiedClass core.Class      `json:"simplified_class"`
 }
 
-// Solve classifies q with the paper's effective method and dispatches to
-// the matching decision procedure. Polynomial-time whenever the class
+// SolveResult classifies q with the paper's effective method and dispatches
+// to the matching decision procedure. Polynomial-time whenever the class
 // guarantees it; before falling back to the exact exponential search on
 // coNP-classified or open queries, it tries the projection simplification,
 // which can move instances into a polynomial class (e.g. the §6.2
 // open-case query becomes AC(2)).
-func Solve(q cq.Query, d *db.DB) (Result, error) {
+//
+// Deprecated-style convenience: this is the original ungoverned entry
+// point, kept for callers that want a bare Result with no context. New code
+// should call Solve(ctx, q, d, ...Option), which adds cancellation, limits,
+// sharding, and plan reuse behind functional options.
+func SolveResult(q cq.Query, d *db.DB) (Result, error) {
 	cls, err := core.Classify(q)
 	if err != nil {
 		return Result{}, err
@@ -137,9 +142,10 @@ func solveClassified(q cq.Query, d *db.DB, cls core.Classification) (Result, err
 	return res, nil
 }
 
-// Certain is the convenience form of Solve returning just the decision.
+// Certain is the convenience form of SolveResult returning just the
+// decision.
 func Certain(q cq.Query, d *db.DB) (bool, error) {
-	r, err := Solve(q, d)
+	r, err := SolveResult(q, d)
 	return r.Certain, err
 }
 
@@ -149,7 +155,7 @@ func Certain(q cq.Query, d *db.DB) (bool, error) {
 // indicate a bug — is reported as an error. Intended as a debugging aid
 // for downstream integrations.
 func SelfCheck(q cq.Query, d *db.DB, maxRepairs int64) (Result, error) {
-	res, err := Solve(q, d)
+	res, err := SolveResult(q, d)
 	if err != nil {
 		return res, err
 	}

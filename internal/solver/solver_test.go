@@ -15,7 +15,7 @@ func TestConferenceNotCertain(t *testing.T) {
 	if BruteForce(q, d) {
 		t.Fatal("Fig.1: query is true in only 3 of 4 repairs, so not certain")
 	}
-	res, err := Solve(q, d)
+	res, err := SolveResult(q, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestSolveDispatch(t *testing.T) {
 	}
 	for _, c := range cases {
 		d := gen.RandomDB(c.q, gen.Config{Embeddings: 2, Noise: 1, Domain: 2}, 42)
-		res, err := Solve(c.q, d)
+		res, err := SolveResult(c.q, d)
 		if err != nil {
 			t.Fatalf("%s: %v", c.q, err)
 		}
@@ -370,7 +370,7 @@ func TestSolveAgreesWithBruteForceAcrossCatalog(t *testing.T) {
 	for _, q := range queries {
 		for seed := int64(100); seed < 130; seed++ {
 			d := gen.RandomDB(q, gen.Config{Embeddings: 2, Noise: 2, Domain: 2}, seed)
-			res, err := Solve(q, d)
+			res, err := SolveResult(q, d)
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", q, seed, err)
 			}
