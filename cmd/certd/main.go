@@ -11,6 +11,9 @@
 //	POST /v1/solve        decide CERTAINTY(q) for a query + database
 //	POST /v1/solve/batch  solve many items in one request (JSON or NDJSON stream)
 //	POST /v1/classify     classify a query's complexity (no database)
+//	GET  /v1/db           hosted database metadata (requires -data-dir)
+//	POST /v1/db/facts     durably insert facts (WAL + fsync, CAS via if_version)
+//	DELETE /v1/db/facts   durably delete facts
 //	GET  /v1/statsz       serving-layer cache counters (JSON)
 //	GET  /healthz         liveness (always 200 while the process runs)
 //	GET  /readyz          readiness (503 once draining)
@@ -39,9 +42,11 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/server"
+	"github.com/cqa-go/certainty/internal/wal"
 )
 
 func main() {
@@ -63,10 +68,52 @@ func main() {
 		verdictCache   = flag.Int("verdict-cache", 0, "verdict cache capacity (0 = default, <0 disables)")
 		maxBatch       = flag.Int("max-batch", 0, "maximum items per /v1/solve/batch request (0 = default)")
 		pprofOn        = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		dataDir        = flag.String("data-dir", "", "directory for the durable hosted database (enables /v1/db; empty = stateless)")
+		fsyncMode      = flag.String("fsync", "batch", "WAL durability: batch (one fsync per group commit), always, or never")
+		segmentBytes   = flag.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 64 MiB)")
+		snapshotEvery  = flag.Int("snapshot-every", 0, "checkpoint after this many WAL records (0 = default, <0 disables)")
+		seedDB         = flag.String("db", "", "db-text file seeding a fresh -data-dir (ignored once the store has state)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "certd: ", log.LstdFlags)
+
+	// The durable store opens BEFORE the server: crash recovery (snapshot
+	// load + WAL replay) must finish so the first request sees the
+	// recovered database, and an unrecoverable data-dir should fail the
+	// process before it starts accepting traffic.
+	var store *wal.Store
+	if *dataDir != "" {
+		mode, err := wal.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			logger.Fatalf("-fsync: %v", err)
+		}
+		var seed *db.DB
+		if *seedDB != "" {
+			text, err := os.ReadFile(*seedDB)
+			if err != nil {
+				logger.Fatalf("-db: %v", err)
+			}
+			if seed, err = db.Parse(string(text)); err != nil {
+				logger.Fatalf("-db %s: %v", *seedDB, err)
+			}
+		}
+		store, err = wal.Open(wal.Options{
+			Dir:           *dataDir,
+			Fsync:         mode,
+			SegmentBytes:  *segmentBytes,
+			SnapshotEvery: *snapshotEvery,
+			Seed:          seed,
+			Registry:      obs.Default,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		_, v := store.DB()
+		logger.Printf("hosted database open at version %d (dir %s, fsync %s)", v, *dataDir, mode)
+	}
+
 	s := server.New(server.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
@@ -90,6 +137,7 @@ func main() {
 		// layer.
 		Registry:    obs.Default,
 		EnablePprof: *pprofOn,
+		Store:       store,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -120,7 +168,18 @@ func main() {
 	}
 	if err := s.Drain(graceCtx); err != nil {
 		logger.Printf("drain: %v", err)
+		if store != nil {
+			store.Close() // best effort: still fsync what we can
+		}
 		os.Exit(1)
+	}
+	// Close the store only after the drain: every in-flight mutation has
+	// committed and written its response by now.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			logger.Printf("close store: %v", err)
+			os.Exit(1)
+		}
 	}
 	logger.Printf("drained cleanly")
 }

@@ -30,10 +30,14 @@
 // With -remote URL the solve runs on a certd server (see cmd/certd)
 // instead of in-process: the request is retried with backoff on shedding,
 // and the remote three-valued verdict prints exactly as a local one would.
+// Omitting -d with -remote solves against the server's durable hosted
+// database, and -db-insert/-db-delete/-db-info (with -if-version for
+// compare-and-set) mutate and inspect it over /v1/db.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,15 +71,87 @@ func main() {
 	shards := flag.Int("shards", 0, "solve independent sub-instances in parallel, capped at this many shards (-1 = one per CPU, 0 = off; auto method only)")
 	remote := flag.String("remote", "", "solve on a certd server at this base URL instead of in-process")
 	trace := flag.Bool("trace", false, "print the solver's span tree with per-phase durations (local auto method)")
+	dbInsert := flag.String("db-insert", "", "insert facts from this file ('-' for stdin) into the remote hosted database (requires -remote)")
+	dbDelete := flag.String("db-delete", "", "delete facts from this file ('-' for stdin) from the remote hosted database (requires -remote)")
+	dbInfo := flag.Bool("db-info", false, "print the remote hosted database's version and stats (requires -remote)")
+	ifVersion := flag.Int64("if-version", -1, "CAS guard for -db-insert/-db-delete: fail unless the remote database is at this version (-1 = unconditional)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *dbInsert != "" || *dbDelete != "" || *dbInfo {
+		if err := runRemoteDB(ctx, *remote, *dbInsert, *dbDelete, *dbInfo, *ifVersion); err != nil {
+			fmt.Fprintln(os.Stderr, "certsolve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(ctx, *queryText, *queryFile, *dbFile, *method, *witness, *count, *free, *timeout, *budget, *shards, *remote, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "certsolve:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemoteDB is the mutation/metadata mode: no query, no solve — just
+// the durable /v1/db surface of a certd server.
+func runRemoteDB(ctx context.Context, baseURL, insertFile, deleteFile string, info bool, ifVersion int64) error {
+	if baseURL == "" {
+		return fmt.Errorf("-db-insert, -db-delete, and -db-info require -remote URL")
+	}
+	if insertFile != "" && deleteFile != "" {
+		return fmt.Errorf("use -db-insert or -db-delete, not both (ordering would be ambiguous)")
+	}
+	cl := client.New(baseURL)
+
+	var cas *uint64
+	if ifVersion >= 0 {
+		v := uint64(ifVersion)
+		cas = &v
+	}
+	mutFile, op := insertFile, "insert"
+	mutate := cl.InsertFacts
+	if deleteFile != "" {
+		mutFile, op, mutate = deleteFile, "delete", cl.DeleteFacts
+	}
+	if mutFile != "" {
+		var data []byte
+		var err error
+		if mutFile == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(mutFile)
+		}
+		if err != nil {
+			return err
+		}
+		resp, err := mutate(ctx, string(data), cas)
+		if err != nil {
+			var vc *client.VersionConflictError
+			if errors.As(err, &vc) {
+				return fmt.Errorf("%s rejected: database moved to version %d (you conditioned on %d); re-read with -db-info and retry if your change still applies", op, vc.Have, vc.Want)
+			}
+			return err
+		}
+		fmt.Printf("%s: %d facts applied, database now at version %d\n", op, resp.Applied, resp.Version)
+		if !info {
+			return nil
+		}
+	}
+
+	resp, err := cl.GetDB(ctx, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("version: %d\n", resp.Version)
+	fmt.Printf("facts: %d in %d blocks\n", resp.NumFacts, resp.NumBlocks)
+	fmt.Printf("relations: %v\n", resp.Relations)
+	fmt.Printf("digest: %s\n", resp.Digest)
+	if resp.ReadOnly {
+		fmt.Println("read-only: true  (disk trouble — mutations rejected until a probe heals it)")
+	}
+	return nil
 }
 
 func run(ctx context.Context, queryText, queryFile, dbFile, method string, witness, count bool, free string, timeout time.Duration, budget int64, shards int, remote string, trace bool) error {
@@ -97,26 +173,32 @@ func run(ctx context.Context, queryText, queryFile, dbFile, method string, witne
 		return err
 	}
 
-	if dbFile == "" {
-		return fmt.Errorf("provide -d database file")
+	if dbFile == "" && remote == "" {
+		return fmt.Errorf("provide -d database file (or -remote to solve against a server's hosted database)")
 	}
 	var data []byte
-	if dbFile == "-" {
-		data, err = io.ReadAll(os.Stdin)
+	var d *db.DB
+	if dbFile != "" {
+		if dbFile == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(dbFile)
+		}
+		if err != nil {
+			return err
+		}
+		if d, err = db.Parse(string(data)); err != nil {
+			return err
+		}
+		fmt.Printf("query: %s\n", q)
+		fmt.Printf("database: %d facts in %d blocks, %v repairs\n",
+			d.Len(), d.NumBlocks(), d.NumRepairs())
 	} else {
-		data, err = os.ReadFile(dbFile)
+		// Empty db text: the server solves against its durable hosted
+		// database at whatever version is current.
+		fmt.Printf("query: %s\n", q)
+		fmt.Printf("database: hosted on %s\n", remote)
 	}
-	if err != nil {
-		return err
-	}
-	d, err := db.Parse(string(data))
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("query: %s\n", q)
-	fmt.Printf("database: %d facts in %d blocks, %v repairs\n",
-		d.Len(), d.NumBlocks(), d.NumRepairs())
 
 	if remote != "" {
 		if free != "" || count || method != "auto" {
@@ -259,6 +341,9 @@ func runRemote(ctx context.Context, baseURL string, q cq.Query, dbText string, t
 	v := resp.Verdict
 	fmt.Printf("class: %s\n", v.Result.Classification.Class)
 	fmt.Printf("method: %s  (remote, %dms)\n", v.Result.Method, resp.ElapsedMS)
+	if resp.DBVersion != nil {
+		fmt.Printf("database version: %d\n", *resp.DBVersion)
+	}
 	if c := resp.Clamped; c != nil {
 		fmt.Printf("server clamped limits: budget %d, timeout %dms\n", c.BudgetVal, c.TimeoutMS)
 	}

@@ -106,9 +106,12 @@ func retryable(status int, body *server.ErrorBody) (bool, time.Duration) {
 	}
 	if body != nil {
 		switch body.Code {
-		case server.CodeMalformed, server.CodeUnsupported, server.CodePolicy:
+		case server.CodeMalformed, server.CodeUnsupported, server.CodePolicy, server.CodeConflict:
+			// Conflict is permanent BY DESIGN: the version the request named
+			// is gone, so the same request can never succeed. The caller must
+			// re-read the version and decide whether its intent still holds.
 			return false, 0
-		case server.CodeShed, server.CodeShutdown, server.CodeInternal:
+		case server.CodeShed, server.CodeShutdown, server.CodeInternal, server.CodeReadOnly:
 			return true, hint
 		}
 	}
@@ -123,13 +126,24 @@ func retryable(status int, body *server.ErrorBody) (bool, time.Duration) {
 	}
 }
 
-// do sends one JSON request with retries and decodes a 200 body into out.
+// do sends one POST with retries and decodes a 200 body into out.
 func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	return c.doMethod(ctx, http.MethodPost, path, in, out, true)
+}
+
+// doMethod sends one JSON request and decodes a 200 body into out. When
+// allowRetry is false the request is sent exactly once, whatever the
+// failure: the caller has declared it unsafe (or pointless) to resend.
+func (c *Client) doMethod(ctx context.Context, method, path string, in, out any, allowRetry bool) error {
 	r := c.registry()
-	payload, err := json.Marshal(in)
-	if err != nil {
-		r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "error"}).Inc()
-		return fmt.Errorf("client: encode request: %w", err)
+	var payload []byte
+	if in != nil {
+		var err error
+		payload, err = json.Marshal(in)
+		if err != nil {
+			r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "error"}).Inc()
+			return fmt.Errorf("client: encode request: %w", err)
+		}
 	}
 	httpc := c.HTTPClient
 	if httpc == nil {
@@ -139,13 +153,13 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		r.Counter("client_attempts_total", obs.L{K: "path", V: path}).Inc()
-		retry, hint, err := c.attempt(ctx, httpc, path, payload, out)
+		retry, hint, err := c.attempt(ctx, httpc, method, path, payload, out)
 		if err == nil {
 			r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "ok"}).Inc()
 			return nil
 		}
 		lastErr = err
-		if !retry || attempt >= c.MaxRetries {
+		if !retry || !allowRetry || attempt >= c.MaxRetries {
 			r.Counter("client_requests_total", obs.L{K: "path", V: path}, obs.L{K: "outcome", V: "error"}).Inc()
 			return lastErr
 		}
@@ -159,12 +173,18 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 
 // attempt sends the request once. It reports whether a failure is worth
 // retrying and any server-provided delay hint.
-func (c *Client) attempt(ctx context.Context, httpc *http.Client, path string, payload []byte, out any) (retry bool, hint time.Duration, err error) {
-	req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+path, bytes.NewReader(payload))
+func (c *Client) attempt(ctx context.Context, httpc *http.Client, method, path string, payload []byte, out any) (retry bool, hint time.Duration, err error) {
+	var reqBody io.Reader
+	if payload != nil {
+		reqBody = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reqBody)
 	if err != nil {
 		return false, 0, fmt.Errorf("client: build request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := httpc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

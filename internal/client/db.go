@@ -1,0 +1,98 @@
+// The /v1/db client surface. Mutations are NOT idempotent from the
+// network's point of view — a lost response leaves the client unsure
+// whether the write landed — so the retry policy here is stricter than
+// for solves:
+//
+//   - An unconditional mutation (no IfVersion) is sent exactly once.
+//     Resending it after an ambiguous failure could apply the change
+//     twice at two different versions.
+//   - A CAS mutation (IfVersion set) is safe to resend: if the first
+//     send actually committed, the server's version moved past
+//     IfVersion and the resend fails with a version conflict instead
+//     of double-applying. Transient failures are therefore retried.
+//   - A version conflict is permanent and never retried: the version
+//     the request named is gone for good. Callers match it with
+//     errors.Is(err, client.ErrVersionConflict) and re-read the
+//     current version before deciding whether their intent still holds.
+
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// ErrVersionConflict is the errors.Is target for CAS failures on /v1/db
+// mutations. The concrete error also carries the server's current
+// version; recover it with errors.As into *VersionConflictError.
+var ErrVersionConflict = errors.New("client: database version conflict")
+
+// VersionConflictError reports that a conditional mutation named a
+// version the server has moved past. It matches ErrVersionConflict via
+// errors.Is and unwraps to the server's *server.ErrorBody.
+type VersionConflictError struct {
+	// Want is the version the request was conditioned on.
+	Want uint64
+	// Have is the server's version when it rejected the request.
+	Have uint64
+	body *server.ErrorBody
+}
+
+func (e *VersionConflictError) Error() string {
+	return fmt.Sprintf("client: version conflict: want %d, server at %d", e.Want, e.Have)
+}
+
+func (e *VersionConflictError) Is(target error) bool { return target == ErrVersionConflict }
+
+func (e *VersionConflictError) Unwrap() error { return e.body }
+
+// GetDB fetches the hosted database's metadata (version, size, digest,
+// read-only state). With withFacts, the response includes the full fact
+// dump in db.Parse-able text form.
+func (c *Client) GetDB(ctx context.Context, withFacts bool) (server.DBGetResponse, error) {
+	path := "/v1/db"
+	if withFacts {
+		path += "?facts=1"
+	}
+	var resp server.DBGetResponse
+	err := c.doMethod(ctx, http.MethodGet, path, nil, &resp, true)
+	return resp, err
+}
+
+// InsertFacts adds the facts in the given db-text to the hosted
+// database. A nil ifVersion applies unconditionally (and is sent at
+// most once); a non-nil ifVersion makes the mutation conditional on the
+// database still being at that version, which also makes transient
+// failures safe to retry.
+func (c *Client) InsertFacts(ctx context.Context, facts string, ifVersion *uint64) (server.DBMutateResponse, error) {
+	return c.mutate(ctx, http.MethodPost, facts, ifVersion)
+}
+
+// DeleteFacts removes the facts in the given db-text from the hosted
+// database, under the same CAS and retry rules as InsertFacts. Deleting
+// an absent fact is not an error; it simply does not count as applied.
+func (c *Client) DeleteFacts(ctx context.Context, facts string, ifVersion *uint64) (server.DBMutateResponse, error) {
+	return c.mutate(ctx, http.MethodDelete, facts, ifVersion)
+}
+
+func (c *Client) mutate(ctx context.Context, method, facts string, ifVersion *uint64) (server.DBMutateResponse, error) {
+	req := server.DBMutateRequest{Facts: facts, IfVersion: ifVersion}
+	var resp server.DBMutateResponse
+	err := c.doMethod(ctx, method, "/v1/db/facts", req, &resp, ifVersion != nil)
+	if err != nil {
+		var body *server.ErrorBody
+		if errors.As(err, &body) && body.Code == server.CodeConflict {
+			want := uint64(0)
+			if ifVersion != nil {
+				want = *ifVersion
+			}
+			return resp, &VersionConflictError{Want: want, Have: body.Version, body: body}
+		}
+		return resp, err
+	}
+	return resp, nil
+}

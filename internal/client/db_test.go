@@ -1,0 +1,181 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+func uptr(v uint64) *uint64 { return &v }
+
+// okMutate answers any mutation with a fixed version/applied pair and
+// records the method and decoded body of the request it served.
+func okMutate(t *testing.T, version uint64, applied int, gotMethod *string, gotReq *server.DBMutateRequest) http.HandlerFunc {
+	t.Helper()
+	return func(w http.ResponseWriter, r *http.Request) {
+		if gotMethod != nil {
+			*gotMethod = r.Method
+		}
+		if gotReq != nil {
+			data, _ := io.ReadAll(r.Body)
+			if err := json.Unmarshal(data, gotReq); err != nil {
+				t.Errorf("server: decode mutate body: %v", err)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.DBMutateResponse{Version: version, Applied: applied})
+	}
+}
+
+// TestInsertFactsCASRetriesTransient: a CAS-carrying insert is safe to
+// resend, so a read-only 503 and a shed 429 are both retried and the
+// third attempt's success is returned.
+func TestInsertFactsCASRetriesTransient(t *testing.T) {
+	readOnly := func(w http.ResponseWriter) {
+		writeErrorBody(w, http.StatusServiceUnavailable, server.ErrorBody{Code: server.CodeReadOnly, RetryAfterMS: 50})
+	}
+	shed := func(w http.ResponseWriter) {
+		writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed})
+	}
+	var method string
+	var req server.DBMutateRequest
+	ts, calls := scriptedServer(t, []func(http.ResponseWriter){readOnly, shed}, okMutate(t, 4, 2, &method, &req))
+	c, slept := testClient(ts.URL)
+
+	resp, err := c.InsertFacts(context.Background(), "R(a | b) R(c | d)", uptr(3))
+	if err != nil {
+		t.Fatalf("InsertFacts: %v", err)
+	}
+	if resp.Version != 4 || resp.Applied != 2 {
+		t.Fatalf("resp = %+v, want version 4 applied 2", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("backoffs = %d, want 2", len(*slept))
+	}
+	if method != http.MethodPost {
+		t.Fatalf("method = %q, want POST", method)
+	}
+	if req.IfVersion == nil || *req.IfVersion != 3 {
+		t.Fatalf("if_version on the wire = %v, want 3", req.IfVersion)
+	}
+}
+
+// TestUnconditionalMutationSingleAttempt: without IfVersion a resend
+// could double-apply, so even a normally-retryable failure gets exactly
+// one attempt and no backoff.
+func TestUnconditionalMutationSingleAttempt(t *testing.T) {
+	shed := func(w http.ResponseWriter) {
+		writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed})
+	}
+	ts, calls := scriptedServer(t, []func(http.ResponseWriter){shed}, okMutate(t, 1, 1, nil, nil))
+	c, slept := testClient(ts.URL)
+
+	_, err := c.InsertFacts(context.Background(), "R(a | b)", nil)
+	if err == nil {
+		t.Fatal("InsertFacts: want error, got success")
+	}
+	var body *server.ErrorBody
+	if !errors.As(err, &body) || body.Code != server.CodeShed {
+		t.Fatalf("err = %v, want shed ErrorBody", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want exactly 1 for unconditional mutation", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("backoffs = %d, want 0", len(*slept))
+	}
+}
+
+// TestVersionConflictPermanent: a 409 conflict is never retried — even
+// on a CAS mutation with retries to spare — and surfaces as an
+// errors.Is-matchable ErrVersionConflict carrying both versions.
+func TestVersionConflictPermanent(t *testing.T) {
+	conflict := func(w http.ResponseWriter) {
+		writeErrorBody(w, http.StatusConflict, server.ErrorBody{
+			Code:    server.CodeConflict,
+			Message: "version conflict",
+			Version: 7,
+		})
+	}
+	ts, calls := scriptedServer(t, []func(http.ResponseWriter){conflict}, okMutate(t, 8, 1, nil, nil))
+	c, slept := testClient(ts.URL)
+
+	_, err := c.DeleteFacts(context.Background(), "R(a | b)", uptr(3))
+	if err == nil {
+		t.Fatal("DeleteFacts: want conflict error, got success")
+	}
+	if !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("errors.Is(err, ErrVersionConflict) = false for %v", err)
+	}
+	var vc *VersionConflictError
+	if !errors.As(err, &vc) {
+		t.Fatalf("errors.As *VersionConflictError = false for %v", err)
+	}
+	if vc.Want != 3 || vc.Have != 7 {
+		t.Fatalf("conflict = want %d have %d, expected want 3 have 7", vc.Want, vc.Have)
+	}
+	var body *server.ErrorBody
+	if !errors.As(err, &body) || body.Code != server.CodeConflict {
+		t.Fatalf("conflict should unwrap to the server ErrorBody, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1: conflicts must never be retried", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("backoffs = %d, want 0", len(*slept))
+	}
+}
+
+// TestDeleteFactsUsesDelete: deletions go over the wire as HTTP DELETE
+// on the same /v1/db/facts resource.
+func TestDeleteFactsUsesDelete(t *testing.T) {
+	var method string
+	var req server.DBMutateRequest
+	ts, _ := scriptedServer(t, nil, okMutate(t, 2, 1, &method, &req))
+	c, _ := testClient(ts.URL)
+
+	resp, err := c.DeleteFacts(context.Background(), "R(a | b)", uptr(1))
+	if err != nil {
+		t.Fatalf("DeleteFacts: %v", err)
+	}
+	if method != http.MethodDelete {
+		t.Fatalf("method = %q, want DELETE", method)
+	}
+	if req.Facts != "R(a | b)" {
+		t.Fatalf("facts on the wire = %q", req.Facts)
+	}
+	if resp.Version != 2 {
+		t.Fatalf("version = %d, want 2", resp.Version)
+	}
+}
+
+// TestGetDB: metadata reads hit GET /v1/db, with facts=1 opting into
+// the full dump.
+func TestGetDB(t *testing.T) {
+	var method, query string
+	ts, _ := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		method, query = r.Method, r.URL.RawQuery
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.DBGetResponse{Version: 9, NumFacts: 2, Facts: "R(a | b)"})
+	})
+	c, _ := testClient(ts.URL)
+
+	resp, err := c.GetDB(context.Background(), true)
+	if err != nil {
+		t.Fatalf("GetDB: %v", err)
+	}
+	if method != http.MethodGet || query != "facts=1" {
+		t.Fatalf("request = %s ?%s, want GET ?facts=1", method, query)
+	}
+	if resp.Version != 9 || resp.Facts != "R(a | b)" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}

@@ -12,33 +12,43 @@ import (
 	"github.com/cqa-go/certainty/internal/govern"
 )
 
+// blockRef addresses one block globally: the relation holding it plus the
+// block ID within it. The database keeps blocks in global first-insertion
+// order through these references while the block contents live in the
+// per-relation structures.
+type blockRef struct {
+	rel string
+	bid string
+}
+
 // DB is an uncertain database: a finite set of facts. Facts are deduplicated
 // and kept in insertion order for deterministic iteration. The zero value is
 // not ready for use; call New.
 //
-// Reads (including the lazily built structural index, see index.go) are safe
-// for concurrent use; mutations (Add, Remove, RemoveBlock) are not and must
-// not race with reads.
+// Storage is organized per relation (see relation.go): each relation owns
+// its facts, blocks, posting lists, and content digests, and relations are
+// the copy-on-write unit shared between a database and its clones. A
+// mutation therefore touches only the relation (and within it, the block)
+// it changes; every other relation's derived structure — including its
+// memoized digest — survives untouched. The database-level content digest
+// is composed from the per-relation digests on demand.
+//
+// Reads (including the lazily built per-relation index parts) are safe for
+// concurrent use; mutations (Add, Remove, RemoveBlock) are not and must not
+// race with reads of the same DB. Clones taken before a mutation are
+// unaffected by it and stay safe to read.
 type DB struct {
-	facts      []Fact
-	ids        map[string]int    // Fact.ID() → index into facts
-	blocks     map[string][]int  // Fact.BlockID() → indices, in insertion order
-	rels       map[string][]int  // relation name → indices
-	sigs       map[string][2]int // relation name → [arity, keyLen]
-	blockOrder []string          // block IDs in first-insertion order
+	facts      []Fact     // global insertion order
+	blockOrder []blockRef // blocks in global first-insertion order
+	rels       map[string]*relation
 
-	mu  sync.Mutex // guards idx
-	idx *dbIndex   // memoized structural index; nil until built, reset on mutation
+	mu   sync.Mutex // guards root
+	root string     // memoized composed digest; "" until computed
 }
 
 // New returns an empty uncertain database.
 func New() *DB {
-	return &DB{
-		ids:    make(map[string]int),
-		blocks: make(map[string][]int),
-		rels:   make(map[string][]int),
-		sigs:   make(map[string][2]int),
-	}
+	return &DB{rels: make(map[string]*relation)}
 }
 
 // FromFacts returns a database containing the given facts.
@@ -68,9 +78,9 @@ func (d *DB) Add(f Fact) error {
 		return err
 	}
 	sig := [2]int{len(f.Args), f.KeyLen}
-	if prev, ok := d.sigs[f.Rel]; ok && prev != sig {
+	if r, ok := d.rels[f.Rel]; ok && r.sig != sig {
 		return fmt.Errorf("db: relation %s used with signatures [%d,%d] and [%d,%d]",
-			f.Rel, prev[0], prev[1], sig[0], sig[1])
+			f.Rel, r.sig[0], r.sig[1], sig[0], sig[1])
 	}
 	d.addValidated(f)
 	return nil
@@ -81,21 +91,33 @@ func (d *DB) Add(f Fact) error {
 // validated them on first insert). Skipping re-validation keeps derived
 // databases (Restrict, WithoutBlock, RepairDB) off the per-fact error paths.
 func (d *DB) addValidated(f Fact) {
-	id := f.ID()
-	if _, ok := d.ids[id]; ok {
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		r = newRelation([2]int{len(f.Args), f.KeyLen})
+		d.rels[f.Rel] = r
+	}
+	if _, dup := r.ids[f.ID()]; dup {
 		return
 	}
-	d.invalidate()
-	idx := len(d.facts)
-	d.facts = append(d.facts, f)
-	d.ids[id] = idx
-	d.sigs[f.Rel] = [2]int{len(f.Args), f.KeyLen}
-	bid := f.BlockID()
-	if _, ok := d.blocks[bid]; !ok {
-		d.blockOrder = append(d.blockOrder, bid)
+	m := r.mutable()
+	if m != r {
+		d.rels[f.Rel] = m
 	}
-	d.blocks[bid] = append(d.blocks[bid], idx)
-	d.rels[f.Rel] = append(d.rels[f.Rel], idx)
+	bid := f.BlockID()
+	if _, known := m.blocks[bid]; !known {
+		d.blockOrder = append(d.blockOrder, blockRef{rel: f.Rel, bid: bid})
+	}
+	m.insert(f)
+	d.facts = append(d.facts, f)
+	d.resetRoot()
+}
+
+// resetRoot drops the memoized composed digest; per-relation digests are
+// invalidated at the relation they belong to, not here.
+func (d *DB) resetRoot() {
+	d.mu.Lock()
+	d.root = ""
+	d.mu.Unlock()
 }
 
 // Len returns the number of facts.
@@ -107,7 +129,11 @@ func (d *DB) Facts() []Fact { return d.facts }
 
 // Has reports whether the fact is present.
 func (d *DB) Has(f Fact) bool {
-	_, ok := d.ids[f.ID()]
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		return false
+	}
+	_, ok = r.ids[f.ID()]
 	return ok
 }
 
@@ -124,28 +150,34 @@ func (d *DB) Relations() []string {
 // Signature returns the [arity, keyLen] signature of a relation present in
 // the database.
 func (d *DB) Signature(rel string) (arity, keyLen int, ok bool) {
-	sig, ok := d.sigs[rel]
-	return sig[0], sig[1], ok
+	r, ok := d.rels[rel]
+	if !ok {
+		return 0, 0, false
+	}
+	return r.sig[0], r.sig[1], true
 }
 
 // FactsOf returns the facts of the given relation in insertion order.
 func (d *DB) FactsOf(rel string) []Fact {
-	idxs := d.rels[rel]
-	out := make([]Fact, len(idxs))
-	for i, idx := range idxs {
-		out[i] = d.facts[idx]
+	r, ok := d.rels[rel]
+	if !ok {
+		return make([]Fact, 0)
 	}
+	out := make([]Fact, len(r.facts))
+	copy(out, r.facts)
 	return out
 }
 
 // Block returns the block of the given fact: all facts key-equal to it
 // (including f itself if present).
 func (d *DB) Block(f Fact) []Fact {
-	idxs := d.blocks[f.BlockID()]
-	out := make([]Fact, len(idxs))
-	for i, idx := range idxs {
-		out[i] = d.facts[idx]
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		return make([]Fact, 0)
 	}
+	blk := r.blocks[f.BlockID()]
+	out := make([]Fact, len(blk))
+	copy(out, blk)
 	return out
 }
 
@@ -153,13 +185,11 @@ func (d *DB) Block(f Fact) []Fact {
 // facts in insertion order.
 func (d *DB) Blocks() [][]Fact {
 	out := make([][]Fact, 0, len(d.blockOrder))
-	for _, bid := range d.blockOrder {
-		idxs := d.blocks[bid]
-		blk := make([]Fact, len(idxs))
-		for i, idx := range idxs {
-			blk[i] = d.facts[idx]
-		}
-		out = append(out, blk)
+	for _, ref := range d.blockOrder {
+		blk := d.rels[ref.rel].blocks[ref.bid]
+		cp := make([]Fact, len(blk))
+		copy(cp, blk)
+		out = append(out, cp)
 	}
 	return out
 }
@@ -169,9 +199,11 @@ func (d *DB) NumBlocks() int { return len(d.blockOrder) }
 
 // IsConsistent reports whether every block is a singleton.
 func (d *DB) IsConsistent() bool {
-	for _, idxs := range d.blocks {
-		if len(idxs) > 1 {
-			return false
+	for _, r := range d.rels {
+		for _, blk := range r.blocks {
+			if len(blk) > 1 {
+				return false
+			}
 		}
 	}
 	return true
@@ -195,34 +227,25 @@ func (d *DB) ActiveDomain() []string {
 }
 
 // Clone returns a copy of the database sharing fact values (facts are
-// immutable by convention). The copy is structural: the internal maps and
-// slices are duplicated directly instead of re-validating and re-encoding
-// every fact through Add, so cloning is a flat O(n) copy. The memoized
-// structural index is shared with the original (it describes identical
-// content and is immutable); either database rebuilds its own on mutation.
+// immutable by convention). The copy is structural and flat: the global
+// fact and block-order slices are duplicated, while the per-relation
+// structures — facts, blocks, posting lists, and digests — are shared by
+// reference and marked copy-on-write. A later mutation of either database
+// privatizes only the relation it touches, so a clone costs O(facts) for
+// the flat slices but no re-hashing or re-indexing, and mutating one fact
+// after a clone costs O(touched relation), not O(database).
 func (d *DB) Clone() *DB {
 	c := &DB{
 		facts:      append([]Fact(nil), d.facts...),
-		ids:        make(map[string]int, len(d.ids)),
-		blocks:     make(map[string][]int, len(d.blocks)),
-		rels:       make(map[string][]int, len(d.rels)),
-		sigs:       make(map[string][2]int, len(d.sigs)),
-		blockOrder: append([]string(nil), d.blockOrder...),
+		blockOrder: append([]blockRef(nil), d.blockOrder...),
+		rels:       make(map[string]*relation, len(d.rels)),
 	}
-	for k, v := range d.ids {
-		c.ids[k] = v
-	}
-	for k, v := range d.blocks {
-		c.blocks[k] = append([]int(nil), v...)
-	}
-	for k, v := range d.rels {
-		c.rels[k] = append([]int(nil), v...)
-	}
-	for k, v := range d.sigs {
-		c.sigs[k] = v
+	for name, r := range d.rels {
+		r.shared.Store(true)
+		c.rels[name] = r
 	}
 	d.mu.Lock()
-	c.idx = d.idx
+	c.root = d.root
 	d.mu.Unlock()
 	return c
 }
@@ -269,8 +292,10 @@ func (d *DB) WithoutBlock(f Fact) *DB {
 // (1 for the empty database, whose only repair is empty).
 func (d *DB) NumRepairs() *big.Int {
 	n := big.NewInt(1)
-	for _, idxs := range d.blocks {
-		n.Mul(n, big.NewInt(int64(len(idxs))))
+	for _, r := range d.rels {
+		for _, blk := range r.blocks {
+			n.Mul(n, big.NewInt(int64(len(blk))))
+		}
 	}
 	return n
 }
@@ -401,8 +426,8 @@ func MustParse(input string) *DB {
 // insertion order (blocks separated implicitly by key equality).
 func (d *DB) String() string {
 	var b strings.Builder
-	for _, blk := range d.Blocks() {
-		for _, f := range blk {
+	for _, ref := range d.blockOrder {
+		for _, f := range d.rels[ref.rel].blocks[ref.bid] {
 			b.WriteString(f.String())
 			b.WriteByte('\n')
 		}
@@ -445,62 +470,87 @@ func (d *DB) RepairAt(index *big.Int) ([]Fact, error) {
 	return out, nil
 }
 
-// Remove deletes a fact, reporting whether it was present. Indexes are
-// rebuilt; O(n) per call, intended for interactive/maintenance use rather
-// than hot loops.
+// Remove deletes a fact, reporting whether it was present. Only the fact's
+// relation is touched: its structures are privatized if shared and updated
+// in place, while every other relation's facts, postings, and digests are
+// untouched. The global fact and block-order slices are compacted with one
+// flat pass each.
 func (d *DB) Remove(f Fact) bool {
-	id := f.ID()
-	if _, ok := d.ids[id]; !ok {
+	r, ok := d.rels[f.Rel]
+	if !ok {
 		return false
 	}
-	facts := make([]Fact, 0, len(d.facts)-1)
-	for _, g := range d.facts {
-		if g.ID() != id {
-			facts = append(facts, g)
-		}
+	if _, present := r.ids[f.ID()]; !present {
+		return false
 	}
-	d.rebuild(facts)
+	m := r.mutable()
+	if m != r {
+		d.rels[f.Rel] = m
+	}
+	blockEmptied := m.remove(f)
+	d.dropGlobalFact(f)
+	if blockEmptied {
+		d.dropBlockRef(blockRef{rel: f.Rel, bid: f.BlockID()})
+	}
+	if len(m.facts) == 0 {
+		delete(d.rels, f.Rel)
+	}
+	d.resetRoot()
 	return true
 }
 
-// rebuild replaces d's contents with the given already-validated facts,
-// reconstructing every internal index.
-func (d *DB) rebuild(facts []Fact) {
-	n := New()
-	for _, g := range facts {
-		n.addValidated(g)
+// dropGlobalFact removes the first (only) occurrence of f from the global
+// insertion-order slice with a flat copy.
+func (d *DB) dropGlobalFact(f Fact) {
+	for i, g := range d.facts {
+		if g.Equal(f) {
+			kept := make([]Fact, 0, len(d.facts)-1)
+			kept = append(kept, d.facts[:i]...)
+			kept = append(kept, d.facts[i+1:]...)
+			d.facts = kept
+			return
+		}
 	}
-	d.assignFrom(n)
+}
+
+// dropBlockRef removes one block reference from the global block order.
+func (d *DB) dropBlockRef(ref blockRef) {
+	for i, b := range d.blockOrder {
+		if b == ref {
+			kept := make([]blockRef, 0, len(d.blockOrder)-1)
+			kept = append(kept, d.blockOrder[:i]...)
+			kept = append(kept, d.blockOrder[i+1:]...)
+			d.blockOrder = kept
+			return
+		}
+	}
 }
 
 // assignFrom moves n's content into d field-wise (d's mutex must not be
-// copied), dropping any memoized index of d.
+// copied), dropping any memoized digest of d.
 func (d *DB) assignFrom(n *DB) {
-	d.invalidate()
 	d.facts = n.facts
-	d.ids = n.ids
-	d.blocks = n.blocks
-	d.rels = n.rels
-	d.sigs = n.sigs
 	d.blockOrder = n.blockOrder
+	d.rels = n.rels
+	d.resetRoot()
 }
 
 // RemoveBlock deletes the entire block of f, reporting how many facts were
-// removed.
+// removed. Like Remove, only the fact's relation is touched.
 func (d *DB) RemoveBlock(f Fact) int {
-	bid := f.BlockID()
-	n := 0
-	facts := make([]Fact, 0, len(d.facts))
-	for _, g := range d.facts {
-		if g.BlockID() == bid {
-			n++
-			continue
-		}
-		facts = append(facts, g)
-	}
-	if n == 0 {
+	r, ok := d.rels[f.Rel]
+	if !ok {
 		return 0
 	}
-	d.rebuild(facts)
-	return n
+	blk := r.blocks[f.BlockID()]
+	if len(blk) == 0 {
+		return 0
+	}
+	// Copy the block's facts first: removing mutates the slice we iterate.
+	facts := make([]Fact, len(blk))
+	copy(facts, blk)
+	for _, g := range facts {
+		d.Remove(g)
+	}
+	return len(facts)
 }

@@ -1,0 +1,141 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestDigestOfUnit pins the composed-digest contract the serving layer's
+// verdict cache depends on: relation-scoped, order-independent,
+// duplicate-insensitive, and distinguishing "relation absent" from
+// "relation ignored".
+func TestDigestOfUnit(t *testing.T) {
+	d := MustParse("R(a | b) R(a | c) S(s | u)")
+
+	if got, want := d.DigestOf([]string{"R", "S"}), d.DigestOf([]string{"S", "R"}); got != want {
+		t.Errorf("DigestOf is order-dependent: %q vs %q", got, want)
+	}
+	if got, want := d.DigestOf([]string{"R", "R", "S"}), d.DigestOf([]string{"R", "S"}); got != want {
+		t.Errorf("DigestOf counts duplicates: %q vs %q", got, want)
+	}
+	if got, want := d.DigestOf([]string{"R"}), d.DigestOf([]string{"S"}); got == want {
+		t.Errorf("DigestOf(R) == DigestOf(S) = %q; different relations must differ", got)
+	}
+	// A relation the db has never seen must still mark its absence: a
+	// query over {R, X} cannot share a cache entry with one over {R}.
+	if got, want := d.DigestOf([]string{"R", "X"}), d.DigestOf([]string{"R"}); got == want {
+		t.Errorf("DigestOf ignores absent relations: %q", got)
+	}
+	// Two different absent relations are also distinct subsets.
+	if got, want := d.DigestOf([]string{"X"}), d.DigestOf([]string{"Y"}); got == want {
+		t.Errorf("DigestOf(X) == DigestOf(Y) = %q for absent X, Y", got)
+	}
+
+	// Mutating S moves DigestOf(S) and DigestOf(R, S) but not DigestOf(R).
+	onlyR, both := d.DigestOf([]string{"R"}), d.DigestOf([]string{"R", "S"})
+	if err := d.Add(Fact{Rel: "S", KeyLen: 1, Args: []string{"s2", "u2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DigestOf([]string{"R"}); got != onlyR {
+		t.Errorf("DigestOf(R) moved on an S-only mutation: %q -> %q", onlyR, got)
+	}
+	if got := d.DigestOf([]string{"R", "S"}); got == both {
+		t.Errorf("DigestOf(R, S) did not move on an S mutation: %q", got)
+	}
+}
+
+// TestIncrementalIndexMatchesRebuilt is the differential guard for the
+// copy-on-write index maintenance: a database mutated in place (Add and
+// Remove in random interleavings) must be indistinguishable — facts,
+// blocks, postings, and every digest flavor — from one rebuilt from
+// scratch out of its surviving facts.
+func TestIncrementalIndexMatchesRebuilt(t *testing.T) {
+	rels := []string{"R", "S", "U"}
+	for seed := int64(0); seed < 4; seed++ {
+		r := rand.New(rand.NewSource(9001 + seed))
+		d := New()
+		model := map[string]Fact{}
+
+		randomFact := func() Fact {
+			v := func() string { return fmt.Sprintf("v%d", r.Intn(4)) }
+			return Fact{Rel: rels[r.Intn(len(rels))], KeyLen: 1, Args: []string{v(), v()}}
+		}
+
+		for step := 0; step < 40; step++ {
+			if r.Intn(3) > 0 || len(model) == 0 {
+				f := randomFact()
+				if _, dup := model[f.ID()]; dup {
+					continue
+				}
+				if err := d.Add(f); err != nil {
+					t.Fatalf("seed %d step %d: Add(%v): %v", seed, step, f, err)
+				}
+				model[f.ID()] = f
+			} else {
+				ids := make([]string, 0, len(model))
+				for id := range model {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				f := model[ids[r.Intn(len(ids))]]
+				if !d.Remove(f) {
+					t.Fatalf("seed %d step %d: Remove(%v) = false for a present fact", seed, step, f)
+				}
+				delete(model, f.ID())
+			}
+
+			rebuilt := New()
+			ids := make([]string, 0, len(model))
+			for id := range model {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				if err := rebuilt.Add(model[id]); err != nil {
+					t.Fatalf("rebuild: %v", err)
+				}
+			}
+
+			if !d.Equal(rebuilt) {
+				t.Fatalf("seed %d step %d: incremental db != rebuilt db\nincremental: %s\nrebuilt: %s",
+					seed, step, d, rebuilt)
+			}
+			if got, want := d.Digest(), rebuilt.Digest(); got != want {
+				t.Fatalf("seed %d step %d: Digest %q != rebuilt %q", seed, step, got, want)
+			}
+			for _, rel := range rels {
+				if got, want := d.RelationDigest(rel), rebuilt.RelationDigest(rel); got != want {
+					t.Fatalf("seed %d step %d: RelationDigest(%s) %q != rebuilt %q", seed, step, rel, got, want)
+				}
+				if got, want := d.RelationSize(rel), rebuilt.RelationSize(rel); got != want {
+					t.Fatalf("seed %d step %d: RelationSize(%s) %d != rebuilt %d", seed, step, rel, got, want)
+				}
+				if got, want := len(d.BlocksOf(rel)), len(rebuilt.BlocksOf(rel)); got != want {
+					t.Fatalf("seed %d step %d: BlocksOf(%s) %d blocks != rebuilt %d", seed, step, rel, got, want)
+				}
+			}
+			if got, want := d.DigestOf(rels), rebuilt.DigestOf(rels); got != want {
+				t.Fatalf("seed %d step %d: DigestOf %q != rebuilt %q", seed, step, got, want)
+			}
+			// Postings spot check: every surviving fact is findable by
+			// (rel, position, value) in both.
+			for _, id := range ids {
+				f := model[id]
+				for pos, val := range f.Args {
+					got := d.FactsAt(f.Rel, pos, val)
+					want := rebuilt.FactsAt(f.Rel, pos, val)
+					if len(got) != len(want) {
+						t.Fatalf("seed %d step %d: FactsAt(%s, %d, %s) = %d facts, rebuilt %d",
+							seed, step, f.Rel, pos, val, len(got), len(want))
+					}
+				}
+			}
+			if !reflect.DeepEqual(d.Relations(), rebuilt.Relations()) {
+				t.Fatalf("seed %d step %d: Relations %v != rebuilt %v", seed, step, d.Relations(), rebuilt.Relations())
+			}
+		}
+	}
+}

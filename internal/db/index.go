@@ -6,135 +6,52 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"github.com/cqa-go/certainty/internal/obs"
 )
 
 // Index telemetry, recorded into the process-wide registry. Handles are
 // resolved once at init, so the hot path pays one atomic add per (rare)
-// build/invalidation — reads of a memoized index record nothing.
+// build/invalidation — reads of memoized structure record nothing.
 var (
 	indexBuilds        = obs.Default.Counter("db_index_builds_total")
 	indexInvalidations = obs.Default.Counter("db_index_invalidations_total")
 	digestComputations = obs.Default.Counter("db_digest_computations_total")
-	indexBuildSeconds  = obs.Default.Histogram("db_index_build_seconds", nil)
 )
 
 func init() {
-	obs.Default.Help("db_index_builds_total", "Structural index builds (first use after mutation).")
-	obs.Default.Help("db_index_invalidations_total", "Structural index invalidations caused by mutations.")
-	obs.Default.Help("db_digest_computations_total", "Content digest computations over the fact set.")
-	obs.Default.Help("db_index_build_seconds", "Wall-clock time to build the structural index.")
+	obs.Default.Help("db_index_builds_total", "Per-relation posting-list index builds (first use after mutation).")
+	obs.Default.Help("db_index_invalidations_total", "Copy-on-write relation privatizations caused by mutations.")
+	obs.Default.Help("db_digest_computations_total", "Relation digest compositions over per-block digests.")
 }
 
-// dbIndex is the lazily built, immutable structural view of a DB that the
-// solver hot paths consult instead of re-deriving per call:
+// The structural index is maintained per relation (see relation.go): each
+// relation lazily builds and memoizes its posting lists, block list, and
+// content digests, and mutations invalidate only the relation they touch.
+// The accessors below are the read surface the solver hot paths consult:
 //
-//   - relFacts: relation → its facts in insertion order, as a single shared
-//     slice (FactsOf copies on every call; the index pays the copy once).
-//   - relBlocks: relation → its blocks in first-insertion order (the list
-//     blocksOf used to rebuild from a map on every recursive step of the
-//     Theorem 1 rewriting).
-//   - blockFacts: block ID → the block's facts as a shared slice (Block
-//     copies on every call).
-//   - postings: (relation, argument position, value) → the facts carrying
+//   - RelationFacts: relation → its facts in insertion order as one shared
+//     slice (FactsOf copies on every call; the relation pays the copy never —
+//     the slice IS the storage).
+//   - BlocksOf: relation → its blocks in first-insertion order.
+//   - BlockView: block ID → the block's facts as a shared slice.
+//   - FactsAt: (relation, argument position, value) → the facts carrying
 //     that value at that position, in insertion order. Embedding search uses
 //     these to narrow candidate scans when any atom position is determined,
 //     not just the full primary key.
-//   - digest: a content digest of the fact set (order-independent), used by
-//     the serving layer to key verdict caches.
+//   - Digest / RelationDigest / DigestOf: content digests composed from
+//     per-block digests, used by the serving layer to key verdict caches at
+//     relation granularity so a mutation invalidates only the cache entries
+//     whose queries read the touched relation.
 //
-// The index is built at most once per DB content under DB.mu and then read
-// without locks; every slice is shared and must be treated as immutable.
-// Mutations (Add, Remove, RemoveBlock) invalidate the index, so derived
-// structure can never go stale.
-type dbIndex struct {
-	relFacts   map[string][]Fact
-	relBlocks  map[string][][]Fact
-	blockFacts map[string][]Fact
-	postings   map[string][]Fact
-	digest     string
-}
+// Every returned slice is shared and must be treated as immutable.
 
-// postingKey encodes (relation, position, value) unambiguously; NUL is safe
-// as a separator because Validate rejects NUL bytes in relation names and
-// arguments.
-func postingKey(rel string, pos int, value string) string {
-	var b strings.Builder
-	b.Grow(len(rel) + len(value) + 8)
-	b.WriteString(rel)
-	b.WriteByte(0)
-	b.WriteString(strconv.Itoa(pos))
-	b.WriteByte(0)
-	b.WriteString(value)
-	return b.String()
-}
-
-// index returns the memoized structural index, building it on first use.
-func (d *DB) index() *dbIndex {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.idx == nil {
-		d.idx = d.buildIndex()
-	}
-	return d.idx
-}
-
-// invalidate drops the memoized index; callers mutate d afterwards.
-func (d *DB) invalidate() {
-	d.mu.Lock()
-	if d.idx != nil {
-		indexInvalidations.Inc()
-	}
-	d.idx = nil
-	d.mu.Unlock()
-}
-
-func (d *DB) buildIndex() *dbIndex {
-	start := time.Now()
-	ix := &dbIndex{
-		relFacts:   make(map[string][]Fact, len(d.rels)),
-		relBlocks:  make(map[string][][]Fact, len(d.rels)),
-		blockFacts: make(map[string][]Fact, len(d.blockOrder)),
-		postings:   make(map[string][]Fact),
-	}
-	for rel, idxs := range d.rels {
-		fs := make([]Fact, len(idxs))
-		for i, idx := range idxs {
-			fs[i] = d.facts[idx]
-		}
-		ix.relFacts[rel] = fs
-	}
-	for _, bid := range d.blockOrder {
-		idxs := d.blocks[bid]
-		blk := make([]Fact, len(idxs))
-		for i, idx := range idxs {
-			blk[i] = d.facts[idx]
-		}
-		ix.blockFacts[bid] = blk
-		rel := blk[0].Rel
-		ix.relBlocks[rel] = append(ix.relBlocks[rel], blk)
-	}
-	for _, f := range d.facts {
-		for pos, v := range f.Args {
-			key := postingKey(f.Rel, pos, v)
-			ix.postings[key] = append(ix.postings[key], f)
-		}
-	}
-	ix.digest = computeDigest(d.facts)
-	indexBuilds.Inc()
-	indexBuildSeconds.Observe(time.Since(start).Seconds())
-	return ix
-}
-
-// computeDigest hashes the fact set order-independently: each fact is
+// computeDigest hashes a fact set order-independently: each fact is
 // rendered as its length-prefixed canonical encoding (including the key
 // length, which Fact.ID omits), the encodings are sorted, and the sorted
 // sequence is hashed with per-entry length prefixes so concatenation is
 // unambiguous.
 func computeDigest(facts []Fact) string {
-	digestComputations.Inc()
 	enc := make([]string, len(facts))
 	for i, f := range facts {
 		var b strings.Builder
@@ -144,9 +61,15 @@ func computeDigest(facts []Fact) string {
 		enc[i] = b.String()
 	}
 	sort.Strings(enc)
+	return hashParts(enc)
+}
+
+// hashParts hashes a sequence of strings with per-entry length prefixes so
+// concatenation is unambiguous, returning the hex digest.
+func hashParts(parts []string) string {
 	h := sha256.New()
 	var lenBuf [16]byte
-	for _, e := range enc {
+	for _, e := range parts {
 		n := strconv.AppendInt(lenBuf[:0], int64(len(e)), 10)
 		h.Write(n)
 		h.Write([]byte{':'})
@@ -157,29 +80,104 @@ func computeDigest(facts []Fact) string {
 
 // Digest returns a content digest of the database: two databases have equal
 // digests iff they contain the same set of facts (up to SHA-256 collision),
-// regardless of insertion order. Memoized with the structural index; the
-// serving layer uses it to key verdict caches.
-func (d *DB) Digest() string { return d.index().digest }
+// regardless of insertion order. The digest is composed from the memoized
+// per-relation digests — which are themselves composed from per-block
+// digests — so after a mutation only the touched block is re-hashed, the
+// touched relation re-composed, and this root re-composed; untouched
+// relations contribute their memoized digests unchanged.
+func (d *DB) Digest() string {
+	d.mu.Lock()
+	if d.root != "" {
+		root := d.root
+		d.mu.Unlock()
+		return root
+	}
+	d.mu.Unlock()
+	names := d.Relations()
+	parts := make([]string, 0, 2*len(names))
+	for _, name := range names {
+		parts = append(parts, name, d.rels[name].digestOf())
+	}
+	root := hashParts(parts)
+	d.mu.Lock()
+	d.root = root
+	d.mu.Unlock()
+	return root
+}
+
+// RelationDigest returns the content digest of one relation's facts, or ""
+// when the relation is absent. Two databases whose relation digests for rel
+// coincide contain the same facts for rel.
+func (d *DB) RelationDigest(rel string) string {
+	r, ok := d.rels[rel]
+	if !ok {
+		return ""
+	}
+	return r.digestOf()
+}
+
+// DigestOf returns a content digest over the named relations only: it is
+// determined exactly by the facts of those relations (absent relations
+// participate as explicit empty markers, so "absent" and "never mentioned"
+// compose differently). The serving layer keys verdict caches on
+// DigestOf(query's relations): a mutation then invalidates only the cached
+// verdicts whose queries read the touched relation, instead of every
+// verdict in the cache.
+func (d *DB) DigestOf(rels []string) string {
+	names := append([]string(nil), rels...)
+	sort.Strings(names)
+	parts := make([]string, 0, 2*len(names))
+	for i, name := range names {
+		if i > 0 && names[i-1] == name {
+			continue // deduplicate
+		}
+		parts = append(parts, name, d.RelationDigest(name))
+	}
+	return hashParts(parts)
+}
 
 // RelationFacts returns the facts of the given relation in insertion order
 // as a shared slice. The caller must not modify it; use FactsOf for an
-// owned copy. Memoized: repeated calls return the same backing array until
-// the database is mutated.
-func (d *DB) RelationFacts(rel string) []Fact { return d.index().relFacts[rel] }
+// owned copy. Stable: repeated calls return the same backing array until
+// the relation is mutated.
+func (d *DB) RelationFacts(rel string) []Fact {
+	r, ok := d.rels[rel]
+	if !ok {
+		return nil
+	}
+	return r.facts
+}
 
 // RelationSize returns the number of facts of the given relation without
 // materializing them.
-func (d *DB) RelationSize(rel string) int { return len(d.rels[rel]) }
+func (d *DB) RelationSize(rel string) int {
+	r, ok := d.rels[rel]
+	if !ok {
+		return 0
+	}
+	return len(r.facts)
+}
 
 // BlocksOf returns the blocks of the given relation in first-insertion
-// order, as shared slices the caller must not modify. This is the memoized
-// form of the per-call block-list derivation the Theorem 1 rewriting used
-// to perform on every recursive step.
-func (d *DB) BlocksOf(rel string) [][]Fact { return d.index().relBlocks[rel] }
+// order, as shared slices the caller must not modify. Memoized per
+// relation; a mutation of another relation leaves it untouched.
+func (d *DB) BlocksOf(rel string) [][]Fact {
+	r, ok := d.rels[rel]
+	if !ok {
+		return nil
+	}
+	return r.blockListOf()
+}
 
 // BlockView returns the block of the given fact as a shared slice the
 // caller must not modify; use Block for an owned copy.
-func (d *DB) BlockView(f Fact) []Fact { return d.index().blockFacts[f.BlockID()] }
+func (d *DB) BlockView(f Fact) []Fact {
+	r, ok := d.rels[f.Rel]
+	if !ok {
+		return nil
+	}
+	return r.blocks[f.BlockID()]
+}
 
 // FactsAt returns the facts of rel whose argument at position pos equals
 // value, in insertion order, as a shared slice the caller must not modify.
@@ -187,5 +185,9 @@ func (d *DB) BlockView(f Fact) []Fact { return d.index().blockFacts[f.BlockID()]
 // the per-(relation, position) posting-list index consulted by embedding
 // search when an atom has any determined position short of its full key.
 func (d *DB) FactsAt(rel string, pos int, value string) []Fact {
-	return d.index().postings[postingKey(rel, pos, value)]
+	r, ok := d.rels[rel]
+	if !ok {
+		return nil
+	}
+	return r.postingsOf()[postingKey(pos, value)]
 }

@@ -89,6 +89,12 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]BatchItemResult, len(req.Items))
 	var pending []batchItem
 	dbCache := make(map[string]*db.DB) // batches often repeat the DB text; parse it once
+	if s.cfg.Store != nil {
+		// Pin ONE hosted snapshot for the whole batch: items with an empty
+		// DB all see the same version even if mutations land mid-batch.
+		hosted, _ := s.cfg.Store.DB()
+		dbCache[""] = hosted
+	}
 	for i, it := range req.Items {
 		results[i] = BatchItemResult{Index: i}
 		queryText := it.Query

@@ -20,6 +20,7 @@ import (
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/plan"
 	"github.com/cqa-go/certainty/internal/solver"
+	"github.com/cqa-go/certainty/internal/wal"
 )
 
 // Config tunes a Server. The zero value gets sane production defaults from
@@ -78,6 +79,12 @@ type Config struct {
 	// heap, and goroutine profiling. Off by default: profiles reveal query
 	// shapes and cost, so operators opt in (certd -pprof).
 	EnablePprof bool
+	// Store, when non-nil, is the durable hosted database (internal/wal):
+	// it enables the /v1/db mutation endpoints, and solve requests with an
+	// empty DB field run against its current snapshot instead of an empty
+	// inline database. The server does not own the store's lifecycle —
+	// certd opens it before New and closes it after Drain.
+	Store *wal.Store
 
 	// now and solve are test seams: a fake clock for the breaker automaton
 	// and a replacement solve function. Nil means real clock / real solver.
@@ -199,6 +206,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	// The durable hosted database (404 with a hint unless certd was started
+	// with -data-dir; see db.go in this package).
+	s.mux.HandleFunc("GET /v1/db", s.handleDBGet)
+	s.mux.HandleFunc("POST /v1/db/facts", s.handleDBInsert)
+	s.mux.HandleFunc("DELETE /v1/db/facts", s.handleDBDelete)
 	// Operational probes stay unversioned by convention (load balancers and
 	// scrapers address them directly).
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -259,10 +271,23 @@ func newVerdictCache(size int, m *obs.CacheMetrics) *verdictCache {
 	return vc
 }
 
-// verdictKey joins the canonical query key and the DB digest; NUL cannot
-// occur in either part.
+// verdictKey joins the canonical query key and a content digest of the
+// relations the query reads; NUL cannot occur in either part. Scoping the
+// digest to the query's relations (instead of the whole database) is the
+// incremental-invalidation contract: CERTAINTY(q) is determined by the
+// facts of q's relations alone, so a mutation that touches only other
+// relations leaves every cached verdict for q addressable and valid.
 func verdictKey(q cq.Query, d *db.DB) string {
-	return cq.CanonicalKey(q) + "\x00" + d.Digest()
+	return cq.CanonicalKey(q) + "\x00" + d.DigestOf(queryRels(q))
+}
+
+// queryRels returns the relation names the query mentions.
+func queryRels(q cq.Query) []string {
+	rels := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		rels[i] = a.Rel
+	}
+	return rels
 }
 
 func (vc *verdictCache) get(key string) (solver.Verdict, bool) {
@@ -375,12 +400,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes the taxonomy error body; shed/shutdown also carry the
-// Retry-After header (whole seconds, rounded up, minimum 1).
+// writeError writes the taxonomy error body; shed/shutdown/read-only also
+// carry the Retry-After header (whole seconds, rounded up, minimum 1).
 func (s *Server) writeError(w http.ResponseWriter, status int, code, message string) {
-	s.reg.Counter(metricRejectionsTotal, obs.L{K: "code", V: code}).Inc()
-	body := ErrorBody{Code: code, Message: message}
-	if code == CodeShed || code == CodeShutdown {
+	s.writeErrorBody(w, status, &ErrorBody{Code: code, Message: message})
+}
+
+// writeErrorBody is writeError for callers that prefill extra body fields
+// (the conflict responses carry the current database version).
+func (s *Server) writeErrorBody(w http.ResponseWriter, status int, body *ErrorBody) {
+	s.reg.Counter(metricRejectionsTotal, obs.L{K: "code", V: body.Code}).Inc()
+	if body.Code == CodeShed || body.Code == CodeShutdown || body.Code == CodeReadOnly {
 		ra := s.cfg.RetryAfter
 		body.RetryAfterMS = ra.Milliseconds()
 		secs := int64((ra + time.Second - 1) / time.Second)
@@ -389,7 +419,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, message str
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, status, &body)
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -408,8 +438,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeMalformed, "query: "+err.Error())
 		return
 	}
-	d, err := db.Parse(req.DB)
-	if err != nil {
+	// An empty DB on a server hosting a durable store means "solve against
+	// the hosted snapshot"; the snapshot is immutable, so the solve is
+	// unaffected by concurrent mutations and reports the version it saw.
+	var d *db.DB
+	var dbVersion *uint64
+	if req.DB == "" && s.cfg.Store != nil {
+		hosted, v := s.cfg.Store.DB()
+		d, dbVersion = hosted, &v
+	} else if d, err = db.Parse(req.DB); err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeMalformed, "db: "+err.Error())
 		return
 	}
@@ -445,7 +482,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.verdicts != nil {
 		vkey = verdictKey(q, d)
 		if v, ok := s.verdicts.get(vkey); ok {
-			resp := SolveResponse{Verdict: v, Cached: true}
+			resp := SolveResponse{Verdict: v, Cached: true, DBVersion: dbVersion}
 			if clamped.Any() {
 				resp.Clamped = &ClampReport{
 					Timeout:   clamped.Timeout,
@@ -537,7 +574,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.countSolve(cls.Class.Code(), v)
 	s.reg.Histogram(metricSolveSeconds, nil, obs.L{K: "class", V: cls.Class.Code()}).Observe(elapsed.Seconds())
 
-	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds()}
+	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds(), DBVersion: dbVersion}
 	switch mode {
 	case modeShortCircuit:
 		resp.Breaker = BreakerOpen

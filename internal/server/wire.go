@@ -53,6 +53,16 @@ const (
 	// CodeInternal: the solve failed unexpectedly (e.g. a contained
 	// panic). HTTP 500.
 	CodeInternal = "internal"
+	// CodeConflict: a compare-and-swap mutation named a database version
+	// that is no longer current. Permanent: retrying the identical request
+	// can never succeed — re-read the version and decide again. HTTP 409.
+	// The error body's Version field carries the current version.
+	CodeConflict = "conflict"
+	// CodeReadOnly: the hosted database degraded to read-only after a disk
+	// fault; mutations are refused while reads keep serving. Transient —
+	// the store re-probes the disk — so retry after backoff. HTTP 503 with
+	// Retry-After.
+	CodeReadOnly = "read-only"
 )
 
 // ErrorBody is the JSON body of every non-200 response.
@@ -60,8 +70,13 @@ type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message,omitempty"`
 	// RetryAfterMS, when positive, is the server's hint for when to retry
-	// (shed and shutdown responses). Also sent as the Retry-After header.
+	// (shed, shutdown, and read-only responses). Also sent as the
+	// Retry-After header.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Version is set on conflict responses: the database version the store
+	// is actually at, so a CAS client can re-read and decide again without
+	// an extra round trip.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // Error renders the error body.
@@ -128,6 +143,10 @@ type SolveResponse struct {
 	// a solve. Only conclusive verdicts are ever cached, so a cached answer
 	// is exact regardless of the request's budget or deadline.
 	Cached bool `json:"cached,omitempty"`
+	// DBVersion is set when the solve ran against the hosted database
+	// (request with an empty DB on a server started with -data-dir): the
+	// version of the snapshot the verdict was computed on.
+	DBVersion *uint64 `json:"db_version,omitempty"`
 	// ElapsedMS is the server-side solve latency in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
@@ -189,6 +208,46 @@ type BatchSolveResponse struct {
 	Clamped *ClampReport `json:"clamped,omitempty"`
 	// ElapsedMS is the server-side wall-clock time for the whole batch.
 	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// DBMutateRequest is the body of POST /v1/db/facts (insert) and
+// DELETE /v1/db/facts (delete): facts in the shared textual database
+// format, plus an optional compare-and-swap guard.
+type DBMutateRequest struct {
+	// Facts in the textual database format, e.g. "R(a | b) R(a | b2)".
+	Facts string `json:"facts"`
+	// IfVersion, when set, makes the mutation conditional: it applies only
+	// if the database is at exactly this version, and fails with
+	// CodeConflict (HTTP 409) otherwise. Mutations carrying IfVersion are
+	// safely retryable — a retry of an already-applied mutation conflicts
+	// instead of double-applying. Omitted means unconditional.
+	IfVersion *uint64 `json:"if_version,omitempty"`
+}
+
+// DBMutateResponse reports a committed (durable and published) mutation.
+type DBMutateResponse struct {
+	// Version after the mutation. Unchanged from before when the request
+	// was a no-op (inserting only present facts / deleting only absent
+	// ones), which is reported by Applied == 0.
+	Version uint64 `json:"version"`
+	// Applied counts the facts actually inserted plus actually deleted.
+	Applied int `json:"applied"`
+}
+
+// DBGetResponse describes the hosted database (GET /v1/db). The fact dump
+// is included only when requested with ?facts=1 — snapshots can be large.
+type DBGetResponse struct {
+	Version   uint64   `json:"version"`
+	NumFacts  int      `json:"num_facts"`
+	NumBlocks int      `json:"num_blocks"`
+	Relations []string `json:"relations,omitempty"`
+	// Digest is the content digest of the snapshot (the same composition
+	// the verdict cache keys on).
+	Digest string `json:"digest"`
+	// ReadOnly is true while the store is degraded after a disk fault.
+	ReadOnly bool `json:"read_only,omitempty"`
+	// Facts is the textual dump, present only with ?facts=1.
+	Facts string `json:"facts,omitempty"`
 }
 
 // ClassifyRequest asks for the complexity classification of a query alone;

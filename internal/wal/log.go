@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment and snapshot file naming. Segments are numbered by a
+// monotonically increasing sequence; snapshots carry the database version
+// they capture. Hex with fixed width keeps lexical and numeric order equal,
+// so a sorted directory listing is already in replay order.
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix) }
+func snapName(v uint64) string  { return fmt.Sprintf("%s%016x%s", snapPrefix, v, snapSuffix) }
+
+// parseSeq extracts the sequence/version number from a segment or snapshot
+// file name, reporting ok=false for foreign files (including temp files).
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	n, err := strconv.ParseUint(mid, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment sequence numbers present in dir, sorted
+// ascending, and likewise the snapshot versions sorted ascending.
+func listSegments(fs FS, dir string) (segs, snaps []uint64, err error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, name := range names {
+		if n, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			segs = append(segs, n)
+		}
+		if n, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// log is the append side of the WAL: one open segment file plus rotation.
+// Not safe for concurrent use; the Store serializes appends through its
+// commit path.
+type log struct {
+	fs           FS
+	dir          string
+	segmentBytes int64
+
+	seq  uint64 // sequence of the open segment
+	f    File
+	size int64
+	buf  []byte // reusable framing buffer
+}
+
+// openLog starts a fresh segment with the given sequence number. Recovery
+// never appends to an existing segment: a new one is always created, so a
+// torn tail can only ever exist in the newest segment of a crashed process.
+func openLog(fs FS, dir string, seq uint64, segmentBytes int64) (*log, error) {
+	l := &log{fs: fs, dir: dir, segmentBytes: segmentBytes, seq: seq}
+	if err := l.openSegment(seq); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *log) path(seq uint64) string { return filepath.Join(l.dir, segName(seq)) }
+
+func (l *log) openSegment(seq uint64) error {
+	f, err := l.fs.Create(l.path(seq))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", segName(seq), err)
+	}
+	// Make the directory entry durable before any record lands in it, so a
+	// replayer never sees records in a file that could vanish.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir after segment create: %w", err)
+	}
+	l.seq = seq
+	l.f = f
+	l.size = 0
+	return nil
+}
+
+// append frames and writes one record, rotating first when the open
+// segment is full. The record is NOT durable until sync returns.
+func (l *log) append(payload []byte) error {
+	if l.segmentBytes > 0 && l.size >= l.segmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	l.buf = AppendRecord(l.buf[:0], payload)
+	n, err := l.f.Write(l.buf)
+	l.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append to segment %s: %w", segName(l.seq), err)
+	}
+	return nil
+}
+
+// rotate makes the open segment durable, closes it, and opens the next.
+// The sync-before-create ordering is a recovery invariant: a segment N+1
+// exists on disk only if segment N's full contents are durable, so replay
+// may treat corruption in any non-final segment as unrecoverable instead
+// of as a crash artifact.
+func (l *log) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment %s before rotation: %w", segName(l.seq), err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment %s: %w", segName(l.seq), err)
+	}
+	return l.openSegment(l.seq + 1)
+}
+
+func (l *log) sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync segment %s: %w", segName(l.seq), err)
+	}
+	return nil
+}
+
+func (l *log) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

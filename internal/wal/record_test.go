@@ -1,0 +1,220 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// stream builds a WAL byte stream from payloads, returning the stream and
+// the record boundary offsets (starts[i] is where record i begins; the
+// final entry is the total length).
+func stream(payloads ...[]byte) (buf []byte, starts []int64) {
+	for _, p := range payloads {
+		starts = append(starts, int64(len(buf)))
+		buf = AppendRecord(buf, p)
+	}
+	starts = append(starts, int64(len(buf)))
+	return buf, starts
+}
+
+func testPayloads() [][]byte {
+	return [][]byte{
+		[]byte("alpha"),
+		{},
+		[]byte("a longer record payload with some structure: {v: 3}"),
+		{0x00, 0xFF, 0xC1, 0x00},
+		bytes.Repeat([]byte{0xAB}, 300),
+	}
+}
+
+// readAll replays a stream collecting payloads.
+func readAll(t *testing.T, data []byte) (payloads [][]byte, clean int64, err error) {
+	t.Helper()
+	clean, err = ReadRecords(bytes.NewReader(data), func(p []byte) error {
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	return payloads, clean, err
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := testPayloads()
+	data, starts := stream(want...)
+	got, clean, err := readAll(t, data)
+	if err != nil {
+		t.Fatalf("clean stream: %v", err)
+	}
+	if clean != starts[len(starts)-1] {
+		t.Fatalf("clean = %d, want %d", clean, starts[len(starts)-1])
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadRecordsEmpty(t *testing.T) {
+	got, clean, err := readAll(t, nil)
+	if err != nil || clean != 0 || len(got) != 0 {
+		t.Fatalf("empty stream: got %d records, clean %d, err %v", len(got), clean, err)
+	}
+}
+
+// TestTornTailEveryPrefix is the crash matrix at the framing layer: for
+// EVERY byte-length prefix of a valid stream, replay must decode exactly
+// the records that fit completely, report the clean boundary, and flag the
+// torn tail — except at exact record boundaries, which are clean ends.
+func TestTornTailEveryPrefix(t *testing.T) {
+	data, starts := stream(testPayloads()...)
+	boundary := make(map[int64]int) // offset → records before it
+	for i, s := range starts {
+		boundary[s] = i
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		got, clean, err := readAll(t, data[:cut])
+		wholeRecords, atBoundary := boundary[int64(cut)]
+		if atBoundary {
+			if err != nil {
+				t.Fatalf("cut %d (boundary): unexpected error %v", cut, err)
+			}
+			if len(got) != wholeRecords || clean != int64(cut) {
+				t.Fatalf("cut %d: got %d records clean %d, want %d records clean %d",
+					cut, len(got), clean, wholeRecords, cut)
+			}
+			continue
+		}
+		// Mid-record: the last complete boundary before the cut.
+		var wantRecs int
+		var wantClean int64
+		for i, s := range starts {
+			if s < int64(cut) {
+				wantRecs, wantClean = i, s
+			}
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: want ErrCorrupt, got %v", cut, err)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("cut %d: error is not *CorruptError: %v", cut, err)
+		}
+		if len(got) != wantRecs || clean != wantClean || ce.Offset != wantClean {
+			t.Fatalf("cut %d: got %d records clean %d offset %d, want %d records clean %d",
+				cut, len(got), clean, ce.Offset, wantRecs, wantClean)
+		}
+	}
+}
+
+// TestCorruptByteEveryOffset flips one byte at every position: replay must
+// decode every record before the damaged one, stop exactly at its start
+// with a typed corruption error, and never panic.
+func TestCorruptByteEveryOffset(t *testing.T) {
+	data, starts := stream(testPayloads()...)
+	recordOf := func(off int64) int {
+		for i := len(starts) - 2; i >= 0; i-- {
+			if starts[i] <= off {
+				return i
+			}
+		}
+		return 0
+	}
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5A
+		got, clean, err := readAll(t, mut)
+		damaged := recordOf(int64(off))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("offset %d: want ErrCorrupt, got %v", off, err)
+		}
+		if len(got) != damaged || clean != starts[damaged] {
+			t.Fatalf("offset %d (record %d): got %d records clean %d, want %d records clean %d",
+				off, damaged, len(got), clean, damaged, starts[damaged])
+		}
+	}
+}
+
+func TestOversizeLengthRejected(t *testing.T) {
+	var hdr [headerSize]byte
+	hdr[0] = recordMagic
+	hdr[1], hdr[2], hdr[3], hdr[4] = 0xFF, 0xFF, 0xFF, 0x7F // ~2 GiB length
+	_, clean, err := readAll(t, hdr[:])
+	if !errors.Is(err, ErrCorrupt) || clean != 0 {
+		t.Fatalf("oversize length: clean %d err %v", clean, err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	data, _ := stream([]byte("x"))
+	data[0] = 0x00
+	_, clean, err := readAll(t, data)
+	if !errors.Is(err, ErrCorrupt) || clean != 0 {
+		t.Fatalf("bad magic: clean %d err %v", clean, err)
+	}
+}
+
+func TestReadRecordsFnAbort(t *testing.T) {
+	data, starts := stream([]byte("a"), []byte("b"), []byte("c"))
+	boom := fmt.Errorf("rejected")
+	n := 0
+	clean, err := ReadRecords(bytes.NewReader(data), func(p []byte) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want fn error back, got %v", err)
+	}
+	if clean != starts[1] {
+		t.Fatalf("clean = %d, want boundary before rejected record %d", clean, starts[1])
+	}
+}
+
+// FuzzWALReplay locks in the replay safety contract for ARBITRARY bytes:
+// never panic, never read past the stream, and always report either a
+// clean full decode or a typed corruption error whose clean prefix
+// re-decodes cleanly.
+func FuzzWALReplay(f *testing.F) {
+	valid, _ := stream(testPayloads()...)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{recordMagic})
+	f.Add(valid[:len(valid)-3])
+	f.Add(bytes.Repeat([]byte{recordMagic}, 64))
+	mut := append([]byte(nil), valid...)
+	mut[7] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records := 0
+		clean, err := ReadRecords(bytes.NewReader(data), func(p []byte) error {
+			records++
+			return nil
+		})
+		if clean < 0 || clean > int64(len(data)) {
+			t.Fatalf("clean %d out of range [0,%d]", clean, len(data))
+		}
+		if err == nil && clean != int64(len(data)) {
+			t.Fatalf("nil error but clean %d != len %d", clean, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-corruption error from arbitrary bytes: %v", err)
+		}
+		// The clean prefix must itself replay cleanly with the same records.
+		again := 0
+		cleanAgain, err2 := ReadRecords(bytes.NewReader(data[:clean]), func(p []byte) error {
+			again++
+			return nil
+		})
+		if err2 != nil || cleanAgain != clean || again != records {
+			t.Fatalf("clean prefix not stable: records %d→%d clean %d→%d err %v",
+				records, again, clean, cleanAgain, err2)
+		}
+	})
+}
