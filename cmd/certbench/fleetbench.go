@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/fleet"
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// fleetEntry is one measurement of the fleet benchmark: batch throughput at
+// a worker count, or the solve latency profile with hedging on or off
+// against a deliberately slow replica.
+type fleetEntry struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Items       int     `json:"items,omitempty"`
+	WallNs      int64   `json:"wall_ns,omitempty"`
+	ItemsPerSec float64 `json:"items_per_sec,omitempty"`
+	P50Ns       int64   `json:"p50_ns,omitempty"`
+	P95Ns       int64   `json:"p95_ns,omitempty"`
+	P99Ns       int64   `json:"p99_ns,omitempty"`
+	Hedged      bool    `json:"hedged,omitempty"`
+}
+
+type fleetReport struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Cores     int          `json:"cores"`
+	Quick     bool         `json:"quick"`
+	Entries   []fleetEntry `json:"benchmarks"`
+}
+
+// benchWorker boots one in-process worker; slow > 0 adds a fixed handling
+// delay to every request, standing in for an overloaded replica.
+func benchWorker(slow time.Duration) *httptest.Server {
+	h := server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Policy:   govern.Policy{DefaultBudget: 1 << 20, MaxBudget: 1 << 20},
+		// One solve slot per worker: the benchmark models each worker as a
+		// small machine, so adding workers adds compute. On a host with
+		// fewer cores than workers the 1→N curve flattens at the core
+		// count — the report records cores for that reason.
+		Workers:    1,
+		QueueDepth: 256,
+		// Repeated rounds replay the same items; without this the rounds
+		// after warm-up would measure the verdict cache, not the fleet.
+		VerdictCacheSize: -1,
+	}).Handler()
+	if slow > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(slow)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	return httptest.NewServer(h)
+}
+
+// fleetBatch builds groups placement groups of perGroup items each, every
+// group over its own relation pair so rendezvous placement spreads them.
+// Each item carries factsPer R/S fact pairs with key-violating doubles, so
+// the worker does real per-item work (parse, index, attack-graph solve) and
+// the 1→N scaling measures compute spread, not connection overhead.
+func fleetBatch(groups, perGroup, factsPer int) server.BatchSolveRequest {
+	req := server.BatchSolveRequest{Stream: true}
+	for g := 0; g < groups; g++ {
+		query := fmt.Sprintf("R%02d(x | y), S%02d(y | x)", g, g)
+		for i := 0; i < perGroup; i++ {
+			var db bytes.Buffer
+			for f := 0; f < factsPer; f++ {
+				fmt.Fprintf(&db, "R%02d(a%d | b%d_%d), R%02d(a%d | c%d_%d), S%02d(b%d_%d | a%d), S%02d(c%d_%d | x%d), ",
+					g, f, f, i, g, f, f, i, g, f, i, f, g, f, i, f)
+			}
+			req.Items = append(req.Items, server.BatchSolveItem{
+				Query: query,
+				DB:    db.String()[:db.Len()-2],
+			})
+		}
+	}
+	return req
+}
+
+// postCoordinator runs one request through the coordinator handler.
+func postCoordinator(c *fleet.Coordinator, path string, body any) (int, string, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, "", err
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), nil
+}
+
+// runFleetJSON measures (1) batch throughput through the coordinator as the
+// fleet grows 1→N workers — the scaling the shard-aware group splitting is
+// for — and (2) the sequential-solve latency profile against a fleet with
+// one slow replica, hedged vs unhedged: the hedge turns the slow replica's
+// delay from a p50 event on its keys into nothing, at the cost of duplicate
+// work. Writes the machine-readable report to path.
+func runFleetJSON(path string, quick bool) error {
+	report := fleetReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Cores:     runtime.NumCPU(),
+		Quick:     quick,
+	}
+	groups, perGroup, factsPer, rounds := 8, 8, 120, 5
+	if quick {
+		groups, perGroup, factsPer, rounds = 4, 4, 40, 2
+	}
+
+	// Throughput 1→N: the same batch against coordinators over growing
+	// prefixes of the same worker pool.
+	var workers []*httptest.Server
+	for i := 0; i < 4; i++ {
+		workers = append(workers, benchWorker(0))
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	batch := fleetBatch(groups, perGroup, factsPer)
+	for _, n := range []int{1, 2, 4} {
+		urls := make([]string, n)
+		for i := 0; i < n; i++ {
+			urls[i] = workers[i].URL
+		}
+		c := fleet.New(fleet.Config{
+			Backends:   urls,
+			Registry:   obs.NewRegistry(),
+			GroupSplit: 4,
+		})
+		// One warm-up round (connection setup, verdict-cache misses), then
+		// the timed rounds.
+		if code, body, err := postCoordinator(c, "/v1/solve/batch", batch); err != nil || code != http.StatusOK {
+			c.Close()
+			return fmt.Errorf("fleet batch warm-up with %d workers: HTTP %d: %s (%v)", n, code, body, err)
+		}
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			if code, body, err := postCoordinator(c, "/v1/solve/batch", batch); err != nil || code != http.StatusOK {
+				c.Close()
+				return fmt.Errorf("fleet batch with %d workers: HTTP %d: %s (%v)", n, code, body, err)
+			}
+		}
+		wall := time.Since(start)
+		c.Close()
+		items := rounds * len(batch.Items)
+		e := fleetEntry{
+			Name:        fmt.Sprintf("fleet/batch/workers=%d", n),
+			Workers:     n,
+			Items:       items,
+			WallNs:      wall.Nanoseconds(),
+			ItemsPerSec: float64(items) / wall.Seconds(),
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("  %-28s %6d items in %10v  %10.0f items/s\n", e.Name, items, wall, e.ItemsPerSec)
+	}
+
+	// Hedged vs unhedged p99 with one slow replica. Many distinct keys so
+	// roughly half place their primary on the slow worker; without hedging
+	// those requests eat the full delay, with hedging the fast replica's
+	// verdict wins after the hedge delay.
+	slowDelay := 20 * time.Millisecond
+	nSolves := 120
+	if quick {
+		nSolves = 40
+	}
+	slow := benchWorker(slowDelay)
+	defer slow.Close()
+	fast := benchWorker(0)
+	defer fast.Close()
+	for _, hedged := range []bool{false, true} {
+		c := fleet.New(fleet.Config{
+			Backends:      []string{slow.URL, fast.URL},
+			Registry:      obs.NewRegistry(),
+			HedgeDisabled: !hedged,
+			HedgeMinDelay: 2 * time.Millisecond,
+			HedgeMaxDelay: 5 * time.Millisecond,
+		})
+		h := obs.NewHistogram(perfBuckets())
+		for i := 0; i < nSolves; i++ {
+			req := server.SolveRequest{
+				Query: fmt.Sprintf("H%03d(x | y)", i),
+				DB:    fmt.Sprintf("H%03d(a | b), H%03d(a | c)", i, i),
+			}
+			start := time.Now()
+			code, body, err := postCoordinator(c, "/v1/solve", req)
+			if err != nil || code != http.StatusOK {
+				c.Close()
+				return fmt.Errorf("hedge bench solve %d: HTTP %d: %s (%v)", i, code, body, err)
+			}
+			h.Observe(time.Since(start).Seconds())
+		}
+		c.Close()
+		e := fleetEntry{
+			Name:    fmt.Sprintf("fleet/solve/hedged=%v", hedged),
+			Workers: 2,
+			Items:   nSolves,
+			Hedged:  hedged,
+			P50Ns:   quantileNs(h, 0.50),
+			P95Ns:   quantileNs(h, 0.95),
+			P99Ns:   quantileNs(h, 0.99),
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("  %-28s %6d solves  p50=%v p95=%v p99=%v\n", e.Name, nSolves,
+			time.Duration(e.P50Ns), time.Duration(e.P95Ns), time.Duration(e.P99Ns))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(report.Entries))
+	return nil
+}

@@ -35,12 +35,20 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced instance sizes")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this duration (0 = no limit); Ctrl-C stops too")
 	jsonOut := flag.String("json", "", "run the performance baseline matrix (ns/op, p50/p95/p99, allocs/op per method × scale) and write it to this file instead of the experiments")
+	fleetOut := flag.String("fleet-json", "", "run the fleet benchmark (batch throughput 1→N workers, hedged vs unhedged solve tails against a slow replica) and write it to this file instead of the experiments")
 	baseline := flag.String("baseline", "", "previous -json report to compare against; the new report embeds a per-benchmark speedup summary")
 	trace := flag.Bool("trace", false, "solve one instance per paper family with tracing on and print the span trees instead of the experiments")
 	flag.Parse()
 
 	if *jsonOut != "" {
 		if err := runPerfJSON(*jsonOut, *baseline, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "certbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetOut != "" {
+		if err := runFleetJSON(*fleetOut, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "certbench: %v\n", err)
 			os.Exit(1)
 		}

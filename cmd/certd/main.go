@@ -24,12 +24,22 @@
 // 308 Permanent Redirect to their /v1/ successors; GET /statsz still
 // serves in place. All legacy responses carry a Deprecation header.
 //
+// With -fleet, certd runs as a COORDINATOR instead of a worker: it serves
+// the same read API but routes every request across the listed worker
+// processes with shard-aware placement, hedged requests, replica failover,
+// and version fencing (see internal/fleet and the Fleet section of
+// ARCHITECTURE.md). A coordinator holds no database and refuses /v1/db
+// mutations; point writers at a worker.
+//
 // Example:
 //
 //	certd -addr :8377 -workers 8 -max-budget 5000000 -max-timeout 10s
 //	curl -s localhost:8377/v1/solve -d '{"query":"R(x | y)","db":"R(a | b)"}'
 //	curl -s localhost:8377/v1/solve/batch -d '{"query":"R(x | y)","items":[{"db":"R(a | b)"},{"db":"R(a | b) R(a | c)"}]}'
 //	curl -s localhost:8377/metrics | grep certd_solve_total
+//
+//	certd -addr :8378 -fleet http://127.0.0.1:8377,http://127.0.0.1:8379
+//	curl -s localhost:8378/v1/fleet
 package main
 
 import (
@@ -42,7 +52,10 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/fleet"
 	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/server"
@@ -73,10 +86,36 @@ func main() {
 		segmentBytes   = flag.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 64 MiB)")
 		snapshotEvery  = flag.Int("snapshot-every", 0, "checkpoint after this many WAL records (0 = default, <0 disables)")
 		seedDB         = flag.String("db", "", "db-text file seeding a fresh -data-dir (ignored once the store has state)")
+		fleetList      = flag.String("fleet", "", "comma-separated worker base URLs; run as a fleet coordinator instead of a worker")
+		hedgeQuantile  = flag.Float64("hedge-quantile", 0.95, "latency quantile the hedging delay tracks (coordinator)")
+		hedgeMin       = flag.Duration("hedge-min-delay", 5*time.Millisecond, "floor (and cold-start value) of the hedging delay (coordinator)")
+		hedgeMax       = flag.Duration("hedge-max-delay", 2*time.Second, "ceiling of the hedging delay (coordinator)")
+		noHedge        = flag.Bool("no-hedge", false, "disable hedged requests; failover still applies (coordinator)")
+		probeEvery     = flag.Duration("probe-interval", time.Second, "period of the worker /readyz health sweep (coordinator)")
+		groupSplit     = flag.Int("group-split", 0, "batch-group size above which one placement group splits across replicas (0 = default, coordinator)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "certd: ", log.LstdFlags)
+
+	if *fleetList != "" {
+		if *dataDir != "" {
+			logger.Fatalf("-fleet and -data-dir are mutually exclusive: a coordinator holds no database")
+		}
+		runCoordinator(logger, coordinatorFlags{
+			addr:          *addr,
+			backends:      splitURLs(*fleetList),
+			hedgeQuantile: *hedgeQuantile,
+			hedgeMin:      *hedgeMin,
+			hedgeMax:      *hedgeMax,
+			noHedge:       *noHedge,
+			probeEvery:    *probeEvery,
+			groupSplit:    *groupSplit,
+			maxBatch:      *maxBatch,
+			grace:         *grace,
+		})
+		return
+	}
 
 	// The durable store opens BEFORE the server: crash recovery (snapshot
 	// load + WAL replay) must finish so the first request sees the
@@ -182,4 +221,76 @@ func main() {
 		}
 	}
 	logger.Printf("drained cleanly")
+}
+
+// splitURLs parses the -fleet list, trimming blanks.
+func splitURLs(list string) []string {
+	var out []string
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+type coordinatorFlags struct {
+	addr          string
+	backends      []string
+	hedgeQuantile float64
+	hedgeMin      time.Duration
+	hedgeMax      time.Duration
+	noHedge       bool
+	probeEvery    time.Duration
+	groupSplit    int
+	maxBatch      int
+	grace         time.Duration
+}
+
+// runCoordinator serves the fleet coordinator until SIGINT/SIGTERM, then
+// drains: stop admitting, let in-flight routed requests finish, exit.
+func runCoordinator(logger *log.Logger, f coordinatorFlags) {
+	if len(f.backends) == 0 {
+		logger.Fatalf("-fleet: no worker URLs")
+	}
+	c := fleet.New(fleet.Config{
+		Backends:      f.backends,
+		HedgeQuantile: f.hedgeQuantile,
+		HedgeMinDelay: f.hedgeMin,
+		HedgeMaxDelay: f.hedgeMax,
+		HedgeDisabled: f.noHedge,
+		ProbeInterval: f.probeEvery,
+		GroupSplit:    f.groupSplit,
+		MaxBatchItems: f.maxBatch,
+		Registry:      obs.Default,
+		Logger:        logger,
+	})
+	c.Start()
+	defer c.Close()
+
+	httpSrv := &http.Server{Addr: f.addr, Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("coordinating %d workers on %s (hedge %v..%v at p%.0f, probe every %v)",
+			len(f.backends), f.addr, f.hedgeMin, f.hedgeMax, f.hedgeQuantile*100, f.probeEvery)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	logger.Printf("signal received; draining coordinator (grace %v)", f.grace)
+	c.BeginDrain()
+	graceCtx, cancel := context.WithTimeout(context.Background(), f.grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("coordinator drained cleanly")
 }

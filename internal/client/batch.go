@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"github.com/cqa-go/certainty/internal/obs"
@@ -16,14 +15,15 @@ import (
 )
 
 // transientItem reports whether an item-level error is worth retrying as an
-// individual solve: shed, shutdown, and internal failures are transient;
-// malformed and unsupported items can never succeed.
+// individual solve: shed, shutdown, internal, and fleet-unavailable
+// failures are transient; malformed and unsupported items can never
+// succeed.
 func transientItem(e *server.ErrorBody) bool {
 	if e == nil {
 		return false
 	}
 	switch e.Code {
-	case server.CodeShed, server.CodeShutdown, server.CodeInternal:
+	case server.CodeShed, server.CodeShutdown, server.CodeInternal, server.CodeUnavailable:
 		return true
 	}
 	return false
@@ -55,6 +55,9 @@ func itemRequest(req server.BatchSolveRequest, i int) server.SolveRequest {
 // machinery to bear on just that item) and patches the successes back in
 // place. Permanent item errors are left as-is.
 func (c *Client) retryItems(ctx context.Context, req server.BatchSolveRequest, results []server.BatchItemResult) {
+	if c.NoItemRetry {
+		return
+	}
 	for k := range results {
 		if !transientItem(results[k].Error) {
 			continue
@@ -163,11 +166,7 @@ func (c *Client) streamAttempt(ctx context.Context, httpc *http.Client, path str
 			retryOK, h := retryable(resp.StatusCode, nil)
 			return retryOK, h, fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, data)
 		}
-		if body.RetryAfterMS == 0 {
-			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
-				body.RetryAfterMS = int64(s) * 1000
-			}
-		}
+		c.fillRetryHint(body, resp.Header)
 		retryOK, h := retryable(resp.StatusCode, body)
 		return retryOK, h, body
 	}
@@ -188,7 +187,7 @@ func (c *Client) streamAttempt(ctx context.Context, httpc *http.Client, path str
 		if err := json.Unmarshal(line, &item); err != nil {
 			return false, 0, fmt.Errorf("client: decode stream item: %w", err)
 		}
-		if transientItem(item.Error) {
+		if transientItem(item.Error) && !c.NoItemRetry {
 			// Per-item retry, inline: the stream stays ordered from fn's
 			// point of view, the item just took the single-solve detour.
 			if sresp, serr := c.Solve(ctx, itemRequest(req, item.Index)); serr == nil {

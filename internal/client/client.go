@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/cqa-go/certainty/internal/obs"
@@ -55,11 +56,18 @@ type Client struct {
 	// Registry receives the client's request/attempt/retry counters.
 	// Defaults to obs.Default.
 	Registry *obs.Registry
+	// NoItemRetry disables the batch methods' inline re-solve of items that
+	// come back with a transient item-level error. The fleet coordinator
+	// sets it: item failures there are failover decisions (try another
+	// replica), not retry decisions (hammer the same one).
+	NoItemRetry bool
 
 	// Test seams: sleep waits out a backoff (default: timer + ctx), rng
-	// drives jitter (default: math/rand global).
+	// drives jitter (default: math/rand global), now anchors Retry-After
+	// HTTP-date parsing (default time.Now).
 	sleep func(context.Context, time.Duration) error
 	rng   func() float64
+	now   func() time.Time
 }
 
 // registry returns the counter destination, defaulting to the process-wide
@@ -97,6 +105,15 @@ func (c *Client) Classify(ctx context.Context, query string) (server.ClassifyRes
 	return resp, err
 }
 
+// Ready GETs /readyz once, with no retries: health probes want the current
+// answer, not a flattering one. A non-200 (draining, read-only) comes back
+// as an error.
+func (c *Client) Ready(ctx context.Context) (server.HealthResponse, error) {
+	var resp server.HealthResponse
+	err := c.doMethod(ctx, http.MethodGet, "/readyz", nil, &resp, false)
+	return resp, err
+}
+
 // retryable reports whether an error response may succeed on a later
 // attempt, and the server's minimum delay hint if it gave one.
 func retryable(status int, body *server.ErrorBody) (bool, time.Duration) {
@@ -111,7 +128,13 @@ func retryable(status int, body *server.ErrorBody) (bool, time.Duration) {
 			// is gone, so the same request can never succeed. The caller must
 			// re-read the version and decide whether its intent still holds.
 			return false, 0
-		case server.CodeShed, server.CodeShutdown, server.CodeInternal, server.CodeReadOnly:
+		case server.CodeVersionFenced:
+			// Fenced is permanent AGAINST THIS NODE: its snapshot version
+			// will not change because we ask again. A fleet coordinator
+			// fails over to a replica at the right version instead; a bare
+			// client must re-decide which version it wants.
+			return false, 0
+		case server.CodeShed, server.CodeShutdown, server.CodeInternal, server.CodeReadOnly, server.CodeUnavailable:
 			return true, hint
 		}
 	}
@@ -217,17 +240,55 @@ func (c *Client) attempt(ctx context.Context, httpc *http.Client, method, path s
 	if json.Unmarshal(data, body) != nil || body.Code == "" {
 		body = nil
 	}
-	if body != nil && body.RetryAfterMS == 0 {
-		// Fall back on the standard header (seconds).
-		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
-			body.RetryAfterMS = int64(s) * 1000
-		}
-	}
+	c.fillRetryHint(body, resp.Header)
 	retry, hint = retryable(resp.StatusCode, body)
 	if body != nil {
 		return retry, hint, body
 	}
 	return retry, hint, fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, data)
+}
+
+// fillRetryHint backfills an error body's RetryAfterMS from the standard
+// Retry-After header when the body carried none. No-op without a decoded
+// body: the hint rides the body into retryable().
+func (c *Client) fillRetryHint(body *server.ErrorBody, h http.Header) {
+	if body == nil || body.RetryAfterMS != 0 {
+		return
+	}
+	nowf := c.now
+	if nowf == nil {
+		nowf = time.Now
+	}
+	if d, ok := retryAfterDelay(h.Get("Retry-After"), nowf()); ok && d > 0 {
+		body.RetryAfterMS = d.Milliseconds()
+	}
+}
+
+// retryAfterDelay parses a Retry-After header value per RFC 9110 §10.2.3:
+// either delta-seconds or an HTTP-date. An HTTP-date in the past means
+// "retry now" — a zero delay, reported ok, because the value was valid. A
+// malformed or negative value reports !ok so the caller's own backoff
+// schedule alone drives the delay; a server garbling the header should
+// slow us down less, not crash the retry loop or stall it.
+func retryAfterDelay(value string, now time.Time) (time.Duration, bool) {
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(value); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // backoff waits before retry number attempt+1: exponential growth from

@@ -106,6 +106,72 @@ func TestRetryAfterHeaderFallback(t *testing.T) {
 	}
 }
 
+// TestRetryAfterDelay locks the RFC 9110 §10.2.3 parse: delta-seconds and
+// HTTP-date are both accepted, a past date means zero delay (retry now),
+// and malformed values report !ok so the backoff schedule alone applies.
+func TestRetryAfterDelay(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"120", 120 * time.Second, true},
+		{" 3 ", 3 * time.Second, true}, // tolerant of stray whitespace
+		{"0", 0, true},
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second, true},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0, true}, // past date: retry now
+		{"-5", 0, false},
+		{"soon", 0, false},
+		{"2026-08-08T12:00:30Z", 0, false}, // RFC 3339 is not an HTTP-date
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		d, ok := retryAfterDelay(tc.value, now)
+		if d != tc.want || ok != tc.ok {
+			t.Errorf("retryAfterDelay(%q) = %v, %v; want %v, %v", tc.value, d, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateHeader: a shed response carrying an HTTP-date
+// Retry-After header delays the retry until that date, and a malformed
+// header falls back to the backoff schedule without stalling the retry.
+func TestRetryAfterHTTPDateHeader(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	shedAt := func(header string) func(http.ResponseWriter) {
+		return func(w http.ResponseWriter) {
+			w.Header().Set("Retry-After", header)
+			writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed})
+		}
+	}
+
+	ts, _ := scriptedServer(t, []func(http.ResponseWriter){shedAt(now.Add(3 * time.Second).Format(http.TimeFormat))}, okVerdict)
+	c, slept := testClient(ts.URL)
+	c.now = func() time.Time { return now }
+	if _, err := c.Solve(context.Background(), server.SolveRequest{Query: "R(x | y)", DB: "R(a | b)"}); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 3*time.Second {
+		t.Fatalf("slept %v, want one wait of at least the 3s HTTP-date hint", *slept)
+	}
+
+	// Malformed header: still retried, delay from the backoff schedule
+	// alone (base 100ms with full jitter: well under a second).
+	ts2, calls := scriptedServer(t, []func(http.ResponseWriter){shedAt("half past soon")}, okVerdict)
+	c2, slept2 := testClient(ts2.URL)
+	c2.now = func() time.Time { return now }
+	if _, err := c2.Solve(context.Background(), server.SolveRequest{Query: "R(x | y)", DB: "R(a | b)"}); err != nil {
+		t.Fatalf("Solve with malformed Retry-After: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2 (malformed hint must not stop the retry)", calls.Load())
+	}
+	if len(*slept2) != 1 || (*slept2)[0] > time.Second {
+		t.Fatalf("slept %v, want one schedule-driven wait under 1s", *slept2)
+	}
+}
+
 // TestPermanentErrorsNotRetried: each permanent code gets exactly one
 // attempt and surfaces as *server.ErrorBody.
 func TestPermanentErrorsNotRetried(t *testing.T) {

@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// decodeStream parses an NDJSON batch response body.
+func decodeStream(t *testing.T, body string) []server.BatchItemResult {
+	t.Helper()
+	var items []server.BatchItemResult
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var it server.BatchItemResult
+		if err := json.Unmarshal([]byte(line), &it); err != nil {
+			t.Fatalf("decode stream line %q: %v", line, err)
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// subRecorder wraps a scripted handler to capture the sub-batches a backend
+// receives.
+type subRecorder struct {
+	mu   sync.Mutex
+	subs []server.BatchSolveRequest
+}
+
+func (sr *subRecorder) record(r *http.Request) server.BatchSolveRequest {
+	var req server.BatchSolveRequest
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	sr.mu.Lock()
+	sr.subs = append(sr.subs, req)
+	sr.mu.Unlock()
+	return req
+}
+
+func (sr *subRecorder) all() []server.BatchSolveRequest {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return append([]server.BatchSolveRequest(nil), sr.subs...)
+}
+
+// streamItems writes NDJSON verdict results for the given sub indices.
+func streamItems(w http.ResponseWriter, idxs ...int) {
+	enc := json.NewEncoder(w)
+	for _, i := range idxs {
+		v := certainVerdict(nil).Verdict
+		_ = enc.Encode(server.BatchItemResult{Index: i, Verdict: &v})
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// batchOf builds a one-group batch whose items are distinguishable by DB.
+func batchOf(dbs ...string) server.BatchSolveRequest {
+	req := server.BatchSolveRequest{Query: testQuery, Stream: true}
+	for _, d := range dbs {
+		req.Items = append(req.Items, server.BatchSolveItem{DB: d})
+	}
+	return req
+}
+
+// TestBatchStreamNoReplayOnFailover is the mid-stream failover replay
+// guard: the primary yields item 0 and dies; the failover must re-dispatch
+// ONLY the unseen items, and the client-visible stream must contain exactly
+// one result per index.
+func TestBatchStreamNoReplayOnFailover(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, nil)
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	order[0].set(func(w http.ResponseWriter, r *http.Request) {
+		var req server.BatchSolveRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		streamItems(w, 0)           // deliver item 0 ...
+		panic(http.ErrAbortHandler) // ... then die mid-stream
+	})
+	var second subRecorder
+	order[1].set(func(w http.ResponseWriter, r *http.Request) {
+		req := second.record(r)
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		for i := range req.Items {
+			streamItems(w, i)
+		}
+	})
+
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", batchOf("R(a | b), S(b | a)", "R(a | c), S(c | a)", "R(a | d), S(d | a)"))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", rec.Code, rec.Body)
+	}
+	items := decodeStream(t, rec.Body.String())
+	if len(items) != 3 {
+		t.Fatalf("stream delivered %d items, want 3: %s", len(items), rec.Body)
+	}
+	seen := map[int]int{}
+	for _, it := range items {
+		seen[it.Index]++
+		if it.Verdict == nil {
+			t.Fatalf("item %d has no verdict after failover: %+v", it.Index, it)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d delivered %d times, want exactly once (replay!)", i, seen[i])
+		}
+	}
+
+	subs := second.all()
+	if len(subs) != 1 {
+		t.Fatalf("failover target received %d sub-batches, want 1", len(subs))
+	}
+	if got := len(subs[0].Items); got != 2 {
+		t.Fatalf("failover re-dispatched %d items, want 2 (item 0 was already delivered)", got)
+	}
+	for _, it := range subs[0].Items {
+		if it.DB == "R(a | b), S(b | a)" {
+			t.Fatal("item 0 was re-dispatched after being delivered: replay across failover")
+		}
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: "transport"}).Value(); got == 0 {
+		t.Fatal("mid-stream cut must count as a transport failover")
+	}
+}
+
+// TestBatchTransientItemFailsOver: an item-level transient error (internal)
+// is not delivered to the client; the item is held and re-dispatched to the
+// next replica, whose verdict is served.
+func TestBatchTransientItemFailsOver(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, nil)
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	order[0].set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		streamItems(w, 0)
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(server.BatchItemResult{Index: 1, Error: &server.ErrorBody{
+			Code: server.CodeInternal, Message: "scripted item failure",
+		}})
+	})
+	var second subRecorder
+	order[1].set(func(w http.ResponseWriter, r *http.Request) {
+		req := second.record(r)
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		for i := range req.Items {
+			streamItems(w, i)
+		}
+	})
+
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", batchOf("R(a | b), S(b | a)", "R(a | c), S(c | a)"))
+	items := decodeStream(t, rec.Body.String())
+	if len(items) != 2 {
+		t.Fatalf("stream delivered %d items, want 2: %s", len(items), rec.Body)
+	}
+	for _, it := range items {
+		if it.Error != nil {
+			t.Fatalf("transient item error leaked to the client: %+v", it.Error)
+		}
+	}
+	subs := second.all()
+	if len(subs) != 1 || len(subs[0].Items) != 1 || subs[0].Items[0].DB != "R(a | c), S(c | a)" {
+		t.Fatalf("failover must re-dispatch exactly the held item, got %+v", subs)
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: "item"}).Value(); got != 1 {
+		t.Fatalf("failovers{item} = %d, want 1", got)
+	}
+}
+
+// TestBatchPermanentItemDelivered: a permanent item error (unsupported) is
+// the item's answer on any replica — it is delivered, not failed over.
+func TestBatchPermanentItemDelivered(t *testing.T) {
+	w1 := newWorker(t)
+	c := newCoordinator(t, []string{w1.URL}, nil)
+
+	req := server.BatchSolveRequest{Stream: true, Items: []server.BatchSolveItem{
+		{Query: testQuery, DB: testDB},
+		{Query: "R(x | y), R(y | x)", DB: testDB}, // self-join: unsupported
+	}}
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", req)
+	items := decodeStream(t, rec.Body.String())
+	if len(items) != 2 {
+		t.Fatalf("delivered %d items, want 2: %s", len(items), rec.Body)
+	}
+	byIdx := map[int]server.BatchItemResult{}
+	for _, it := range items {
+		byIdx[it.Index] = it
+	}
+	if byIdx[0].Verdict == nil {
+		t.Fatalf("item 0 = %+v, want a verdict", byIdx[0])
+	}
+	if byIdx[1].Error == nil || byIdx[1].Error.Code != server.CodeUnsupported {
+		t.Fatalf("item 1 = %+v, want the worker's unsupported error", byIdx[1])
+	}
+}
+
+// TestBatchSplitsLargeGroups: a homogeneous batch larger than GroupSplit
+// strides across replicas — both workers see real work — and every item
+// still gets its verdict.
+func TestBatchSplitsLargeGroups(t *testing.T) {
+	hits := make([]int, 2)
+	var mu sync.Mutex
+	wrap := func(i int, h http.Handler) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/solve") {
+				mu.Lock()
+				hits[i]++
+				mu.Unlock()
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	w1 := wrap(0, workerHandler(t))
+	w2 := wrap(1, workerHandler(t))
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, func(cfg *Config) {
+		cfg.GroupSplit = 2
+	})
+
+	dbs := []string{
+		"R(a | b), S(b | a)", "R(a | c), S(c | a)", "R(a | d), S(d | a)",
+		"R(a | e), S(e | a)", "R(a | f), S(f | a)", "R(a | g), S(g | a)",
+	}
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", batchOf(dbs...))
+	items := decodeStream(t, rec.Body.String())
+	if len(items) != len(dbs) {
+		t.Fatalf("delivered %d items, want %d", len(items), len(dbs))
+	}
+	for _, it := range items {
+		if it.Verdict == nil {
+			t.Fatalf("item %d missing verdict: %+v", it.Index, it)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits[0] == 0 || hits[1] == 0 {
+		t.Fatalf("group split must use both workers, got hits %v", hits)
+	}
+}
+
+// workerHandler builds a real worker's handler for wrapping.
+func workerHandler(t *testing.T) http.Handler {
+	t.Helper()
+	return newWorkerServer(t).Handler()
+}
+
+// TestBatchAllDownUnavailable: a batch against a dead fleet yields one
+// typed unavailable error per item — never a hang, never a partial silence.
+func TestBatchAllDownUnavailable(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, nil)
+	s1.srv.Close()
+	s2.srv.Close()
+
+	req := batchOf("R(a | b), S(b | a)", "R(a | c), S(c | a)")
+	req.Stream = false
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp server.BatchSolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		if r.Error == nil || r.Error.Code != server.CodeUnavailable {
+			t.Fatalf("result %d = %+v, want unavailable", i, r)
+		}
+	}
+}
+
+// TestBatchMatchesSingleNode is the batch differential: mixed FO and
+// unsupported items through the fleet produce verdicts byte-identical to a
+// single node's, whatever replica served each item.
+func TestBatchMatchesSingleNode(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, func(cfg *Config) {
+		cfg.GroupSplit = 1 // force splitting so both replicas serve
+	})
+	req := server.BatchSolveRequest{Stream: true, Items: []server.BatchSolveItem{
+		{Query: "R(x | y)", DB: "R(a | b), R(a | c)"},
+		{Query: testQuery, DB: testDB},
+		{Query: "R(x | y)", DB: "R(d | e)"},
+		{Query: testQuery, DB: "R(a | b), S(b | c)"},
+	}}
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", req)
+	fleet := decodeStream(t, rec.Body.String())
+	direct := doWorkerBatch(t, w1.URL, req)
+
+	if len(fleet) != len(direct) {
+		t.Fatalf("fleet delivered %d items, single node %d", len(fleet), len(direct))
+	}
+	fm := map[int]server.BatchItemResult{}
+	for _, it := range fleet {
+		fm[it.Index] = it
+	}
+	for _, want := range direct {
+		got, ok := fm[want.Index]
+		if !ok {
+			t.Fatalf("fleet missing item %d", want.Index)
+		}
+		gv, _ := json.Marshal(got.Verdict)
+		wv, _ := json.Marshal(want.Verdict)
+		if string(gv) != string(wv) {
+			t.Fatalf("item %d: fleet verdict %s != single-node %s", want.Index, gv, wv)
+		}
+	}
+}
+
+// doWorkerBatch runs a batch directly against one worker URL.
+func doWorkerBatch(t *testing.T, url string, req server.BatchSolveRequest) []server.BatchItemResult {
+	t.Helper()
+	req.Stream = false
+	data, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/solve/batch", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("direct batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var out server.BatchSolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode direct batch: %v", err)
+	}
+	return out.Results
+}

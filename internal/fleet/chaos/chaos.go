@@ -1,0 +1,255 @@
+// Package chaos is the fleet's deterministic fault-injection harness: an
+// http.RoundTripper that sits between the coordinator and its workers and
+// executes scripted fault schedules — added latency, dropped requests,
+// partitions, kill/restart, mid-stream cuts, and version lies — without
+// touching a process or a socket option.
+//
+// Faults are injected at the transport seam rather than with real network
+// damage so every schedule is reproducible: a test says "the next two
+// requests to worker A vanish" and exactly those two vanish, on every run,
+// under -race, in CI. The differential suite built on top
+// (differential_test.go) uses it to prove the fleet's robustness contract:
+// under every fault schedule, a request returns either the byte-identical
+// verdict a healthy single node returns, or a typed unavailable error —
+// never a wrong, stale, or torn answer.
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// hostState is the scripted fault set for one backend host.
+type hostState struct {
+	down      bool // Kill: connection refused until Restart
+	partition bool // Partition: requests hang until ctx deadline/cancel
+	latency   time.Duration
+	dropNext  int     // next N requests vanish with a transport error
+	cutAfter  int     // cut streaming bodies after N lines; <0 off
+	lieFactor *uint64 // rewrite db_version in 200 solve responses
+}
+
+// Transport is the injectable RoundTripper. Wire it into the coordinator
+// via Config.HTTPClient (&http.Client{Transport: tr}) and script faults
+// per host. The zero value is not usable; call New.
+type Transport struct {
+	base http.RoundTripper
+
+	mu    sync.Mutex
+	hosts map[string]*hostState
+}
+
+// New wraps base (nil means http.DefaultTransport) with no faults armed.
+func New(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, hosts: make(map[string]*hostState)}
+}
+
+// hostOf extracts the host key from a backend base URL or request URL.
+func hostOf(u string) string {
+	u = strings.TrimPrefix(u, "http://")
+	u = strings.TrimPrefix(u, "https://")
+	if i := strings.IndexByte(u, '/'); i >= 0 {
+		u = u[:i]
+	}
+	return u
+}
+
+func (t *Transport) state(host string) *hostState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := hostOf(host)
+	s, ok := t.hosts[h]
+	if !ok {
+		s = &hostState{cutAfter: -1}
+		t.hosts[h] = s
+	}
+	return s
+}
+
+// Kill makes every request to the host fail immediately with a transport
+// error, as a dead process does. Restart undoes it.
+func (t *Transport) Kill(host string) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.down = true
+	t.mu.Unlock()
+}
+
+// Restart brings a killed host back.
+func (t *Transport) Restart(host string) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.down = false
+	t.mu.Unlock()
+}
+
+// Partition makes requests to the host hang until their context ends — the
+// network-partition failure mode, distinct from Kill's fast refusal.
+// Heal undoes it.
+func (t *Transport) Partition(host string) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.partition = true
+	t.mu.Unlock()
+}
+
+// Heal clears a partition and any latency on the host.
+func (t *Transport) Heal(host string) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.partition = false
+	s.latency = 0
+	t.mu.Unlock()
+}
+
+// SetLatency delays every request to the host (cancellable by context).
+func (t *Transport) SetLatency(host string, d time.Duration) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.latency = d
+	t.mu.Unlock()
+}
+
+// DropNext makes the next n requests to the host vanish with a transport
+// error, then behaves normally — the flaky-network failure mode.
+func (t *Transport) DropNext(host string, n int) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.dropNext = n
+	t.mu.Unlock()
+}
+
+// CutStreamAfter truncates streaming (NDJSON) response bodies from the
+// host after n lines, simulating a worker dying mid-stream. n < 0 disarms.
+func (t *Transport) CutStreamAfter(host string, n int) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.cutAfter = n
+	t.mu.Unlock()
+}
+
+// LieVersion rewrites the db_version of every 200 solve response from the
+// host — the lying-replica failure mode the coordinator's response fence
+// must catch. v == nil disarms.
+func (t *Transport) LieVersion(host string, v *uint64) {
+	s := t.state(host)
+	t.mu.Lock()
+	s.lieFactor = v
+	t.mu.Unlock()
+}
+
+// RoundTrip applies the host's scripted faults around the real round trip.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := t.state(req.URL.Host)
+	t.mu.Lock()
+	down, part, lat := s.down, s.partition, s.latency
+	drop := false
+	if s.dropNext > 0 {
+		s.dropNext--
+		drop = true
+	}
+	cut, lie := s.cutAfter, s.lieFactor
+	t.mu.Unlock()
+
+	switch {
+	case down:
+		return nil, fmt.Errorf("chaos: %s is down", req.URL.Host)
+	case part:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: %s partitioned: %w", req.URL.Host, req.Context().Err())
+	case drop:
+		return nil, fmt.Errorf("chaos: request to %s dropped", req.URL.Host)
+	}
+	if lat > 0 {
+		timer := time.NewTimer(lat)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("chaos: %s slow: %w", req.URL.Host, req.Context().Err())
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if lie != nil && resp.StatusCode == http.StatusOK && strings.HasSuffix(req.URL.Path, "/v1/solve") {
+		if lied, ok := lieBody(resp.Body, *lie); ok {
+			resp.Body = lied
+			resp.ContentLength = -1
+			resp.Header.Del("Content-Length")
+		}
+	}
+	if cut >= 0 && strings.Contains(resp.Header.Get("Content-Type"), "ndjson") {
+		resp.Body = &lineCutter{r: bufio.NewReader(resp.Body), c: resp.Body, remaining: cut}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// lieBody rewrites db_version in a solve response body.
+func lieBody(body io.ReadCloser, v uint64) (io.ReadCloser, bool) {
+	data, err := io.ReadAll(body)
+	body.Close()
+	if err != nil {
+		return io.NopCloser(bytes.NewReader(data)), false
+	}
+	var m map[string]json.RawMessage
+	if json.Unmarshal(data, &m) != nil {
+		return io.NopCloser(bytes.NewReader(data)), false
+	}
+	ver, _ := json.Marshal(v)
+	m["db_version"] = ver
+	out, err := json.Marshal(m)
+	if err != nil {
+		return io.NopCloser(bytes.NewReader(data)), false
+	}
+	return io.NopCloser(bytes.NewReader(out)), true
+}
+
+// lineCutter yields the first remaining lines of a streaming body, then
+// fails with io.ErrUnexpectedEOF — the reader-visible shape of a
+// connection dying mid-stream.
+type lineCutter struct {
+	r         *bufio.Reader
+	c         io.Closer
+	remaining int
+	buf       []byte
+	dead      bool
+}
+
+func (lc *lineCutter) Read(p []byte) (int, error) {
+	for len(lc.buf) == 0 {
+		if lc.dead {
+			return 0, io.ErrUnexpectedEOF
+		}
+		if lc.remaining <= 0 {
+			lc.dead = true
+			return 0, io.ErrUnexpectedEOF
+		}
+		line, err := lc.r.ReadBytes('\n')
+		lc.buf = line
+		lc.remaining--
+		if err != nil {
+			lc.dead = true
+			if len(line) == 0 {
+				return 0, io.ErrUnexpectedEOF
+			}
+		}
+	}
+	n := copy(p, lc.buf)
+	lc.buf = lc.buf[n:]
+	return n, nil
+}
+
+func (lc *lineCutter) Close() error { return lc.c.Close() }

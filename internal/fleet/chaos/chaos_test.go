@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers GET / with "ok", /v1/solve with a fixed version-7
+// verdict body, and /stream with three NDJSON lines.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"verdict":{"outcome":"certain"},"db_version":7}`)
+	})
+	mux.HandleFunc("/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprint(w, "{\"index\":0}\n{\"index\":1}\n{\"index\":2}\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func chaosClient(tr *Transport) *http.Client { return &http.Client{Transport: tr} }
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	return c.Do(req)
+}
+
+func TestKillRestart(t *testing.T) {
+	ts := echoServer(t)
+	tr := New(nil)
+	c := chaosClient(tr)
+
+	tr.Kill(ts.URL)
+	if _, err := get(t, c, ts.URL+"/"); err == nil {
+		t.Fatal("request to a killed host must fail")
+	}
+	tr.Restart(ts.URL)
+	resp, err := get(t, c, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("request after restart: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after restart = %d", resp.StatusCode)
+	}
+}
+
+func TestDropNextIsExactlyN(t *testing.T) {
+	ts := echoServer(t)
+	tr := New(nil)
+	c := chaosClient(tr)
+
+	tr.DropNext(ts.URL, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, c, ts.URL+"/"); err == nil {
+			t.Fatalf("drop %d: request must vanish", i)
+		}
+	}
+	resp, err := get(t, c, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("request 3 (drops exhausted): %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestPartitionHangsUntilContextEnds(t *testing.T) {
+	ts := echoServer(t)
+	tr := New(nil)
+	c := chaosClient(tr)
+
+	tr.Partition(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/", nil)
+	start := time.Now()
+	_, err := c.Do(req)
+	if err == nil {
+		t.Fatal("partitioned request must fail")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("partitioned request returned before its context ended")
+	}
+	tr.Heal(ts.URL)
+	resp, err := get(t, c, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestLatencyIsCancellable(t *testing.T) {
+	ts := echoServer(t)
+	tr := New(nil)
+	c := chaosClient(tr)
+
+	tr.SetLatency(ts.URL, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/", nil)
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("hour-slow request must fail when its context ends")
+	}
+	tr.Heal(ts.URL) // Heal clears latency too
+	resp, err := get(t, c, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestCutStreamAfterTruncatesNDJSON(t *testing.T) {
+	ts := echoServer(t)
+	tr := New(nil)
+	c := chaosClient(tr)
+
+	tr.CutStreamAfter(ts.URL, 1)
+	resp, err := get(t, c, ts.URL+"/stream")
+	if err != nil {
+		t.Fatalf("stream request: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("cut stream read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != `{"index":0}` {
+		t.Fatalf("cut stream delivered %q, want exactly the first line", got)
+	}
+
+	// Non-stream responses are untouched.
+	resp2, err := get(t, c, ts.URL+"/")
+	if err != nil {
+		t.Fatalf("plain request: %v", err)
+	}
+	defer resp2.Body.Close()
+	if body, err := io.ReadAll(resp2.Body); err != nil || string(body) != "ok" {
+		t.Fatalf("plain body = %q, %v; the cutter must only touch NDJSON", body, err)
+	}
+}
+
+func TestLieVersionRewritesSolveResponses(t *testing.T) {
+	ts := echoServer(t)
+	tr := New(nil)
+	c := chaosClient(tr)
+
+	lie := uint64(99)
+	tr.LieVersion(ts.URL, &lie)
+	resp, err := get(t, c, ts.URL+"/v1/solve")
+	if err != nil {
+		t.Fatalf("solve request: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		DBVersion uint64 `json:"db_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode lied body: %v", err)
+	}
+	if body.DBVersion != 99 {
+		t.Fatalf("db_version = %d, want the scripted lie 99", body.DBVersion)
+	}
+
+	tr.LieVersion(ts.URL, nil)
+	resp2, err := get(t, c, ts.URL+"/v1/solve")
+	if err != nil {
+		t.Fatalf("solve after disarm: %v", err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&body); err != nil {
+		t.Fatalf("decode truthful body: %v", err)
+	}
+	if body.DBVersion != 7 {
+		t.Fatalf("db_version after disarm = %d, want the worker's 7", body.DBVersion)
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://127.0.0.1:8080":        "127.0.0.1:8080",
+		"http://127.0.0.1:8080/v1/...": "127.0.0.1:8080",
+		"127.0.0.1:9":                  "127.0.0.1:9",
+		"https://h/x":                  "h",
+	} {
+		if got := hostOf(in); got != want {
+			t.Errorf("hostOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

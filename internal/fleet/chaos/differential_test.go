@@ -1,0 +1,457 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/fleet"
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/server"
+	"github.com/cqa-go/certainty/internal/wal"
+)
+
+// The differential chaos suite. For every fault schedule it boots a fresh
+// 3-worker fleet behind a chaos transport, replays a fixed request set, and
+// holds the coordinator to the robustness contract: each response is either
+// byte-identical (verdict bytes, error codes) to what one healthy single
+// node returns for the same request, or the typed unavailable error — never
+// a wrong, stale, or torn answer, and never a hang.
+
+// solveSet exercises distinct relation sets (so placement spreads over the
+// fleet), a consistent-database instance, an inconsistency, a malformed
+// query, and an unsupported one.
+var solveSet = []server.SolveRequest{
+	{Query: "R0(x | y), S0(y | x)", DB: "R0(a | b), S0(b | a)"},
+	{Query: "R1(x | y), S1(y | x)", DB: "R1(a | b), S1(b | c)"},
+	{Query: "R2(x | y)", DB: "R2(a | b), R2(a | c)"},
+	{Query: "R3(x | y)", DB: "R3(d | e)"},
+	{Query: "R4(x | y), S4(y | x)", DB: "R4(a | b), R4(a | c), S4(b | a), S4(c | a)"},
+	{Query: "not a query", DB: "R0(a | b)"},
+	{Query: "R5(x | y), R5(y | x)", DB: "R5(a | b)"},
+}
+
+// chaosBatch is the batch-path request: one homogeneous group big enough to
+// split across replicas plus a second, smaller group.
+func chaosBatch() server.BatchSolveRequest {
+	return server.BatchSolveRequest{Stream: true, Items: []server.BatchSolveItem{
+		{Query: "B0(x | y), C0(y | x)", DB: "B0(a | b), C0(b | a)"},
+		{Query: "B0(x | y), C0(y | x)", DB: "B0(a | c), C0(c | a)"},
+		{Query: "B0(x | y), C0(y | x)", DB: "B0(a | d), C0(d | b)"},
+		{Query: "B0(x | y), C0(y | x)", DB: "B0(a | e), C0(e | a)"},
+		{Query: "B0(x | y), C0(y | x)", DB: "B0(a | f), C0(f | a)"},
+		{Query: "B0(x | y), C0(y | x)", DB: "B0(a | g), C0(g | a)"},
+		{Query: "B1(x | y)", DB: "B1(a | b), B1(a | c)"},
+		{Query: "B1(x | y)", DB: "B1(d | e)"},
+	}}
+}
+
+// newWorkerHandler builds one real stateless worker's HTTP handler.
+func newWorkerHandler(t *testing.T) http.Handler {
+	t.Helper()
+	return server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Policy:   govern.Policy{DefaultBudget: 1 << 20, MaxBudget: 1 << 20},
+	}).Handler()
+}
+
+// newChaosFleet boots n real workers behind a fresh chaos transport and a
+// coordinator configured for fast, watchdog-protected fault recovery.
+func newChaosFleet(t *testing.T, n int) (*fleet.Coordinator, *Transport, []string) {
+	t.Helper()
+	tr := New(nil)
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(newWorkerHandler(t))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	c := fleet.New(fleet.Config{
+		Backends:          urls,
+		HTTPClient:        &http.Client{Transport: tr},
+		Registry:          obs.NewRegistry(),
+		HedgeMinDelay:     2 * time.Millisecond,
+		HedgeMaxDelay:     time.Second,
+		GroupSplit:        2,
+		BatchStallTimeout: 150 * time.Millisecond,
+	})
+	t.Cleanup(c.Close)
+	return c, tr, urls
+}
+
+// do runs one JSON request against a handler.
+func do(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// outcome is the comparison-relevant projection of one response: verdict
+// bytes on success, the error code otherwise. Cached/timing fields are
+// excluded — they legitimately differ between nodes; answers may not.
+type outcome struct {
+	status  int
+	code    string
+	verdict string
+}
+
+func solveOutcome(t *testing.T, rec *httptest.ResponseRecorder) outcome {
+	t.Helper()
+	if rec.Code == http.StatusOK {
+		var resp server.SolveResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decode solve response: %v (body %s)", err, rec.Body)
+		}
+		v, _ := json.Marshal(resp.Verdict)
+		return outcome{status: rec.Code, verdict: string(v)}
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("decode error body: %v (body %s)", err, rec.Body)
+	}
+	return outcome{status: rec.Code, code: eb.Code}
+}
+
+// batchOutcomes decodes a streamed batch response into per-index outcomes,
+// failing the test on any duplicated index — a torn stream.
+func batchOutcomes(t *testing.T, rec *httptest.ResponseRecorder) map[int]outcome {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d, body %s", rec.Code, rec.Body)
+	}
+	out := make(map[int]outcome)
+	sc := bufio.NewScanner(strings.NewReader(rec.Body.String()))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var it server.BatchItemResult
+		if err := json.Unmarshal([]byte(line), &it); err != nil {
+			t.Fatalf("decode stream line %q: %v", line, err)
+		}
+		if _, dup := out[it.Index]; dup {
+			t.Fatalf("index %d delivered twice: torn stream", it.Index)
+		}
+		o := outcome{status: http.StatusOK}
+		if it.Error != nil {
+			o.code = it.Error.Code
+		} else {
+			v, _ := json.Marshal(it.Verdict)
+			o.verdict = string(v)
+		}
+		out[it.Index] = o
+	}
+	return out
+}
+
+// baselineOutcomes runs the request set against one healthy single node.
+func baselineOutcomes(t *testing.T) ([]outcome, map[int]outcome) {
+	t.Helper()
+	single := newWorkerHandler(t)
+	solves := make([]outcome, len(solveSet))
+	for i, req := range solveSet {
+		solves[i] = solveOutcome(t, do(t, single, "POST", "/v1/solve", req))
+	}
+	batch := batchOutcomes(t, do(t, single, "POST", "/v1/solve/batch", chaosBatch()))
+	return solves, batch
+}
+
+// faultSchedule scripts one fault pattern. mid, when set, runs between the
+// two halves of the solve set (kill/restart mid-run).
+type faultSchedule struct {
+	name   string
+	arm    func(tr *Transport, hosts []string)
+	mid    func(tr *Transport, hosts []string)
+	outage bool // every request must be the typed unavailable error
+}
+
+var schedules = []faultSchedule{
+	{
+		name: "no-fault",
+		arm:  func(tr *Transport, hosts []string) {},
+	},
+	{
+		// One slow worker: hedging rescues solves routed to it, the stall
+		// watchdog rescues batch chunks.
+		name: "slow-worker",
+		arm: func(tr *Transport, hosts []string) {
+			tr.SetLatency(hosts[0], 300*time.Millisecond)
+		},
+	},
+	{
+		// Flaky network: requests vanish, but one host stays clean so every
+		// failover chain terminates.
+		name: "flaky-drops",
+		arm: func(tr *Transport, hosts []string) {
+			tr.DropNext(hosts[0], 2)
+			tr.DropNext(hosts[1], 3)
+		},
+	},
+	{
+		// A full partition: requests to the host hang, they do not fail
+		// fast. Hedging (solve) and the stall watchdog (batch) must bound
+		// the damage.
+		name: "partition-one",
+		arm: func(tr *Transport, hosts []string) {
+			tr.Partition(hosts[0])
+		},
+	},
+	{
+		// A worker dies, the run continues, it comes back mid-run.
+		name: "kill-restart",
+		arm: func(tr *Transport, hosts []string) {
+			tr.Kill(hosts[1])
+		},
+		mid: func(tr *Transport, hosts []string) {
+			tr.Restart(hosts[1])
+			tr.Kill(hosts[2])
+		},
+	},
+	{
+		// Streams die mid-flight on two of three workers: failover must
+		// re-dispatch only undelivered items, never replay delivered ones.
+		name: "cut-streams",
+		arm: func(tr *Transport, hosts []string) {
+			tr.CutStreamAfter(hosts[0], 1)
+			tr.CutStreamAfter(hosts[1], 1)
+		},
+	},
+	{
+		name: "total-outage",
+		arm: func(tr *Transport, hosts []string) {
+			for _, h := range hosts {
+				tr.Kill(h)
+			}
+		},
+		outage: true,
+	},
+}
+
+// TestDifferentialUnderFaults is the chaos harness's headline theorem: under
+// every fault schedule, the fleet's answers are byte-identical to a single
+// healthy node's, or the typed unavailable error.
+func TestDifferentialUnderFaults(t *testing.T) {
+	wantSolves, wantBatch := baselineOutcomes(t)
+	for _, sched := range schedules {
+		sched := sched
+		t.Run(sched.name, func(t *testing.T) {
+			t.Parallel()
+			c, tr, urls := newChaosFleet(t, 3)
+			sched.arm(tr, urls)
+
+			check := func(i int, got outcome) {
+				t.Helper()
+				if sched.outage {
+					if got.status != http.StatusServiceUnavailable || got.code != server.CodeUnavailable {
+						t.Errorf("solve %d under outage = %+v, want typed unavailable", i, got)
+					}
+					return
+				}
+				if got != wantSolves[i] {
+					t.Errorf("solve %d = %+v, single node says %+v", i, got, wantSolves[i])
+				}
+			}
+			half := len(solveSet) / 2
+			for i, req := range solveSet[:half] {
+				check(i, solveOutcome(t, do(t, c.Handler(), "POST", "/v1/solve", req)))
+			}
+			if sched.mid != nil {
+				sched.mid(tr, urls)
+			}
+			for i, req := range solveSet[half:] {
+				check(half+i, solveOutcome(t, do(t, c.Handler(), "POST", "/v1/solve", req)))
+			}
+
+			gotBatch := batchOutcomes(t, do(t, c.Handler(), "POST", "/v1/solve/batch", chaosBatch()))
+			if len(gotBatch) != len(wantBatch) {
+				t.Fatalf("batch delivered %d items, single node %d", len(gotBatch), len(wantBatch))
+			}
+			for idx, want := range wantBatch {
+				got, ok := gotBatch[idx]
+				if !ok {
+					t.Fatalf("batch item %d missing", idx)
+				}
+				if sched.outage {
+					if got.code != server.CodeUnavailable {
+						t.Errorf("batch item %d under outage = %+v, want unavailable", idx, got)
+					}
+					continue
+				}
+				if got != want {
+					t.Errorf("batch item %d = %+v, single node says %+v", idx, got, want)
+				}
+			}
+
+			if sched.outage {
+				// Recovery: restart the fleet and the same requests answer
+				// correctly again — an outage is a state, not a scar.
+				for _, h := range urls {
+					tr.Restart(h)
+				}
+				if got := solveOutcome(t, do(t, c.Handler(), "POST", "/v1/solve", solveSet[0])); got != wantSolves[0] {
+					t.Errorf("post-recovery solve = %+v, want %+v", got, wantSolves[0])
+				}
+			}
+		})
+	}
+}
+
+// newHostedWorker boots a WAL-backed worker whose hosted database holds the
+// given facts, mutated version-by-version so replicas can lag each other.
+func newHostedWorker(t *testing.T, states ...string) (*httptest.Server, *wal.Store) {
+	t.Helper()
+	st, err := wal.Open(wal.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	prev := map[string]bool{}
+	for _, state := range states {
+		d, err := db.Parse(state)
+		if err != nil {
+			t.Fatalf("parse db %q: %v", state, err)
+		}
+		var ins []db.Fact
+		for _, f := range d.Facts() {
+			k, _ := json.Marshal(f)
+			if !prev[string(k)] {
+				ins = append(ins, f)
+				prev[string(k)] = true
+			}
+		}
+		if _, _, err := st.Mutate(ins, nil, -1); err != nil {
+			t.Fatalf("mutate: %v", err)
+		}
+	}
+	srv := server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Policy:   govern.Policy{DefaultBudget: 1 << 20, MaxBudget: 1 << 20},
+		Store:    st,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+// TestVersionLagFailsOverToFreshReplica: one replica lags one mutation
+// behind. A request fenced to the new version must be served by the fresh
+// replica — whichever replica placement tries first — and carry the fenced
+// version, with the verdict matching the fresh single node byte for byte.
+func TestVersionLagFailsOverToFreshReplica(t *testing.T) {
+	v1 := "R9(a | b), S9(b | c)"
+	v2 := "R9(a | b), S9(b | c), S9(b | a)"
+	fresh, freshStore := newHostedWorker(t, v1, v2)
+	lagging, _ := newHostedWorker(t, v1)
+
+	want := freshStore.Version()
+	if want != 2 {
+		t.Fatalf("fresh store version = %d, want 2", want)
+	}
+
+	tr := New(nil)
+	c := fleet.New(fleet.Config{
+		Backends:      []string{lagging.URL, fresh.URL},
+		HTTPClient:    &http.Client{Transport: tr},
+		Registry:      obs.NewRegistry(),
+		HedgeDisabled: true,
+	})
+	t.Cleanup(c.Close)
+
+	req := server.SolveRequest{Query: "R9(x | y), S9(y | x)", IfDBVersion: &want}
+	rec := do(t, c.Handler(), "POST", "/v1/solve", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fenced solve = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp server.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.DBVersion == nil || *resp.DBVersion != want {
+		t.Fatalf("served version = %v, want %d", resp.DBVersion, want)
+	}
+
+	data, _ := json.Marshal(req)
+	directResp, err := http.Post(fresh.URL+"/v1/solve", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("direct solve against fresh node: %v", err)
+	}
+	defer directResp.Body.Close()
+	var direct server.SolveResponse
+	if err := json.NewDecoder(directResp.Body).Decode(&direct); err != nil {
+		t.Fatalf("decode direct: %v", err)
+	}
+	gv, _ := json.Marshal(resp.Verdict)
+	dv, _ := json.Marshal(direct.Verdict)
+	if !bytes.Equal(gv, dv) {
+		t.Fatalf("fenced fleet verdict %s != fresh single node %s", gv, dv)
+	}
+
+	// Fence to a version nobody has: typed unavailable, never a stale
+	// verdict.
+	future := want + 7
+	rec = do(t, c.Handler(), "POST", "/v1/solve", server.SolveRequest{Query: "R9(x | y), S9(y | x)", IfDBVersion: &future})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("future-fenced solve = %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Code != server.CodeUnavailable {
+		t.Fatalf("future-fenced code = %q (%v), want unavailable", eb.Code, err)
+	}
+}
+
+// TestLyingReplicaNeverServed: a replica whose transport rewrites its
+// claimed db_version (a lie the server-side fence cannot catch — the
+// process believes itself) is refused by the coordinator's response
+// re-check; the truthful replica serves.
+func TestLyingReplicaNeverServed(t *testing.T) {
+	state := "R8(a | b), S8(b | a)"
+	honest, honestStore := newHostedWorker(t, state)
+	liar, _ := newHostedWorker(t, state)
+
+	want := honestStore.Version()
+	tr := New(nil)
+	lie := want + 5
+	tr.LieVersion(liar.URL, &lie)
+
+	c := fleet.New(fleet.Config{
+		Backends:      []string{liar.URL, honest.URL},
+		HTTPClient:    &http.Client{Transport: tr},
+		Registry:      obs.NewRegistry(),
+		HedgeDisabled: true,
+	})
+	t.Cleanup(c.Close)
+
+	req := server.SolveRequest{Query: "R8(x | y), S8(y | x)", IfDBVersion: &want}
+	rec := do(t, c.Handler(), "POST", "/v1/solve", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fenced solve = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp server.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.DBVersion == nil || *resp.DBVersion != want {
+		t.Fatalf("served version = %v, want %d — a lying replica's verdict reached the client", resp.DBVersion, want)
+	}
+
+	// Both replicas lying: unavailable, never the lie.
+	tr.LieVersion(honest.URL, &lie)
+	rec = do(t, c.Handler(), "POST", "/v1/solve", req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-liars solve = %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+}

@@ -1,0 +1,320 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/server"
+	"github.com/cqa-go/certainty/internal/solver"
+)
+
+// newWorkerServer builds one real stateless worker.
+func newWorkerServer(t *testing.T) *server.Server {
+	t.Helper()
+	return server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Policy:   govern.Policy{DefaultBudget: 1 << 20, MaxBudget: 1 << 20},
+	})
+}
+
+// newWorker boots one real stateless worker over httptest.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newWorkerServer(t).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newCoordinator builds a coordinator over the URLs with an isolated
+// registry and fast, deterministic-by-orchestration timings. mod tweaks the
+// config before New.
+func newCoordinator(t *testing.T, urls []string, mod func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Backends:      urls,
+		Registry:      obs.NewRegistry(),
+		HedgeMinDelay: time.Millisecond,
+		HedgeMaxDelay: time.Second,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// doCoord runs one request against the coordinator's handler.
+func doCoord(t *testing.T, c *Coordinator, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// scripted is a fake backend whose handler is swappable mid-test, so each
+// test assigns behavior by placement position after the order is known.
+type scripted struct {
+	srv *httptest.Server
+	fn  atomic.Value // func(http.ResponseWriter, *http.Request)
+}
+
+func newScripted(t *testing.T) *scripted {
+	t.Helper()
+	s := &scripted{}
+	s.set(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusInternalServerError,
+			&server.ErrorBody{Code: server.CodeInternal, Message: "unscripted backend"})
+	})
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.fn.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *scripted) set(fn func(http.ResponseWriter, *http.Request)) { s.fn.Store(fn) }
+
+// drainBody consumes the request body. Blocking scripted handlers MUST call
+// it first: net/http only watches for client disconnect (and cancels
+// r.Context()) once the body has been consumed, and a handler that blocks
+// with the body unread never sees the coordinator cancel the losing hedge.
+func drainBody(r *http.Request) {
+	_, _ = io.Copy(io.Discard, r.Body)
+}
+
+// byURL maps placement order to the scripted backends behind it.
+func byURL(t *testing.T, backs []*scripted, order []*Backend) []*scripted {
+	t.Helper()
+	out := make([]*scripted, 0, len(order))
+	for _, b := range order {
+		found := false
+		for _, s := range backs {
+			if s.srv.URL == b.URL() {
+				out = append(out, s)
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backend %s not among scripted servers", b.URL())
+		}
+	}
+	return out
+}
+
+// certainVerdict is the canonical conclusive response body used by the
+// scripted backends.
+func certainVerdict(version *uint64) server.SolveResponse {
+	return server.SolveResponse{
+		Verdict:   solver.Verdict{Outcome: solver.OutcomeCertain, Result: solver.Result{Certain: true}},
+		DBVersion: version,
+	}
+}
+
+// solveOK scripts a backend to answer every solve immediately.
+func solveOK(version *uint64) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, certainVerdict(version))
+	}
+}
+
+const (
+	testQuery = "R(x | y), S(y | x)"
+	testDB    = "R(a | b), S(b | a)"
+)
+
+// TestPlacementDeterministicHealthAware: the same key yields the same
+// order on every call; distinct keys spread over the fleet; an unhealthy
+// backend drops to the tail of every order and returns on recovery.
+func TestPlacementDeterministicHealthAware(t *testing.T) {
+	urls := []string{"http://a.invalid", "http://b.invalid", "http://c.invalid"}
+	c := newCoordinator(t, urls, nil)
+
+	first := c.placement("R\x1fS")
+	for i := 0; i < 5; i++ {
+		again := c.placement("R\x1fS")
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("placement order unstable at %d: %s vs %s", j, first[j].URL(), again[j].URL())
+			}
+		}
+	}
+
+	primaries := map[string]bool{}
+	for _, key := range []string{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		primaries[c.placement(key)[0].URL()] = true
+	}
+	if len(primaries) < 2 {
+		t.Fatalf("8 keys all placed on one primary %v; rendezvous hashing must spread keys", primaries)
+	}
+
+	sick := first[0]
+	sick.setHealth(false, "transport")
+	demoted := c.placement("R\x1fS")
+	if demoted[len(demoted)-1] != sick {
+		t.Fatalf("unhealthy backend %s must sort to the tail, got order %v", sick.URL(), urlsOf(demoted))
+	}
+	sick.setHealth(true, "ok")
+	if got := c.placement("R\x1fS"); got[0] != sick {
+		t.Fatalf("recovered backend must regain its rendezvous slot, got %v", urlsOf(got))
+	}
+}
+
+func urlsOf(bs []*Backend) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.URL()
+	}
+	return out
+}
+
+// TestSolveMatchesSingleNode is the core differential property on the happy
+// path: the coordinator's verdict bytes equal a single node's for the same
+// request.
+func TestSolveMatchesSingleNode(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, nil)
+
+	req := server.SolveRequest{Query: testQuery, DB: testDB}
+	rec := doCoord(t, c, "POST", "/v1/solve", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("coordinator solve = %d, body %s", rec.Code, rec.Body)
+	}
+	var got server.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	data, _ := json.Marshal(req)
+	direct, err := http.Post(w1.URL+"/v1/solve", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("direct solve: %v", err)
+	}
+	defer direct.Body.Close()
+	var want server.SolveResponse
+	if err := json.NewDecoder(direct.Body).Decode(&want); err != nil {
+		t.Fatalf("decode direct: %v", err)
+	}
+
+	gv, _ := json.Marshal(got.Verdict)
+	wv, _ := json.Marshal(want.Verdict)
+	if !bytes.Equal(gv, wv) {
+		t.Fatalf("fleet verdict %s != single-node verdict %s", gv, wv)
+	}
+}
+
+// TestPermanentErrorPassesThrough: a malformed query routes to a worker
+// (key "") and the worker's error comes back verbatim with its own status —
+// the coordinator neither retries it nor rewrites it.
+func TestPermanentErrorPassesThrough(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, nil)
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: "not a query", DB: testDB})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed solve = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	var body server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Code != server.CodeMalformed {
+		t.Fatalf("code = %q, want malformed", body.Code)
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: "transport"}).Value(); got != 0 {
+		t.Fatalf("permanent error caused %d failovers, want 0", got)
+	}
+}
+
+// TestAllReplicasDownUnavailable: with every backend unreachable the
+// coordinator answers 503 unavailable — typed, transient, never a wrong or
+// hanging response.
+func TestAllReplicasDownUnavailable(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, func(cfg *Config) {
+		cfg.HedgeDisabled = true
+	})
+	s1.srv.Close()
+	s2.srv.Close()
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-down solve = %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+	var body server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Code != server.CodeUnavailable {
+		t.Fatalf("code = %q, want unavailable", body.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("unavailable response must carry Retry-After")
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: "transport"}).Value(); got != 2 {
+		t.Fatalf("failovers{transport} = %d, want 2 (both replicas tried)", got)
+	}
+}
+
+// TestProbesTrackWorkerReadiness: the health sweep demotes a worker whose
+// /readyz fails (draining here; read-only is the same 503) and the
+// coordinator's own /readyz follows the last healthy replica.
+func TestProbesTrackWorkerReadiness(t *testing.T) {
+	srv := server.New(server.Config{
+		Registry: obs.NewRegistry(),
+		Policy:   govern.Policy{DefaultBudget: 1 << 20, MaxBudget: 1 << 20},
+	})
+	draining := httptest.NewServer(srv.Handler())
+	defer draining.Close()
+	healthy := newWorker(t)
+
+	c := newCoordinator(t, []string{draining.URL, healthy.URL}, nil)
+	c.ProbeNow(context.Background())
+	if got := c.healthyCount(); got != 2 {
+		t.Fatalf("healthy = %d, want 2", got)
+	}
+
+	srv.BeginDrain()
+	c.ProbeNow(context.Background())
+	if got := c.healthyCount(); got != 1 {
+		t.Fatalf("healthy after drain = %d, want 1", got)
+	}
+	if rec := doCoord(t, c, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("coordinator readyz with 1 healthy replica = %d, want 200", rec.Code)
+	}
+
+	healthy.Close()
+	c.ProbeNow(context.Background())
+	if got := c.healthyCount(); got != 0 {
+		t.Fatalf("healthy after losing all = %d, want 0", got)
+	}
+	rec := doCoord(t, c, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("coordinator readyz with 0 healthy = %d, want 503", rec.Code)
+	}
+	var st FleetStatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode readyz: %v", err)
+	}
+	if st.Status != "unavailable" {
+		t.Fatalf("status = %q, want unavailable", st.Status)
+	}
+	if !strings.Contains(rec.Body.String(), "backends") {
+		t.Fatal("readyz body must carry the topology")
+	}
+}

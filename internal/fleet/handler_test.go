@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// TestFleetTopology: /v1/fleet (and /healthz) report every backend with
+// health, status, and last-seen version.
+func TestFleetTopology(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, nil)
+
+	// A solve against a versionless (stateless) worker leaves DBVersion
+	// unset; the topology still lists both backends as healthy.
+	doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+
+	for _, path := range []string{"/v1/fleet", "/healthz"} {
+		rec := doCoord(t, c, "GET", path, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d", path, rec.Code)
+		}
+		var st FleetStatusResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		if st.Status != "ok" || st.Healthy != 2 || len(st.Backends) != 2 {
+			t.Fatalf("%s = %+v, want ok with 2 healthy backends", path, st)
+		}
+		if st.HedgeDelayMS <= 0 {
+			t.Fatalf("%s hedge_delay_ms = %d, want > 0", path, st.HedgeDelayMS)
+		}
+	}
+}
+
+// TestCoordinatorRefusesMutations: the write path is not proxied; /v1/db*
+// answers 501 with the unsupported code.
+func TestCoordinatorRefusesMutations(t *testing.T) {
+	w1 := newWorker(t)
+	c := newCoordinator(t, []string{w1.URL}, nil)
+	for _, path := range []string{"/v1/db", "/v1/db/facts"} {
+		rec := doCoord(t, c, "POST", path, server.DBMutateRequest{Facts: "R(a | b)"})
+		if rec.Code != http.StatusNotImplemented {
+			t.Fatalf("%s = %d, want 501", path, rec.Code)
+		}
+		var body server.ErrorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if body.Code != server.CodeUnsupported {
+			t.Fatalf("%s code = %q, want unsupported", path, body.Code)
+		}
+	}
+}
+
+// TestCoordinatorDrain: after BeginDrain the solve surface sheds with the
+// shutdown code and readyz flips, mirroring worker drain semantics.
+func TestCoordinatorDrain(t *testing.T) {
+	w1 := newWorker(t)
+	c := newCoordinator(t, []string{w1.URL}, nil)
+	c.BeginDrain()
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining solve = %d, want 503", rec.Code)
+	}
+	var body server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Code != server.CodeShutdown {
+		t.Fatalf("code = %q, want shutdown", body.Code)
+	}
+	if rec := doCoord(t, c, "GET", "/readyz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", rec.Code)
+	}
+}
+
+// TestBatchShapeValidation: batch-shape failures are decided at the
+// coordinator, identically to a worker — empty batches are malformed,
+// oversized ones are policy violations.
+func TestBatchShapeValidation(t *testing.T) {
+	w1 := newWorker(t)
+	c := newCoordinator(t, []string{w1.URL}, func(cfg *Config) {
+		cfg.MaxBatchItems = 2
+	})
+
+	rec := doCoord(t, c, "POST", "/v1/solve/batch", server.BatchSolveRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", rec.Code)
+	}
+
+	big := server.BatchSolveRequest{Query: testQuery, Items: []server.BatchSolveItem{
+		{DB: testDB}, {DB: testDB}, {DB: testDB},
+	}}
+	rec = doCoord(t, c, "POST", "/v1/solve/batch", big)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized batch = %d, want 422 (body %s)", rec.Code, rec.Body)
+	}
+	var body server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Code != server.CodePolicy {
+		t.Fatalf("code = %q, want policy", body.Code)
+	}
+}
+
+// TestClassifyRoutes: classification routes like a solve and returns the
+// worker's analysis unchanged.
+func TestClassifyRoutes(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, nil)
+	rec := doCoord(t, c, "POST", "/v1/classify", server.ClassifyRequest{Query: "R(x | y)"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("classify = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp server.ClassifyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.InP {
+		t.Fatalf("R(x | y) classified %+v, want in P (FO-rewritable)", resp)
+	}
+}

@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// permanentCode reports whether a worker error is a property of the request
+// itself rather than of the worker that served it. A permanent error is the
+// answer — every replica would say the same — so the coordinator surfaces
+// it immediately instead of burning the fleet rediscovering it. Everything
+// else (shed, shutdown, internal, read-only, version_fenced, transport) is
+// a property of one node and a reason to try the next.
+func permanentCode(code string) bool {
+	switch code {
+	case server.CodeMalformed, server.CodeUnsupported, server.CodePolicy, server.CodeConflict:
+		return true
+	}
+	return false
+}
+
+// unavailableError is the typed all-replicas-exhausted failure. It is the
+// only error the coordinator originates (everything else is relayed from a
+// worker), and it is transient by contract: nobody answered, so nothing
+// was decided, so retrying is safe.
+func unavailableError(last error) *server.ErrorBody {
+	msg := "no replica could answer"
+	if last != nil {
+		msg += "; last failure: " + last.Error()
+	}
+	return &server.ErrorBody{Code: server.CodeUnavailable, Message: msg, RetryAfterMS: 1000}
+}
+
+// attemptFunc performs one request against one backend and returns the
+// response, the hosted-snapshot version the response claims (nil when the
+// endpoint does not report one), and an error.
+type attemptFunc[T any] func(ctx context.Context, b *Backend) (T, *uint64, error)
+
+// route runs one logical request against the fleet in placement order for
+// key, with hedging (when hedge is true) and failover, and returns the
+// first conclusive response.
+//
+// The loop maintains at most two attempts in flight: the current primary
+// and, once the hedge delay has elapsed without an answer, one hedge on the
+// next replica in placement order. Whichever attempt concludes first wins
+// and the other is cancelled via the shared context — the loser's work is
+// discarded, never merged, so a hedged request cannot produce a torn
+// answer. Failures fail over to the next replica in order; a permanent
+// error returns immediately (it IS the answer); exhausting the order
+// returns a typed unavailable error.
+//
+// fence, when non-nil, is the version the caller pinned. Workers already
+// enforce it server-side (412 version_fenced), but route re-checks the
+// version each response claims: a worker that lies about — or a proxy that
+// corrupts — its snapshot version is caught here and treated as a fenced
+// failover, upholding the invariant that no verdict for an unasked-for
+// snapshot version ever reaches the client.
+func route[T any](ctx context.Context, c *Coordinator, key string, hedge bool, fence *uint64, call attemptFunc[T]) (T, error) {
+	var zero T
+	order := c.placement(key)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		resp    T
+		version *uint64
+		err     error
+		b       *Backend
+		hedged  bool
+	}
+	results := make(chan outcome, len(order))
+	next, inflight := 0, 0
+	launch := func(hedged bool) bool {
+		if next >= len(order) {
+			return false
+		}
+		b := order[next]
+		next++
+		inflight++
+		go func() {
+			resp, ver, err := call(ctx, b)
+			results <- outcome{resp: resp, version: ver, err: err, b: b, hedged: hedged}
+		}()
+		return true
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if hedge && !c.cfg.HedgeDisabled && len(order) > 1 {
+		t := time.NewTimer(c.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedgesLaunched, hedgesDone := 0, 0
+	// settleHedge records the hedge counter once the race is decided.
+	settleHedge := func(winnerHedged bool) {
+		if hedgesLaunched == 0 {
+			return
+		}
+		switch {
+		case winnerHedged:
+			c.mHedgeWon.Inc()
+		case hedgesDone >= hedgesLaunched:
+			c.mHedgeLost.Inc()
+		default:
+			c.mHedgeCancelled.Inc()
+		}
+	}
+
+	var lastErr error
+	for {
+		select {
+		case out := <-results:
+			inflight--
+			if out.err == nil {
+				if fence != nil && out.version != nil && *out.version != *fence {
+					// Server-side fencing should have caught this; a response
+					// that claims the wrong version anyway is a lying or
+					// misconfigured replica. Refuse it and fail over.
+					if out.hedged {
+						hedgesDone++
+					}
+					lastErr = &server.ErrorBody{
+						Code:    server.CodeVersionFenced,
+						Message: fmt.Sprintf("replica %s answered for version %d, request fenced to %d", out.b.url, *out.version, *fence),
+						Version: *out.version,
+					}
+					c.failovers(server.CodeVersionFenced).Inc()
+					c.logf("fleet: refused fenced response from %s (version %d != %d)", out.b.url, *out.version, *fence)
+					if !launch(false) && inflight == 0 {
+						return zero, unavailableError(lastErr)
+					}
+					continue
+				}
+				settleHedge(out.hedged)
+				out.b.setHealth(true, "ok")
+				return out.resp, nil
+			}
+			if out.hedged {
+				hedgesDone++
+			}
+			var eb *server.ErrorBody
+			if errors.As(out.err, &eb) {
+				if permanentCode(eb.Code) {
+					// The request is wrong, not the worker: this is the final
+					// answer and hedges/failovers cannot change it.
+					settleHedge(out.hedged)
+					return zero, eb
+				}
+				lastErr = out.err
+				c.failovers(eb.Code).Inc()
+				c.logf("fleet: failing over from %s: %s", out.b.url, eb.Code)
+			} else if ctx.Err() != nil && out.err == ctx.Err() {
+				// Our own cancellation echoing back, not a backend failure.
+				return zero, out.err
+			} else {
+				// Transport-class failure: the node is unreachable. Mark it so
+				// placement stops preferring it before the next probe sweep.
+				out.b.setHealth(false, "transport")
+				lastErr = out.err
+				c.failovers("transport").Inc()
+				c.logf("fleet: failing over from %s: %v", out.b.url, out.err)
+			}
+			if !launch(false) && inflight == 0 {
+				return zero, unavailableError(lastErr)
+			}
+		case <-hedgeC:
+			hedgeC = nil // at most one hedge per request
+			if launch(true) {
+				hedgesLaunched++
+				c.logf("fleet: hedging after %v", c.hedgeDelay())
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// routeSolve routes one solve. Hedged: solve latency is the fleet's
+// raison d'être and the verdict is deterministic, so racing two replicas
+// is always answer-safe.
+func (c *Coordinator) routeSolve(ctx context.Context, key string, req server.SolveRequest) (server.SolveResponse, error) {
+	start := time.Now()
+	resp, err := route(ctx, c, key, true, req.IfDBVersion, func(ctx context.Context, b *Backend) (server.SolveResponse, *uint64, error) {
+		r, err := b.client.Solve(ctx, req)
+		if err == nil && r.DBVersion != nil {
+			b.noteVersion(*r.DBVersion)
+		}
+		return r, r.DBVersion, err
+	})
+	if err == nil {
+		c.latency.Observe(time.Since(start).Seconds())
+		c.requests("/v1/solve", "ok").Inc()
+	} else {
+		c.requests("/v1/solve", "error").Inc()
+	}
+	return resp, err
+}
+
+// routeClassify routes one classification. Not hedged: classification is
+// query-only and polynomial, microseconds on any replica, so a hedge would
+// only fire on a node that failover already handles.
+func (c *Coordinator) routeClassify(ctx context.Context, key, query string) (server.ClassifyResponse, error) {
+	resp, err := route(ctx, c, key, false, nil, func(ctx context.Context, b *Backend) (server.ClassifyResponse, *uint64, error) {
+		r, err := b.client.Classify(ctx, query)
+		return r, nil, err
+	})
+	if err == nil {
+		c.requests("/v1/classify", "ok").Inc()
+	} else {
+		c.requests("/v1/classify", "error").Inc()
+	}
+	return resp, err
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/server"
+	"github.com/cqa-go/certainty/internal/shard"
+)
+
+// placementKeyOf is the key the coordinator will route testQuery under.
+func placementKeyOf(t *testing.T, query string) string {
+	t.Helper()
+	q, err := cq.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	return shard.PlacementKey(q)
+}
+
+// hedgeValue reads one outcome's counter.
+func hedgeValue(c *Coordinator, outcome string) uint64 {
+	return c.reg.Counter(metricHedges, obs.L{K: "outcome", V: outcome}).Value()
+}
+
+// TestHedgeWins: the primary hangs, the hedge fires after the delay and its
+// verdict is served; the hung primary is cancelled, not waited out. All
+// orchestration is by channels — no sleeps, no timing assumptions beyond
+// "1ms passes".
+func TestHedgeWins(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, nil)
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	primaryEntered := make(chan struct{}, 1)
+	order[0].set(func(w http.ResponseWriter, r *http.Request) {
+		drainBody(r)
+		primaryEntered <- struct{}{}
+		<-r.Context().Done() // hang until the coordinator cancels the loser
+	})
+	order[1].set(solveOK(nil))
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hedged solve = %d, body %s", rec.Code, rec.Body)
+	}
+	<-primaryEntered // the primary really was asked first
+	if got := hedgeValue(c, hedgeWon); got != 1 {
+		t.Fatalf("hedges{won} = %d, want 1", got)
+	}
+	if got := hedgeValue(c, hedgeLost) + hedgeValue(c, hedgeCancelled); got != 0 {
+		t.Fatalf("lost+cancelled = %d, want 0", got)
+	}
+}
+
+// TestHedgeCancelled: the hedge fires but the primary answers while the
+// hedge is still in flight; the hedge is cancelled and counted as such.
+func TestHedgeCancelled(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, nil)
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	hedgeStarted := make(chan struct{})
+	order[1].set(func(w http.ResponseWriter, r *http.Request) {
+		drainBody(r)
+		close(hedgeStarted)
+		<-r.Context().Done() // stay in flight until cancelled
+	})
+	order[0].set(func(w http.ResponseWriter, r *http.Request) {
+		<-hedgeStarted // answer only once the hedge is provably racing
+		writeJSON(w, http.StatusOK, certainVerdict(nil))
+	})
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve = %d, body %s", rec.Code, rec.Body)
+	}
+	if got := hedgeValue(c, hedgeCancelled); got != 1 {
+		t.Fatalf("hedges{cancelled} = %d, want 1", got)
+	}
+	if got := hedgeValue(c, hedgeWon) + hedgeValue(c, hedgeLost); got != 0 {
+		t.Fatalf("won+lost = %d, want 0", got)
+	}
+}
+
+// TestHedgeLost: the hedge completes (with a transient error) before the
+// primary's verdict arrives; the primary wins and the hedge counts as lost,
+// and the hedge's failure shows up as an internal-reason failover.
+func TestHedgeLost(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, nil)
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	order[1].set(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusInternalServerError,
+			&server.ErrorBody{Code: server.CodeInternal, Message: "scripted hedge failure"})
+	})
+	// The primary concludes only after the coordinator has PROCESSED the
+	// hedge's failure (visible as the failover counter), so the race's
+	// outcome — primary wins, hedge already done — is forced, not timed.
+	hedgeFailed := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: server.CodeInternal})
+	order[0].set(func(w http.ResponseWriter, r *http.Request) {
+		for hedgeFailed.Value() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		writeJSON(w, http.StatusOK, certainVerdict(nil))
+	})
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve = %d, body %s", rec.Code, rec.Body)
+	}
+	if got := hedgeValue(c, hedgeLost); got != 1 {
+		t.Fatalf("hedges{lost} = %d, want 1", got)
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: server.CodeInternal}).Value(); got != 1 {
+		t.Fatalf("failovers{internal} = %d, want 1", got)
+	}
+}
+
+// TestFailoverOnTransport: a dead primary is skipped within one request
+// (failover, not an error to the client) and marked unhealthy so placement
+// demotes it before the next probe sweep.
+func TestFailoverOnTransport(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, func(cfg *Config) {
+		cfg.HedgeDisabled = true
+	})
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+	order[0].srv.Close()
+	order[1].set(solveOK(nil))
+
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, DB: testDB})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("failover solve = %d, body %s", rec.Code, rec.Body)
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: "transport"}).Value(); got != 1 {
+		t.Fatalf("failovers{transport} = %d, want 1", got)
+	}
+	primary := c.placement(placementKeyOf(t, testQuery))[0]
+	if order[1].srv.URL != primary.URL() {
+		t.Fatalf("dead primary must be demoted; placement still prefers %s", primary.URL())
+	}
+}
+
+// TestLyingReplicaFenced: a replica that returns 200 while claiming the
+// wrong snapshot version (a worker the server-side fence cannot save us
+// from — it is lying about its version) is refused by the coordinator's
+// response re-check and the request fails over to a replica at the right
+// version. The invariant under test is the strongest the fleet makes: no
+// verdict for an unasked-for version ever reaches the client.
+func TestLyingReplicaFenced(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, func(cfg *Config) {
+		cfg.HedgeDisabled = true
+	})
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	lie, truth := uint64(5), uint64(6)
+	order[0].set(solveOK(&lie))
+	order[1].set(solveOK(&truth))
+
+	req := server.SolveRequest{Query: testQuery, IfDBVersion: &truth}
+	rec := doCoord(t, c, "POST", "/v1/solve", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fenced solve = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp server.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.DBVersion == nil || *resp.DBVersion != truth {
+		t.Fatalf("served version = %v, want %d (the lying replica's answer must be refused)", resp.DBVersion, truth)
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: server.CodeVersionFenced}).Value(); got != 1 {
+		t.Fatalf("failovers{version_fenced} = %d, want 1", got)
+	}
+}
+
+// TestAllReplicasWrongVersionUnavailable: when every replica is at the
+// wrong version the coordinator reports unavailable rather than serving a
+// stale verdict — availability yields to correctness.
+func TestAllReplicasWrongVersionUnavailable(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, func(cfg *Config) {
+		cfg.HedgeDisabled = true
+	})
+	stale := uint64(3)
+	s1.set(solveOK(&stale))
+	s2.set(solveOK(&stale))
+
+	want := uint64(9)
+	rec := doCoord(t, c, "POST", "/v1/solve", server.SolveRequest{Query: testQuery, IfDBVersion: &want})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-stale solve = %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+	var body server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if body.Code != server.CodeUnavailable {
+		t.Fatalf("code = %q, want unavailable", body.Code)
+	}
+}
+
+// TestHedgeDelayDerivation: with an empty histogram the delay is the floor;
+// after latency observations it tracks the configured quantile, clamped to
+// the ceiling.
+func TestHedgeDelayDerivation(t *testing.T) {
+	c := newCoordinator(t, []string{"http://a.invalid"}, func(cfg *Config) {
+		cfg.HedgeMinDelay = 10 * time.Millisecond
+		cfg.HedgeMaxDelay = 500 * time.Millisecond
+	})
+	if got := c.hedgeDelay(); got != 10*time.Millisecond {
+		t.Fatalf("cold hedge delay = %v, want the 10ms floor", got)
+	}
+	for i := 0; i < 100; i++ {
+		c.latency.Observe(0.080) // steady 80ms fleet
+	}
+	got := c.hedgeDelay()
+	if got <= 10*time.Millisecond || got > 500*time.Millisecond {
+		t.Fatalf("warm hedge delay = %v, want p95-derived within (10ms, 500ms]", got)
+	}
+	for i := 0; i < 1000; i++ {
+		c.latency.Observe(30) // pathological latency
+	}
+	if got := c.hedgeDelay(); got != 500*time.Millisecond {
+		t.Fatalf("clamped hedge delay = %v, want the 500ms ceiling", got)
+	}
+}

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/server"
+)
+
+// scrapeFleetMetrics GETs the coordinator's /metrics and returns the sample
+// lines as a map from "name{labels}" to rendered value (the PR 4 contract
+// style: telemetry that nobody tests silently rots).
+func scrapeFleetMetrics(t *testing.T, c *Coordinator) map[string]string {
+	t.Helper()
+	rec := doCoord(t, c, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text exposition", ct)
+	}
+	samples := make(map[string]string)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		samples[line[:i]] = line[i+1:]
+	}
+	return samples
+}
+
+// TestFleetMetricsGolden drives one hedge win and one transport failover
+// through the coordinator and locks the exact metric names, label sets, and
+// values the fleet layer exposes: certd_client_hedges_total{outcome} with
+// all three outcomes present (zeros included — dashboards must not see
+// series pop into existence), certd_fleet_failovers_total{reason},
+// certd_fleet_requests_total{path,outcome}, the latency histogram count,
+// and the per-backend health gauge.
+func TestFleetMetricsGolden(t *testing.T) {
+	s1, s2 := newScripted(t), newScripted(t)
+	c := newCoordinator(t, []string{s1.srv.URL, s2.srv.URL}, func(cfg *Config) {
+		// A generous hedge delay: the failover scenario's connection-refused
+		// error lands long before this, so no accidental hedge fires there.
+		cfg.HedgeMinDelay = 100 * time.Millisecond
+	})
+	order := byURL(t, []*scripted{s1, s2}, c.placement(placementKeyOf(t, testQuery)))
+
+	// Scenario 1: hedge win. The primary hangs; the hedge answers.
+	order[0].set(func(w http.ResponseWriter, r *http.Request) {
+		drainBody(r)
+		<-r.Context().Done()
+	})
+	order[1].set(solveOK(nil))
+	req := server.SolveRequest{Query: testQuery, DB: testDB}
+	if rec := doCoord(t, c, "POST", "/v1/solve", req); rec.Code != http.StatusOK {
+		t.Fatalf("hedge-win solve = %d, body %s", rec.Code, rec.Body)
+	}
+
+	// Scenario 2: transport failover. The primary is dead; the secondary
+	// answers within the same request.
+	order[0].srv.Close()
+	if rec := doCoord(t, c, "POST", "/v1/solve", req); rec.Code != http.StatusOK {
+		t.Fatalf("failover solve = %d, body %s", rec.Code, rec.Body)
+	}
+
+	samples := scrapeFleetMetrics(t, c)
+	want := map[string]string{
+		`certd_client_hedges_total{outcome="won"}`:                        "1",
+		`certd_client_hedges_total{outcome="lost"}`:                       "0",
+		`certd_client_hedges_total{outcome="cancelled"}`:                  "0",
+		`certd_fleet_failovers_total{reason="transport"}`:                 "1",
+		`certd_fleet_requests_total{outcome="ok",path="/v1/solve"}`:       "2",
+		`certd_fleet_request_seconds_count`:                               "2",
+		`certd_fleet_backend_healthy{backend="` + order[1].srv.URL + `"}`: "1",
+		`certd_fleet_backend_healthy{backend="` + order[0].srv.URL + `"}`: "0",
+	}
+	for series, value := range want {
+		if got, ok := samples[series]; !ok {
+			t.Errorf("series %s missing from /metrics", series)
+		} else if got != value {
+			t.Errorf("%s = %s, want %s", series, got, value)
+		}
+	}
+	// The hedge family has exactly the three scripted outcomes — no
+	// accidental extra label values.
+	var hedgeSeries []string
+	for series := range samples {
+		if strings.HasPrefix(series, metricHedges+"{") {
+			hedgeSeries = append(hedgeSeries, series)
+		}
+	}
+	if len(hedgeSeries) != 3 {
+		t.Errorf("%s has %d series %v, want exactly won/lost/cancelled", metricHedges, len(hedgeSeries), hedgeSeries)
+	}
+	// Help text is registered for every fleet family.
+	rec := doCoord(t, c, "GET", "/metrics", nil)
+	for _, name := range []string{metricHedges, metricFailovers, metricRequests, metricSeconds, metricBackendHealthy} {
+		if !strings.Contains(rec.Body.String(), "# HELP "+name+" ") {
+			t.Errorf("missing HELP for %s", name)
+		}
+	}
+}

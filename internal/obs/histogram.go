@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency bucket edges in seconds. They span the
@@ -141,4 +142,17 @@ func (h *Histogram) Quantile(p float64) float64 {
 		return upper
 	}
 	return lower + (upper-lower)*(rank-float64(below))/float64(inBucket)
+}
+
+// QuantileDuration is Quantile for histograms observing seconds, returned
+// as a duration. ok is false when the histogram is empty — Quantile's NaN
+// would otherwise convert to a garbage duration — so callers holding a
+// latency histogram that has seen no traffic yet can pick their own
+// fallback (e.g. the fleet's minimum hedging delay).
+func (h *Histogram) QuantileDuration(p float64) (d time.Duration, ok bool) {
+	q := h.Quantile(p)
+	if math.IsNaN(q) || q < 0 {
+		return 0, false
+	}
+	return time.Duration(q * float64(time.Second)), true
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestHistogramBucketBoundaries locks the Prometheus "le" convention: an
@@ -123,5 +124,26 @@ func TestHistogramEdgesAreSorted(t *testing.T) {
 	h.Observe(5)
 	if got := h.counts[1].Load(); got != 1 {
 		t.Fatalf("Observe(5) with unsorted edges: bucket[1] = %d, want 1", got)
+	}
+}
+
+// TestQuantileDuration: an empty histogram reports !ok instead of a NaN
+// duration; a populated one converts the seconds estimate to a duration.
+func TestQuantileDuration(t *testing.T) {
+	h := NewHistogram(nil)
+	if d, ok := h.QuantileDuration(0.95); ok || d != 0 {
+		t.Fatalf("empty histogram: QuantileDuration = %v, %v; want 0, false", d, ok)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.010) // 10ms, exactly on a bucket edge
+	}
+	d, ok := h.QuantileDuration(0.95)
+	if !ok {
+		t.Fatal("populated histogram reported !ok")
+	}
+	// The estimate interpolates within the (1ms, 10ms] bucket, so it lands
+	// in that interval, never outside it.
+	if d <= 1*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("QuantileDuration(0.95) = %v, want within (1ms, 10ms]", d)
 	}
 }

@@ -92,8 +92,25 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		// Pin ONE hosted snapshot for the whole batch: items with an empty
 		// DB all see the same version even if mutations land mid-batch.
-		hosted, _ := s.cfg.Store.DB()
+		hosted, v := s.cfg.Store.DB()
 		dbCache[""] = hosted
+		// The staleness fence, batch form: the pinned snapshot must be at
+		// exactly the fenced version or the whole request fails before any
+		// item runs — a torn batch (half at one version, half unanswered)
+		// would be worse than no answer.
+		if req.IfDBVersion != nil && v != *req.IfDBVersion {
+			s.writeErrorBody(w, http.StatusPreconditionFailed, &ErrorBody{
+				Code: CodeVersionFenced,
+				Message: fmt.Sprintf("hosted database is at version %d, batch fenced to %d",
+					v, *req.IfDBVersion),
+				Version: v,
+			})
+			return
+		}
+	} else if req.IfDBVersion != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed,
+			"if_db_version requires solving against the hosted database")
+		return
 	}
 	for i, it := range req.Items {
 		results[i] = BatchItemResult{Index: i}

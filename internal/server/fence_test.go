@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/obs"
+	"github.com/cqa-go/certainty/internal/wal"
+)
+
+func uintp(v uint64) *uint64 { return &v }
+
+// decodeErrorBody parses a non-200 response's taxonomy body.
+func decodeErrorBody(t *testing.T, rec *httptest.ResponseRecorder) *ErrorBody {
+	t.Helper()
+	body := new(ErrorBody)
+	if err := json.Unmarshal(rec.Body.Bytes(), body); err != nil {
+		t.Fatalf("decode error body %s: %v", rec.Body, err)
+	}
+	return body
+}
+
+// TestSolveVersionFence: a solve pinned to a version is answered only by a
+// snapshot at exactly that version; any other version fails with 412
+// version_fenced carrying the actual version, without solving.
+func TestSolveVersionFence(t *testing.T) {
+	s, _ := newStoreServer(t, nil)
+	doJSON(t, s, nil, "POST", "/v1/db/facts", DBMutateRequest{Facts: "R(a | b)"}) // version 1
+
+	// Fenced to the current version: answers, and reports that version.
+	resp := decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve",
+		SolveRequest{Query: "R(x | y)", IfDBVersion: uintp(1)}))
+	if resp.DBVersion == nil || *resp.DBVersion != 1 {
+		t.Fatalf("DBVersion = %v, want 1", resp.DBVersion)
+	}
+
+	// Fenced to a version this node is not at: 412 with the actual version.
+	rec := doJSON(t, s, nil, "POST", "/v1/solve",
+		SolveRequest{Query: "R(x | y)", IfDBVersion: uintp(7)})
+	if rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("fenced solve = %d, want 412 (body %s)", rec.Code, rec.Body)
+	}
+	body := decodeErrorBody(t, rec)
+	if body.Code != CodeVersionFenced || body.Version != 1 {
+		t.Fatalf("fenced body = %+v, want code %q version 1", body, CodeVersionFenced)
+	}
+
+	// The fence checks BEFORE the verdict cache: the same instance was
+	// cached by the first solve, but a mismatched fence must not serve it.
+	rec = doJSON(t, s, nil, "POST", "/v1/solve",
+		SolveRequest{Query: "R(x | y)", IfDBVersion: uintp(7)})
+	if rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("fenced repeat = %d, want 412", rec.Code)
+	}
+
+	// A fence with an inline DB is malformed: there is no hosted version
+	// to compare against.
+	rec = doJSON(t, s, nil, "POST", "/v1/solve",
+		SolveRequest{Query: "R(x | y)", DB: "R(a | b)", IfDBVersion: uintp(1)})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("inline-DB fence = %d, want 400", rec.Code)
+	}
+
+	// Stateless server: same, whatever the version named.
+	stateless := New(Config{Registry: obs.NewRegistry()})
+	rec = doJSON(t, stateless, nil, "POST", "/v1/solve",
+		SolveRequest{Query: "R(x | y)", IfDBVersion: uintp(0)})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("stateless fence = %d, want 400", rec.Code)
+	}
+}
+
+// TestBatchVersionFence: the batch form fails whole — before any item is
+// solved — when the pinned snapshot is at the wrong version.
+func TestBatchVersionFence(t *testing.T) {
+	s, _ := newStoreServer(t, nil)
+	doJSON(t, s, nil, "POST", "/v1/db/facts", DBMutateRequest{Facts: "R(a | b)"}) // version 1
+
+	req := BatchSolveRequest{
+		Query: "R(x | y)",
+		Items: []BatchSolveItem{{}, {}},
+	}
+	req.IfDBVersion = uintp(1)
+	rec := doJSON(t, s, nil, "POST", "/v1/solve/batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("matching batch fence = %d, body %s", rec.Code, rec.Body)
+	}
+
+	req.IfDBVersion = uintp(2)
+	rec = doJSON(t, s, nil, "POST", "/v1/solve/batch", req)
+	if rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("mismatched batch fence = %d, want 412 (body %s)", rec.Code, rec.Body)
+	}
+	if body := decodeErrorBody(t, rec); body.Code != CodeVersionFenced || body.Version != 1 {
+		t.Fatalf("fenced batch body = %+v", body)
+	}
+
+	stateless := New(Config{Registry: obs.NewRegistry()})
+	rec = doJSON(t, stateless, nil, "POST", "/v1/solve/batch", req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("stateless batch fence = %d, want 400", rec.Code)
+	}
+}
+
+// TestReadyzReadOnly is the degradation regression test: /readyz flips to
+// 503 while the WAL store is read-only after an injected disk fault — not
+// just while draining — and back to 200 once a probe heals the store.
+func TestReadyzReadOnly(t *testing.T) {
+	ffs := wal.NewFaultFS(nil)
+	st, err := wal.Open(wal.Options{
+		Dir:      t.TempDir(),
+		FS:       ffs,
+		Fsync:    wal.FsyncAlways,
+		Registry: obs.NewRegistry(),
+		// A nominal cooldown so the first post-heal mutation re-probes
+		// immediately instead of failing fast for 5 seconds.
+		ProbeCooldown: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := New(Config{
+		Policy:   govern.Policy{DefaultBudget: 1 << 20, MaxBudget: 1 << 20},
+		Registry: obs.NewRegistry(),
+		Store:    st,
+	})
+
+	if rec := doJSON(t, s, nil, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthy readyz = %d, want 200", rec.Code)
+	}
+
+	// Inject a disk fault; the failed commit degrades the store.
+	ffs.SetSyncFault(func(name string) error { return fmt.Errorf("injected fsync failure on %s", name) })
+	rec := doJSON(t, s, nil, "POST", "/v1/db/facts", DBMutateRequest{Facts: "R(a | b)"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("mutation on faulted disk = %d, want 503", rec.Code)
+	}
+	rec = doJSON(t, s, nil, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz = %d, want 503", rec.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("decode readyz body: %v", err)
+	}
+	if h.Status != "read-only" || !h.ReadOnly || h.Draining {
+		t.Fatalf("degraded readyz body = %+v, want status read-only", h)
+	}
+	// Liveness is unaffected: the process still serves reads.
+	if rec := doJSON(t, s, nil, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("degraded healthz = %d, want 200 (liveness, not readiness)", rec.Code)
+	}
+
+	// Disk heals: the next mutation probes, commits, and clears the
+	// degradation — readiness transitions back without a restart.
+	ffs.SetSyncFault(nil)
+	rec = doJSON(t, s, nil, "POST", "/v1/db/facts", DBMutateRequest{Facts: "R(a | b)"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-heal mutation = %d, body %s", rec.Code, rec.Body)
+	}
+	rec = doJSON(t, s, nil, "GET", "/readyz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healed readyz = %d, want 200 (body %s)", rec.Code, rec.Body)
+	}
+}

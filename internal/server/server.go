@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -450,6 +451,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeMalformed, "db: "+err.Error())
 		return
 	}
+	// The staleness fence: a request pinned to a version is answered only
+	// by a snapshot at exactly that version. Checked before any solving or
+	// caching so a fenced request does zero work and cannot be served a
+	// stale cached verdict.
+	if req.IfDBVersion != nil {
+		if dbVersion == nil {
+			s.writeError(w, http.StatusBadRequest, CodeMalformed,
+				"if_db_version requires solving against the hosted database")
+			return
+		}
+		if *dbVersion != *req.IfDBVersion {
+			s.writeErrorBody(w, http.StatusPreconditionFailed, &ErrorBody{
+				Code: CodeVersionFenced,
+				Message: fmt.Sprintf("hosted database is at version %d, request fenced to %d",
+					*dbVersion, *req.IfDBVersion),
+				Version: *dbVersion,
+			})
+			return
+		}
+	}
 	cls, err := s.classify.Classify(q)
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, CodeUnsupported, err.Error())
@@ -618,13 +639,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) health() HealthResponse {
-	return HealthResponse{
+	h := HealthResponse{
 		Status:   "ok",
 		Workers:  s.cfg.Workers,
 		Inflight: s.inflight.Load(),
 		Queued:   s.queued.Load(),
 		Draining: s.draining.Load(),
 	}
+	if s.cfg.Store != nil {
+		h.ReadOnly, _ = s.cfg.Store.ReadOnly()
+	}
+	return h
 }
 
 // countSolve increments the class/verdict-kind request counter for one
@@ -691,11 +716,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz reports readiness: 503 once draining so load balancers stop
-// routing here while in-flight work finishes.
+// routing here while in-flight work finishes, and 503 while the hosted
+// store is degraded to read-only so fleet health probes stop routing
+// writes to a node that would refuse them. Readiness returns with the
+// store: the WAL layer re-probes the disk and clears the degradation on
+// the next successful commit.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	h := s.health()
-	if h.Draining {
-		h.Status = "draining"
+	if h.Draining || h.ReadOnly {
+		if h.Draining {
+			h.Status = "draining"
+		} else {
+			h.Status = "read-only"
+		}
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, h)
 		return

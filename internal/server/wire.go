@@ -22,6 +22,7 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/lru"
@@ -63,7 +64,45 @@ const (
 	// the store re-probes the disk — so retry after backoff. HTTP 503 with
 	// Retry-After.
 	CodeReadOnly = "read-only"
+	// CodeVersionFenced: the request pinned a hosted-database version
+	// (if_db_version) and this node's snapshot is at a different one. The
+	// verdict was NOT computed — a snapshot the client did not ask for must
+	// never answer. Do not retry the same node immediately (its version
+	// will not change under you); a fleet coordinator fails the request
+	// over to a replica at the right version instead. HTTP 412. The error
+	// body's Version field carries the version this node is at.
+	CodeVersionFenced = "version_fenced"
+	// CodeUnavailable: a fleet coordinator exhausted every replica without
+	// obtaining a verdict (all dead, partitioned, shedding, or fenced).
+	// The request was answered by no one, so it is transient and safely
+	// retryable after backoff. HTTP 503 with Retry-After. Only
+	// coordinators emit this code; single nodes report their own condition
+	// (shed, shutdown, read-only) directly.
+	CodeUnavailable = "unavailable"
 )
+
+// StatusForCode maps a taxonomy code to the HTTP status it is served with.
+// The fleet coordinator uses it to re-serialize worker and routing errors
+// without carrying a status alongside every ErrorBody. Unknown codes map to
+// 500 — an unrecognized condition is an internal fault, not a client one.
+func StatusForCode(code string) int {
+	switch code {
+	case CodeMalformed:
+		return http.StatusBadRequest
+	case CodeUnsupported, CodePolicy:
+		return http.StatusUnprocessableEntity
+	case CodeShed:
+		return http.StatusTooManyRequests
+	case CodeShutdown, CodeReadOnly, CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeVersionFenced:
+		return http.StatusPreconditionFailed
+	default:
+		return http.StatusInternalServerError
+	}
+}
 
 // ErrorBody is the JSON body of every non-200 response.
 type ErrorBody struct {
@@ -107,6 +146,14 @@ type SolveRequest struct {
 	DegradeSamples int `json:"degrade_samples,omitempty"`
 	// SampleSeed seeds the degradation sampler (deterministic per seed).
 	SampleSeed int64 `json:"sample_seed,omitempty"`
+	// IfDBVersion, when set, fences the solve to an exact hosted-database
+	// version: the server answers only if its snapshot is at this version,
+	// and fails with CodeVersionFenced (HTTP 412) otherwise. Requires
+	// solving against the hosted database (empty DB field on a server with
+	// -data-dir); combining it with an inline DB is malformed. This is the
+	// fleet's staleness fence — a lagging replica can never serve a verdict
+	// for a snapshot the client did not ask for.
+	IfDBVersion *uint64 `json:"if_db_version,omitempty"`
 }
 
 // ClampReport tells the client which of its requested limits the server
@@ -186,6 +233,11 @@ type BatchSolveRequest struct {
 	// line, written as each item completes (completion order, use Index to
 	// reorder). Equivalent to sending "Accept: application/x-ndjson".
 	Stream bool `json:"stream,omitempty"`
+	// IfDBVersion fences the whole batch to an exact hosted-database
+	// version, exactly like SolveRequest.IfDBVersion: the batch pins one
+	// snapshot, and if that snapshot is at any other version the entire
+	// request fails with CodeVersionFenced before any item is solved.
+	IfDBVersion *uint64 `json:"if_db_version,omitempty"`
 }
 
 // BatchItemResult is one item's outcome. Exactly one of Verdict and Error
@@ -272,6 +324,11 @@ type HealthResponse struct {
 	Inflight int64  `json:"inflight"`
 	Queued   int64  `json:"queued"`
 	Draining bool   `json:"draining"`
+	// ReadOnly is true while the hosted store is degraded after a disk
+	// fault. /readyz reports 503 for the duration so load balancers and
+	// fleet health probes stop routing to the degraded node; /healthz keeps
+	// answering 200 (the process is alive and still serves reads).
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 // StatszResponse is the body of /statsz: occupancy and hit/miss/eviction

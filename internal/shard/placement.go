@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// PlacementKey returns the canonical relation-set key of q: the sorted,
+// deduplicated relation names joined by a separator that cannot occur in a
+// relation name. It is the fleet coordinator's placement function — the
+// query-level face of the same union-find decomposition Decompose applies
+// to data. CERTAINTY(q) is determined by the facts of q's relations alone
+// (the decomposition invariant above), so any worker holding a snapshot of
+// exactly those relations can answer q, and routing by this key sends every
+// query over one relation set to the same worker: its verdict cache and
+// per-relation indexes stay hot, and a replicated deployment only needs to
+// ship each worker the relations its keys read.
+//
+// The key deliberately ignores the query's shape beyond its relation set —
+// two different queries over {R, S} route identically, because they read
+// the same data.
+func PlacementKey(q cq.Query) string {
+	seen := make(map[string]bool, len(q.Atoms))
+	rels := make([]string, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			rels = append(rels, a.Rel)
+		}
+	}
+	sort.Strings(rels)
+	return strings.Join(rels, "\x1f")
+}

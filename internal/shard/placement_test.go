@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+func mustQuery(t *testing.T, text string) cq.Query {
+	t.Helper()
+	q, err := cq.ParseQuery(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return q
+}
+
+// TestPlacementKey: the key is the sorted relation set — invariant under
+// atom order and variable names, deduplicated across self-joins, and
+// distinct for distinct relation sets.
+func TestPlacementKey(t *testing.T) {
+	base := PlacementKey(mustQuery(t, "R(x | y), S(y | z)"))
+	if base == "" {
+		t.Fatal("empty placement key")
+	}
+	for _, same := range []string{
+		"S(a | b), R(c | a)", // reordered atoms, renamed variables
+		"R(x | y), S(x | y)", // different shape, same relation set
+	} {
+		if got := PlacementKey(mustQuery(t, same)); got != base {
+			t.Errorf("PlacementKey(%q) = %q, want %q", same, got, base)
+		}
+	}
+	if got := PlacementKey(mustQuery(t, "R(x | y), T(y | z)")); got == base {
+		t.Errorf("distinct relation sets share key %q", got)
+	}
+	// Self-joins deduplicate: {R} not {R, R}.
+	one := PlacementKey(mustQuery(t, "R(x | y)"))
+	selfJoin := PlacementKey(mustQuery(t, "R(x | y), R(y | x)"))
+	if one != selfJoin {
+		t.Errorf("self-join key %q differs from single-atom key %q", selfJoin, one)
+	}
+}
