@@ -57,7 +57,7 @@ func BenchmarkFOIndexed(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := prog.Certain(q, d); err != nil {
+				if _, err := prog.CertainIndexed(q, d); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -181,7 +181,7 @@ func TestFOIndexedAllocRegression(t *testing.T) {
 		}
 	})
 	indexed := testing.AllocsPerRun(20, func() {
-		if _, err := prog.Certain(q, d); err != nil {
+		if _, err := prog.CertainIndexed(q, d); err != nil {
 			t.Fatal(err)
 		}
 	})

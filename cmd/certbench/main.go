@@ -37,11 +37,12 @@ func main() {
 	jsonOut := flag.String("json", "", "run the performance baseline matrix (ns/op, p50/p95/p99, allocs/op per method × scale) and write it to this file instead of the experiments")
 	fleetOut := flag.String("fleet-json", "", "run the fleet benchmark (batch throughput 1→N workers, hedged vs unhedged solve tails against a slow replica) and write it to this file instead of the experiments")
 	baseline := flag.String("baseline", "", "previous -json report to compare against; the new report embeds a per-benchmark speedup summary")
+	failRegress := flag.Float64("fail-regress-pct", 0, "with -json and -baseline: exit nonzero if any within-run pair speedup regressed by more than this percentage against the baseline report (0 = no gate)")
 	trace := flag.Bool("trace", false, "solve one instance per paper family with tracing on and print the span trees instead of the experiments")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := runPerfJSON(*jsonOut, *baseline, *quick); err != nil {
+		if err := runPerfJSON(*jsonOut, *baseline, *quick, *failRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "certbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -7,12 +7,14 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/engine"
 	"github.com/cqa-go/certainty/internal/gen"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/prob"
@@ -94,6 +96,47 @@ func summarize(baselinePath string, entries []perfEntry) (*perfSummary, error) {
 		s.Geomean = math.Exp(logSum / float64(s.Compared))
 	}
 	return s, nil
+}
+
+// checkSpeedupRegressions is the CI gate: every within-run pair speedup
+// recorded in both this run and the baseline report must not have shrunk by
+// more than pct percent. Pair speedups compare two code paths measured
+// seconds apart on the same machine, so — unlike raw ns/op — they are
+// stable across hardware and make an honest cross-run gate.
+func checkSpeedupRegressions(baselinePath string, entries []perfEntry, pct float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base perfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseSp := make(map[string]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		if e.Speedup > 0 {
+			baseSp[e.Name] = e.Speedup
+		}
+	}
+	var regressed []string
+	checked := 0
+	for _, e := range entries {
+		b, ok := baseSp[e.Name]
+		if !ok || e.Speedup <= 0 {
+			continue
+		}
+		checked++
+		if e.Speedup < b*(1-pct/100) {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: pair speedup %.2fx, baseline %.2fx", e.Name, e.Speedup, b))
+		}
+	}
+	fmt.Printf("  regression gate: %d pair speedups checked against %s at -%.0f%%\n", checked, baselinePath, pct)
+	if len(regressed) > 0 {
+		return fmt.Errorf("pair speedups regressed more than %.0f%% vs %s:\n  %s",
+			pct, baselinePath, strings.Join(regressed, "\n  "))
+	}
+	return nil
 }
 
 // perfBuckets is a 1-2-5 series from 100ns to 10s: three edges per decade,
@@ -201,13 +244,16 @@ func chainComponentsDB(comps int) *db.DB {
 }
 
 // runPerfJSON runs the performance matrix — FO rewriting (seed vs
-// indexed+compiled), Terminal, AC(k) (sequential vs parallel), the
-// falsifying search, end-to-end Solve (per-call vs compiled plan),
-// component-sharded counting/probability/solving (monolithic vs 8-way
-// shard decomposition), and batch serving (per-call loop vs memoized
-// SolveBatch) — and writes the machine-readable report. With a baseline
-// file, the report also carries a per-name speedup summary against it.
-func runPerfJSON(path, baseline string, quick bool) error {
+// indexed+compiled vs interned), embedding enumeration (string-indexed vs
+// interned), Terminal, AC(k) (sequential vs parallel), the falsifying
+// search, end-to-end Solve (per-call vs compiled plan), component-sharded
+// counting/probability/solving (monolithic vs 8-way shard decomposition),
+// and batch serving (per-call loop vs memoized SolveBatch) — and writes the
+// machine-readable report. With a baseline file, the report also carries a
+// per-name speedup summary against it; with failRegressPct > 0 it fails if
+// any within-run pair speedup regressed by more than that percentage
+// against the baseline's recorded pair speedup.
+func runPerfJSON(path, baseline string, quick bool, failRegressPct float64) error {
 	scales := []int{8, 32, 128}
 	satVars := []int{6, 9, 12}
 	comps := []int{8, 32, 128}
@@ -228,13 +274,17 @@ func runPerfJSON(path, baseline string, quick bool) error {
 			e.Name, e.Scale, e.NsPerOp, e.P50Ns, e.P95Ns, e.P99Ns, e.AllocsOp, e.BytesOp)
 	}
 
-	// FO rewriting: the seed path re-derives block lists per recursive step
-	// and memoizes shape keys lazily; the indexed path runs the compiled
-	// program over the memoized block index with pooled valuations.
+	// FO rewriting triple: the seed path re-derives block lists per
+	// recursive step and memoizes shape keys lazily; the indexed path runs
+	// the compiled program over the memoized block index with pooled
+	// valuations; the interned path runs the same schedule over dense
+	// uint32 ids and block-offset arrays with a pooled slot environment
+	// (zero allocations on a warm run).
 	foQ := cq.MustParseQuery("R(x | y), S(y | z)")
 	for _, n := range scales {
 		d := gen.RandomDB(foQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
-		d.Digest() // build the index outside the timed region, as a server would
+		d.Digest()   // build the index outside the timed region, as a server would
+		d.Interned() // likewise the columnar view
 		seed, err := measure(fmt.Sprintf("fo/seed/emb=%d", n), "fo", "seed", n, func() error {
 			_, err := solver.CertainFOBaseline(foQ, d)
 			return err
@@ -247,6 +297,13 @@ func runPerfJSON(path, baseline string, quick bool) error {
 			return err
 		}
 		indexed, err := measure(fmt.Sprintf("fo/indexed/emb=%d", n), "fo", "indexed", n, func() error {
+			_, err := prog.CertainIndexed(foQ, d)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		interned, err := measure(fmt.Sprintf("fo/interned/emb=%d", n), "fo", "interned", n, func() error {
 			_, err := prog.Certain(foQ, d)
 			return err
 		})
@@ -254,7 +311,37 @@ func runPerfJSON(path, baseline string, quick bool) error {
 			return err
 		}
 		add(seed)
-		add(pairSpeedup(seed, indexed))
+		indexed = pairSpeedup(seed, indexed)
+		add(indexed)
+		add(pairSpeedup(indexed, interned))
+	}
+
+	// Embedding enumeration: the engine's search on the string-indexed
+	// plane (map valuations, per-fact posting lists) vs the interned plane
+	// (posting intersection over uint32 fact indices, slot environments).
+	engQ := cq.MustParseQuery("R(x | y), S(y | z), T(z | w)")
+	for _, n := range scales {
+		d := gen.RandomDB(engQ, gen.Config{Embeddings: n, Noise: n, Domain: n}, int64(n))
+		d.Digest()
+		d.Interned()
+		countAll := func(each func(cq.Query, *db.DB, func(cq.Valuation) bool) bool) func() error {
+			return func() error {
+				each(engQ, d, func(cq.Valuation) bool { return true })
+				return nil
+			}
+		}
+		indexed, err := measure(fmt.Sprintf("engine/indexed/emb=%d", n), "engine", "indexed", n,
+			countAll(engine.EachEmbeddingIndexed))
+		if err != nil {
+			return err
+		}
+		interned, err := measure(fmt.Sprintf("engine/interned/emb=%d", n), "engine", "interned", n,
+			countAll(engine.EachEmbedding))
+		if err != nil {
+			return err
+		}
+		add(indexed)
+		add(pairSpeedup(indexed, interned))
 	}
 
 	// Terminal weak cycles (Theorem 3).
@@ -471,6 +558,11 @@ func runPerfJSON(path, baseline string, quick bool) error {
 		report.Summary = s
 		fmt.Printf("  summary vs %s: %d shared benchmarks, geomean speedup %.2fx\n",
 			s.Baseline, s.Compared, s.Geomean)
+		if failRegressPct > 0 {
+			if err := checkSpeedupRegressions(baseline, report.Entries, failRegressPct); err != nil {
+				return err
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/govern"
@@ -44,6 +45,10 @@ type DB struct {
 
 	mu   sync.Mutex // guards root
 	root string     // memoized composed digest; "" until computed
+
+	// interned memoizes the dense-id columnar view (see interned.go).
+	// Built lazily, dropped on mutation, shared by clones (immutable).
+	interned atomic.Pointer[Interned]
 }
 
 // New returns an empty uncertain database.
@@ -112,12 +117,14 @@ func (d *DB) addValidated(f Fact) {
 	d.resetRoot()
 }
 
-// resetRoot drops the memoized composed digest; per-relation digests are
-// invalidated at the relation they belong to, not here.
+// resetRoot drops the memoized composed digest and the interned columnar
+// view; per-relation digests are invalidated at the relation they belong
+// to, not here.
 func (d *DB) resetRoot() {
 	d.mu.Lock()
 	d.root = ""
 	d.mu.Unlock()
+	d.interned.Store(nil)
 }
 
 // Len returns the number of facts.
@@ -247,6 +254,7 @@ func (d *DB) Clone() *DB {
 	d.mu.Lock()
 	c.root = d.root
 	d.mu.Unlock()
+	c.interned.Store(d.interned.Load()) // immutable snapshot, safe to share
 	return c
 }
 

@@ -76,5 +76,16 @@ func FuzzReadSnapshot(f *testing.F) {
 		if !d.Equal(d2) {
 			t.Fatal("snapshot round trip changed the database")
 		}
+		// Adversarial snapshots that decode must also build a consistent
+		// interned view with stable ids across the re-decode.
+		in, in2 := d.Interned(), d2.Interned()
+		if in.Syms.Len() != in2.Syms.Len() {
+			t.Fatalf("interned symbol count diverged: %d vs %d", in.Syms.Len(), in2.Syms.Len())
+		}
+		for id := 0; id < in.Syms.Len(); id++ {
+			if in.Syms.MustString(uint32(id)) != in2.Syms.MustString(uint32(id)) {
+				t.Fatalf("interned id %d diverged across snapshot round trip", id)
+			}
+		}
 	})
 }

@@ -1,0 +1,11 @@
+package engine
+
+// bitset is a fixed-width bit vector over fact or block ordinals; the
+// purification loop uses them in place of string-keyed mark maps.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i uint32) { b[i>>6] |= 1 << (i & 63) }
+
+func (b bitset) get(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }

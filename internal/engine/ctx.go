@@ -26,6 +26,9 @@ func init() {
 func EachEmbeddingCtx(ctx context.Context, q cq.Query, d *db.DB, yield func(cq.Valuation) bool) (bool, error) {
 	embeddingEnumerations.Inc()
 	g := govern.From(ctx)
+	if internedOn.Load() {
+		return eachEmbeddingInterned(g, q, d, yield)
+	}
 	order := orderAtoms(q, d)
 	var rec func(i int, binding cq.Valuation) (bool, error)
 	rec = func(i int, binding cq.Valuation) (bool, error) {
@@ -51,6 +54,10 @@ func EachEmbeddingCtx(ctx context.Context, q cq.Query, d *db.DB, yield func(cq.V
 
 // EvalCtx is Eval with cooperative cancellation.
 func EvalCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	if internedOn.Load() {
+		embeddingEnumerations.Inc()
+		return evalInterned(govern.From(ctx), q, d)
+	}
 	found := false
 	_, err := EachEmbeddingCtx(ctx, q, d, func(cq.Valuation) bool {
 		found = true
@@ -66,6 +73,9 @@ func EvalCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
 // polynomial, but its embedding enumeration can still dominate on large
 // databases; the same governor that bounds the enclosing search bounds it.
 func PurifyCtx(ctx context.Context, q cq.Query, d *db.DB) (*db.DB, error) {
+	if internedOn.Load() {
+		return purifyInterned(govern.From(ctx), q, d)
+	}
 	cur := d
 	for {
 		used := make(map[string]struct{}, cur.Len())

@@ -122,7 +122,21 @@ func orderAtoms(q cq.Query, d *db.DB) []int {
 // stopping early when yield returns false. Returns false iff stopped early.
 // The valuation passed to yield is owned by the callee (it is freshly
 // allocated per embedding).
+//
+// It runs on the interned data plane (see interned.go) unless SetInterned
+// has deselected it; both implementations enumerate the identical sequence.
 func EachEmbedding(q cq.Query, d *db.DB, yield func(cq.Valuation) bool) bool {
+	if internedOn.Load() {
+		cont, _ := eachEmbeddingInterned(nil, q, d, yield)
+		return cont
+	}
+	return EachEmbeddingIndexed(q, d, yield)
+}
+
+// EachEmbeddingIndexed is the string-indexed reference implementation of
+// EachEmbedding, retained for differential tests and benchmarks against
+// the interned plane.
+func EachEmbeddingIndexed(q cq.Query, d *db.DB, yield func(cq.Valuation) bool) bool {
 	order := orderAtoms(q, d)
 	var rec func(i int, binding cq.Valuation) bool
 	rec = func(i int, binding cq.Valuation) bool {
@@ -155,8 +169,17 @@ func Embeddings(q cq.Query, d *db.DB) []cq.Valuation {
 // Eval reports whether d ⊨ q: some valuation maps every atom of q into d.
 // The empty query is true everywhere.
 func Eval(q cq.Query, d *db.DB) bool {
+	if internedOn.Load() {
+		sat, _ := evalInterned(nil, q, d)
+		return sat
+	}
+	return EvalIndexed(q, d)
+}
+
+// EvalIndexed is the string-indexed reference implementation of Eval.
+func EvalIndexed(q cq.Query, d *db.DB) bool {
 	found := false
-	EachEmbedding(q, d, func(cq.Valuation) bool {
+	EachEmbeddingIndexed(q, d, func(cq.Valuation) bool {
 		found = true
 		return false
 	})
@@ -174,10 +197,20 @@ func EvalRepair(q cq.Query, repair []db.Fact) bool {
 // A ∈ θ(q) ⊆ result — such that the result is in CERTAINTY(q) iff d is.
 // Whole blocks of irrelevant facts are removed until a fixpoint.
 func Purify(q cq.Query, d *db.DB) *db.DB {
+	if internedOn.Load() {
+		out, _ := purifyInterned(nil, q, d)
+		return out
+	}
+	return PurifyIndexed(q, d)
+}
+
+// PurifyIndexed is the string-indexed reference implementation of Purify:
+// used facts are marked in an ID-keyed map instead of fact-index bitsets.
+func PurifyIndexed(q cq.Query, d *db.DB) *db.DB {
 	cur := d
 	for {
 		used := make(map[string]struct{}, cur.Len())
-		EachEmbedding(q, cur, func(v cq.Valuation) bool {
+		EachEmbeddingIndexed(q, cur, func(v cq.Valuation) bool {
 			for _, a := range q.Atoms {
 				f, ok := db.FactFromAtom(a.Substitute(v))
 				if !ok {

@@ -11,11 +11,21 @@ import (
 // variable bindings: evaluation allocates no maps and performs no AST
 // dispatch, which makes repeated evaluation (certain answers over many
 // candidates, benchmark loops) several times faster than Eval.
+//
+// Compilation produces two parallel trees over the same slot numbering: a
+// string tree (env []string, d.Has probes) and an interned tree (env
+// []uint32, columnar HasTuple probes). Eval runs the interned tree unless
+// SetInterned has deselected it; both decide the same sentences.
 type Compiled struct {
 	numSlots int
 	freeSlot map[string]int
 	eval     compiledNode
 	consts   []string
+
+	ieval    inode      // interned tree (see interned.go)
+	iatoms   []iAtomRef // atom ordinal → relation reference to resolve per DB
+	maxArity int
+	constOrd map[string]int // constant value → ordinal in consts
 }
 
 type compiledNode func(env []string, d *db.DB, domain []string) bool
@@ -25,130 +35,183 @@ type compiledNode func(env []string, d *db.DB, domain []string) bool
 // hand-built formulas are converted into errors.
 func Compile(f Formula) (c *Compiled, err error) {
 	defer containPanic(&err)
-	c = &Compiled{freeSlot: make(map[string]int)}
+	c = &Compiled{freeSlot: make(map[string]int), constOrd: make(map[string]int)}
 	slots := make(map[string]int)
 	for x := range FreeVars(f) {
 		slots[x] = c.numSlots
 		c.freeSlot[x] = c.numSlots
 		c.numSlots++
 	}
-	seen := make(map[string]bool)
 	collectConstants(f, func(v string) {
-		if !seen[v] {
-			seen[v] = true
+		if _, ok := c.constOrd[v]; !ok {
+			c.constOrd[v] = len(c.consts)
 			c.consts = append(c.consts, v)
 		}
 	})
-	node, err := c.compile(f, slots)
+	node, in, err := c.compile(f, slots)
 	if err != nil {
 		return nil, err
 	}
 	c.eval = node
+	c.ieval = in
 	return c, nil
 }
 
-func (c *Compiled) compile(f Formula, slots map[string]int) (compiledNode, error) {
+// iref is one compiled argument of the interned tree: a constant ordinal
+// (resolved to an id per database) or an environment slot.
+type iref struct {
+	constIdx int // -1 for a variable
+	slot     int
+}
+
+func (c *Compiled) compileRef(t cq.Term, slots map[string]int) (func([]string) string, iref, error) {
+	if t.IsConst {
+		v := t.Value
+		ord, ok := c.constOrd[v]
+		if !ok {
+			return nil, iref{}, fmt.Errorf("fo: constant %q missing from constant table", v)
+		}
+		return func([]string) string { return v }, iref{constIdx: ord}, nil
+	}
+	slot, ok := slots[t.Value]
+	if !ok {
+		return nil, iref{}, fmt.Errorf("fo: unbound variable %s", t.Value)
+	}
+	return func(env []string) string { return env[slot] }, iref{constIdx: -1, slot: slot}, nil
+}
+
+func (c *Compiled) compile(f Formula, slots map[string]int) (compiledNode, inode, error) {
 	switch g := f.(type) {
 	case Truth:
 		v := bool(g)
-		return func([]string, *db.DB, []string) bool { return v }, nil
+		return func([]string, *db.DB, []string) bool { return v },
+			func(*irt) bool { return v }, nil
 	case Atom:
 		rel, keyLen := g.A.Rel, g.A.KeyLen
-		type argSrc struct {
-			slot  int    // -1 for constant
-			value string // constant value
-		}
-		srcs := make([]argSrc, len(g.A.Args))
+		srcs := make([]iref, len(g.A.Args))
 		for i, t := range g.A.Args {
-			if t.IsConst {
-				srcs[i] = argSrc{slot: -1, value: t.Value}
-				continue
+			_, ref, err := c.compileRef(t, slots)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w in %s", err, g.A)
 			}
-			slot, ok := slots[t.Value]
-			if !ok {
-				return nil, fmt.Errorf("fo: unbound variable %s in %s", t.Value, g.A)
-			}
-			srcs[i] = argSrc{slot: slot}
+			srcs[i] = ref
 		}
-		return func(env []string, d *db.DB, _ []string) bool {
+		if len(srcs) > c.maxArity {
+			c.maxArity = len(srcs)
+		}
+		ord := len(c.iatoms)
+		c.iatoms = append(c.iatoms, iAtomRef{rel: rel, arity: len(srcs)})
+		str := func(env []string, d *db.DB, _ []string) bool {
 			args := make([]string, len(srcs))
 			for i, s := range srcs {
-				if s.slot < 0 {
-					args[i] = s.value
+				if s.constIdx >= 0 {
+					args[i] = c.consts[s.constIdx]
 				} else {
 					args[i] = env[s.slot]
 				}
 			}
 			return d.Has(db.Fact{Rel: rel, KeyLen: keyLen, Args: args})
-		}, nil
-	case Eq:
-		l, err := c.compileTerm(g.L, slots)
-		if err != nil {
-			return nil, err
 		}
-		r, err := c.compileTerm(g.R, slots)
+		in := func(rt *irt) bool {
+			r := rt.rels[ord]
+			if r == nil {
+				return false
+			}
+			args := rt.args[:len(srcs)]
+			for i, s := range srcs {
+				args[i] = rt.resolve(s)
+			}
+			return r.HasTuple(args)
+		}
+		return str, in, nil
+	case Eq:
+		l, li, err := c.compileRef(g.L, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		r, ri, err := c.compileRef(g.R, slots)
+		if err != nil {
+			return nil, nil, err
 		}
 		return func(env []string, _ *db.DB, _ []string) bool {
-			return l(env) == r(env)
-		}, nil
+				return l(env) == r(env)
+			}, func(rt *irt) bool {
+				return rt.resolve(li) == rt.resolve(ri)
+			}, nil
 	case Not:
-		sub, err := c.compile(g.F, slots)
+		sub, isub, err := c.compile(g.F, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return func(env []string, d *db.DB, dom []string) bool {
-			return !sub(env, d, dom)
-		}, nil
+				return !sub(env, d, dom)
+			}, func(rt *irt) bool {
+				return !isub(rt)
+			}, nil
 	case And:
-		subs, err := c.compileAll(g.Fs, slots)
+		subs, isubs, err := c.compileAll(g.Fs, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return func(env []string, d *db.DB, dom []string) bool {
-			for _, s := range subs {
-				if !s(env, d, dom) {
-					return false
+				for _, s := range subs {
+					if !s(env, d, dom) {
+						return false
+					}
 				}
-			}
-			return true
-		}, nil
+				return true
+			}, func(rt *irt) bool {
+				for _, s := range isubs {
+					if !s(rt) {
+						return false
+					}
+				}
+				return true
+			}, nil
 	case Or:
-		subs, err := c.compileAll(g.Fs, slots)
+		subs, isubs, err := c.compileAll(g.Fs, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return func(env []string, d *db.DB, dom []string) bool {
-			for _, s := range subs {
-				if s(env, d, dom) {
-					return true
+				for _, s := range subs {
+					if s(env, d, dom) {
+						return true
+					}
 				}
-			}
-			return false
-		}, nil
+				return false
+			}, func(rt *irt) bool {
+				for _, s := range isubs {
+					if s(rt) {
+						return true
+					}
+				}
+				return false
+			}, nil
 	case Implies:
-		hyp, err := c.compile(g.Hyp, slots)
+		hyp, ihyp, err := c.compile(g.Hyp, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		concl, err := c.compile(g.Concl, slots)
+		concl, iconcl, err := c.compile(g.Concl, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return func(env []string, d *db.DB, dom []string) bool {
-			return !hyp(env, d, dom) || concl(env, d, dom)
-		}, nil
+				return !hyp(env, d, dom) || concl(env, d, dom)
+			}, func(rt *irt) bool {
+				return !ihyp(rt) || iconcl(rt)
+			}, nil
 	case Exists:
 		return c.compileQuantifier(g.Vars, g.F, slots, true)
 	case Forall:
 		return c.compileQuantifier(g.Vars, g.F, slots, false)
 	default:
-		return nil, fmt.Errorf("fo: cannot compile %T", f)
+		return nil, nil, fmt.Errorf("fo: cannot compile %T", f)
 	}
 }
 
-func (c *Compiled) compileQuantifier(vars []string, body Formula, slots map[string]int, existential bool) (compiledNode, error) {
+func (c *Compiled) compileQuantifier(vars []string, body Formula, slots map[string]int, existential bool) (compiledNode, inode, error) {
 	inner := make(map[string]int, len(slots)+len(vars))
 	for k, v := range slots {
 		inner[k] = v
@@ -159,12 +222,12 @@ func (c *Compiled) compileQuantifier(vars []string, body Formula, slots map[stri
 		varSlots[i] = c.numSlots
 		c.numSlots++
 	}
-	sub, err := c.compile(body, inner)
+	sub, isub, err := c.compile(body, inner)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := len(varSlots)
-	return func(env []string, d *db.DB, dom []string) bool {
+	str := func(env []string, d *db.DB, dom []string) bool {
 		var rec func(i int) bool
 		rec = func(i int) bool {
 			if i == n {
@@ -183,31 +246,42 @@ func (c *Compiled) compileQuantifier(vars []string, body Formula, slots map[stri
 			return !existential
 		}
 		return rec(0)
-	}, nil
+	}
+	in := func(rt *irt) bool {
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == n {
+				return isub(rt)
+			}
+			for _, v := range rt.dom {
+				rt.env[varSlots[i]] = v
+				ok := rec(i + 1)
+				if existential && ok {
+					return true
+				}
+				if !existential && !ok {
+					return false
+				}
+			}
+			return !existential
+		}
+		return rec(0)
+	}
+	return str, in, nil
 }
 
-func (c *Compiled) compileAll(fs []Formula, slots map[string]int) ([]compiledNode, error) {
+func (c *Compiled) compileAll(fs []Formula, slots map[string]int) ([]compiledNode, []inode, error) {
 	out := make([]compiledNode, len(fs))
+	iout := make([]inode, len(fs))
 	for i, f := range fs {
-		sub, err := c.compile(f, slots)
+		sub, isub, err := c.compile(f, slots)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out[i] = sub
+		iout[i] = isub
 	}
-	return out, nil
-}
-
-func (c *Compiled) compileTerm(t cq.Term, slots map[string]int) (func([]string) string, error) {
-	if t.IsConst {
-		v := t.Value
-		return func([]string) string { return v }, nil
-	}
-	slot, ok := slots[t.Value]
-	if !ok {
-		return nil, fmt.Errorf("fo: unbound variable %s", t.Value)
-	}
-	return func(env []string) string { return env[slot] }, nil
+	return out, iout, nil
 }
 
 // domain assembles the quantification domain for a database.
@@ -227,8 +301,18 @@ func (c *Compiled) domain(d *db.DB) []string {
 }
 
 // Eval evaluates a compiled sentence; it fails if the formula has free
-// variables.
+// variables. It runs on the interned plane unless SetInterned has
+// deselected it.
 func (c *Compiled) Eval(d *db.DB) (ok bool, err error) {
+	if internedOn.Load() && c.ieval != nil {
+		return c.evalInterned(d)
+	}
+	return c.EvalIndexed(d)
+}
+
+// EvalIndexed evaluates the string closure tree — the reference the
+// interned plane is differentially tested against.
+func (c *Compiled) EvalIndexed(d *db.DB) (ok bool, err error) {
 	defer containPanic(&err)
 	if len(c.freeSlot) > 0 {
 		return false, fmt.Errorf("fo: compiled formula has free variables; use EvalWith")

@@ -1,0 +1,121 @@
+package fo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// internedOn selects the interned evaluation plane for compiled formulas.
+// On by default; SetInterned(false) falls back to the string closure tree.
+// Both trees decide the same sentences — formula truth is insensitive to
+// the quantification order difference between the two domain layouts.
+var internedOn atomic.Bool
+
+func init() { internedOn.Store(true) }
+
+// SetInterned selects (true, the default) or deselects the interned
+// evaluation plane for compiled formulas.
+func SetInterned(on bool) { internedOn.Store(on) }
+
+// InternedEnabled reports whether the interned plane is selected.
+func InternedEnabled() bool { return internedOn.Load() }
+
+// inode is one node of the interned closure tree: it reads and writes only
+// the pooled runtime, so a warm evaluation allocates nothing.
+type inode func(rt *irt) bool
+
+// iAtomRef names a relation an atom probes; it is resolved to columnar
+// storage once per evaluation (nil when absent or arity-mismatched, making
+// the atom uniformly false — exactly d.Has on a fact that cannot exist).
+type iAtomRef struct {
+	rel   string
+	arity int
+}
+
+// irt is the pooled interned runtime: the slot environment, the resolved
+// constant ids, the resolved relations, the quantification domain, and an
+// argument scratch buffer.
+//
+// Constants absent from the database intern table resolve to pseudo-ids
+// just past the table (Len()+ordinal): distinct from every real id and
+// from each other, so equality and probes behave exactly like the distinct
+// fresh strings they stand for.
+type irt struct {
+	env    []uint32
+	args   []uint32
+	consts []uint32
+	rels   []*db.IRel
+	dom    []uint32
+	domBuf []uint32
+}
+
+func (rt *irt) resolve(ref iref) uint32 {
+	if ref.constIdx >= 0 {
+		return rt.consts[ref.constIdx]
+	}
+	return rt.env[ref.slot]
+}
+
+var irtPool = sync.Pool{New: func() any { return new(irt) }}
+
+func growIDs(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+// evalInterned evaluates the compiled sentence over the database's interned
+// view: ids in the environment, columnar HasTuple probes, domain as an id
+// slice. Zero allocations on a warm runtime.
+func (c *Compiled) evalInterned(d *db.DB) (ok bool, err error) {
+	defer containPanic(&err)
+	if len(c.freeSlot) > 0 {
+		return false, fmt.Errorf("fo: compiled formula has free variables; use EvalWith")
+	}
+	in := d.Interned()
+	rt := irtPool.Get().(*irt)
+	defer irtPool.Put(rt)
+	rt.env = growIDs(rt.env, c.numSlots)
+	rt.args = growIDs(rt.args, c.maxArity)
+
+	rt.consts = rt.consts[:0]
+	extendDomain := false
+	for i, v := range c.consts {
+		id, found := in.Syms.Lookup(v)
+		if !found {
+			id = uint32(in.Syms.Len() + i) // pseudo-id: unique, outside the table
+		}
+		rt.consts = append(rt.consts, id)
+		if !in.IsDomainSym(id) {
+			extendDomain = true
+		}
+	}
+
+	rt.rels = rt.rels[:0]
+	for _, ar := range c.iatoms {
+		r := in.Rel(ar.rel)
+		if r != nil && r.Arity != ar.arity {
+			r = nil
+		}
+		rt.rels = append(rt.rels, r)
+	}
+
+	// Quantifiers range over the active domain extended by the formula's
+	// constants — the id-level image of the string path's domain set. The
+	// shared domain slice is used directly unless constants extend it.
+	rt.dom = in.Domain()
+	if extendDomain {
+		rt.domBuf = append(rt.domBuf[:0], in.Domain()...)
+		for _, id := range rt.consts {
+			if !in.IsDomainSym(id) {
+				rt.domBuf = append(rt.domBuf, id)
+			}
+		}
+		rt.dom = rt.domBuf
+	}
+	return c.ieval(rt), nil
+}

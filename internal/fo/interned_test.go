@@ -1,0 +1,143 @@
+package fo
+
+import (
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+// TestInternedCompiledParity is the three-way differential for the fo data
+// plane: the interned tree, the string closure tree, and the interpreter
+// must decide every rewriting identically over random databases.
+func TestInternedCompiledParity(t *testing.T) {
+	queries := []cq.Query{
+		cq.MustParseQuery("R(x | y)"),
+		cq.MustParseQuery("R(x | y), S(y | z)"),
+		cq.MustParseQuery("R(x | y, z), S(y, z | w)"),
+		cq.MustParseQuery("R(x, x | y)"),
+		cq.MustParseQuery("R(x | 'A'), S(x | y)"), // constant probes
+	}
+	for _, q := range queries {
+		phi, err := RewriteAcyclic(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := Compile(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 25; seed++ {
+			d := gen.RandomDB(q, gen.Config{Embeddings: 3, Noise: 4, Domain: 3}, seed)
+			interp, err := Eval(phi, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indexed, err := compiled.EvalIndexed(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interned, err := compiled.evalInterned(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if interned != indexed || interned != interp {
+				t.Fatalf("%s seed %d: interned=%v indexed=%v interpreted=%v\nφ = %s\ndb:\n%s",
+					q, seed, interned, indexed, interp, phi, d)
+			}
+		}
+	}
+}
+
+// TestInternedCompiledEdgeCases pins the symbol-resolution corners:
+// constants absent from the database (pseudo-ids), constants colliding with
+// relation names (interned but outside the active domain), and empty
+// databases.
+func TestInternedCompiledEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		phi  Formula
+		d    *db.DB
+	}{
+		{
+			name: "constant absent from db",
+			phi: NewAnd(
+				Exists{Vars: []string{"w"}, F: Atom{A: cq.MustParseQuery("R('missing' | w)").Atoms[0]}},
+				Not{F: Eq{L: cq.Const("missing"), R: cq.Const("alsogone")}},
+			),
+			d: db.MustParse("R(a | b)"),
+		},
+		{
+			name: "constant equals relation name",
+			phi:  Exists{Vars: []string{"x"}, F: Eq{L: cq.Var("x"), R: cq.Const("R")}},
+			d:    db.MustParse("R(a | b)"),
+		},
+		{
+			name: "empty database",
+			phi:  Forall{Vars: []string{"x"}, F: Eq{L: cq.Var("x"), R: cq.Var("x")}},
+			d:    db.New(),
+		},
+		{
+			name: "two absent constants stay distinct",
+			phi:  Eq{L: cq.Const("ghost1"), R: cq.Const("ghost2")},
+			d:    db.MustParse("R(a | b)"),
+		},
+		{
+			name: "same absent constant is self-equal",
+			phi:  Eq{L: cq.Const("ghost"), R: cq.Const("ghost")},
+			d:    db.MustParse("R(a | b)"),
+		},
+		{
+			name: "arity mismatch probes false",
+			phi:  Atom{A: cq.MustParseQuery("R('a', 'b' | 'c')").Atoms[0]},
+			d:    db.MustParse("R(a | b)"),
+		},
+	}
+	for _, tc := range cases {
+		compiled, err := Compile(tc.phi)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		indexed, err := compiled.EvalIndexed(tc.d)
+		if err != nil {
+			t.Fatalf("%s: indexed: %v", tc.name, err)
+		}
+		interned, err := compiled.evalInterned(tc.d)
+		if err != nil {
+			t.Fatalf("%s: interned: %v", tc.name, err)
+		}
+		if interned != indexed {
+			t.Fatalf("%s: interned=%v indexed=%v", tc.name, interned, indexed)
+		}
+	}
+}
+
+// TestInternedKnob checks the package knob reroutes Compiled.Eval.
+func TestInternedKnob(t *testing.T) {
+	if !InternedEnabled() {
+		t.Fatal("interned plane must default to enabled")
+	}
+	phi, err := RewriteAcyclic(cq.MustParseQuery("R(x | y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.MustParse("R(a | b), R(a | c), S(b | d)")
+	on, err := compiled.Eval(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetInterned(false)
+	off, errOff := compiled.Eval(d)
+	SetInterned(true)
+	if errOff != nil {
+		t.Fatal(errOff)
+	}
+	if on != off {
+		t.Fatalf("knob changed the verdict: on=%v off=%v", on, off)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/intern"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/solver"
 )
@@ -157,6 +159,45 @@ func TestStatszMatchesLRUStats(t *testing.T) {
 	}
 	if got.Verdicts.Evictions == 0 || got.Verdicts.Hits == 0 {
 		t.Errorf("workload must exercise hits and evictions, got %+v", got.Verdicts)
+	}
+}
+
+// TestInternStatsGolden: a hosted server reports the exact symbol-interner
+// census of its database's columnar view on both /statsz and the
+// certd_intern_* gauges; a stateless server reports zeros.
+func TestInternStatsGolden(t *testing.T) {
+	s, st := newStoreServer(t, nil)
+	// R, a, b, b2: 4 symbols. The duplicate "a" key is the view's one
+	// build-time hit (relation names and fresh values all miss first).
+	mut := DBMutateRequest{Facts: "R(a | b), R(a | b2)"}
+	decodeMutate(t, doJSON(t, s, nil, "POST", "/v1/db/facts", mut))
+
+	d, _ := st.DB()
+	want := d.Interned().Stats()
+	if want.Symbols != 4 {
+		t.Fatalf("hosted view interned %d symbols, want 4", want.Symbols)
+	}
+	got := decodeStatsz(t, s)
+	if got.Intern != want {
+		t.Fatalf("/statsz intern = %+v, want %+v", got.Intern, want)
+	}
+	samples := scrapeMetrics(t, s)
+	for series, value := range map[string]int64{
+		`certd_intern_symbols`:     want.Symbols,
+		`certd_intern_table_bytes`: want.TableBytes,
+		`certd_intern_hits`:        want.Hits,
+		`certd_intern_misses`:      want.Misses,
+	} {
+		if gotV, ok := samples[series]; !ok {
+			t.Errorf("series %s missing from /metrics", series)
+		} else if gotV != strconv.FormatInt(value, 10) {
+			t.Errorf("%s = %s, want %d", series, gotV, value)
+		}
+	}
+
+	stateless := New(Config{Registry: obs.NewRegistry()})
+	if got := decodeStatsz(t, stateless); got.Intern != (intern.Stats{}) {
+		t.Fatalf("stateless /statsz intern = %+v, want zeros", got.Intern)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/govern"
+	"github.com/cqa-go/certainty/internal/intern"
 	"github.com/cqa-go/certainty/internal/lru"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/plan"
@@ -110,6 +111,11 @@ type Server struct {
 	mInflight *obs.Gauge
 	mQueued   *obs.Gauge
 
+	mInternSymbols *obs.Gauge
+	mInternBytes   *obs.Gauge
+	mInternHits    *obs.Gauge
+	mInternMisses  *obs.Gauge
+
 	slots    chan struct{}
 	queued   atomic.Int64
 	inflight atomic.Int64
@@ -127,6 +133,10 @@ const (
 	metricRejectionsTotal = "certd_rejections_total"
 	metricInflight        = "certd_inflight"
 	metricQueued          = "certd_queued"
+	metricInternSymbols   = "certd_intern_symbols"
+	metricInternBytes     = "certd_intern_table_bytes"
+	metricInternHits      = "certd_intern_hits"
+	metricInternMisses    = "certd_intern_misses"
 )
 
 // New builds a Server from cfg, applying defaults for unset fields.
@@ -177,8 +187,16 @@ func New(cfg Config) *Server {
 	s.reg.Help(metricRejectionsTotal, "Non-200 responses, by error code.")
 	s.reg.Help(metricInflight, "Solves currently executing.")
 	s.reg.Help(metricQueued, "Requests waiting for a worker slot.")
+	s.reg.Help(metricInternSymbols, "Symbols interned by the hosted database's columnar view.")
+	s.reg.Help(metricInternBytes, "Approximate bytes held by the hosted view's symbol table.")
+	s.reg.Help(metricInternHits, "Symbol lookups answered by an existing id in the hosted view.")
+	s.reg.Help(metricInternMisses, "Symbol lookups that interned a new id in the hosted view.")
 	s.mInflight = s.reg.Gauge(metricInflight)
 	s.mQueued = s.reg.Gauge(metricQueued)
+	s.mInternSymbols = s.reg.Gauge(metricInternSymbols)
+	s.mInternBytes = s.reg.Gauge(metricInternBytes)
+	s.mInternHits = s.reg.Gauge(metricInternHits)
+	s.mInternMisses = s.reg.Gauge(metricInternMisses)
 	s.classifyM = obs.NewCacheMetrics(s.reg, "classify")
 	s.classify.Instrument(s.classifyM)
 	s.plansM = obs.NewCacheMetrics(s.reg, "plans")
@@ -688,24 +706,49 @@ func statsFrom(m *obs.CacheMetrics) lru.Stats {
 	}
 }
 
+// internStats resolves the symbol-interner census reported on /statsz and
+// the certd_intern_* gauges: the hosted database's columnar view when a
+// store is attached (building the view if a mutation dropped it), all-zero
+// when certd runs stateless. The hosted snapshot is immutable, so reading
+// the view here never races with writers.
+func (s *Server) internStats() intern.Stats {
+	if s.cfg.Store == nil {
+		return intern.Stats{}
+	}
+	d, _ := s.cfg.Store.DB()
+	return d.Interned().Stats()
+}
+
+// publishInternStats refreshes the certd_intern_* gauges from a census.
+func (s *Server) publishInternStats(st intern.Stats) {
+	s.mInternSymbols.Set(st.Symbols)
+	s.mInternBytes.Set(st.TableBytes)
+	s.mInternHits.Set(st.Hits)
+	s.mInternMisses.Set(st.Misses)
+}
+
 // handleStatsz reports the serving-layer cache counters: classification,
 // compiled plans, and verdicts. Since the metrics migration the numbers are
 // read from the obs registry rather than the lru internals; the JSON shape
-// and values are unchanged.
+// and values are unchanged. The interned data plane adds the hosted view's
+// symbol-table census.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp := StatszResponse{
 		Classify: statsFrom(s.classifyM),
 		Plans:    statsFrom(s.plansM),
+		Intern:   s.internStats(),
 	}
 	if s.verdicts != nil {
 		resp.Verdicts = statsFrom(s.verdictsM)
 	}
+	s.publishInternStats(resp.Intern)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition
-// format.
+// format, refreshing the scrape-time gauges first.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.publishInternStats(s.internStats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }

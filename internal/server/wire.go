@@ -25,6 +25,7 @@ import (
 	"net/http"
 
 	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/intern"
 	"github.com/cqa-go/certainty/internal/lru"
 	"github.com/cqa-go/certainty/internal/solver"
 )
@@ -338,4 +339,7 @@ type StatszResponse struct {
 	Classify lru.Stats `json:"classify"`
 	Plans    lru.Stats `json:"plans"`
 	Verdicts lru.Stats `json:"verdicts"`
+	// Intern is the symbol-interner census of the hosted database's
+	// columnar view (all-zero when certd runs stateless).
+	Intern intern.Stats `json:"intern"`
 }

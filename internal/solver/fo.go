@@ -79,8 +79,19 @@ const shapePlaceholder = "▢"
 //
 // A program is immutable and safe for concurrent use; compile once per
 // canonical query (the plan cache does) and reuse across databases.
+//
+// Beyond the residual-index steps driving the string-indexed recursion, the
+// program carries an interned schedule (sched, constRefs, nslots, maxKey —
+// see fo_interned.go): each level's arguments lowered to constant-ordinal /
+// bound-slot / bind-slot operations against the columnar view, so the hot
+// recursion runs over uint32 ids with zero allocations.
 type FOProgram struct {
 	steps []int // steps[L] = index, within the depth-L residual query, of the atom to eliminate
+
+	sched     []foStep   // interned schedule, one entry per level
+	constRefs []constRef // constant ordinal → (atom, pos) in the runtime query
+	nslots    int        // variable slots of the interned environment
+	maxKey    int        // widest key probed by any keyReady level
 }
 
 // CompileFO builds the FO rewriting program for q. It fails exactly where
@@ -90,7 +101,15 @@ type FOProgram struct {
 func CompileFO(q cq.Query) (*FOProgram, error) {
 	// Mask constants so the simulation works on the pure shape.
 	cur := maskShape(q)
-	steps := make([]int, 0, q.Len())
+	p := &FOProgram{steps: make([]int, 0, q.Len())}
+	// orig maps residual indices back to original atom indices; slots
+	// accumulates the variables grounded by eliminated atoms, which is
+	// exactly the statically-known bound set at each level.
+	orig := make([]int, q.Len())
+	for i := range orig {
+		orig[i] = i
+	}
+	slots := make(map[string]uint16)
 	for !cur.IsEmpty() {
 		g, err := core.BuildAttackGraph(cur, jointree.TieBreakLex)
 		if err != nil {
@@ -108,10 +127,12 @@ func CompileFO(q cq.Query) (*FOProgram, error) {
 				theta[t.Value] = shapePlaceholder
 			}
 		}
+		p.compileStep(q, orig[idx], slots)
+		orig = append(orig[:idx], orig[idx+1:]...)
 		cur = cur.Without(idx).Substitute(theta)
-		steps = append(steps, idx)
+		p.steps = append(p.steps, idx)
 	}
-	return &FOProgram{steps: steps}, nil
+	return p, nil
 }
 
 // maskShape replaces every constant of q with the shape placeholder.
@@ -138,8 +159,27 @@ func (p *FOProgram) Certain(q cq.Query, d *db.DB) (bool, error) {
 }
 
 // CertainCtx is Certain with cooperative cancellation: one governor step is
-// charged per recursive rewriting step, exactly as in CertainFOCtx.
+// charged per recursive rewriting step, exactly as in CertainFOCtx. It runs
+// on the interned plane unless SetInterned has deselected it.
 func (p *FOProgram) CertainCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
+	if q.Len() != len(p.steps) {
+		return false, fmt.Errorf("solver: FO program compiled for %d atoms applied to %d-atom query", len(p.steps), q.Len())
+	}
+	if internedOn.Load() {
+		return p.certainInterned(govern.From(ctx), q, d)
+	}
+	return p.run(govern.From(ctx), q, d, 0)
+}
+
+// CertainIndexed decides certainty on the string-indexed plane regardless of
+// the knob — the reference the interned plane is differentially tested
+// against, and the "indexed" column of the certbench triple.
+func (p *FOProgram) CertainIndexed(q cq.Query, d *db.DB) (bool, error) {
+	return p.CertainIndexedCtx(context.Background(), q, d)
+}
+
+// CertainIndexedCtx is CertainIndexed with cooperative cancellation.
+func (p *FOProgram) CertainIndexedCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
 	if q.Len() != len(p.steps) {
 		return false, fmt.Errorf("solver: FO program compiled for %d atoms applied to %d-atom query", len(p.steps), q.Len())
 	}
@@ -225,6 +265,9 @@ func CertainFOCtx(ctx context.Context, q cq.Query, d *db.DB) (bool, error) {
 	p, err := CompileFO(q)
 	if err != nil {
 		return false, err
+	}
+	if internedOn.Load() {
+		return p.steppedInterned(g, q, d)
 	}
 	return p.stepped(g, q, d, 0)
 }

@@ -1,0 +1,189 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/govern"
+)
+
+// internedFOQueries stresses the compiled argument kinds of the interned
+// schedule: chains (bound keys at deeper levels), constants in key and
+// non-key positions, repeated variables within one atom (which must force
+// the all-blocks scan), and constants absent from the data.
+func internedFOQueries(t *testing.T) []cq.Query {
+	t.Helper()
+	var out []cq.Query
+	for _, s := range []string{
+		"R(x | y)",
+		"R(x | y), S(y | z)",
+		"R(x | y), S(y | z), T(z | w)",
+		"R(x, x | y)",
+		"R(x | y, y)",
+		"R('c1' | y), S(y | z)",
+		"R(x | 'c1'), S(x | y)",
+		"R(x | y), S(y | 'nosuch')",
+	} {
+		q, err := cq.ParseQuery(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if _, err := CompileFO(q); err != nil {
+			t.Fatalf("%q: not in the FO class: %v", s, err)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func internedFODBs(t *testing.T) []*db.DB {
+	t.Helper()
+	dbs := []*db.DB{db.New()}
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	for seed := int64(0); seed < 6; seed++ {
+		dbs = append(dbs, gen.RandomDB(q, gen.Config{Embeddings: 5, Noise: 8, Domain: 4}, seed))
+	}
+	// Signature mismatches (R at arity 3, T with a 2-ary key) and tight
+	// multi-fact blocks, plus the constants c1 used by the query set.
+	dbs = append(dbs, db.MustParse("R(a, b | c), S(c1 | a), S(c1 | b), T(a, b | c1)"))
+	dbs = append(dbs, db.MustParse("R(c1 | c1), R(a | c1), S(c1 | a), T(a | b)"))
+	return dbs
+}
+
+// TestInternedFOVerdictParity: the interned recursion decides exactly what
+// the string-indexed recursion decides, for every query shape and database.
+func TestInternedFOVerdictParity(t *testing.T) {
+	queries := internedFOQueries(t)
+	for di, d := range internedFODBs(t) {
+		for qi, q := range queries {
+			p, err := CompileFO(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.CertainIndexedCtx(context.Background(), q, d)
+			if err != nil {
+				t.Fatalf("db %d query %d: indexed: %v", di, qi, err)
+			}
+			got, err := p.certainInterned(govern.From(context.Background()), q, d)
+			if err != nil {
+				t.Fatalf("db %d query %d: interned: %v", di, qi, err)
+			}
+			if want != got {
+				t.Fatalf("db %d query %d (%v): interned=%v indexed=%v\ndb:\n%s", di, qi, q, got, want, d)
+			}
+			perCall, err := CertainFO(q, d)
+			if err != nil {
+				t.Fatalf("db %d query %d: CertainFO: %v", di, qi, err)
+			}
+			if perCall != want {
+				t.Fatalf("db %d query %d: CertainFO=%v indexed=%v", di, qi, perCall, want)
+			}
+		}
+	}
+}
+
+// TestInternedFOGovernorStepParity pins the budget-observable behavior: both
+// planes enter the same search nodes in the same order, so they charge
+// identical governor step counts — a run under any budget fails (or not) at
+// the same point regardless of the knob.
+func TestInternedFOGovernorStepParity(t *testing.T) {
+	queries := internedFOQueries(t)
+	for di, d := range internedFODBs(t) {
+		for qi, q := range queries {
+			p, err := CompileFO(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := func(interned bool) int64 {
+				SetInterned(interned)
+				defer SetInterned(true)
+				g := govern.New(context.Background(), govern.Options{})
+				defer g.Close()
+				if _, err := p.CertainCtx(g.Attach(), q, d); err != nil {
+					t.Fatalf("db %d query %d: %v", di, qi, err)
+				}
+				return g.Steps()
+			}
+			if si, ss := steps(true), steps(false); si != ss {
+				t.Fatalf("db %d query %d (%v): interned charged %d steps, string path %d", di, qi, q, si, ss)
+			}
+		}
+	}
+}
+
+// TestInternedFOBudgetCutoffParity: under a tight budget both planes return
+// the same governor error.
+func TestInternedFOBudgetCutoffParity(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	d := gen.RandomDB(q, gen.Config{Embeddings: 6, Noise: 10, Domain: 4}, 42)
+	p, err := CompileFO(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for budget := int64(1); budget <= 8; budget++ {
+		run := func(interned bool) (bool, error) {
+			SetInterned(interned)
+			defer SetInterned(true)
+			g := govern.New(context.Background(), govern.Options{Budget: budget})
+			defer g.Close()
+			return p.CertainCtx(g.Attach(), q, d)
+		}
+		iv, ierr := run(true)
+		sv, serr := run(false)
+		if iv != sv || (ierr == nil) != (serr == nil) {
+			t.Fatalf("budget %d: interned (%v, %v) vs string (%v, %v)", budget, iv, ierr, sv, serr)
+		}
+	}
+}
+
+// TestInternedKnobDefault: the data plane defaults to interned everywhere.
+func TestInternedKnobDefault(t *testing.T) {
+	if !InternedEnabled() || !InternedDataPlaneEnabled() {
+		t.Fatal("interned data plane must default to enabled")
+	}
+}
+
+// TestInternedDataPlaneAllMethods is the whole-solver differential: every
+// dispatched method — FO, safe rewriting, terminal, AC(k), C(k), falsifying,
+// and the projection-simplified open case — produces byte-identical verdicts
+// with the interned data plane on and off, through both the per-call SolveCtx
+// and the compiled Plan.SolveCtx paths.
+func TestInternedDataPlaneAllMethods(t *testing.T) {
+	defer SetInternedDataPlane(true)
+	for _, tc := range differentialCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := CompilePlan(tc.q)
+			if err != nil {
+				t.Fatalf("CompilePlan: %v", err)
+			}
+			for i, d := range tc.dbs {
+				fingerprints := func(on bool) (string, string) {
+					SetInternedDataPlane(on)
+					v, err := SolveCtx(context.Background(), tc.q, d, Options{})
+					if err != nil {
+						t.Fatalf("db %d (interned=%v): SolveCtx: %v", i, on, err)
+					}
+					pv, err := p.SolveCtx(context.Background(), d, Options{})
+					if err != nil {
+						t.Fatalf("db %d (interned=%v): Plan.SolveCtx: %v", i, on, err)
+					}
+					return verdictFingerprint(t, v), verdictFingerprint(t, pv)
+				}
+				onSolve, onPlan := fingerprints(true)
+				offSolve, offPlan := fingerprints(false)
+				if onSolve != offSolve {
+					t.Fatalf("db %d: SolveCtx diverges across the knob\n on:  %s\n off: %s", i, onSolve, offSolve)
+				}
+				if onPlan != offPlan {
+					t.Fatalf("db %d: Plan.SolveCtx diverges across the knob\n on:  %s\n off: %s", i, onPlan, offPlan)
+				}
+				if onSolve != onPlan {
+					t.Fatalf("db %d: plan and per-call verdicts diverge\n solve: %s\n plan:  %s", i, onSolve, onPlan)
+				}
+			}
+		})
+	}
+}

@@ -42,8 +42,9 @@ type Plan struct {
 	execQ      cq.Query            // the query actually dispatched (== Query unless simplified)
 	execCls    core.Classification // its classification
 	rewriteDB  func(*db.DB) (*db.DB, error)
-	foProg     *FOProgram // compiled Theorem 1 program when Method == MethodFO
-	safePhi    fo.Formula // compiled Theorem 6 rewriting when Method == MethodSafeRewriting
+	foProg     *FOProgram   // compiled Theorem 1 program when Method == MethodFO
+	safePhi    fo.Formula   // Theorem 6 rewriting when Method == MethodSafeRewriting
+	safeProg   *fo.Compiled // safePhi compiled to the closure/interned trees
 }
 
 // CompilePlan classifies q, resolves the method Solve would dispatch to
@@ -84,6 +85,9 @@ func CompilePlan(q cq.Query) (*Plan, error) {
 				return nil, err
 			}
 			p.safePhi = phi
+			if prog, err := fo.Compile(phi); err == nil {
+				p.safeProg = prog
+			}
 		} else {
 			p.Method = MethodFO
 			prog, err := CompileFO(p.execQ)

@@ -215,15 +215,16 @@ func (p *Plan) execStage() *Plan {
 		return p
 	}
 	return &Plan{
-		Query:   p.execQ,
-		Key:     p.Key,
-		Class:   p.execCls.Class,
-		Method:  p.Method,
-		cls:     p.execCls,
-		execQ:   p.execQ,
-		execCls: p.execCls,
-		foProg:  p.foProg,
-		safePhi: p.safePhi,
+		Query:    p.execQ,
+		Key:      p.Key,
+		Class:    p.execCls.Class,
+		Method:   p.Method,
+		cls:      p.execCls,
+		execQ:    p.execQ,
+		execCls:  p.execCls,
+		foProg:   p.foProg,
+		safePhi:  p.safePhi,
+		safeProg: p.safeProg,
 	}
 }
 

@@ -117,7 +117,7 @@ func solveClassified(q cq.Query, d *db.DB, cls core.Classification) (Result, err
 			var phi fo.Formula
 			phi, err = fo.RewriteSafe(q)
 			if err == nil {
-				res.Certain, err = fo.Eval(phi, d)
+				res.Certain, err = evalSafeRewriting(phi, nil, d)
 			}
 			break
 		}

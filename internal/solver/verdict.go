@@ -225,13 +225,14 @@ func dispatchGoverned(ctx context.Context, g *govern.Governor, q cq.Query, d *db
 	case MethodSafeRewriting:
 		// Cyclic hypergraph but safe: evaluate the Theorem 6 rewriting.
 		var phi fo.Formula
+		var prog *fo.Compiled
 		if p != nil {
-			phi = p.safePhi
+			phi, prog = p.safePhi, p.safeProg
 		} else {
 			phi, err = fo.RewriteSafe(q)
 		}
 		if err == nil {
-			certain, err = fo.Eval(phi, d)
+			certain, err = evalSafeRewriting(phi, prog, d)
 		}
 	case MethodFO:
 		if p != nil {
