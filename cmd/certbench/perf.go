@@ -16,6 +16,7 @@ import (
 	"github.com/cqa-go/certainty/internal/db"
 	"github.com/cqa-go/certainty/internal/engine"
 	"github.com/cqa-go/certainty/internal/gen"
+	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/prob"
 	"github.com/cqa-go/certainty/internal/solver"
@@ -243,12 +244,38 @@ func chainComponentsDB(comps int) *db.DB {
 	return db.MustFromFacts(facts...)
 }
 
+// deltaComponentsDB builds a wider variant of chainComponentsDB for the
+// delta re-solve pairs: component i contributes the R block {R(a_i | b_i),
+// R(a_i | x_i)} plus S blocks of `width` facts under both b_i and x_i, so
+// every shard holds 2·width² repairs and counting one shard is real work
+// (the delta pair's full side must be dominated by per-shard counting, not
+// by the decomposition both sides share).
+func deltaComponentsDB(comps, width int) *db.DB {
+	facts := make([]db.Fact, 0, comps*(2+2*width))
+	for i := 0; i < comps; i++ {
+		a, b, x := fmt.Sprintf("da%d", i), fmt.Sprintf("db%d", i), fmt.Sprintf("dx%d", i)
+		facts = append(facts,
+			db.Fact{Rel: "R", KeyLen: 1, Args: []string{a, b}},
+			db.Fact{Rel: "R", KeyLen: 1, Args: []string{a, x}},
+		)
+		for j := 0; j < width; j++ {
+			facts = append(facts,
+				db.Fact{Rel: "S", KeyLen: 1, Args: []string{b, fmt.Sprintf("dc%d_%d", i, j)}},
+				db.Fact{Rel: "S", KeyLen: 1, Args: []string{x, fmt.Sprintf("de%d_%d", i, j)}},
+			)
+		}
+	}
+	return db.MustFromFacts(facts...)
+}
+
 // runPerfJSON runs the performance matrix — FO rewriting (seed vs
 // indexed+compiled vs interned), embedding enumeration (string-indexed vs
 // interned), Terminal, AC(k) (sequential vs parallel), the falsifying
 // search, end-to-end Solve (per-call vs compiled plan), component-sharded
 // counting/probability/solving (monolithic vs 8-way shard decomposition),
-// and batch serving (per-call loop vs memoized SolveBatch) — and writes the
+// batch serving (per-call loop vs memoized SolveBatch), and delta re-solve
+// (mutate one block, then full sharded recompute vs block-granular memoized
+// recompute for counting, probability, and the decision) — and writes the
 // machine-readable report. With a baseline file, the report also carries a
 // per-name speedup summary against it; with failRegressPct > 0 it fails if
 // any within-run pair speedup regressed by more than that percentage
@@ -549,6 +576,169 @@ func runPerfJSON(path, baseline string, quick bool, failRegressPct float64) erro
 		add(loop)
 		add(pairSpeedup(loop, memo))
 	}
+
+	// Delta re-solve: every pair measures "mutate one block, then re-answer".
+	// The full side re-solves the post-mutation snapshot from scratch; the
+	// delta side invalidates the covering memo entries and recomputes only
+	// the touched shard, reusing every other shard's memoized result. Both
+	// sides use maxShards=0 (finest partition, one shard per co-occurrence
+	// group) and run with the worker pool pinned to one slot: the pair must
+	// record the work the memo *skipped*, and that ratio is only
+	// hardware-independent (gateable) if the full side cannot hide its extra
+	// shards behind the host's core count. The parallelism win is already
+	// recorded by the mono/sharded pairs above. Quick mode starts at 8
+	// components because the 4-component ratio is structurally capped near
+	// 4x (only 4 shards to skip) and sits too close to the regression gate's
+	// tolerance to be a stable CI signal.
+	deltaComps := []int{4, 8, 16}
+	if quick {
+		deltaComps = []int{8, 16}
+	}
+	restoreWorkers := govern.SetWorkerLimit(1)
+	const deltaWidth = 16
+	for _, c := range deltaComps {
+		d := deltaComponentsDB(c, deltaWidth)
+		d.Digest()
+		// Toggling one fact in component 0's S block makes every measured
+		// iteration a genuine one-block mutation (a steady-state snapshot
+		// would degenerate the delta side to pure memo hits).
+		toggle := db.Fact{Rel: "S", KeyLen: 1, Args: []string{"db0", "dtoggle"}}
+		toggleBlocks := []string{toggle.BlockID()}
+		present := false
+		mutate := func() error {
+			if present {
+				d.Remove(toggle)
+			} else if err := d.Add(toggle); err != nil {
+				return err
+			}
+			present = !present
+			return nil
+		}
+		full, err := measure(fmt.Sprintf("deltacount/full/comps=%d", c), "deltacount", "full", c, func() error {
+			if err := mutate(); err != nil {
+				return err
+			}
+			prob.CountSatisfyingSharded(foQ, d, 0)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		cm := prob.NewCountMemo(0, nil)
+		prob.CountSatisfyingShardedMemo(foQ, d, 0, cm)
+		delta, err := measure(fmt.Sprintf("deltacount/delta/comps=%d", c), "deltacount", "delta", c, func() error {
+			if err := mutate(); err != nil {
+				return err
+			}
+			cm.Invalidate(toggleBlocks)
+			prob.CountSatisfyingShardedMemo(foQ, d, 0, cm)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		add(full)
+		add(pairSpeedup(full, delta))
+	}
+	{
+		c := deltaComps[len(deltaComps)-1]
+		d := deltaComponentsDB(c, deltaWidth)
+		d.Digest()
+		toggle := db.Fact{Rel: "S", KeyLen: 1, Args: []string{"db0", "dtoggle"}}
+		toggleBlocks := []string{toggle.BlockID()}
+		present := false
+		mutate := func() error {
+			if present {
+				d.Remove(toggle)
+			} else if err := d.Add(toggle); err != nil {
+				return err
+			}
+			present = !present
+			return nil
+		}
+		full, err := measure(fmt.Sprintf("deltaprob/full/comps=%d", c), "deltaprob", "full", c, func() error {
+			if err := mutate(); err != nil {
+				return err
+			}
+			prob.UniformProbabilitySharded(foQ, d, 0)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		cm := prob.NewCountMemo(0, nil)
+		prob.UniformProbabilityShardedMemo(foQ, d, 0, cm)
+		delta, err := measure(fmt.Sprintf("deltaprob/delta/comps=%d", c), "deltaprob", "delta", c, func() error {
+			if err := mutate(); err != nil {
+				return err
+			}
+			cm.Invalidate(toggleBlocks)
+			prob.UniformProbabilityShardedMemo(foQ, d, 0, cm)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		add(full)
+		add(pairSpeedup(full, delta))
+	}
+	// The decision pair uses the never-certain chain instance (a certain
+	// shard would settle the disjunction on both sides and hide the memo):
+	// full is a from-scratch sharded solve of the post-mutation snapshot,
+	// delta is Plan.Resolve — invalidate the touched blocks, reuse the rest.
+	{
+		c := deltaComps[len(deltaComps)-1]
+		d := chainComponentsDB(c)
+		d.Digest()
+		p, err := solver.CompilePlan(foQ)
+		if err != nil {
+			return err
+		}
+		toggle := db.Fact{Rel: "S", KeyLen: 1, Args: []string{"b0", "ctoggle"}}
+		present := false
+		mutate := func() (solver.Delta, error) {
+			var dl solver.Delta
+			if present {
+				d.Remove(toggle)
+				dl.Del = []db.Fact{toggle}
+			} else {
+				if err := d.Add(toggle); err != nil {
+					return dl, err
+				}
+				dl.Ins = []db.Fact{toggle}
+			}
+			present = !present
+			return dl, nil
+		}
+		full, err := measure(fmt.Sprintf("deltasolve/full/comps=%d", c), "deltasolve", "full", c, func() error {
+			if _, err := mutate(); err != nil {
+				return err
+			}
+			_, err := p.SolveSharded(context.Background(), d, 0, solver.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		memo := solver.NewShardMemo(0, nil)
+		if _, _, err := p.SolveShardedMemo(context.Background(), d, 0, solver.Options{}, memo); err != nil {
+			return err
+		}
+		delta, err := measure(fmt.Sprintf("deltasolve/delta/comps=%d", c), "deltasolve", "delta", c, func() error {
+			dl, err := mutate()
+			if err != nil {
+				return err
+			}
+			_, _, err = p.Resolve(context.Background(), d, dl, memo, 0, solver.Options{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		add(full)
+		add(pairSpeedup(full, delta))
+	}
+	restoreWorkers()
 
 	if baseline != "" {
 		s, err := summarize(baseline, report.Entries)

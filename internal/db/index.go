@@ -64,6 +64,12 @@ func computeDigest(facts []Fact) string {
 	return hashParts(enc)
 }
 
+// HashParts is the digest composition used throughout the index — a
+// SHA-256 over length-prefixed parts — exported so higher layers (the shard
+// fingerprints of internal/shard) compose their content addresses from the
+// same primitive and inherit its collision resistance.
+func HashParts(parts []string) string { return hashParts(parts) }
+
 // hashParts hashes a sequence of strings with per-entry length prefixes so
 // concatenation is unambiguous, returning the hex digest.
 func hashParts(parts []string) string {
@@ -134,6 +140,23 @@ func (d *DB) DigestOf(rels []string) string {
 		parts = append(parts, name, d.RelationDigest(name))
 	}
 	return hashParts(parts)
+}
+
+// BlockDigests returns rel's per-block content digests keyed by
+// Fact.BlockID, or nil when the relation is absent. The map is built and
+// memoized on first use; after that, a mutation re-hashes only the block it
+// touches. Two blocks have equal digests iff they hold the same fact set
+// (up to SHA-256 collision), regardless of insertion order — this is the
+// primitive the shard fingerprints of delta re-solve are composed from.
+// The returned map is shared and must be treated as read-only; read it only
+// from databases that are not being concurrently mutated (published
+// snapshots are immutable and always safe).
+func (d *DB) BlockDigests(rel string) map[string]string {
+	r, ok := d.rels[rel]
+	if !ok {
+		return nil
+	}
+	return r.blockDigestsOf()
 }
 
 // RelationFacts returns the facts of the given relation in insertion order

@@ -219,6 +219,30 @@ func (r *relation) blockListOf() [][]Fact {
 	return r.blockList
 }
 
+// blockDigestsLocked builds the per-block digest map on first use. The
+// caller must hold imu. Once built, insert/remove maintain the map
+// incrementally, so after a mutation only the touched block is re-hashed.
+func (r *relation) blockDigestsLocked() map[string]string {
+	if r.blockDigests == nil {
+		r.blockDigests = make(map[string]string, len(r.blocks))
+		for bid, blk := range r.blocks {
+			r.blockDigests[bid] = computeDigest(blk)
+		}
+	}
+	return r.blockDigests
+}
+
+// blockDigestsOf returns the memoized per-block content digests keyed by
+// block ID. The returned map is the live memoized structure: callers must
+// treat it as read-only and must not hold it across a mutation of this
+// relation (the shard-fingerprint path reads it transiently off immutable
+// published snapshots).
+func (r *relation) blockDigestsOf() map[string]string {
+	r.imu.Lock()
+	defer r.imu.Unlock()
+	return r.blockDigestsLocked()
+}
+
 // digestOf returns the relation's composed content digest: the hash of the
 // sorted per-block digests. Block digests are maintained incrementally by
 // insert/remove once first computed, so after a mutation only the touched
@@ -229,14 +253,9 @@ func (r *relation) digestOf() string {
 	if r.digest != "" {
 		return r.digest
 	}
-	if r.blockDigests == nil {
-		r.blockDigests = make(map[string]string, len(r.blocks))
-		for bid, blk := range r.blocks {
-			r.blockDigests[bid] = computeDigest(blk)
-		}
-	}
-	parts := make([]string, 0, len(r.blockDigests))
-	for _, dg := range r.blockDigests {
+	digests := r.blockDigestsLocked()
+	parts := make([]string, 0, len(digests))
+	for _, dg := range digests {
 		parts = append(parts, dg)
 	}
 	sort.Strings(parts)

@@ -1,0 +1,47 @@
+package lru
+
+import "testing"
+
+// PutEvicted exists so secondary indexes (the shard memo's block index) can
+// unindex exactly the entry a capacity eviction dropped.
+func TestPutEvicted(t *testing.T) {
+	c := New[string, int](2)
+
+	if k, v, ok := c.PutEvicted("a", 1); ok {
+		t.Fatalf("under-cap insert evicted (%q, %d)", k, v)
+	}
+	if k, v, ok := c.PutEvicted("b", 2); ok {
+		t.Fatalf("at-cap insert evicted (%q, %d)", k, v)
+	}
+
+	// Updating an existing key never evicts, and stores the new value.
+	if k, v, ok := c.PutEvicted("a", 10); ok {
+		t.Fatalf("update evicted (%q, %d)", k, v)
+	}
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Fatalf("Get(a) = (%d, %v), want (10, true)", v, ok)
+	}
+
+	// "a" was just touched, so "b" is the LRU entry and must be returned.
+	k, v, ok := c.PutEvicted("c", 3)
+	if !ok || k != "b" || v != 2 {
+		t.Fatalf("PutEvicted(c) = (%q, %d, %v), want (b, 2, true)", k, v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("evicted key still present")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("Stats = %+v, want 1 eviction, len 2", st)
+	}
+}
+
+// Put delegates to PutEvicted; their eviction reporting must agree.
+func TestPutMatchesPutEvicted(t *testing.T) {
+	c := New[int, int](1)
+	if c.Put(1, 1) {
+		t.Fatal("first Put reported eviction")
+	}
+	if !c.Put(2, 2) {
+		t.Fatal("over-cap Put did not report eviction")
+	}
+}

@@ -1,0 +1,127 @@
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/obs"
+)
+
+// TestCountMemoEquivalence mutates a database through random insert/delete
+// steps and checks that memoized sharded counting and probability — with
+// block-granular invalidation between steps — stay exactly equal to the
+// from-scratch ground truth, while actually reusing tallies (a hit count
+// of zero would mean the memo is inert and the equality vacuous).
+func TestCountMemoEquivalence(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	r := rand.New(rand.NewSource(77))
+	memo := NewCountMemo(0, nil)
+	d := db.New()
+	facts := map[string]db.Fact{}
+	randomFact := func() db.Fact {
+		rel := "R"
+		if r.Intn(2) == 0 {
+			rel = "S"
+		}
+		dom := func() string { return string(rune('a' + r.Intn(4))) }
+		return db.Fact{Rel: rel, KeyLen: 1, Args: []string{dom(), dom()}}
+	}
+
+	for step := 0; step < 15; step++ {
+		var touched []string
+		if r.Intn(3) > 0 || len(facts) == 0 {
+			f := randomFact()
+			if err := d.Add(f); err != nil {
+				t.Fatalf("step %d: Add: %v", step, err)
+			}
+			facts[f.ID()] = f
+			touched = []string{f.BlockID()}
+		} else {
+			ids := make([]string, 0, len(facts))
+			for id := range facts {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			f := facts[ids[r.Intn(len(ids))]]
+			d.Remove(f)
+			delete(facts, f.ID())
+			touched = []string{f.BlockID()}
+		}
+		memo.Invalidate(touched)
+
+		wantCount := CountSatisfyingRepairs(q, d)
+		if got := CountSatisfyingShardedMemo(q, d, 0, memo); got.Cmp(wantCount) != 0 {
+			t.Fatalf("step %d: memoized count = %s, want %s", step, got, wantCount)
+		}
+		// A second call on unchanged content must serve every shard from the
+		// memo and still agree.
+		if got := CountSatisfyingShardedMemo(q, d, 0, memo); got.Cmp(wantCount) != 0 {
+			t.Fatalf("step %d: repeat memoized count = %s, want %s", step, got, wantCount)
+		}
+		wantProb := UniformProbability(q, d)
+		if got := UniformProbabilityShardedMemo(q, d, 0, memo); got.Cmp(wantProb) != 0 {
+			t.Fatalf("step %d: memoized probability = %s, want %s", step, got, wantProb)
+		}
+	}
+	if st := memo.Stats(); st.Hits == 0 {
+		t.Fatalf("no memo hits across the whole schedule (stats %+v)", st)
+	}
+}
+
+// TestCountMemoNilAndMetrics: a nil memo is a full recount; metrics count
+// hits, misses, and evictions.
+func TestCountMemoNilAndMetrics(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	d := db.MustParse(`R(a | b) R(a | b2) S(b | c) R(d | e) S(e | f)`)
+	want := CountSatisfyingRepairs(q, d)
+	if got := CountSatisfyingShardedMemo(q, d, 0, nil); got.Cmp(want) != 0 {
+		t.Fatalf("nil-memo count = %s, want %s", got, want)
+	}
+
+	reg := obs.NewRegistry()
+	memo := NewCountMemo(2, obs.NewCacheMetrics(reg, "count_memo"))
+	if got := CountSatisfyingShardedMemo(q, d, 0, memo); got.Cmp(want) != 0 {
+		t.Fatalf("cold memoized count = %s, want %s", got, want)
+	}
+	if got := CountSatisfyingShardedMemo(q, d, 0, memo); got.Cmp(want) != 0 {
+		t.Fatalf("warm memoized count = %s, want %s", got, want)
+	}
+	st := memo.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats = %+v, want both hits and misses", st)
+	}
+	if memo.Len() > 2 {
+		t.Fatalf("Len = %d exceeds capacity 2", memo.Len())
+	}
+}
+
+// TestCountMemoInvalidateScope mirrors the solver memo's granularity lock
+// on the counting side: invalidating one block drops only the tallies
+// whose shards cover it.
+func TestCountMemoInvalidateScope(t *testing.T) {
+	q := cq.MustParseQuery("R(x | y), S(y | z)")
+	d := db.MustParse(`R(a | b) S(b | c) R(d | e) S(e | f)`)
+	memo := NewCountMemo(0, nil)
+	want := CountSatisfyingRepairs(q, d)
+	if got := CountSatisfyingShardedMemo(q, d, 0, memo); got.Cmp(want) != 0 {
+		t.Fatalf("count = %s, want %s", got, want)
+	}
+	before := memo.Len()
+	if before < 2 {
+		t.Fatalf("memo holds %d entries, want one per shard (>= 2)", before)
+	}
+	bid := db.Fact{Rel: "R", KeyLen: 1, Args: []string{"a", "b"}}.BlockID()
+	if removed := memo.Invalidate([]string{bid}); removed != 1 {
+		t.Fatalf("Invalidate removed %d entries, want 1", removed)
+	}
+	if memo.Len() != before-1 {
+		t.Fatalf("Len after invalidate = %d, want %d", memo.Len(), before-1)
+	}
+	if got := fmt.Sprint(CountSatisfyingShardedMemo(q, d, 0, memo)); got != want.String() {
+		t.Fatalf("count after partial invalidation = %s, want %s", got, want)
+	}
+}

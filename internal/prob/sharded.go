@@ -55,7 +55,14 @@ func countShards(dec *shard.Decomposition) [][]shardCounts {
 // the cheapest, since enumeration cost is exponential in shard width.
 func CountSatisfyingSharded(q cq.Query, d *db.DB, maxShards int) *big.Int {
 	dec := shard.Decompose(q, d, maxShards)
-	counts := countShards(dec)
+	return combineCounts(dec, countShards(dec))
+}
+
+// combineCounts folds per-shard tallies into the total satisfying-repair
+// count: ∏ᵢNᵢ − ∏ᵢ(Nᵢ−sᵢ) per component, components and irrelevant-block
+// sizes multiplied. It only reads the stored big.Ints (every arithmetic
+// result is freshly allocated), so tallies may be shared with a CountMemo.
+func combineCounts(dec *shard.Decomposition, counts [][]shardCounts) *big.Int {
 	total := big.NewInt(1)
 	for _, comp := range counts {
 		if len(comp) == 0 {
@@ -90,7 +97,13 @@ func CountSatisfyingSharded(q cq.Query, d *db.DB, maxShards int) *big.Int {
 // enumerated in parallel on the worker pool.
 func UniformProbabilitySharded(q cq.Query, d *db.DB, maxShards int) *big.Rat {
 	dec := shard.Decompose(q, d, maxShards)
-	counts := countShards(dec)
+	return combineProbability(countShards(dec))
+}
+
+// combineProbability folds per-shard tallies into Pr(q): 1 − ∏ᵢ(1−sᵢ/Nᵢ)
+// per component, components multiplied. Read-only on the stored big.Ints,
+// like combineCounts.
+func combineProbability(counts [][]shardCounts) *big.Rat {
 	one := big.NewRat(1, 1)
 	total := new(big.Rat).Set(one)
 	for _, comp := range counts {

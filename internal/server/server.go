@@ -68,6 +68,16 @@ type Config struct {
 	// budget and are always recomputed. Default 4096; negative disables
 	// verdict caching.
 	VerdictCacheSize int
+	// ShardMemoSize bounds the per-shard verdict memo behind delta
+	// re-solve (only active with a hosted Store: inline databases are
+	// one-shot, so shard memoization cannot pay off). Hosted solves run
+	// through the shard decomposition and memoize each shard's conclusive
+	// sub-verdict by content fingerprint; a /v1/db mutation invalidates
+	// only the entries whose fingerprints cover the touched blocks, so the
+	// next solve recomputes exactly the shards that changed. Default
+	// solver.DefaultShardMemoSize; negative disables delta re-solve
+	// (hosted solves then take the monolithic path).
+	ShardMemoSize int
 	// Logger, when non-nil, receives one line per solve and lifecycle
 	// event.
 	Logger *log.Logger
@@ -104,12 +114,20 @@ type Server struct {
 	breakers *breakerSet
 	mux      *http.ServeMux
 
-	reg       *obs.Registry
-	classifyM *obs.CacheMetrics
-	plansM    *obs.CacheMetrics
-	verdictsM *obs.CacheMetrics
-	mInflight *obs.Gauge
-	mQueued   *obs.Gauge
+	// shardMemo is the delta re-solve state (nil when disabled or
+	// stateless); defaultSolve records that cfg.solve was not overridden
+	// by a test seam, which is what licenses routing hosted solves
+	// through the memoized sharded path.
+	shardMemo    *solver.ShardMemo
+	defaultSolve bool
+
+	reg        *obs.Registry
+	classifyM  *obs.CacheMetrics
+	plansM     *obs.CacheMetrics
+	verdictsM  *obs.CacheMetrics
+	shardMemoM *obs.CacheMetrics
+	mInflight  *obs.Gauge
+	mQueued    *obs.Gauge
 
 	mInternSymbols *obs.Gauge
 	mInternBytes   *obs.Gauge
@@ -137,6 +155,9 @@ const (
 	metricInternBytes     = "certd_intern_table_bytes"
 	metricInternHits      = "certd_intern_hits"
 	metricInternMisses    = "certd_intern_misses"
+
+	metricDeltaReused     = "certd_delta_shards_reused_total"
+	metricDeltaRecomputed = "certd_delta_shards_recomputed_total"
 )
 
 // New builds a Server from cfg, applying defaults for unset fields.
@@ -205,6 +226,13 @@ func New(cfg Config) *Server {
 		s.verdictsM = obs.NewCacheMetrics(s.reg, "verdicts")
 		s.verdicts = newVerdictCache(cfg.VerdictCacheSize, s.verdictsM)
 	}
+	if cfg.Store != nil && cfg.ShardMemoSize >= 0 {
+		s.reg.Help(metricDeltaReused, "Shard sub-verdicts reused from the memo by hosted solves.")
+		s.reg.Help(metricDeltaRecomputed, "Shard sub-verdicts recomputed by hosted solves.")
+		s.shardMemoM = obs.NewCacheMetrics(s.reg, "shard_memo")
+		s.shardMemo = solver.NewShardMemo(cfg.ShardMemoSize, s.shardMemoM)
+	}
+	s.defaultSolve = s.cfg.solve == nil
 	if s.cfg.solve == nil {
 		// The default solve path goes through the compiled-plan cache:
 		// classification, method selection, and the FO program are computed
@@ -577,9 +605,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var v solver.Verdict
-	if mode == modeShortCircuit {
+	var delta bool
+	switch {
+	case mode == modeShortCircuit:
 		v, err = solver.Degraded(ctx, q, d, opts)
-	} else {
+	case s.shardMemo != nil && dbVersion != nil && s.defaultSolve:
+		// Delta re-solve: hosted solves run through the shard
+		// decomposition with the per-shard verdict memo, so only the
+		// shards whose block content changed since the last solve are
+		// recomputed — the rest reuse their memoized conclusive
+		// sub-verdicts. Conclusive verdicts are identical to the
+		// monolithic path's.
+		v, delta, err = s.solveHostedDelta(ctx, q, d, opts)
+	default:
 		v, err = s.cfg.solve(ctx, q, d, opts)
 	}
 	elapsed := time.Since(start)
@@ -613,7 +651,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.countSolve(cls.Class.Code(), v)
 	s.reg.Histogram(metricSolveSeconds, nil, obs.L{K: "class", V: cls.Class.Code()}).Observe(elapsed.Seconds())
 
-	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds(), DBVersion: dbVersion}
+	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds(), DBVersion: dbVersion, Delta: delta}
 	switch mode {
 	case modeShortCircuit:
 		resp.Breaker = BreakerOpen
@@ -630,6 +668,31 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("solve %s: %s in %v (breaker=%q)", cls.Class.Code(), v.Outcome, elapsed, resp.Breaker)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveHostedDelta runs one hosted solve through the compiled plan and the
+// per-shard verdict memo, publishes the reused/recomputed counters, and
+// reports whether any shard sub-verdict was reused (the response's "delta"
+// marker). The shard cap is 0 — the finest partition — deliberately: memo
+// granularity, not parallelism, is what the cap buys here. A coarser,
+// GOMAXPROCS-matched packing would fuse independent groups into one shard,
+// so any mutation would invalidate the fused fingerprint and recompute all
+// of them; with one shard per co-occurrence group a mutation recomputes
+// exactly the groups it touched. Scheduling is unaffected — shards fan out
+// on the bounded worker pool either way.
+func (s *Server) solveHostedDelta(ctx context.Context, q cq.Query, d *db.DB, opts solver.Options) (solver.Verdict, bool, error) {
+	p, err := s.plans.Get(ctx, q)
+	if err != nil {
+		return solver.Verdict{}, false, err
+	}
+	v, rep, err := p.SolveShardedMemo(ctx, d, 0, opts, s.shardMemo)
+	if rep.ShardsReused > 0 {
+		s.reg.Counter(metricDeltaReused).Add(uint64(rep.ShardsReused))
+	}
+	if rep.ShardsRecomputed > 0 {
+		s.reg.Counter(metricDeltaRecomputed).Add(uint64(rep.ShardsRecomputed))
+	}
+	return v, rep.ShardsReused > 0, err
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -740,6 +803,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.verdicts != nil {
 		resp.Verdicts = statsFrom(s.verdictsM)
+	}
+	if s.shardMemo != nil {
+		resp.ShardMemo = statsFrom(s.shardMemoM)
+		resp.ShardMemoInvalidations = s.shardMemo.Invalidations()
 	}
 	s.publishInternStats(resp.Intern)
 	writeJSON(w, http.StatusOK, resp)

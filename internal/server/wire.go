@@ -195,6 +195,13 @@ type SolveResponse struct {
 	// (request with an empty DB on a server started with -data-dir): the
 	// version of the snapshot the verdict was computed on.
 	DBVersion *uint64 `json:"db_version,omitempty"`
+	// Delta is true when the verdict was assembled incrementally: the solve
+	// reused at least one memoized shard sub-verdict instead of recomputing
+	// every shard (hosted solves on a server with delta re-solve enabled).
+	// The verdict is still exact — reused sub-verdicts are content-addressed
+	// by shard fingerprint, so they are byte-identical to what a full
+	// re-solve would compute.
+	Delta bool `json:"delta,omitempty"`
 	// ElapsedMS is the server-side solve latency in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
@@ -339,6 +346,14 @@ type StatszResponse struct {
 	Classify lru.Stats `json:"classify"`
 	Plans    lru.Stats `json:"plans"`
 	Verdicts lru.Stats `json:"verdicts"`
+	// ShardMemo is the per-shard verdict memo behind delta re-solve
+	// (all-zero when stateless or disabled). Its eviction counter reports
+	// capacity evictions only; mutation-driven invalidations are counted
+	// separately in ShardMemoInvalidations.
+	ShardMemo lru.Stats `json:"shard_memo"`
+	// ShardMemoInvalidations counts memo entries removed by /v1/db
+	// mutations (block-granular invalidation).
+	ShardMemoInvalidations uint64 `json:"shard_memo_invalidations,omitempty"`
 	// Intern is the symbol-interner census of the hosted database's
 	// columnar view (all-zero when certd runs stateless).
 	Intern intern.Stats `json:"intern"`

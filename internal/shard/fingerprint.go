@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// Shard fingerprints are the content addresses behind delta re-solve: a
+// shard's conclusive verdict is a pure function of (component query, shard
+// fact set), the shard fact set is exactly the union of its blocks, and a
+// block's facts are determined by its content digest. Hashing the
+// component's canonical key together with the shard's sorted (block ID,
+// block digest) pairs therefore identifies the sub-instance up to SHA-256
+// collision — across databases, mutations, and fact insertion orders.
+//
+// This is what makes the solver's shard memo safe without any invalidation
+// protocol: a mutation changes the touched blocks' digests, so the touched
+// shards' fingerprints change and simply miss the memo, while untouched
+// shards keep their fingerprints and hit. Explicit invalidation (the
+// server's block-granular eviction) is memory hygiene and observability,
+// never a correctness requirement.
+
+// ShardFingerprint returns the content address of shard idx of component
+// comp, computed against the parent database the decomposition was built
+// from. The parent's per-block digests are maintained incrementally by the
+// copy-on-write index, so after a mutation only the touched block is
+// re-hashed; fingerprinting the other shards reads memoized digests.
+//
+// Fingerprints of shards with different block content always differ: the
+// block IDs pin the key set and the digests pin each block's facts, and
+// both are hashed with unambiguous length prefixes (db.HashParts). The
+// canonical component key scopes the address to the query, so one memo can
+// safely serve every query shape.
+func (dec *Decomposition) ShardFingerprint(d *db.DB, comp, idx int) string {
+	bids := dec.Blocks[comp][idx]
+	parts := make([]string, 0, 1+2*len(bids))
+	parts = append(parts, dec.componentKey(comp))
+	for _, bid := range bids {
+		parts = append(parts, bid, d.BlockDigests(dec.blockRel[bid])[bid])
+	}
+	return db.HashParts(parts)
+}
+
+// ComponentFingerprints returns the fingerprints of every shard of
+// component comp, in shard order — the batch the solver's memo pre-pass
+// looks up before fanning out.
+func (dec *Decomposition) ComponentFingerprints(d *db.DB, comp int) []string {
+	fps := make([]string, len(dec.Shards[comp]))
+	for i := range fps {
+		fps[i] = dec.ShardFingerprint(d, comp, i)
+	}
+	return fps
+}
+
+// componentKey memoizes the canonical key of component comp; queries equal
+// up to variable renaming and atom reordering share fingerprints.
+func (dec *Decomposition) componentKey(comp int) string {
+	dec.fpMu.Lock()
+	defer dec.fpMu.Unlock()
+	if dec.compKeys == nil {
+		dec.compKeys = make([]string, len(dec.Components))
+	}
+	if dec.compKeys[comp] == "" {
+		dec.compKeys[comp] = cq.CanonicalKey(dec.Components[comp])
+	}
+	return dec.compKeys[comp]
+}

@@ -39,6 +39,7 @@ package shard
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
@@ -69,6 +70,22 @@ type Decomposition struct {
 	Components       []cq.Query
 	Shards           [][]*db.DB
 	IrrelevantBlocks []int
+
+	// Blocks[j][i] is the sorted list of block IDs (Fact.BlockID) making up
+	// shard i of component j. Together with the parent database's per-block
+	// digests it determines the shard's content exactly, which is what
+	// ShardFingerprint hashes.
+	Blocks [][][]string
+
+	// blockRel maps each relevant block ID to its relation name, so
+	// fingerprinting can look the block's digest up in the parent database
+	// without parsing the ID.
+	blockRel map[string]string
+
+	// compKeys memoizes the canonical key of each query component, filled
+	// lazily under fpMu by ShardFingerprint.
+	fpMu     sync.Mutex
+	compKeys []string
 }
 
 // NumShards is the total number of data shards across all query components.
@@ -173,6 +190,7 @@ func Decompose(q cq.Query, d *db.DB, maxShards int) *Decomposition {
 
 	irrelevantBlocks := make(map[string]int)
 	blockFirst := make(map[string]int)
+	blockRel := make(map[string]string)
 	bucketFirst := make(map[string]int)
 	factComp := make([]int, len(facts)) // query component of each fact; -1 irrelevant
 	for i, f := range facts {
@@ -188,6 +206,7 @@ func Decompose(q cq.Query, d *db.DB, maxShards int) *Decomposition {
 			union(i, first)
 		} else {
 			blockFirst[bid] = i
+			blockRel[bid] = f.Rel
 		}
 		for _, oc := range relOccs[f.Rel] {
 			if oc.pos >= len(f.Args) {
@@ -251,10 +270,25 @@ func Decompose(q cq.Query, d *db.DB, maxShards int) *Decomposition {
 		}
 		return groupOf[cocompOf[i]]
 	})
+	// Record each shard's block-ID list: a block lies entirely within one
+	// co-occurrence component (its facts are unioned pairwise above), so the
+	// block → group assignment is a function of the block's first fact.
+	// Sorted lists make the fingerprints insertion-order independent.
+	shardBlocks := make([][]string, totalGroups)
+	for bid, i := range blockFirst {
+		shardBlocks[groupOf[cocompOf[i]]] = append(shardBlocks[groupOf[cocompOf[i]]], bid)
+	}
+	for _, bids := range shardBlocks {
+		sort.Strings(bids)
+	}
+	dec.blockRel = blockRel
+
 	base := 0
 	dec.Shards = make([][]*db.DB, len(comps))
+	dec.Blocks = make([][][]string, len(comps))
 	for j := range comps {
 		dec.Shards[j] = parts[base : base+groupsPer[j] : base+groupsPer[j]]
+		dec.Blocks[j] = shardBlocks[base : base+groupsPer[j] : base+groupsPer[j]]
 		base += groupsPer[j]
 	}
 

@@ -1,0 +1,170 @@
+package solver
+
+import (
+	"sync"
+
+	"github.com/cqa-go/certainty/internal/lru"
+	"github.com/cqa-go/certainty/internal/obs"
+)
+
+// DefaultShardMemoSize bounds the shard memo when the caller passes no
+// explicit size. Entries are an outcome plus a block-ID list, so even the
+// default is a few hundred kilobytes, not a cache of verdict payloads.
+const DefaultShardMemoSize = 4096
+
+// ShardMemo is the bounded per-shard verdict memo behind delta re-solve: it
+// maps a shard fingerprint (shard.Decomposition.ShardFingerprint — canonical
+// component query ⊕ sorted per-block content digests) to the shard's
+// conclusive outcome. Because the key addresses the shard's exact content,
+// a stored outcome can never be served for a different sub-instance: a
+// mutation changes the touched blocks' digests, so the touched shards'
+// fingerprints miss and recompute while every untouched shard hits.
+//
+// Only conclusive outcomes (OutcomeCertain, OutcomeNotCertain) are stored.
+// OutcomeUnknown depends on the request's budget and deadline, so replaying
+// it could make a later, better-resourced solve less conclusive; Put
+// silently drops it.
+//
+// Invalidate is memory hygiene and observability, not correctness: the
+// server calls it with the block IDs a /v1/db mutation touched so stale
+// entries are dropped eagerly (they could otherwise only age out by LRU,
+// since their fingerprints will never be looked up again). The byBlock
+// index makes that eviction block-granular — an entry survives every
+// mutation whose touched blocks its fingerprint excludes.
+//
+// Safe for concurrent use.
+type ShardMemo struct {
+	mu      sync.Mutex
+	c       *lru.Cache[string, shardMemoEntry]
+	byBlock map[string]map[string]struct{} // block ID → fingerprints covering it
+	m       *obs.CacheMetrics
+	inval   uint64
+}
+
+// shardMemoEntry is one memoized shard verdict: the conclusive outcome and
+// the shard's block IDs, kept so eviction and invalidation can unindex the
+// entry from byBlock.
+type shardMemoEntry struct {
+	outcome Outcome
+	blocks  []string
+}
+
+// NewShardMemo returns a memo holding at most size entries (size <= 0
+// selects DefaultShardMemoSize). Metrics m may be nil (uninstrumented).
+func NewShardMemo(size int, m *obs.CacheMetrics) *ShardMemo {
+	if size <= 0 {
+		size = DefaultShardMemoSize
+	}
+	sm := &ShardMemo{
+		c:       lru.New[string, shardMemoEntry](size),
+		byBlock: make(map[string]map[string]struct{}),
+		m:       m,
+	}
+	m.SetSize(0, sm.c.Cap())
+	return sm
+}
+
+// Get returns the memoized conclusive outcome for fingerprint fp.
+func (sm *ShardMemo) Get(fp string) (Outcome, bool) {
+	sm.mu.Lock()
+	e, ok := sm.c.Get(fp)
+	sm.mu.Unlock()
+	if ok {
+		sm.m.Hit()
+		return e.outcome, true
+	}
+	sm.m.Miss()
+	return OutcomeUnknown, false
+}
+
+// Contains reports whether fp is memoized, without touching recency or
+// counters. Test and introspection surface.
+func (sm *ShardMemo) Contains(fp string) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	_, ok := sm.c.Peek(fp)
+	return ok
+}
+
+// Put memoizes a conclusive shard outcome under fingerprint fp, indexing it
+// by the shard's block IDs. OutcomeUnknown is dropped (budget-dependent,
+// see the type comment).
+func (sm *ShardMemo) Put(fp string, o Outcome, blocks []string) {
+	if o != OutcomeCertain && o != OutcomeNotCertain {
+		return
+	}
+	sm.mu.Lock()
+	evictedFP, evicted, wasEvicted := sm.c.PutEvicted(fp, shardMemoEntry{outcome: o, blocks: blocks})
+	if wasEvicted {
+		sm.unindexLocked(evictedFP, evicted.blocks)
+		sm.m.Evicted(1)
+	}
+	for _, bid := range blocks {
+		set := sm.byBlock[bid]
+		if set == nil {
+			set = make(map[string]struct{})
+			sm.byBlock[bid] = set
+		}
+		set[fp] = struct{}{}
+	}
+	sm.m.SetSize(sm.c.Len(), sm.c.Cap())
+	sm.mu.Unlock()
+}
+
+// Invalidate drops every entry whose fingerprint covers any of the given
+// block IDs and returns how many entries were removed. Entries whose
+// fingerprints exclude all touched blocks are untouched — this is the
+// block-granular guarantee the metamorphic suite locks down.
+func (sm *ShardMemo) Invalidate(blocks []string) int {
+	sm.mu.Lock()
+	removed := 0
+	for _, bid := range blocks {
+		for fp := range sm.byBlock[bid] {
+			if e, ok := sm.c.Peek(fp); ok {
+				sm.c.Delete(fp)
+				sm.unindexLocked(fp, e.blocks)
+				removed++
+			}
+		}
+		delete(sm.byBlock, bid)
+	}
+	sm.inval += uint64(removed)
+	sm.m.SetSize(sm.c.Len(), sm.c.Cap())
+	sm.mu.Unlock()
+	return removed
+}
+
+// unindexLocked removes fp from the byBlock sets of the given blocks.
+// Caller holds mu.
+func (sm *ShardMemo) unindexLocked(fp string, blocks []string) {
+	for _, bid := range blocks {
+		if set, ok := sm.byBlock[bid]; ok {
+			delete(set, fp)
+			if len(set) == 0 {
+				delete(sm.byBlock, bid)
+			}
+		}
+	}
+}
+
+// Len returns the number of memoized shard verdicts.
+func (sm *ShardMemo) Len() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.c.Len()
+}
+
+// Invalidations returns how many entries Invalidate has removed.
+func (sm *ShardMemo) Invalidations() uint64 {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.inval
+}
+
+// Stats snapshots the underlying cache counters (hits, misses, capacity
+// evictions — invalidations are reported separately by Invalidations).
+func (sm *ShardMemo) Stats() lru.Stats {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.c.Stats()
+}

@@ -19,6 +19,7 @@ type config struct {
 	shards  int               // 0 = monolithic; >0 = cap data shards per component; <0 = auto
 	plans   PlanSource        // nil = compile per call (or run the uncompiled path)
 	observe func(BatchResult) // SolveBatch streaming callback; nil = none
+	memo    *ShardMemo        // nil = no per-shard verdict memoization
 }
 
 // PlanSource supplies compiled plans; *plan.Cache implements it. Solve uses
@@ -46,6 +47,15 @@ func WithDeadline(d time.Duration) Option {
 // conclusive verdicts; sharding changes only how the work is scheduled.
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
+}
+
+// WithShardMemo consults (and fills) the given per-shard verdict memo
+// during sharded solving: shards whose content fingerprints hit the memo
+// reuse their conclusive verdicts instead of being re-solved. Effective
+// only together with WithShards (the memo works at shard granularity);
+// conclusive verdicts are unchanged — see ShardMemo.
+func WithShardMemo(m *ShardMemo) Option {
+	return func(c *config) { c.memo = m }
 }
 
 // WithPlanCache routes plan compilation through ps (typically a *plan.Cache)

@@ -33,6 +33,10 @@ func solveSharded(ctx context.Context, q cq.Query, d *db.DB, cfg config) (Verdic
 	if err != nil {
 		return Verdict{}, err
 	}
+	if cfg.memo != nil {
+		v, _, err := p.SolveShardedMemo(ctx, d, cfg.shards, cfg.opts, cfg.memo)
+		return v, err
+	}
 	return p.SolveSharded(ctx, d, cfg.shards, cfg.opts)
 }
 
@@ -57,6 +61,24 @@ func solveSharded(ctx context.Context, q cq.Query, d *db.DB, cfg config) (Verdic
 // falsifying repair still upgrades the verdict to a conclusive
 // OutcomeNotCertain).
 func (p *Plan) SolveSharded(ctx context.Context, d *db.DB, maxShards int, opts Options) (Verdict, error) {
+	v, _, err := p.SolveShardedMemo(ctx, d, maxShards, opts, nil)
+	return v, err
+}
+
+// SolveShardedMemo is SolveSharded consulting a per-shard verdict memo: for
+// every data shard it first looks up the shard's content fingerprint and
+// reuses a memoized conclusive outcome instead of solving, then memoizes
+// the conclusive outcomes of the shards it did solve. The memo never
+// changes answers — a fingerprint addresses the shard's exact content, so a
+// hit replays the verdict the solve would have computed — and conclusive
+// verdicts stay byte-identical to SolveSharded and SolveCtx. The report
+// accounts for the reuse; memo may be nil (plain SolveSharded behavior).
+//
+// Plans carrying a database rewrite (projection simplification) skip the
+// memo: their shards are shards of the rewritten database, whose blocks are
+// rebuilt per call, so fingerprinting them would hash fresh content every
+// time and reuse nothing across calls.
+func (p *Plan) SolveShardedMemo(ctx context.Context, d *db.DB, maxShards int, opts Options, memo *ShardMemo) (Verdict, DeltaReport, error) {
 	if maxShards < 0 {
 		maxShards = runtime.GOMAXPROCS(0)
 	}
@@ -68,10 +90,11 @@ func (p *Plan) SolveSharded(ctx context.Context, d *db.DB, maxShards int, opts O
 		defer cancel()
 	}
 	var v Verdict
+	var rep DeltaReport
 	var steps int64
 	err := govern.Safe(func() error {
 		var innerErr error
-		v, steps, innerErr = p.shardJoin(ctx, d, maxShards, opts)
+		v, steps, innerErr = p.shardJoin(ctx, d, maxShards, opts, memo, &rep)
 		return innerErr
 	})
 	if root != nil {
@@ -86,9 +109,9 @@ func (p *Plan) SolveSharded(ctx context.Context, d *db.DB, maxShards int, opts O
 		root.End()
 	}
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, DeltaReport{}, err
 	}
-	return v, nil
+	return v, rep, nil
 }
 
 // shardOutcome is one shard's contribution to the join.
@@ -99,10 +122,21 @@ type shardOutcome struct {
 	solved  bool // false when the fan-out was cancelled before this shard ran
 }
 
+// memoScope is the per-component view of the shard memo handed to
+// solveComponent: the memo itself, the component's shard fingerprints and
+// block-ID lists, and the report the reuse is accounted into. nil disables
+// memoization for the component.
+type memoScope struct {
+	memo   *ShardMemo
+	fps    []string
+	blocks [][]string
+	rep    *DeltaReport
+}
+
 // shardJoin does the decomposition, the fan-out, and the combine. It runs
 // inside the caller's govern.Safe, so panics anywhere below surface as
 // errors.
-func (p *Plan) shardJoin(ctx context.Context, d *db.DB, maxShards int, opts Options) (Verdict, int64, error) {
+func (p *Plan) shardJoin(ctx context.Context, d *db.DB, maxShards int, opts Options, memo *ShardMemo, rep *DeltaReport) (Verdict, int64, error) {
 	execD := d
 	if p.rewriteDB != nil {
 		var err error
@@ -142,13 +176,28 @@ func (p *Plan) shardJoin(ctx context.Context, d *db.DB, maxShards int, opts Opti
 		DegradeSamples: -1, // degradation sampling happens once, below, on the whole instance
 	}
 
+	// The memo engages only for plans without a database rewrite: execD is
+	// then the caller's database, whose per-block digests the copy-on-write
+	// index maintains incrementally, so fingerprinting is cheap and the
+	// fingerprints are stable across mutations of other blocks.
+	useMemo := memo != nil && p.rewriteDB == nil
+
 	// Conjunction across query components, evaluated in order with early
 	// exit: one not-certain component settles the whole instance.
 	outcome := OutcomeCertain
 	var firstCut error
 	var totalSteps int64
 	for j := range dec.Components {
-		cv, steps, err := solveComponent(ctx, plans[j], dec.Shards[j], j, shardOpts)
+		var mc *memoScope
+		if useMemo {
+			mc = &memoScope{
+				memo:   memo,
+				fps:    dec.ComponentFingerprints(execD, j),
+				blocks: dec.Blocks[j],
+				rep:    rep,
+			}
+		}
+		cv, steps, err := solveComponent(ctx, plans[j], dec.Shards[j], j, shardOpts, mc)
 		totalSteps += steps
 		if err != nil {
 			return Verdict{}, totalSteps, err
@@ -233,17 +282,44 @@ func (p *Plan) execStage() *Plan {
 // (remaining shards are cancelled), all-not-certain shards make it not
 // certain, anything else — a cut-off shard, or a fan-out stopped by the
 // caller's deadline — leaves it unknown with the first cutoff cause.
-func solveComponent(ctx context.Context, pj *Plan, shards []*db.DB, compIdx int, shardOpts Options) (shardOutcome, int64, error) {
+//
+// With a memo scope, a pre-pass first resolves every shard whose
+// fingerprint hits the memo: a memoized certain shard settles the component
+// with zero solves, memoized not-certain shards drop out of the fan-out,
+// and only the misses are actually solved — whose conclusive outcomes are
+// memoized afterwards. Reuse changes scheduling only; the combine below
+// sees exactly the outcomes a full fan-out would have produced.
+func solveComponent(ctx context.Context, pj *Plan, shards []*db.DB, compIdx int, shardOpts Options, mc *memoScope) (shardOutcome, int64, error) {
 	if len(shards) == 0 {
 		// No facts for this component's relations: no embedding can exist,
 		// so the component is falsified by every repair (components are
 		// non-empty queries).
 		return shardOutcome{outcome: OutcomeNotCertain, solved: true}, 0, nil
 	}
+	results := make([]shardOutcome, len(shards))
+	pending := make([]int, 0, len(shards))
+	if mc != nil {
+		for i := range shards {
+			if o, ok := mc.memo.Get(mc.fps[i]); ok {
+				results[i] = shardOutcome{outcome: o, solved: true}
+				mc.rep.ShardsReused++
+				if o == OutcomeCertain {
+					// Disjunction short-circuit straight from the memo.
+					return shardOutcome{outcome: OutcomeCertain, solved: true}, 0, nil
+				}
+				continue
+			}
+			pending = append(pending, i)
+		}
+	} else {
+		for i := range shards {
+			pending = append(pending, i)
+		}
+	}
 	fanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]shardOutcome, len(shards))
-	_ = shard.ForEach(fanCtx, len(shards), func(i int) {
+	_ = shard.ForEach(fanCtx, len(pending), func(k int) {
+		i := pending[k]
 		sctx, sp := obs.StartSpan(fanCtx, "shard/solve")
 		sp.SetInt("component", int64(compIdx))
 		sp.SetInt("shard", int64(i))
@@ -271,6 +347,21 @@ func solveComponent(ctx context.Context, pj *Plan, shards []*db.DB, compIdx int,
 			cancel() // disjunction short-circuit: the component is certain
 		}
 	})
+	if mc != nil {
+		// Account and memoize after the fan-out, on one goroutine: the
+		// report is not written concurrently, and only conclusive,
+		// error-free outcomes enter the memo.
+		for _, i := range pending {
+			r := results[i]
+			if !r.solved {
+				continue
+			}
+			mc.rep.ShardsRecomputed++
+			if r.err == nil && (r.outcome == OutcomeCertain || r.outcome == OutcomeNotCertain) {
+				mc.memo.Put(mc.fps[i], r.outcome, mc.blocks[i])
+			}
+		}
+	}
 
 	comp := shardOutcome{outcome: OutcomeNotCertain, solved: true}
 	var steps int64
