@@ -33,6 +33,15 @@
 // Omitting -d with -remote solves against the server's durable hosted
 // database, and -db-insert/-db-delete/-db-info (with -if-version for
 // compare-and-set) mutate and inspect it over /v1/db.
+//
+// With -emit sql|datalog the query is not solved: its consistent
+// first-order rewriting is compiled to an executable backend program and
+// printed to stdout (comments carry the schema convention). Local by
+// default; with -remote the program comes from the server's /v1/compile.
+// Non-FO queries fail with their classification — fall back to a solve.
+// The inverse direction, -eval-sql FILE and -eval-datalog FILE, evaluates
+// a previously emitted program against the -d database with the built-in
+// reference evaluators and prints the same certain verdict a solve would.
 package main
 
 import (
@@ -51,6 +60,8 @@ import (
 	"github.com/cqa-go/certainty/internal/client"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/emit"
+	"github.com/cqa-go/certainty/internal/emit/sqleval"
 	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/obs"
 	"github.com/cqa-go/certainty/internal/prob"
@@ -75,6 +86,9 @@ func main() {
 	dbDelete := flag.String("db-delete", "", "delete facts from this file ('-' for stdin) from the remote hosted database (requires -remote)")
 	dbInfo := flag.Bool("db-info", false, "print the remote hosted database's version and stats (requires -remote)")
 	ifVersion := flag.Int64("if-version", -1, "CAS guard for -db-insert/-db-delete: fail unless the remote database is at this version (-1 = unconditional)")
+	emitDialect := flag.String("emit", "", "compile the query's FO rewriting to this dialect (sql, datalog) and print the program instead of solving")
+	evalSQL := flag.String("eval-sql", "", "evaluate an emitted SQL program from this file ('-' for stdin) against the -d database")
+	evalDatalog := flag.String("eval-datalog", "", "evaluate an emitted Datalog program from this file ('-' for stdin) against the -d database")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -82,6 +96,22 @@ func main() {
 
 	if *dbInsert != "" || *dbDelete != "" || *dbInfo {
 		if err := runRemoteDB(ctx, *remote, *dbInsert, *dbDelete, *dbInfo, *ifVersion); err != nil {
+			fmt.Fprintln(os.Stderr, "certsolve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *evalSQL != "" || *evalDatalog != "" {
+		if err := runEval(*evalSQL, *evalDatalog, *dbFile); err != nil {
+			fmt.Fprintln(os.Stderr, "certsolve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *emitDialect != "" {
+		if err := runEmit(ctx, *emitDialect, *queryText, *queryFile, *remote); err != nil {
 			fmt.Fprintln(os.Stderr, "certsolve:", err)
 			os.Exit(1)
 		}
@@ -151,6 +181,121 @@ func runRemoteDB(ctx context.Context, baseURL, insertFile, deleteFile string, in
 	if resp.ReadOnly {
 		fmt.Println("read-only: true  (disk trouble — mutations rejected until a probe heals it)")
 	}
+	return nil
+}
+
+// parseQueryArg resolves -q / -qf into a parsed query.
+func parseQueryArg(queryText, queryFile string) (cq.Query, error) {
+	switch {
+	case queryText != "":
+		return cq.ParseQuery(queryText)
+	case queryFile != "":
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return cq.Query{}, err
+		}
+		return cq.ParseQuery(string(data))
+	}
+	return cq.Query{}, fmt.Errorf("provide -q or -qf")
+}
+
+// runEmit compiles the query's FO rewriting to the requested dialect and
+// prints the bare program (ready to pipe into a file or a database shell).
+// Classification metadata goes to stderr so stdout stays machine-readable.
+func runEmit(ctx context.Context, dialect, queryText, queryFile, remote string) error {
+	if dialect != emit.DialectSQL && dialect != emit.DialectDatalog {
+		return fmt.Errorf("unknown -emit dialect %q (want sql or datalog)", dialect)
+	}
+	q, err := parseQueryArg(queryText, queryFile)
+	if err != nil {
+		return err
+	}
+
+	if remote != "" {
+		resp, err := client.New(remote).Compile(ctx, q.String(), dialect)
+		if err != nil {
+			var eb *server.ErrorBody
+			if errors.As(err, &eb) && eb.Code == server.CodeUnsupported && eb.Class != "" {
+				return fmt.Errorf("CERTAINTY(q) is %s: no first-order rewriting to emit; solve instead", eb.Class)
+			}
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "class: %s\nmethod: %s  (remote)\n", resp.Class, resp.Method)
+		fmt.Print(resp.Program)
+		return nil
+	}
+
+	p, err := solver.CompilePlan(q)
+	if err != nil {
+		return err
+	}
+	var prog emit.Program
+	if dialect == emit.DialectSQL {
+		prog, err = p.EmitSQL()
+	} else {
+		prog, err = p.EmitDatalog()
+	}
+	if err != nil {
+		var ne *solver.NotEmittableError
+		if errors.As(err, &ne) {
+			return fmt.Errorf("CERTAINTY(q) is %s: no first-order rewriting to emit; solve instead", ne.Classification.Class)
+		}
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "class: %s\nmethod: %s\n", p.Class, p.Method)
+	fmt.Print(prog.Text)
+	return nil
+}
+
+// runEval evaluates an emitted program against the -d database with the
+// reference evaluators and prints the boolean verdict.
+func runEval(sqlFile, dlogFile, dbFile string) error {
+	if sqlFile != "" && dlogFile != "" {
+		return fmt.Errorf("use -eval-sql or -eval-datalog, not both")
+	}
+	if dbFile == "" {
+		return fmt.Errorf("-eval-sql/-eval-datalog require -d database file")
+	}
+	progFile := sqlFile
+	if dlogFile != "" {
+		progFile = dlogFile
+	}
+	if progFile == "-" && dbFile == "-" {
+		return fmt.Errorf("the program and the database cannot both come from stdin")
+	}
+	var prog []byte
+	var err error
+	if progFile == "-" {
+		prog, err = io.ReadAll(os.Stdin)
+	} else {
+		prog, err = os.ReadFile(progFile)
+	}
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if dbFile == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(dbFile)
+	}
+	if err != nil {
+		return err
+	}
+	d, err := db.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	var certain bool
+	if sqlFile != "" {
+		certain, err = sqleval.Eval(string(prog), d)
+	} else {
+		certain, err = emit.EvalDatalog(string(prog), d)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("certain: %v\n", certain)
 	return nil
 }
 

@@ -105,6 +105,18 @@ func (c *Client) Classify(ctx context.Context, query string) (server.ClassifyRes
 	return resp, err
 }
 
+// Compile posts a compile request: the query's consistent first-order
+// rewriting lowered to an executable backend program ("sql" or "datalog";
+// empty dialect selects SQL). Non-FO queries fail with a permanent
+// unsupported error whose ErrorBody.Class carries the classification —
+// callers fall back to Solve. Standard retry policy applies (transient
+// shed/shutdown errors are retried with backoff).
+func (c *Client) Compile(ctx context.Context, query, dialect string) (server.CompileResponse, error) {
+	var resp server.CompileResponse
+	err := c.do(ctx, "/v1/compile", server.CompileRequest{Query: query, Dialect: dialect}, &resp)
+	return resp, err
+}
+
 // Ready GETs /readyz once, with no retries: health probes want the current
 // answer, not a flattering one. A non-200 (draining, read-only) comes back
 // as an error.

@@ -320,6 +320,71 @@ func TestRemoteMatchesLocal(t *testing.T) {
 	}
 }
 
+// TestCompileRoundTrip: Compile retries transient sheds like every other
+// call, returns the program against a real server, and surfaces the non-FO
+// unsupported error permanently (one attempt, classification attached).
+func TestCompileRoundTrip(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+
+	for _, dialect := range []string{"sql", "datalog", ""} {
+		resp, err := c.Compile(context.Background(), "R(x | y), S(y | z)", dialect)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", dialect, err)
+		}
+		if resp.Program == "" {
+			t.Fatalf("Compile(%q) returned an empty program", dialect)
+		}
+		want := dialect
+		if want == "" {
+			want = "sql" // server default
+		}
+		if resp.Dialect != want {
+			t.Errorf("dialect = %q, want %q", resp.Dialect, want)
+		}
+		if resp.Method == "" {
+			t.Errorf("Compile(%q) envelope missing method: %+v", dialect, resp.Envelope)
+		}
+	}
+
+	// Shed once, then succeed: standard retry policy applies to Compile.
+	shed := func(w http.ResponseWriter) {
+		writeErrorBody(w, http.StatusTooManyRequests, server.ErrorBody{Code: server.CodeShed, RetryAfterMS: 1})
+	}
+	sts, calls := scriptedServer(t, []func(http.ResponseWriter){shed}, func(w http.ResponseWriter, r *http.Request) {
+		srv.Handler().ServeHTTP(w, r)
+	})
+	rc, slept := testClient(sts.URL)
+	if _, err := rc.Compile(context.Background(), "R(x | y)", "sql"); err != nil {
+		t.Fatalf("Compile after shed: %v", err)
+	}
+	if calls.Load() != 2 || len(*slept) != 1 {
+		t.Fatalf("attempts = %d, sleeps = %d; want one retry after the shed", calls.Load(), len(*slept))
+	}
+
+	// Non-FO: permanent, single attempt, classification attached.
+	pts, pcalls := scriptedServer(t, nil, func(w http.ResponseWriter, r *http.Request) {
+		srv.Handler().ServeHTTP(w, r)
+	})
+	pc, pslept := testClient(pts.URL)
+	_, err := pc.Compile(context.Background(), "R0(x | y), S0(y, z | x)", "sql")
+	if err == nil {
+		t.Fatal("Compile of a non-FO query must fail")
+	}
+	var eb *server.ErrorBody
+	if !errors.As(err, &eb) {
+		t.Fatalf("err = %v, want *server.ErrorBody", err)
+	}
+	if eb.Code != server.CodeUnsupported || eb.Class == "" {
+		t.Fatalf("error = %+v, want unsupported with a classification", eb)
+	}
+	if pcalls.Load() != 1 || len(*pslept) != 0 {
+		t.Fatalf("attempts = %d, sleeps = %d; unsupported must not be retried", pcalls.Load(), len(*pslept))
+	}
+}
+
 // TestOversizedResponseNotRetried: a 200 body larger than MaxResponseBytes
 // surfaces as a distinct "exceeds ... limit" error after exactly one
 // attempt — the same request would yield the same oversized body, so

@@ -1,0 +1,591 @@
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/fo"
+)
+
+// Datalog lowers the certain first-order rewriting phi of the
+// (canonicalized) query q into a stratified Datalog program:
+//
+//   - stratum 0 is the saturation preprocessing step: adom/1 collects the
+//     active domain (every column of every query relation plus the query's
+//     constants) and block_<r>/k collects the key blocks (one derived fact
+//     per block of each relation, i.e. the distinct key prefixes);
+//   - each subformula becomes one IDB predicate q<N> over its sorted free
+//     variables, numbered in pre-order, so emission is deterministic;
+//     universal subformulas compile by double negation through a violation
+//     predicate v<N> in the stratum below;
+//   - the goal predicate is `certain`, derived iff the rewriting holds.
+//
+// EDB facts use predicates e_<r>(c1..cn) — one argument per column, the key
+// being the first k columns. Relation and variable names are sanitized into
+// the Datalog identifier alphabet (lowercased; other bytes hex-escaped as
+// _XX); a sanitization collision is an error, never a silent merge.
+func Datalog(q cq.Query, phi fo.Formula, method string) (Program, error) {
+	sigs, err := querySignature(q)
+	if err != nil {
+		return Program{}, err
+	}
+	if free := fo.FreeVars(phi); free.Len() > 0 {
+		return Program{}, fmt.Errorf("emit: rewriting must be a sentence; free variables %v", free.Sorted())
+	}
+	g := &dlogGen{
+		predBySan: make(map[string]string),
+		varBySan:  make(map[string]string),
+		ePred:     make(map[string]string),
+		blockPred: make(map[string]string),
+	}
+	for _, s := range sigs {
+		ep, err := g.namePred("e_", s.rel)
+		if err != nil {
+			return Program{}, err
+		}
+		g.ePred[s.rel] = ep
+		bp, err := g.namePred("block_", s.rel)
+		if err != nil {
+			return Program{}, err
+		}
+		g.blockPred[s.rel] = bp
+	}
+
+	var b strings.Builder
+	b.WriteString("% CERTAINTY(q): consistent first-order rewriting compiled to stratified Datalog.\n")
+	fmt.Fprintf(&b, "%% query:  %s\n", q)
+	fmt.Fprintf(&b, "%% method: %s\n", method)
+	b.WriteString("%\n")
+	b.WriteString("% Schema convention: each relation R of arity n is an EDB predicate\n")
+	b.WriteString("% e_<r>(c1..cn), one argument per column, the key being the first k\n")
+	b.WriteString("% columns as declared in the query signature. The program is stratified\n")
+	b.WriteString("% (negation only on predicates of lower strata); the goal predicate\n")
+	b.WriteString("% `certain` is derived iff the query is certain.\n")
+	for _, s := range sigs {
+		fmt.Fprintf(&b, "%%   %s/%d: key = first %d argument(s)\n", g.ePred[s.rel], s.arity, s.keyLen)
+	}
+	b.WriteString("\n% Saturation: active domain and key blocks.\n")
+	for _, s := range sigs {
+		args := make([]string, s.arity)
+		for i := range args {
+			args[i] = fmt.Sprintf("X%d", i+1)
+		}
+		body := fmt.Sprintf("%s(%s)", g.ePred[s.rel], strings.Join(args, ", "))
+		for i := 0; i < s.arity; i++ {
+			fmt.Fprintf(&b, "adom(X%d) :- %s.\n", i+1, body)
+		}
+		fmt.Fprintf(&b, "%s(%s) :- %s.\n", g.blockPred[s.rel], strings.Join(args[:s.keyLen], ", "), body)
+	}
+	for _, c := range sortedConstants(q) {
+		fmt.Fprintf(&b, "adom(%s).\n", dlogString(c))
+	}
+
+	root, rootFV, err := g.lower(phi)
+	if err != nil {
+		return Program{}, err
+	}
+	if len(rootFV) != 0 {
+		return Program{}, fmt.Errorf("emit: internal: root predicate %s has free variables %v", root, rootFV)
+	}
+	b.WriteString("\n% Rewriting, one predicate per subformula (pre-order).\n")
+	for _, r := range g.rules {
+		b.WriteString(r)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\ncertain :- %s.\n", root)
+
+	return Program{Dialect: DialectDatalog, Text: b.String(), SchemaNotes: dlogSchemaNotes(g, sigs)}, nil
+}
+
+func dlogSchemaNotes(g *dlogGen, sigs []relSig) string {
+	var b strings.Builder
+	b.WriteString("Each relation R of arity n is an EDB predicate e_<r>(c1..cn), one argument ")
+	b.WriteString("per column, the key being the first k columns as declared in the query ")
+	b.WriteString("signature; names are lowercased with non-identifier bytes hex-escaped. ")
+	for _, s := range sigs {
+		fmt.Fprintf(&b, "%s/%d: key c1..c%d. ", g.ePred[s.rel], s.arity, s.keyLen)
+	}
+	b.WriteString("The program is stratified Datalog with negation and equality; the goal ")
+	b.WriteString("predicate `certain` (arity 0) is derived iff the query is certain. ")
+	b.WriteString("Constants are double-quoted strings with backslash escapes.")
+	return b.String()
+}
+
+type dlogGen struct {
+	rules     []string
+	n         int
+	predBySan map[string]string // sanitized predicate -> original relation
+	varBySan  map[string]string // sanitized variable -> original variable
+	ePred     map[string]string
+	blockPred map[string]string
+}
+
+// namePred sanitizes rel into the prefix's predicate namespace, failing on
+// collisions rather than silently merging two relations.
+func (g *dlogGen) namePred(prefix, rel string) (string, error) {
+	p := prefix + sanitizeDlog(rel)
+	if prev, ok := g.predBySan[p]; ok && prev != rel {
+		return "", fmt.Errorf("emit: relations %q and %q both sanitize to Datalog predicate %s", prev, rel, p)
+	}
+	g.predBySan[p] = rel
+	return p, nil
+}
+
+func (g *dlogGen) dvar(v string) (string, error) {
+	s := sanitizeDlog(v)
+	if prev, ok := g.varBySan[s]; ok && prev != v {
+		return "", fmt.Errorf("emit: variables %q and %q both sanitize to Datalog variable V_%s", prev, v, s)
+	}
+	g.varBySan[s] = v
+	return "V_" + s, nil
+}
+
+func (g *dlogGen) term(t cq.Term) (string, error) {
+	if t.IsConst {
+		return dlogString(t.Value), nil
+	}
+	return g.dvar(t.Value)
+}
+
+func (g *dlogGen) head(pred string, fv []string) (string, error) {
+	if len(fv) == 0 {
+		return pred, nil
+	}
+	args := make([]string, len(fv))
+	for i, v := range fv {
+		dv, err := g.dvar(v)
+		if err != nil {
+			return "", err
+		}
+		args[i] = dv
+	}
+	return pred + "(" + strings.Join(args, ", ") + ")", nil
+}
+
+// adomGuards returns adom(V) literals for the given variables in sorted
+// order; they bind variables no positive body literal binds.
+func (g *dlogGen) adomGuards(vars []string) ([]string, error) {
+	sorted := append([]string(nil), vars...)
+	sort.Strings(sorted)
+	out := make([]string, 0, len(sorted))
+	for _, v := range sorted {
+		dv, err := g.dvar(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, "adom("+dv+")")
+	}
+	return out, nil
+}
+
+func (g *dlogGen) rule(head string, body []string) {
+	if len(body) == 0 {
+		g.rules = append(g.rules, head+".")
+		return
+	}
+	g.rules = append(g.rules, head+" :- "+strings.Join(body, ", ")+".")
+}
+
+// atomLit renders atom a as a positive EDB literal.
+func (g *dlogGen) atomLit(a cq.Atom) (string, error) {
+	ep, ok := g.ePred[a.Rel]
+	if !ok {
+		return "", fmt.Errorf("emit: relation %s in rewriting but not in query signature", a.Rel)
+	}
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		s, err := g.term(t)
+		if err != nil {
+			return "", err
+		}
+		args[i] = s
+	}
+	return ep + "(" + strings.Join(args, ", ") + ")", nil
+}
+
+// lower emits rules for f and returns its predicate name and sorted free
+// variables (the predicate's argument order).
+func (g *dlogGen) lower(f fo.Formula) (string, []string, error) {
+	id := g.n
+	g.n++
+	pred := fmt.Sprintf("q%d", id)
+	fv := fo.FreeVars(f).Sorted()
+	head, err := g.head(pred, fv)
+	if err != nil {
+		return "", nil, err
+	}
+	switch v := f.(type) {
+	case fo.Truth:
+		if v {
+			g.rule(head, nil)
+		}
+		// false: no rules — pred is never derivable.
+	case fo.Atom:
+		lit, err := g.atomLit(v.A)
+		if err != nil {
+			return "", nil, err
+		}
+		g.rule(head, []string{lit})
+	case fo.Eq:
+		guards, err := g.adomGuards(fv)
+		if err != nil {
+			return "", nil, err
+		}
+		l, err := g.term(v.L)
+		if err != nil {
+			return "", nil, err
+		}
+		r, err := g.term(v.R)
+		if err != nil {
+			return "", nil, err
+		}
+		g.rule(head, append(guards, l+" = "+r))
+	case fo.Not:
+		cp, cfv, err := g.lower(v.F)
+		if err != nil {
+			return "", nil, err
+		}
+		guards, err := g.adomGuards(fv)
+		if err != nil {
+			return "", nil, err
+		}
+		ch, err := g.head(cp, cfv)
+		if err != nil {
+			return "", nil, err
+		}
+		g.rule(head, append(guards, "not "+ch))
+	case fo.And:
+		var lits []string
+		for _, c := range v.Fs {
+			cp, cfv, err := g.lower(c)
+			if err != nil {
+				return "", nil, err
+			}
+			ch, err := g.head(cp, cfv)
+			if err != nil {
+				return "", nil, err
+			}
+			lits = append(lits, ch)
+		}
+		g.rule(head, lits)
+	case fo.Or:
+		for _, c := range v.Fs {
+			cp, cfv, err := g.lower(c)
+			if err != nil {
+				return "", nil, err
+			}
+			ch, err := g.head(cp, cfv)
+			if err != nil {
+				return "", nil, err
+			}
+			guards, err := g.adomGuards(minusVars(fv, cfv))
+			if err != nil {
+				return "", nil, err
+			}
+			g.rule(head, append(guards, ch))
+		}
+	case fo.Implies:
+		hp, hfv, err := g.lower(v.Hyp)
+		if err != nil {
+			return "", nil, err
+		}
+		cp, cfv, err := g.lower(v.Concl)
+		if err != nil {
+			return "", nil, err
+		}
+		hh, err := g.head(hp, hfv)
+		if err != nil {
+			return "", nil, err
+		}
+		guards, err := g.adomGuards(fv)
+		if err != nil {
+			return "", nil, err
+		}
+		g.rule(head, append(guards, "not "+hh))
+		ch, err := g.head(cp, cfv)
+		if err != nil {
+			return "", nil, err
+		}
+		guards2, err := g.adomGuards(minusVars(fv, cfv))
+		if err != nil {
+			return "", nil, err
+		}
+		g.rule(head, append(guards2, ch))
+	case fo.Exists:
+		if and, ok := v.F.(fo.And); ok {
+			sc := make(scope, len(fv))
+			for _, w := range fv {
+				sc[w] = w
+			}
+			if blk, ok := matchKeyBlock(v.Vars, and.Fs, sc); ok {
+				if err := g.lowerBlock(head, pred, fv, blk); err != nil {
+					return "", nil, err
+				}
+				break
+			}
+		}
+		cp, cfv, err := g.lower(v.F)
+		if err != nil {
+			return "", nil, err
+		}
+		ch, err := g.head(cp, cfv)
+		if err != nil {
+			return "", nil, err
+		}
+		g.rule(head, []string{ch})
+	case fo.Forall:
+		if err := g.lowerForall(head, id, fv, v); err != nil {
+			return "", nil, err
+		}
+	default:
+		return "", nil, fmt.Errorf("emit: unknown formula node %T", f)
+	}
+	return pred, fv, nil
+}
+
+// lowerForall compiles ∀vars(body) by double negation: qN holds unless the
+// violation predicate vN — "some assignment of vars falsifies body" — does.
+// When body is a guarded implication ∀ū(R(…ū…) → concl), the violation scan
+// ranges over R's facts; otherwise it ranges over adom.
+func (g *dlogGen) lowerForall(head string, id int, fv []string, v fo.Forall) error {
+	vio := fmt.Sprintf("v%d", id)
+	vioHead, err := g.head(vio, fv)
+	if err != nil {
+		return err
+	}
+	guards, err := g.adomGuards(fv)
+	if err != nil {
+		return err
+	}
+	g.rule(head, append(guards, "not "+vioHead))
+
+	if imp, ok := v.F.(fo.Implies); ok {
+		if ga, ok := imp.Hyp.(fo.Atom); ok && atomCovers(ga.A, v.Vars) {
+			cp, cfv, err := g.lower(imp.Concl)
+			if err != nil {
+				return err
+			}
+			lit, err := g.atomLit(ga.A)
+			if err != nil {
+				return err
+			}
+			gv := ga.A.Vars()
+			var unguarded []string
+			for _, w := range fv {
+				if !gv.Has(w) {
+					unguarded = append(unguarded, w)
+				}
+			}
+			extra, err := g.adomGuards(unguarded)
+			if err != nil {
+				return err
+			}
+			ch, err := g.head(cp, cfv)
+			if err != nil {
+				return err
+			}
+			body := append([]string{lit}, extra...)
+			g.rule(vioHead, append(body, "not "+ch))
+			return nil
+		}
+	}
+	cp, cfv, err := g.lower(v.F)
+	if err != nil {
+		return err
+	}
+	all := append(append([]string(nil), fv...), v.Vars...)
+	allGuards, err := g.adomGuards(dedupVars(all))
+	if err != nil {
+		return err
+	}
+	ch, err := g.head(cp, cfv)
+	if err != nil {
+		return err
+	}
+	g.rule(vioHead, append(allGuards, "not "+ch))
+	return nil
+}
+
+// lowerBlock compiles the matched Theorem 1 key-block step using the
+// saturation predicates: a block of R whose key satisfies the constraints
+// and that contains no violating fact.
+func (g *dlogGen) lowerBlock(head, pred string, fv []string, blk keyBlock) error {
+	bp, ok := g.blockPred[blk.guard.Rel]
+	if !ok {
+		return fmt.Errorf("emit: relation %s in rewriting but not in query signature", blk.guard.Rel)
+	}
+	k := blk.guard.KeyLen
+	keyTerms := make([]string, k)
+	keyVars := make(map[string]bool)
+	for i := 0; i < k; i++ {
+		t := blk.guard.Args[i]
+		s, err := g.term(t)
+		if err != nil {
+			return err
+		}
+		keyTerms[i] = s
+		if !t.IsConst {
+			keyVars[t.Value] = true
+		}
+	}
+	nonkey := make(map[string]bool)
+	for j := k; j < len(blk.guard.Args); j++ {
+		t := blk.guard.Args[j]
+		if t.IsConst {
+			return fmt.Errorf("emit: key-block guard %s has a constant nonkey position", blk.guard)
+		}
+		nonkey[t.Value] = true
+	}
+	// The violation predicate is parameterized by every variable shared
+	// between the block scan and the conclusion: the guard's key variables
+	// plus the conclusion's free variables that the guard does not bind.
+	conclFV := fo.FreeVars(blk.concl)
+	pSet := make(map[string]bool, len(keyVars))
+	for v := range keyVars {
+		pSet[v] = true
+	}
+	for v := range conclFV {
+		if !nonkey[v] {
+			pSet[v] = true
+		}
+	}
+	P := make([]string, 0, len(pSet))
+	for v := range pSet {
+		P = append(P, v)
+	}
+	sort.Strings(P)
+
+	vio := "v" + strings.TrimPrefix(pred, "q")
+	vioHead, err := g.head(vio, P)
+	if err != nil {
+		return err
+	}
+
+	// qN rule: a block exists whose key matches, constraints hold, and no
+	// fact of the block violates the conclusion.
+	body := []string{bp + "(" + strings.Join(keyTerms, ", ") + ")"}
+	var unguarded []string
+	for _, v := range mergeVars(fv, P) {
+		if !keyVars[v] {
+			unguarded = append(unguarded, v)
+		}
+	}
+	guards, err := g.adomGuards(unguarded)
+	if err != nil {
+		return err
+	}
+	body = append(body, guards...)
+	for _, e := range blk.eqs {
+		eq, ok := e.(fo.Eq)
+		if !ok {
+			return fmt.Errorf("emit: internal: key-block constraint %T is not an equality", e)
+		}
+		l, err := g.term(eq.L)
+		if err != nil {
+			return err
+		}
+		r, err := g.term(eq.R)
+		if err != nil {
+			return err
+		}
+		body = append(body, l+" = "+r)
+	}
+	body = append(body, "not "+vioHead)
+	g.rule(head, body)
+
+	// vN rule: some fact of the block falsifies the conclusion.
+	cp, cfv, err := g.lower(blk.concl)
+	if err != nil {
+		return err
+	}
+	lit, err := g.atomLit(blk.guard)
+	if err != nil {
+		return err
+	}
+	gv := blk.guard.Vars()
+	var vioUnguarded []string
+	for _, v := range P {
+		if !gv.Has(v) {
+			vioUnguarded = append(vioUnguarded, v)
+		}
+	}
+	vioGuards, err := g.adomGuards(vioUnguarded)
+	if err != nil {
+		return err
+	}
+	ch, err := g.head(cp, cfv)
+	if err != nil {
+		return err
+	}
+	vioBody := append([]string{lit}, vioGuards...)
+	g.rule(vioHead, append(vioBody, "not "+ch))
+	return nil
+}
+
+func minusVars(vars, remove []string) []string {
+	rm := make(map[string]bool, len(remove))
+	for _, v := range remove {
+		rm[v] = true
+	}
+	var out []string
+	for _, v := range vars {
+		if !rm[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func mergeVars(a, b []string) []string {
+	return dedupVars(append(append([]string(nil), a...), b...))
+}
+
+func dedupVars(vars []string) []string {
+	sort.Strings(vars)
+	out := vars[:0]
+	var prev string
+	for i, v := range vars {
+		if i == 0 || v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return out
+}
+
+// sanitizeDlog maps a name into the Datalog identifier alphabet
+// [a-z0-9_]: ASCII letters are lowercased, digits and underscores kept,
+// every other byte hex-escaped as _XX. Collisions are detected by callers.
+func sanitizeDlog(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+		default:
+			fmt.Fprintf(&b, "_%02x", c)
+		}
+	}
+	return b.String()
+}
+
+// dlogString renders a Datalog string constant: double quotes with
+// backslash escapes for the quote and the backslash itself.
+func dlogString(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == '"' || c == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,527 @@
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// EvalDatalog runs an emitted Datalog program against snapshot d with a
+// naive stratified bottom-up fixpoint and reports whether the goal
+// predicate `certain` is derived. It exists purely for differential
+// testing — the round trip emit → parse → saturate → fixpoint must agree
+// with the native solver verdict.
+//
+// EDB facts are seeded directly from d (predicate e_<sanitized rel>, one
+// argument per column), so constants never round-trip through program text.
+func EvalDatalog(program string, d *db.DB) (result bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("emit: datalog eval panic: %v", r)
+		}
+	}()
+	rules, err := parseDatalog(program)
+	if err != nil {
+		return false, err
+	}
+	store := newFactStore()
+	seen := make(map[string]string)
+	for _, rel := range d.Relations() {
+		pred := "e_" + sanitizeDlog(rel)
+		if prev, ok := seen[pred]; ok && prev != rel {
+			return false, fmt.Errorf("emit: relations %q and %q both sanitize to Datalog predicate %s", prev, rel, pred)
+		}
+		seen[pred] = rel
+		for _, f := range d.FactsOf(rel) {
+			store.add(pred, f.Args)
+		}
+	}
+	strata, err := stratify(rules)
+	if err != nil {
+		return false, err
+	}
+	for _, layer := range strata {
+		if err := fixpoint(layer, store); err != nil {
+			return false, err
+		}
+	}
+	return len(store.rows["certain"]) > 0, nil
+}
+
+// ------------------------------------------------------------- data rep --
+
+type dlogTerm struct {
+	isVar bool
+	val   string
+}
+
+type dlogAtom struct {
+	pred string
+	args []dlogTerm
+}
+
+type dlogLit struct {
+	neg  bool
+	eq   bool // term = term builtin; atom.args holds the two operands
+	atom dlogAtom
+}
+
+type dlogRule struct {
+	head dlogAtom
+	body []dlogLit
+}
+
+type factStore struct {
+	rows map[string][][]string
+	seen map[string]map[string]bool
+}
+
+func newFactStore() *factStore {
+	return &factStore{rows: make(map[string][][]string), seen: make(map[string]map[string]bool)}
+}
+
+func (s *factStore) add(pred string, args []string) bool {
+	key := rowKeyD(args)
+	m := s.seen[pred]
+	if m == nil {
+		m = make(map[string]bool)
+		s.seen[pred] = m
+	}
+	if m[key] {
+		return false
+	}
+	m[key] = true
+	s.rows[pred] = append(s.rows[pred], append([]string(nil), args...))
+	return true
+}
+
+func rowKeyD(args []string) string {
+	var b strings.Builder
+	for _, v := range args {
+		fmt.Fprintf(&b, "%d:%s|", len(v), v)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- parser --
+
+func parseDatalog(src string) ([]dlogRule, error) {
+	toks, err := lexDatalog(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dlogParser{toks: toks}
+	var rules []dlogRule
+	for p.peek().kind != dEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+type dlogTokKind int
+
+const (
+	dEOF    dlogTokKind = iota
+	dIdent              // lowercase-start identifier (predicate or keyword `not`)
+	dVar                // uppercase/underscore-start identifier
+	dString             // double-quoted constant
+	dPunct              // ( ) , . = :-
+)
+
+type dlogTok struct {
+	kind dlogTokKind
+	val  string
+	pos  int
+}
+
+func lexDatalog(src string) ([]dlogTok, error) {
+	var toks []dlogTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ':':
+			if i+1 >= len(src) || src[i+1] != '-' {
+				return nil, fmt.Errorf("emit: datalog: stray ':' at offset %d", i)
+			}
+			toks = append(toks, dlogTok{dPunct, ":-", i})
+			i += 2
+		case strings.IndexByte("(),.=", c) >= 0:
+			toks = append(toks, dlogTok{dPunct, string(c), i})
+			i++
+		case c == '"':
+			var b strings.Builder
+			j := i + 1
+			closed := false
+			for j < len(src) {
+				if src[j] == '\\' && j+1 < len(src) {
+					b.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					closed = true
+					j++
+					break
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("emit: datalog: unterminated string at offset %d", i)
+			}
+			toks = append(toks, dlogTok{dString, b.String(), i})
+			i = j
+		case c >= 'a' && c <= 'z':
+			j := i
+			for j < len(src) && isDlogIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, dlogTok{dIdent, src[i:j], i})
+			i = j
+		case c == '_' || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(src) && isDlogIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, dlogTok{dVar, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("emit: datalog: unexpected byte %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, dlogTok{dEOF, "", len(src)})
+	return toks, nil
+}
+
+func isDlogIdentPart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+type dlogParser struct {
+	toks []dlogTok
+	i    int
+}
+
+func (p *dlogParser) peek() dlogTok { return p.toks[p.i] }
+func (p *dlogParser) next() dlogTok { t := p.toks[p.i]; p.i++; return t }
+func (p *dlogParser) errf(format string, args ...any) error {
+	return fmt.Errorf("emit: datalog: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *dlogParser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == dPunct && t.val == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *dlogParser) parseRule() (dlogRule, error) {
+	var r dlogRule
+	head, err := p.parseAtom()
+	if err != nil {
+		return r, err
+	}
+	r.head = head
+	if p.punct(":-") {
+		for {
+			lit, err := p.parseLit()
+			if err != nil {
+				return r, err
+			}
+			r.body = append(r.body, lit)
+			if p.punct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if !p.punct(".") {
+		return r, p.errf("expected '.', got %q", p.peek().val)
+	}
+	return r, nil
+}
+
+func (p *dlogParser) parseLit() (dlogLit, error) {
+	t := p.peek()
+	if t.kind == dIdent && t.val == "not" {
+		p.i++
+		a, err := p.parseAtom()
+		if err != nil {
+			return dlogLit{}, err
+		}
+		return dlogLit{neg: true, atom: a}, nil
+	}
+	// Either a positive atom or an equality builtin `term = term`.
+	if t.kind == dVar || t.kind == dString {
+		l, err := p.parseTerm()
+		if err != nil {
+			return dlogLit{}, err
+		}
+		if !p.punct("=") {
+			return dlogLit{}, p.errf("expected '=' after term, got %q", p.peek().val)
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return dlogLit{}, err
+		}
+		return dlogLit{eq: true, atom: dlogAtom{args: []dlogTerm{l, r}}}, nil
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return dlogLit{}, err
+	}
+	return dlogLit{atom: a}, nil
+}
+
+func (p *dlogParser) parseAtom() (dlogAtom, error) {
+	t := p.peek()
+	if t.kind != dIdent {
+		return dlogAtom{}, p.errf("expected predicate, got %q", t.val)
+	}
+	p.i++
+	a := dlogAtom{pred: t.val}
+	if !p.punct("(") {
+		return a, nil
+	}
+	for {
+		term, err := p.parseTerm()
+		if err != nil {
+			return a, err
+		}
+		a.args = append(a.args, term)
+		if p.punct(",") {
+			continue
+		}
+		break
+	}
+	if !p.punct(")") {
+		return a, p.errf("expected ')', got %q", p.peek().val)
+	}
+	return a, nil
+}
+
+func (p *dlogParser) parseTerm() (dlogTerm, error) {
+	t := p.next()
+	switch t.kind {
+	case dVar:
+		return dlogTerm{isVar: true, val: t.val}, nil
+	case dString:
+		return dlogTerm{val: t.val}, nil
+	default:
+		return dlogTerm{}, fmt.Errorf("emit: datalog: offset %d: expected term, got %q", t.pos, t.val)
+	}
+}
+
+// ------------------------------------------------------- stratification --
+
+// stratify assigns each rule to a stratum such that a predicate's rules all
+// see the full extent of every negated predicate: stratum(head) ≥
+// stratum(positive dep) and > stratum(negated dep). Errors on negation
+// cycles.
+func stratify(rules []dlogRule) ([][]dlogRule, error) {
+	stratum := make(map[string]int)
+	preds := make(map[string]bool)
+	for _, r := range rules {
+		preds[r.head.pred] = true
+		for _, l := range r.body {
+			if !l.eq {
+				preds[l.atom.pred] = true
+			}
+		}
+	}
+	limit := len(preds) + 1
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, r := range rules {
+			s := stratum[r.head.pred]
+			for _, l := range r.body {
+				if l.eq {
+					continue
+				}
+				need := stratum[l.atom.pred]
+				if l.neg {
+					need++
+				}
+				if need > s {
+					s = need
+				}
+			}
+			if s > stratum[r.head.pred] {
+				stratum[r.head.pred] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > limit {
+			return nil, fmt.Errorf("emit: datalog: program is not stratified (negation cycle)")
+		}
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	layers := make([][]dlogRule, max+1)
+	for _, r := range rules {
+		s := stratum[r.head.pred]
+		layers[s] = append(layers[s], r)
+	}
+	return layers, nil
+}
+
+// ------------------------------------------------------------- fixpoint --
+
+func fixpoint(rules []dlogRule, store *factStore) error {
+	for {
+		added := false
+		for _, r := range rules {
+			derived, err := evalRule(r, store)
+			if err != nil {
+				return err
+			}
+			for _, args := range derived {
+				if store.add(r.head.pred, args) {
+					added = true
+				}
+			}
+		}
+		if !added {
+			return nil
+		}
+	}
+}
+
+// evalRule enumerates all derivations of r's head under the current store,
+// processing body literals left to right. Equality and negative literals
+// require their variables bound — emitted programs order literals so that
+// positives bind first; an unbound variable there is a safety bug.
+func evalRule(r dlogRule, store *factStore) ([][]string, error) {
+	var out [][]string
+	env := make(map[string]string)
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(r.body) {
+			args := make([]string, len(r.head.args))
+			for j, t := range r.head.args {
+				if !t.isVar {
+					args[j] = t.val
+					continue
+				}
+				v, ok := env[t.val]
+				if !ok {
+					return fmt.Errorf("emit: datalog: unsafe rule: head variable %s unbound in %s", t.val, r.head.pred)
+				}
+				args[j] = v
+			}
+			out = append(out, args)
+			return nil
+		}
+		l := r.body[i]
+		if l.eq {
+			lv, err := resolveTerm(l.atom.args[0], env)
+			if err != nil {
+				return err
+			}
+			rv, err := resolveTerm(l.atom.args[1], env)
+			if err != nil {
+				return err
+			}
+			if lv == rv {
+				return walk(i + 1)
+			}
+			return nil
+		}
+		if l.neg {
+			args := make([]string, len(l.atom.args))
+			for j, t := range l.atom.args {
+				v, err := resolveTerm(t, env)
+				if err != nil {
+					return err
+				}
+				args[j] = v
+			}
+			if store.seen[l.atom.pred][rowKeyD(args)] {
+				return nil
+			}
+			return walk(i + 1)
+		}
+		for _, row := range store.rows[l.atom.pred] {
+			if len(row) != len(l.atom.args) {
+				return fmt.Errorf("emit: datalog: arity mismatch on %s", l.atom.pred)
+			}
+			var bound []string
+			ok := true
+			for j, t := range l.atom.args {
+				if !t.isVar {
+					if t.val != row[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, has := env[t.val]; has {
+					if v != row[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				env[t.val] = row[j]
+				bound = append(bound, t.val)
+			}
+			if ok {
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+			}
+			for _, v := range bound {
+				delete(env, v)
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func resolveTerm(t dlogTerm, env map[string]string) (string, error) {
+	if !t.isVar {
+		return t.val, nil
+	}
+	v, ok := env[t.val]
+	if !ok {
+		return "", fmt.Errorf("emit: datalog: unsafe rule: variable %s used before binding", t.val)
+	}
+	return v, nil
+}
+
+// sortedPreds is a small debugging helper used by tests to inspect derived
+// predicates deterministically.
+func (s *factStore) sortedPreds() []string {
+	out := make([]string, 0, len(s.rows))
+	for p := range s.rows {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

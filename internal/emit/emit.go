@@ -1,0 +1,129 @@
+// Package emit lowers certain first-order rewritings (internal/fo) into
+// executable programs for external backends: ANSI SQL and stratified
+// Datalog. For the FO class of CERTAINTY(q) the rewriting is a first-order
+// sentence over the database vocabulary (Theorem 1 for acyclic attack
+// graphs, Theorem 6 for safe queries), so it can run where the data lives —
+// certd classifies and plans, the backend does the scan.
+//
+// Both emitters consume the same inputs — the canonicalized query and its
+// rewriting sentence — and both are deterministic: the same query produces
+// byte-identical programs across processes, and atom-order shuffles of the
+// input query produce identical programs because callers canonicalize first
+// (cq.Canonicalize sorts atoms and renames variables).
+//
+// The package also carries reference evaluators used purely for
+// differential testing: sqleval (subpackage) interprets the emitted SQL
+// subset over an in-memory snapshot, and EvalDatalog runs the emitted
+// Datalog through a stratified naive bottom-up fixpoint. For every FO-class
+// query, both must agree with the native solver verdict byte-for-byte.
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+)
+
+// Dialects accepted by the emitters and the /v1/compile endpoint.
+const (
+	DialectSQL     = "sql"
+	DialectDatalog = "datalog"
+)
+
+// Program is one emitted executable rewriting.
+type Program struct {
+	// Dialect is DialectSQL or DialectDatalog.
+	Dialect string
+	// Text is the complete, self-contained program: for SQL a single
+	// statement (CTEs plus a final boolean SELECT), for Datalog a rule set
+	// whose goal predicate is `certain`.
+	Text string
+	// SchemaNotes documents the conventions the program assumes about the
+	// backend schema (table/predicate naming, column order, key prefix).
+	SchemaNotes string
+}
+
+// namespacePrefix reserves the identifier space the emitters generate into:
+// CTE names (cqa_adom, cqa_keys_<rel>) on the SQL side. A relation that
+// starts with it could capture an emitted name, so such queries are
+// rejected — mirroring how fo.RewriteSafe rejects constants in its marker
+// namespace.
+const namespacePrefix = "cqa_"
+
+// relSig is one relation's signature as declared by the query.
+type relSig struct {
+	rel    string
+	arity  int
+	keyLen int
+}
+
+// querySignature extracts the relation signatures of q in sorted relation
+// order, validating that every name and constant is emittable.
+func querySignature(q cq.Query) ([]relSig, error) {
+	if q.IsEmpty() {
+		// The empty query is trivially certain; both emitters special-case
+		// it, but it never reaches them from the solver (classification
+		// requires at least one atom).
+		return nil, nil
+	}
+	seen := make(map[string]relSig)
+	for _, a := range q.Atoms {
+		if err := checkEmittable("relation name", a.Rel); err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(a.Rel, namespacePrefix) {
+			return nil, fmt.Errorf("emit: relation %q collides with the emitter namespace %q", a.Rel, namespacePrefix)
+		}
+		if prev, ok := seen[a.Rel]; ok {
+			// One relation, one table: atoms disagreeing on arity or key
+			// length cannot share a schema declaration.
+			if prev.arity != a.Arity() || prev.keyLen != a.KeyLen {
+				return nil, fmt.Errorf("emit: relation %q declared with signatures (%d,%d) and (%d,%d)",
+					a.Rel, prev.arity, prev.keyLen, a.Arity(), a.KeyLen)
+			}
+		} else {
+			seen[a.Rel] = relSig{rel: a.Rel, arity: a.Arity(), keyLen: a.KeyLen}
+		}
+		for _, t := range a.Args {
+			if t.IsConst {
+				if err := checkEmittable("constant", t.Value); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sigs := make([]relSig, 0, len(seen))
+	for _, s := range seen {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].rel < sigs[j].rel })
+	return sigs, nil
+}
+
+// checkEmittable rejects values no emitted program could carry faithfully.
+// NUL is rejected outright, like the snapshot parsers do: no SQL dialect or
+// Datalog engine round-trips it reliably inside a quoted literal.
+func checkEmittable(what, v string) error {
+	if v == "" {
+		return fmt.Errorf("emit: empty %s", what)
+	}
+	if strings.ContainsRune(v, 0) {
+		return fmt.Errorf("emit: %s %q contains NUL", what, v)
+	}
+	return nil
+}
+
+// sortedConstants returns the query's constants in sorted order; together
+// with the query relations' columns they span the active domain the
+// rewriting quantifies over.
+func sortedConstants(q cq.Query) []string {
+	set := q.Constants()
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

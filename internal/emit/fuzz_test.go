@@ -1,0 +1,83 @@
+package emit_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/emit"
+	"github.com/cqa-go/certainty/internal/emit/sqleval"
+	"github.com/cqa-go/certainty/internal/fo"
+	"github.com/cqa-go/certainty/internal/gen"
+)
+
+// FuzzEmitSQL drives arbitrary query text through the full compile path:
+// whatever parses and classifies FO must emit SQL deterministically, the
+// reference evaluator must accept the emitted program without panicking,
+// and its verdict on a generated snapshot must agree with direct FO
+// evaluation of the rewriting. Everything else (parse errors, non-FO
+// classes, emit refusals such as NUL bytes or namespace collisions) must
+// fail with an error, never a panic.
+func FuzzEmitSQL(f *testing.F) {
+	seeds := []string{
+		"R(x | y)",
+		"R(x | y), S(y | z)",
+		"C(x, y | 'Rome'), R(x | 'A')",
+		"R(x | y), S(x | z)",
+		"R('a', 'b')",
+		"R(x | y, y)",
+		"R(w | x, y), S(w | y, z), T(w | z, x)",
+		"R(x | 'a'), S('b' | x)",
+		"R('it''s' | x)",
+		`R("quo | x)`,
+		"R(x",
+		"",
+		"π(α | β)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := cq.ParseQuery(input)
+		if err != nil {
+			return
+		}
+		cls, err := core.Classify(q)
+		if err != nil || cls.Class != core.ClassFO {
+			return
+		}
+		canon, _ := cq.Canonicalize(q)
+		phi, err := fo.RewriteAcyclic(canon)
+		if err != nil {
+			return
+		}
+		prog, err := emit.SQL(canon, phi, "fo-rewriting")
+		if err != nil {
+			// Emit refuses some inputs (NUL bytes, cqa_-prefixed relation
+			// names); a typed refusal is fine, silence is not.
+			if !strings.Contains(err.Error(), "emit") {
+				t.Fatalf("emit.SQL(%q) unexpected error: %v", input, err)
+			}
+			return
+		}
+		again, err := emit.SQL(canon, phi, "fo-rewriting")
+		if err != nil || again.Text != prog.Text {
+			t.Fatalf("emit.SQL(%q) not deterministic (err %v)", input, err)
+		}
+
+		d := gen.RandomDB(q, gen.Config{Embeddings: 1, Noise: 3, Domain: 3}, 7)
+		got, err := sqleval.Eval(prog.Text, d)
+		if err != nil {
+			t.Fatalf("sqleval rejected emitted program for %q: %v\n%s", input, err, prog.Text)
+		}
+		want, err := fo.Eval(phi, d)
+		if err != nil {
+			t.Fatalf("fo.Eval(%q): %v", input, err)
+		}
+		if got != want {
+			t.Fatalf("emitted SQL disagrees with FO evaluation for %q: sql %v, fo %v\n%s",
+				input, got, want, prog.Text)
+		}
+	})
+}

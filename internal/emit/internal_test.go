@@ -1,0 +1,94 @@
+package emit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/fo"
+)
+
+func TestSanitizeDlog(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"r", "r"},
+		{"MyRel", "myrel"},
+		{"a_b9", "a_b9"},
+		{"a-b", "a_2db"},
+		{"é", "_c3_a9"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := sanitizeDlog(c.in); got != c.want {
+			t.Errorf("sanitizeDlog(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Distinct inputs that sanitize identically must be caught upstream by
+	// the collision maps, never silently merged: verify the two really do
+	// collide so the guard is load-bearing.
+	if sanitizeDlog("A-B") != sanitizeDlog("a-b") {
+		t.Fatal("expected a collision between A-B and a-b")
+	}
+	q, err := cq.ParseQuery("AB(x | y), ab(x | z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, _ := cq.Canonicalize(q)
+	phi, err := fo.RewriteAcyclic(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Datalog(canon, phi, "fo-rewriting"); err == nil || !strings.Contains(err.Error(), "sanitize") {
+		t.Fatalf("Datalog with case-colliding relations: err = %v, want a collision error", err)
+	}
+}
+
+func TestDlogString(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a", `"a"`},
+		{`a"b`, `"a\"b"`},
+		{`a\b`, `"a\\b"`},
+	}
+	for _, c := range cases {
+		if got := dlogString(c.in); got != c.want {
+			t.Errorf("dlogString(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSQLQuoting(t *testing.T) {
+	if got := sqlString("it's"); got != "'it''s'" {
+		t.Errorf("sqlString = %q", got)
+	}
+	if got := sqlString(`a\b`); got != `'a\b'` {
+		t.Errorf("sqlString backslash = %q, want verbatim pass-through", got)
+	}
+	if got := sqlIdent(`R"x`); got != `"R""x"` {
+		t.Errorf("sqlIdent = %q", got)
+	}
+}
+
+func TestQuerySignatureRejections(t *testing.T) {
+	if err := checkEmittable("constant", "a\x00b"); err == nil || !strings.Contains(err.Error(), "NUL") {
+		t.Errorf("NUL must be rejected, got %v", err)
+	}
+	if err := checkEmittable("relation", ""); err == nil {
+		t.Error("empty names must be rejected")
+	}
+
+	q, err := cq.ParseQuery("cqa_adom(x | y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := querySignature(q); err == nil || !strings.Contains(err.Error(), "namespace") {
+		t.Errorf("cqa_-prefixed relation must be rejected, got %v", err)
+	}
+
+	// Same relation at two different arities cannot share one table.
+	mixed := cq.Query{Atoms: []cq.Atom{
+		cq.NewAtom("R", 1, cq.Const("a")),
+		cq.NewAtom("R", 1, cq.Const("a"), cq.Const("b")),
+	}}
+	if _, err := querySignature(mixed); err == nil {
+		t.Error("arity-mismatched self-reference must be rejected")
+	}
+}

@@ -1,0 +1,548 @@
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/fo"
+)
+
+// SQL lowers the certain first-order rewriting phi of the (canonicalized)
+// query q into one self-contained ANSI SQL statement:
+//
+//   - cqa_adom(v) is a CTE materializing the active domain: every column of
+//     every query relation, plus the query's constants;
+//   - cqa_keys_<R>(c1..ck) is a CTE per relation whose key-block structure
+//     the rewriting inspects: the distinct key values, i.e. one row per
+//     block of R;
+//   - the final SELECT returns one row with one boolean column `certain`.
+//
+// The schema convention (also in Program.SchemaNotes): each relation R of
+// arity n is a table "R" with text columns c1..cn, the primary key being
+// the first KeyLen columns as declared in the query. String literals use
+// ANSI quoting (single quotes doubled, backslash literal), identifiers
+// double quotes.
+//
+// The lowering is guarded wherever the rewriting's shape allows: the
+// Theorem 1 step ∃w̄(key-pattern ∧ ∃ū R(w̄,ū) ∧ ∀ū(R(w̄,ū) → …)) becomes a
+// scan of cqa_keys_R with a correlated NOT EXISTS over the block's facts,
+// and guarded quantifiers (∃x̄ R(…x̄…), ∀ū(R(…ū…) → …)) become plain
+// relation scans. Only quantifiers whose body does not syntactically guard
+// the variables — the Theorem 6 R3 common-key-variable reopening — fall
+// back to ranging over cqa_adom; that is exact because every witness of
+// such a variable must appear in a guard atom's key.
+func SQL(q cq.Query, phi fo.Formula, method string) (Program, error) {
+	sigs, err := querySignature(q)
+	if err != nil {
+		return Program{}, err
+	}
+	if free := fo.FreeVars(phi); free.Len() > 0 {
+		return Program{}, fmt.Errorf("emit: rewriting must be a sentence; free variables %v", free.Sorted())
+	}
+	r := &sqlRenderer{usedKeys: make(map[string]relSig)}
+	expr, err := r.render(phi, nil)
+	if err != nil {
+		return Program{}, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- CERTAINTY(q): consistent first-order rewriting compiled to SQL.\n")
+	fmt.Fprintf(&b, "-- query:  %s\n", q)
+	fmt.Fprintf(&b, "-- method: %s\n", method)
+	b.WriteString("--\n")
+	b.WriteString("-- Schema convention: each relation R of arity n is a table \"R\" with text\n")
+	b.WriteString("-- columns c1..cn; the primary key is the first k columns as declared in\n")
+	b.WriteString("-- the query signature. The statement returns one row with one boolean\n")
+	b.WriteString("-- column `certain`: TRUE iff the query is true in every repair.\n")
+	for _, s := range sigs {
+		fmt.Fprintf(&b, "--   %s: arity %d, key (c1..c%d)\n", sqlIdent(s.rel), s.arity, s.keyLen)
+	}
+	b.WriteString("WITH\n")
+	b.WriteString("  cqa_adom(v) AS (\n")
+	var selects []string
+	for _, s := range sigs {
+		for i := 1; i <= s.arity; i++ {
+			selects = append(selects, fmt.Sprintf("SELECT c%d FROM %s", i, sqlIdent(s.rel)))
+		}
+	}
+	for _, c := range sortedConstants(q) {
+		selects = append(selects, "SELECT "+sqlString(c))
+	}
+	if len(selects) == 0 {
+		// Unreachable from the solver (queries have at least one atom), but
+		// keep the statement well-formed.
+		selects = append(selects, "SELECT 'cqa_empty' FROM "+sqlIdent("cqa_nonexistent"))
+	}
+	b.WriteString("    " + strings.Join(selects, "\n    UNION ") + "\n")
+	b.WriteString("  )")
+	keyRels := make([]string, 0, len(r.usedKeys))
+	for rel := range r.usedKeys {
+		keyRels = append(keyRels, rel)
+	}
+	sort.Strings(keyRels)
+	for _, rel := range keyRels {
+		s := r.usedKeys[rel]
+		cols := make([]string, s.keyLen)
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i+1)
+		}
+		fmt.Fprintf(&b, ",\n  %s(%s) AS (\n    SELECT DISTINCT %s FROM %s\n  )",
+			keysCTE(rel), strings.Join(cols, ", "), strings.Join(cols, ", "), sqlIdent(rel))
+	}
+	b.WriteString("\nSELECT\n  ")
+	b.WriteString(expr)
+	b.WriteString("\nAS certain;\n")
+
+	return Program{Dialect: DialectSQL, Text: b.String(), SchemaNotes: sqlSchemaNotes(sigs)}, nil
+}
+
+func sqlSchemaNotes(sigs []relSig) string {
+	var b strings.Builder
+	b.WriteString("Each relation R of arity n is a table \"R\" with text columns c1..cn; ")
+	b.WriteString("the primary key is the first k columns as declared in the query signature. ")
+	for _, s := range sigs {
+		fmt.Fprintf(&b, "%s: arity %d, key c1..c%d. ", sqlIdent(s.rel), s.arity, s.keyLen)
+	}
+	b.WriteString("The statement is one self-contained SELECT (CTEs cqa_adom and cqa_keys_* ")
+	b.WriteString("are defined inline) returning a single row with a single boolean column ")
+	b.WriteString("`certain`. String literals use ANSI quoting: single quotes doubled, ")
+	b.WriteString("backslashes literal (on MySQL, enable NO_BACKSLASH_ESCAPES).")
+	return b.String()
+}
+
+// scope maps in-scope formula variables to the SQL operand carrying their
+// value ("f3.c2", "b1.c1", "a4.v").
+type scope map[string]string
+
+func (sc scope) clone() scope {
+	out := make(scope, len(sc)+2)
+	for k, v := range sc {
+		out[k] = v
+	}
+	return out
+}
+
+type sqlRenderer struct {
+	n        int
+	usedKeys map[string]relSig
+}
+
+func (r *sqlRenderer) alias(prefix string) string {
+	r.n++
+	return fmt.Sprintf("%s%d", prefix, r.n)
+}
+
+func (r *sqlRenderer) render(f fo.Formula, sc scope) (string, error) {
+	switch g := f.(type) {
+	case fo.Truth:
+		if g {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case fo.Atom:
+		alias := r.alias("f")
+		conds, _, err := r.scanConds(g.A, alias, nil, sc)
+		if err != nil {
+			return "", err
+		}
+		where := ""
+		if len(conds) > 0 {
+			where = " WHERE " + strings.Join(conds, " AND ")
+		}
+		return fmt.Sprintf("EXISTS (SELECT 1 FROM %s %s%s)", sqlIdent(g.A.Rel), alias, where), nil
+	case fo.Eq:
+		l, err := r.operand(g.L, sc)
+		if err != nil {
+			return "", err
+		}
+		rr, err := r.operand(g.R, sc)
+		if err != nil {
+			return "", err
+		}
+		return l + " = " + rr, nil
+	case fo.Not:
+		inner, err := r.render(g.F, sc)
+		if err != nil {
+			return "", err
+		}
+		return "NOT (" + inner + ")", nil
+	case fo.And:
+		return r.renderJoin(g.Fs, " AND ", sc)
+	case fo.Or:
+		return r.renderJoin(g.Fs, " OR ", sc)
+	case fo.Implies:
+		hyp, err := r.render(g.Hyp, sc)
+		if err != nil {
+			return "", err
+		}
+		concl, err := r.render(g.Concl, sc)
+		if err != nil {
+			return "", err
+		}
+		return "(NOT (" + hyp + ") OR (" + concl + "))", nil
+	case fo.Exists:
+		return r.renderExists(g.Vars, g.F, sc)
+	case fo.Forall:
+		return r.renderForall(g.Vars, g.F, sc)
+	default:
+		return "", fmt.Errorf("emit: unknown formula node %T", f)
+	}
+}
+
+func (r *sqlRenderer) renderJoin(fs []fo.Formula, sep string, sc scope) (string, error) {
+	if len(fs) == 0 {
+		if sep == " AND " {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	}
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		s, err := r.render(f, sc)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = "(" + s + ")"
+	}
+	return strings.Join(parts, sep), nil
+}
+
+// renderExists lowers ∃vars(body). Three shapes, most structured first:
+// guarded atom (plain relation scan), the Theorem 1 key-block step (scan of
+// cqa_keys_<R> with a correlated block check), and the generic fallback
+// ranging over cqa_adom.
+func (r *sqlRenderer) renderExists(vars []string, body fo.Formula, sc scope) (string, error) {
+	if g, ok := body.(fo.Atom); ok && atomCovers(g.A, vars) {
+		alias := r.alias("f")
+		conds, _, err := r.scanConds(g.A, alias, vars, sc)
+		if err == nil {
+			where := ""
+			if len(conds) > 0 {
+				where = " WHERE " + strings.Join(conds, " AND ")
+			}
+			return fmt.Sprintf("EXISTS (SELECT 1 FROM %s %s%s)", sqlIdent(g.A.Rel), alias, where), nil
+		}
+	}
+	if and, ok := body.(fo.And); ok {
+		if blk, ok := matchKeyBlock(vars, and.Fs, sc); ok {
+			return r.renderBlock(vars, blk, sc)
+		}
+	}
+	// Generic: range over the active domain. Exact for the shapes the
+	// rewriters produce (every witness appears in a guard atom's key).
+	sc2 := sc.clone()
+	froms := make([]string, len(vars))
+	for i, v := range vars {
+		a := r.alias("a")
+		froms[i] = "cqa_adom " + a
+		sc2[v] = a + ".v"
+	}
+	inner, err := r.render(body, sc2)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("EXISTS (SELECT 1 FROM %s WHERE %s)", strings.Join(froms, ", "), inner), nil
+}
+
+// renderForall lowers ∀vars(body). A guarded universal
+// ∀ū(R(…ū…) → concl) scans R directly — no fact matching the pattern may
+// violate concl — which both avoids the adom product and is exact without
+// any domain argument. The generic fallback double-negates over cqa_adom.
+func (r *sqlRenderer) renderForall(vars []string, body fo.Formula, sc scope) (string, error) {
+	if imp, ok := body.(fo.Implies); ok {
+		if g, ok := imp.Hyp.(fo.Atom); ok && atomCovers(g.A, vars) {
+			alias := r.alias("f")
+			conds, sc2, err := r.scanConds(g.A, alias, vars, sc)
+			if err == nil {
+				concl, err := r.render(imp.Concl, sc2)
+				if err != nil {
+					return "", err
+				}
+				conds = append(conds, "NOT ("+concl+")")
+				return fmt.Sprintf("NOT EXISTS (SELECT 1 FROM %s %s WHERE %s)",
+					sqlIdent(g.A.Rel), alias, strings.Join(conds, " AND ")), nil
+			}
+		}
+	}
+	sc2 := sc.clone()
+	froms := make([]string, len(vars))
+	for i, v := range vars {
+		a := r.alias("a")
+		froms[i] = "cqa_adom " + a
+		sc2[v] = a + ".v"
+	}
+	inner, err := r.render(body, sc2)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("NOT EXISTS (SELECT 1 FROM %s WHERE NOT (%s))", strings.Join(froms, ", "), inner), nil
+}
+
+// keyBlock is the matched Theorem 1 step shape
+// ∃vars( eqs ∧ ∃ū guard ∧ ∀ū(guard → concl) ) with ū = guard's nonkey
+// variables and vars ⊆ guard's key variables.
+type keyBlock struct {
+	guard cq.Atom
+	eqs   []fo.Formula
+	concl fo.Formula
+}
+
+// matchKeyBlock recognizes the key-block step inside ∃vars(∧fs): exactly
+// one guard pair — the block-nonempty witness and the every-fact-matches
+// universal over the same guard atom — with every other conjunct an
+// equality constraint, every quantified variable bound by a guard key
+// position, and every guard key position a constant, a quantified variable,
+// or an outer-scope variable.
+func matchKeyBlock(vars []string, fs []fo.Formula, sc scope) (keyBlock, bool) {
+	var blk keyBlock
+	found := false
+	pairIdx := [2]int{-1, -1}
+	for j, f := range fs {
+		var nv []string
+		var imp fo.Implies
+		switch g := f.(type) {
+		case fo.Forall:
+			i, ok := g.F.(fo.Implies)
+			if !ok {
+				continue
+			}
+			nv, imp = g.Vars, i
+		case fo.Implies:
+			nv, imp = nil, g
+		default:
+			continue
+		}
+		guard, ok := imp.Hyp.(fo.Atom)
+		if !ok || !nonkeyMatches(guard.A, nv) {
+			continue
+		}
+		// Find the existence partner for this guard.
+		for i, f2 := range fs {
+			if i == j {
+				continue
+			}
+			var partner fo.Formula
+			switch g2 := f2.(type) {
+			case fo.Exists:
+				if sameVars(g2.Vars, nv) {
+					partner = g2.F
+				}
+			case fo.Atom:
+				if len(nv) == 0 {
+					partner = g2
+				}
+			}
+			if partner == nil {
+				continue
+			}
+			pg, ok := partner.(fo.Atom)
+			if !ok || pg.String() != guard.String() {
+				continue
+			}
+			if found {
+				return keyBlock{}, false // ambiguous: more than one pair
+			}
+			found = true
+			pairIdx = [2]int{i, j}
+			blk.guard = guard.A
+			blk.concl = imp.Concl
+		}
+	}
+	if !found {
+		return keyBlock{}, false
+	}
+	for i, f := range fs {
+		if i == pairIdx[0] || i == pairIdx[1] {
+			continue
+		}
+		if _, ok := f.(fo.Eq); !ok {
+			return keyBlock{}, false
+		}
+		blk.eqs = append(blk.eqs, f)
+	}
+	// Every quantified variable must be a key position of the guard, and
+	// every key position must be resolvable (constant, quantified here, or
+	// bound in the enclosing scope).
+	keyVars := make(map[string]bool, blk.guard.KeyLen)
+	for i := 0; i < blk.guard.KeyLen; i++ {
+		t := blk.guard.Args[i]
+		if t.IsConst {
+			continue
+		}
+		keyVars[t.Value] = true
+		if !containsVar(vars, t.Value) {
+			if _, bound := sc[t.Value]; !bound {
+				return keyBlock{}, false
+			}
+		}
+	}
+	for _, v := range vars {
+		if !keyVars[v] {
+			return keyBlock{}, false
+		}
+	}
+	return blk, true
+}
+
+// renderBlock emits the matched key-block step: a scan of cqa_keys_<R>
+// (one row per block) whose key satisfies the constraints and whose block
+// contains no fact violating the conclusion.
+func (r *sqlRenderer) renderBlock(vars []string, blk keyBlock, sc scope) (string, error) {
+	bAlias := r.alias("b")
+	sc2 := sc.clone()
+	var conds []string
+	for i := 0; i < blk.guard.KeyLen; i++ {
+		t := blk.guard.Args[i]
+		col := fmt.Sprintf("%s.c%d", bAlias, i+1)
+		switch {
+		case t.IsConst:
+			conds = append(conds, col+" = "+sqlString(t.Value))
+		default:
+			if op, bound := sc2[t.Value]; bound {
+				conds = append(conds, col+" = "+op)
+			} else {
+				sc2[t.Value] = col
+			}
+		}
+	}
+	for _, e := range blk.eqs {
+		s, err := r.render(e, sc2)
+		if err != nil {
+			return "", err
+		}
+		conds = append(conds, s)
+	}
+	fAlias := r.alias("f")
+	var factConds []string
+	for i := 0; i < blk.guard.KeyLen; i++ {
+		factConds = append(factConds, fmt.Sprintf("%s.c%d = %s.c%d", fAlias, i+1, bAlias, i+1))
+	}
+	sc3 := sc2.clone()
+	for j := blk.guard.KeyLen; j < len(blk.guard.Args); j++ {
+		t := blk.guard.Args[j]
+		if t.IsConst {
+			return "", fmt.Errorf("emit: key-block guard %s has a constant nonkey position", blk.guard)
+		}
+		sc3[t.Value] = fmt.Sprintf("%s.c%d", fAlias, j+1)
+	}
+	inner, err := r.render(blk.concl, sc3)
+	if err != nil {
+		return "", err
+	}
+	r.usedKeys[blk.guard.Rel] = relSig{rel: blk.guard.Rel, arity: blk.guard.Arity(), keyLen: blk.guard.KeyLen}
+	factConds = append(factConds, "NOT ("+inner+")")
+	conds = append(conds, fmt.Sprintf("NOT EXISTS (SELECT 1 FROM %s %s WHERE %s)",
+		sqlIdent(blk.guard.Rel), fAlias, strings.Join(factConds, " AND ")))
+	return fmt.Sprintf("EXISTS (SELECT 1 FROM %s %s WHERE %s)",
+		keysCTE(blk.guard.Rel), bAlias, strings.Join(conds, " AND ")), nil
+}
+
+// scanConds builds the WHERE conditions for scanning atom a under alias,
+// binding the variables in bind to their first column of occurrence. The
+// returned scope extends sc with those bindings. Fails if a variable
+// (quantified or not) cannot be resolved — callers treat that as "not
+// guarded" and fall back.
+func (r *sqlRenderer) scanConds(a cq.Atom, alias string, bind []string, sc scope) ([]string, scope, error) {
+	sc2 := sc.clone()
+	bindSet := make(map[string]bool, len(bind))
+	for _, v := range bind {
+		bindSet[v] = true
+	}
+	var conds []string
+	for i, t := range a.Args {
+		col := fmt.Sprintf("%s.c%d", alias, i+1)
+		if t.IsConst {
+			conds = append(conds, col+" = "+sqlString(t.Value))
+			continue
+		}
+		if op, bound := sc2[t.Value]; bound {
+			conds = append(conds, col+" = "+op)
+			continue
+		}
+		if bindSet[t.Value] {
+			sc2[t.Value] = col
+			continue
+		}
+		return nil, nil, fmt.Errorf("emit: unbound variable %s in atom %s", t.Value, a)
+	}
+	for _, v := range bind {
+		if _, ok := sc2[v]; !ok {
+			return nil, nil, fmt.Errorf("emit: quantified variable %s does not occur in guard %s", v, a)
+		}
+	}
+	return conds, sc2, nil
+}
+
+func (r *sqlRenderer) operand(t cq.Term, sc scope) (string, error) {
+	if t.IsConst {
+		return sqlString(t.Value), nil
+	}
+	if op, ok := sc[t.Value]; ok {
+		return op, nil
+	}
+	return "", fmt.Errorf("emit: unbound variable %s", t.Value)
+}
+
+// atomCovers reports whether every variable in vars occurs in a's
+// arguments, i.e. the atom guards the whole quantifier prefix.
+func atomCovers(a cq.Atom, vars []string) bool {
+	av := a.Vars()
+	for _, v := range vars {
+		if !av.Has(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// nonkeyMatches reports whether a's nonkey positions are exactly the
+// variables nv, in order.
+func nonkeyMatches(a cq.Atom, nv []string) bool {
+	if len(a.Args)-a.KeyLen != len(nv) {
+		return false
+	}
+	for i, v := range nv {
+		t := a.Args[a.KeyLen+i]
+		if t.IsConst || t.Value != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsVar(vars []string, v string) bool {
+	for _, w := range vars {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sqlString renders an ANSI SQL string literal (single quotes doubled;
+// backslashes are literal in ANSI string syntax).
+func sqlString(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// sqlIdent renders a quoted SQL identifier (double quotes doubled).
+func sqlIdent(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// keysCTE names the per-relation key-block CTE.
+func keysCTE(rel string) string { return sqlIdent("cqa_keys_" + rel) }

@@ -1,0 +1,781 @@
+// Package sqleval interprets the SQL subset produced by internal/emit over
+// an in-memory snapshot. It exists purely for differential testing: the
+// emitted program's verdict must be byte-identical to the native solver's,
+// and this evaluator is the referee. It is stdlib-only and deliberately
+// small — WITH-clause CTEs built from UNIONs of simple projections, and a
+// final boolean SELECT made of EXISTS subqueries, comparisons, and boolean
+// connectives. Anything outside that subset is a parse error, which keeps
+// the emitter honest about the dialect it claims to target.
+package sqleval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+// Eval parses and evaluates one emitted SQL script against snapshot d.
+// The script must be a single statement: optional WITH clause, then
+// SELECT <boolean expr> AS <name>. Base relations resolve to d's facts
+// with columns c1..cn; CTE names shadow base relations.
+func Eval(script string, d *db.DB) (result bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sqleval: panic: %v", r)
+		}
+	}()
+	toks, err := lex(script)
+	if err != nil {
+		return false, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseScript()
+	if err != nil {
+		return false, err
+	}
+	e := &evaluator{d: d, ctes: make(map[string]*table)}
+	for _, c := range stmt.ctes {
+		t, err := e.evalCTE(c)
+		if err != nil {
+			return false, err
+		}
+		e.ctes[c.name] = t
+	}
+	return e.evalExpr(stmt.result, nil)
+}
+
+// ---------------------------------------------------------------- lexer --
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tPunct // ( ) , . ; = <>
+)
+
+type token struct {
+	kind tokKind
+	val  string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			val, n, err := lexQuoted(src[i:], '\'')
+			if err != nil {
+				return nil, fmt.Errorf("sqleval: at offset %d: %v", i, err)
+			}
+			toks = append(toks, token{tString, val, i})
+			i += n
+		case c == '"':
+			val, n, err := lexQuoted(src[i:], '"')
+			if err != nil {
+				return nil, fmt.Errorf("sqleval: at offset %d: %v", i, err)
+			}
+			toks = append(toks, token{tIdent, val, i})
+			i += n
+		case c == '<' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tPunct, "<>", i})
+			i += 2
+		case strings.IndexByte("(),.;=", c) >= 0:
+			toks = append(toks, token{tPunct, string(c), i})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqleval: unexpected byte %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(src)})
+	return toks, nil
+}
+
+func lexQuoted(src string, q byte) (string, int, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(src) {
+		if src[i] == q {
+			if i+1 < len(src) && src[i+1] == q {
+				b.WriteByte(q)
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		}
+		b.WriteByte(src[i])
+		i++
+	}
+	return "", 0, fmt.Errorf("unterminated %c-quoted token", q)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '$'
+}
+
+// ------------------------------------------------------------------ AST --
+
+type script struct {
+	ctes   []cteDef
+	result expr
+}
+
+type cteDef struct {
+	name    string
+	cols    []string
+	selects []cteSelect
+}
+
+// cteSelect is one UNION arm of a CTE: a projection of string literals and
+// columns from at most one table.
+type cteSelect struct {
+	distinct bool
+	items    []selItem
+	from     string // "" when the arm has no FROM clause
+}
+
+type selItem struct {
+	lit bool
+	val string // literal value or column name
+}
+
+type expr interface{}
+
+type boolLit bool
+
+type notExpr struct{ e expr }
+
+type naryExpr struct {
+	and   bool
+	parts []expr
+}
+
+type cmpExpr struct {
+	neq  bool
+	l, r operand
+}
+
+type existsExpr struct {
+	froms []fromItem
+	where expr // nil means TRUE
+}
+
+type fromItem struct {
+	table, alias string
+}
+
+type operand struct {
+	lit        bool
+	val        string // literal value
+	alias, col string // when !lit
+}
+
+// --------------------------------------------------------------- parser --
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqleval: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// kw reports whether the next token is the given keyword (case-insensitive
+// unquoted identifier) and consumes it if so.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	if t.kind == tIdent && strings.EqualFold(t.val, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return p.errf("expected %s, got %q", word, p.peek().val)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.peek()
+	if t.kind == tPunct && t.val == s {
+		p.i++
+		return nil
+	}
+	return p.errf("expected %q, got %q", s, t.val)
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return "", p.errf("expected identifier, got %q", t.val)
+	}
+	p.i++
+	return t.val, nil
+}
+
+func (p *parser) parseScript() (*script, error) {
+	var s script
+	if p.kw("WITH") {
+		for {
+			c, err := p.parseCTE()
+			if err != nil {
+				return nil, err
+			}
+			s.ctes = append(s.ctes, c)
+			if t := p.peek(); t.kind == tPunct && t.val == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// The contract with the emitter: the one output column is `certain`.
+	// Anything else is not an emitted program and deserves a loud error, not
+	// a silently reinterpreted verdict.
+	if !strings.EqualFold(name, "certain") {
+		return nil, p.errf("result column is %q, want certain", name)
+	}
+	if t := p.peek(); t.kind == tPunct && t.val == ";" {
+		p.i++
+	}
+	if p.peek().kind != tEOF {
+		return nil, p.errf("trailing input %q", p.peek().val)
+	}
+	s.result = e
+	return &s, nil
+}
+
+func (p *parser) parseCTE() (cteDef, error) {
+	var c cteDef
+	name, err := p.ident()
+	if err != nil {
+		return c, err
+	}
+	c.name = name
+	if err := p.expectPunct("("); err != nil {
+		return c, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return c, err
+		}
+		c.cols = append(c.cols, col)
+		if t := p.peek(); t.kind == tPunct && t.val == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return c, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return c, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return c, err
+	}
+	for {
+		sel, err := p.parseCTESelect()
+		if err != nil {
+			return c, err
+		}
+		c.selects = append(c.selects, sel)
+		if !p.kw("UNION") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCTESelect() (cteSelect, error) {
+	var s cteSelect
+	if err := p.expectKw("SELECT"); err != nil {
+		return s, err
+	}
+	s.distinct = p.kw("DISTINCT")
+	for {
+		t := p.peek()
+		switch t.kind {
+		case tString:
+			p.i++
+			s.items = append(s.items, selItem{lit: true, val: t.val})
+		case tIdent:
+			p.i++
+			s.items = append(s.items, selItem{val: t.val})
+		default:
+			return s, p.errf("expected select item, got %q", t.val)
+		}
+		if t := p.peek(); t.kind == tPunct && t.val == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.kw("FROM") {
+		name, err := p.ident()
+		if err != nil {
+			return s, err
+		}
+		s.from = name
+	}
+	return s, nil
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []expr{first}
+	for p.kw("OR") {
+		e, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return naryExpr{and: false, parts: parts}, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []expr{first}
+	for p.kw("AND") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return naryExpr{and: true, parts: parts}, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.kw("NOT") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tIdent && strings.EqualFold(t.val, "TRUE"):
+		p.i++
+		return boolLit(true), nil
+	case t.kind == tIdent && strings.EqualFold(t.val, "FALSE"):
+		p.i++
+		return boolLit(false), nil
+	case t.kind == tIdent && strings.EqualFold(t.val, "EXISTS"):
+		p.i++
+		return p.parseExists()
+	case t.kind == tPunct && t.val == "(":
+		p.i++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return p.parseComparison()
+	}
+}
+
+func (p *parser) parseExists() (expr, error) {
+	var e existsExpr
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tNumber || t.val != "1" {
+		return nil, p.errf("expected SELECT 1 in EXISTS, got %q", t.val)
+	}
+	p.i++
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		alias, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		e.froms = append(e.froms, fromItem{table: tbl, alias: alias})
+		if t := p.peek(); t.kind == tPunct && t.val == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.kw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		e.where = w
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseComparison() (expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tPunct || (t.val != "=" && t.val != "<>") {
+		return nil, p.errf("expected = or <>, got %q", t.val)
+	}
+	p.i++
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{neq: t.val == "<>", l: l, r: r}, nil
+}
+
+func (p *parser) parseOperand() (operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tString:
+		p.i++
+		return operand{lit: true, val: t.val}, nil
+	case tIdent:
+		p.i++
+		if err := p.expectPunct("."); err != nil {
+			return operand{}, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{alias: t.val, col: col}, nil
+	default:
+		return operand{}, p.errf("expected operand, got %q", t.val)
+	}
+}
+
+// ------------------------------------------------------------ evaluator --
+
+type table struct {
+	cols []string
+	rows [][]string
+}
+
+func (t *table) colIndex(name string) (int, bool) {
+	for i, c := range t.cols {
+		if c == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+type evaluator struct {
+	d    *db.DB
+	ctes map[string]*table
+}
+
+// lookup resolves a table reference: CTEs shadow base relations; a base
+// relation materializes d's facts with columns c1..cn.
+func (e *evaluator) lookup(name string) (*table, error) {
+	if t, ok := e.ctes[name]; ok {
+		return t, nil
+	}
+	arity, _, ok := e.d.Signature(name)
+	if !ok {
+		// A relation the query mentions but the snapshot does not host is
+		// simply empty; arity is irrelevant for an empty row set.
+		return &table{}, nil
+	}
+	cols := make([]string, arity)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i+1)
+	}
+	facts := e.d.FactsOf(name)
+	rows := make([][]string, 0, len(facts))
+	for _, f := range facts {
+		rows = append(rows, f.Args)
+	}
+	return &table{cols: cols, rows: rows}, nil
+}
+
+func (e *evaluator) evalCTE(c cteDef) (*table, error) {
+	seen := make(map[string]bool)
+	out := &table{cols: c.cols}
+	for _, sel := range c.selects {
+		rows, err := e.evalCTESelect(sel, len(c.cols))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			key := rowKey(r)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.rows = append(out.rows, r)
+		}
+	}
+	sort.Slice(out.rows, func(i, j int) bool { return rowLess(out.rows[i], out.rows[j]) })
+	return out, nil
+}
+
+func (e *evaluator) evalCTESelect(sel cteSelect, wantCols int) ([][]string, error) {
+	if len(sel.items) != wantCols {
+		return nil, fmt.Errorf("sqleval: CTE arm selects %d items, CTE declares %d columns", len(sel.items), wantCols)
+	}
+	if sel.from == "" {
+		row := make([]string, len(sel.items))
+		for i, it := range sel.items {
+			if !it.lit {
+				return nil, fmt.Errorf("sqleval: column %s selected without a FROM clause", it.val)
+			}
+			row[i] = it.val
+		}
+		return [][]string{row}, nil
+	}
+	src, err := e.lookup(sel.from)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(sel.items))
+	for i, it := range sel.items {
+		if it.lit {
+			idx[i] = -1
+			continue
+		}
+		j, ok := src.colIndex(it.val)
+		if !ok {
+			return nil, fmt.Errorf("sqleval: no column %s in table %s", it.val, sel.from)
+		}
+		idx[i] = j
+	}
+	var rows [][]string
+	seen := map[string]bool{}
+	for _, srcRow := range src.rows {
+		row := make([]string, len(sel.items))
+		for i, it := range sel.items {
+			if idx[i] < 0 {
+				row[i] = it.val
+			} else {
+				row[i] = srcRow[idx[i]]
+			}
+		}
+		if sel.distinct {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// binding is one alias's current row during EXISTS evaluation.
+type binding struct {
+	t   *table
+	row []string
+}
+
+type env map[string]binding
+
+func (e *evaluator) evalExpr(x expr, en env) (bool, error) {
+	switch v := x.(type) {
+	case boolLit:
+		return bool(v), nil
+	case notExpr:
+		b, err := e.evalExpr(v.e, en)
+		return !b, err
+	case naryExpr:
+		for _, p := range v.parts {
+			b, err := e.evalExpr(p, en)
+			if err != nil {
+				return false, err
+			}
+			if v.and && !b {
+				return false, nil
+			}
+			if !v.and && b {
+				return true, nil
+			}
+		}
+		return v.and, nil
+	case cmpExpr:
+		l, err := e.resolveOperand(v.l, en)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.resolveOperand(v.r, en)
+		if err != nil {
+			return false, err
+		}
+		if v.neq {
+			return l != r, nil
+		}
+		return l == r, nil
+	case existsExpr:
+		return e.evalExists(v, en)
+	default:
+		return false, fmt.Errorf("sqleval: unknown expression node %T", x)
+	}
+}
+
+func (e *evaluator) evalExists(x existsExpr, en env) (bool, error) {
+	tables := make([]*table, len(x.froms))
+	for i, f := range x.froms {
+		t, err := e.lookup(f.table)
+		if err != nil {
+			return false, err
+		}
+		if _, shadowed := en[f.alias]; shadowed {
+			return false, fmt.Errorf("sqleval: alias %s shadows an enclosing alias", f.alias)
+		}
+		tables[i] = t
+	}
+	inner := make(env, len(en)+len(x.froms))
+	for k, v := range en {
+		inner[k] = v
+	}
+	var loop func(i int) (bool, error)
+	loop = func(i int) (bool, error) {
+		if i == len(x.froms) {
+			if x.where == nil {
+				return true, nil
+			}
+			return e.evalExpr(x.where, inner)
+		}
+		for _, row := range tables[i].rows {
+			inner[x.froms[i].alias] = binding{t: tables[i], row: row}
+			ok, err := loop(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		delete(inner, x.froms[i].alias)
+		return false, nil
+	}
+	return loop(0)
+}
+
+func (e *evaluator) resolveOperand(o operand, en env) (string, error) {
+	if o.lit {
+		return o.val, nil
+	}
+	b, ok := en[o.alias]
+	if !ok {
+		return "", fmt.Errorf("sqleval: unknown alias %s", o.alias)
+	}
+	i, ok := b.t.colIndex(o.col)
+	if !ok {
+		return "", fmt.Errorf("sqleval: no column %s for alias %s", o.col, o.alias)
+	}
+	return b.row[i], nil
+}
+
+func rowKey(row []string) string {
+	var b strings.Builder
+	for _, v := range row {
+		fmt.Fprintf(&b, "%d:%s|", len(v), v)
+	}
+	return b.String()
+}
+
+func rowLess(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,88 @@
+package sqleval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/db"
+)
+
+func mustDB(t *testing.T, text string) *db.DB {
+	t.Helper()
+	d, err := db.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestEvalBasics exercises the expression grammar directly: literals,
+// boolean connectives, comparisons, EXISTS over base tables, and CTE
+// definitions with UNION set semantics.
+func TestEvalBasics(t *testing.T) {
+	d := mustDB(t, "R(a | b), R(a | c), S(b | d)")
+	cases := []struct {
+		name   string
+		script string
+		want   bool
+	}{
+		{"true", "SELECT TRUE AS certain;", true},
+		{"false", "SELECT FALSE AS certain;", false},
+		{"not", "SELECT NOT FALSE AS certain;", true},
+		{"and or", "SELECT (TRUE AND FALSE) OR TRUE AS certain;", true},
+		{"string eq", "SELECT 'a' = 'a' AS certain;", true},
+		{"string neq", "SELECT 'a' <> 'a' AS certain;", false},
+		{"quote escape", "SELECT 'it''s' = 'it''s' AS certain;", true},
+		{"exists hit", `SELECT EXISTS (SELECT 1 FROM "R" r WHERE r.c1 = 'a') AS certain;`, true},
+		{"exists miss", `SELECT EXISTS (SELECT 1 FROM "R" r WHERE r.c1 = 'z') AS certain;`, false},
+		{"exists join", `SELECT EXISTS (SELECT 1 FROM "R" r, "S" s WHERE r.c2 = s.c1) AS certain;`, true},
+		{"missing table", `SELECT EXISTS (SELECT 1 FROM "T" x) AS certain;`, false},
+		{"comment", "-- header\nSELECT TRUE AS certain;", true},
+		{
+			"cte union dedupe",
+			`WITH
+  vals(v) AS (SELECT c1 FROM "R" UNION SELECT 'a')
+SELECT EXISTS (SELECT 1 FROM vals x WHERE x.v = 'a') AS certain;`,
+			true,
+		},
+		{
+			"cte distinct",
+			`WITH
+  ks(c1) AS (SELECT DISTINCT c1 FROM "R")
+SELECT EXISTS (SELECT 1 FROM ks k WHERE k.c1 = 'a') AS certain;`,
+			true,
+		},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.script, d)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestEvalErrors: malformed scripts fail with errors, never panics, and
+// semantic misuse (alias shadowing, unknown alias) is reported.
+func TestEvalErrors(t *testing.T) {
+	d := mustDB(t, "R(a | b)")
+	for name, script := range map[string]string{
+		"empty":           "",
+		"no certain":      "SELECT TRUE AS sure;",
+		"unclosed string": "SELECT 'a = 'a' AS certain;",
+		"trailing trash":  "SELECT TRUE AS certain; SELECT",
+		"bad cte":         "WITH x AS (SELECT) SELECT TRUE AS certain;",
+		"unknown alias":   `SELECT EXISTS (SELECT 1 FROM "R" r WHERE q.c1 = 'a') AS certain;`,
+		"alias shadowing": `SELECT EXISTS (SELECT 1 FROM "R" r WHERE EXISTS (SELECT 1 FROM "R" r WHERE r.c1 = 'a')) AS certain;`,
+	} {
+		if _, err := Eval(script, d); err == nil {
+			t.Errorf("%s: Eval accepted %q", name, script)
+		}
+	}
+	if _, err := Eval(`SELECT EXISTS (SELECT 1 FROM "R" r WHERE r.c9 = 'a') AS certain;`, d); err == nil || !strings.Contains(err.Error(), "c9") {
+		t.Errorf("unknown column: err = %v, want a c9 mention", err)
+	}
+}

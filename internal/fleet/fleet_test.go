@@ -121,8 +121,8 @@ func byURL(t *testing.T, backs []*scripted, order []*Backend) []*scripted {
 // scripted backends.
 func certainVerdict(version *uint64) server.SolveResponse {
 	return server.SolveResponse{
-		Verdict:   solver.Verdict{Outcome: solver.OutcomeCertain, Result: solver.Result{Certain: true}},
-		DBVersion: version,
+		Envelope: server.Envelope{DBVersion: version},
+		Verdict:  solver.Verdict{Outcome: solver.OutcomeCertain, Result: solver.Result{Certain: true}},
 	}
 }
 
@@ -215,6 +215,63 @@ func TestSolveMatchesSingleNode(t *testing.T) {
 	wv, _ := json.Marshal(want.Verdict)
 	if !bytes.Equal(gv, wv) {
 		t.Fatalf("fleet verdict %s != single-node verdict %s", gv, wv)
+	}
+}
+
+// TestCompilePassThrough: the coordinator relays /v1/compile to a worker —
+// a FO-class query compiles to the same program bytes a single node emits,
+// and a non-FO query's unsupported error passes through verbatim with its
+// classification, without burning failovers.
+func TestCompilePassThrough(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	c := newCoordinator(t, []string{w1.URL, w2.URL}, nil)
+
+	req := server.CompileRequest{Query: "R(x | y), S(y | z)", Dialect: "sql"}
+	rec := doCoord(t, c, "POST", "/v1/compile", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("coordinator compile = %d, body %s", rec.Code, rec.Body)
+	}
+	var got server.CompileResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Program == "" || got.Dialect != "sql" {
+		t.Fatalf("compile response missing program or dialect: %+v", got.Envelope)
+	}
+
+	data, _ := json.Marshal(req)
+	direct, err := http.Post(w1.URL+"/v1/compile", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("direct compile: %v", err)
+	}
+	defer direct.Body.Close()
+	var want server.CompileResponse
+	if err := json.NewDecoder(direct.Body).Decode(&want); err != nil {
+		t.Fatalf("decode direct: %v", err)
+	}
+	if got.Program != want.Program {
+		t.Fatalf("fleet program differs from single-node program:\n%s\nvs\n%s", got.Program, want.Program)
+	}
+
+	// Non-FO: permanent 422 with the classification, zero failovers.
+	rec = doCoord(t, c, "POST", "/v1/compile", server.CompileRequest{
+		Query: "R(u | 'a', x), S(y | x, z), T(x | y), P(x | z)", Dialect: "sql",
+	})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("non-FO compile = %d, want 422 (body %s)", rec.Code, rec.Body)
+	}
+	var body server.ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if body.Code != server.CodeUnsupported {
+		t.Fatalf("code = %q, want unsupported", body.Code)
+	}
+	if body.Class == "" {
+		t.Fatal("unsupported compile error must carry the classification in class")
+	}
+	if got := c.reg.Counter(metricFailovers, obs.L{K: "reason", V: "transport"}).Value(); got != 0 {
+		t.Fatalf("compile errors caused %d transport failovers, want 0", got)
 	}
 }
 

@@ -51,6 +51,7 @@ func (c *Coordinator) buildMux() {
 	m.HandleFunc("/v1/solve", c.handleSolve)
 	m.HandleFunc("/v1/solve/batch", c.handleBatch)
 	m.HandleFunc("/v1/classify", c.handleClassify)
+	m.HandleFunc("/v1/compile", c.handleCompile)
 	m.HandleFunc("/v1/fleet", c.handleFleet)
 	m.HandleFunc("/v1/db", c.handleDB)
 	m.HandleFunc("/v1/db/", c.handleDB)
@@ -146,6 +147,35 @@ func (c *Coordinator) handleClassify(w http.ResponseWriter, r *http.Request) {
 		key = shard.PlacementKey(q)
 	}
 	resp, err := c.routeClassify(r.Context(), key, req.Query)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		relayError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompile passes a rewriting compilation through to a worker.
+// Unsupported-class errors (non-FO queries) relay verbatim, classification
+// code included, so fleet clients get the same fallback signal as
+// single-node clients.
+func (c *Coordinator) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if !c.admit(w, r) {
+		return
+	}
+	var req server.CompileRequest
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &server.ErrorBody{Code: server.CodeMalformed, Message: "body: " + err.Error()})
+		return
+	}
+	key := ""
+	if q, err := cq.ParseQuery(req.Query); err == nil {
+		key = shard.PlacementKey(q)
+	}
+	resp, err := c.routeCompile(r.Context(), key, req.Query, req.Dialect)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return

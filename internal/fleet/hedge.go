@@ -216,3 +216,19 @@ func (c *Coordinator) routeClassify(ctx context.Context, key, query string) (ser
 	}
 	return resp, err
 }
+
+// routeCompile routes one rewriting compilation. Like classification it is
+// query-only, deterministic, and fast on any replica, so it is not hedged
+// either; failover covers dead nodes.
+func (c *Coordinator) routeCompile(ctx context.Context, key, query, dialect string) (server.CompileResponse, error) {
+	resp, err := route(ctx, c, key, false, nil, func(ctx context.Context, b *Backend) (server.CompileResponse, *uint64, error) {
+		r, err := b.client.Compile(ctx, query, dialect)
+		return r, nil, err
+	})
+	if err == nil {
+		c.requests("/v1/compile", "ok").Inc()
+	} else {
+		c.requests("/v1/compile", "error").Inc()
+	}
+	return resp, err
+}

@@ -16,12 +16,99 @@ import (
 //
 // Variables become correlated references to adom rows. The output is
 // suitable for `SELECT <expr>;` in any SQL dialect with EXISTS.
+//
+// String literals use standard ”-doubling and identifiers ""-doubling;
+// backslashes pass through verbatim, which is correct for
+// standard-conforming dialects (set standard_conforming_strings, or avoid
+// MySQL's NO_BACKSLASH_ESCAPES=off). Names or constants containing NUL are
+// rejected outright — like the snapshot parsers, we refuse to emit a byte
+// most engines truncate at.
 func SQL(f Formula) (sql string, err error) {
 	defer containPanic(&err)
 	if free := FreeVars(f); free.Len() > 0 {
 		return "", fmt.Errorf("fo: SQL requires a sentence; free variables %v", free)
 	}
+	if err := rejectNUL(f); err != nil {
+		return "", err
+	}
 	return sqlExpr(f), nil
+}
+
+// rejectNUL walks the sentence and fails on any relation name, constant,
+// or variable containing a NUL byte.
+func rejectNUL(f Formula) error {
+	check := func(what, s string) error {
+		if strings.ContainsRune(s, 0) {
+			return fmt.Errorf("fo: SQL: %s %q contains NUL", what, s)
+		}
+		return nil
+	}
+	checkTerm := func(t cq.Term) error {
+		if t.IsConst {
+			return check("constant", t.Value)
+		}
+		return check("variable", t.Value)
+	}
+	var walk func(Formula) error
+	walk = func(f Formula) error {
+		switch g := f.(type) {
+		case Truth:
+			return nil
+		case Atom:
+			if err := check("relation", g.A.Rel); err != nil {
+				return err
+			}
+			for _, t := range g.A.Args {
+				if err := checkTerm(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		case Eq:
+			if err := checkTerm(g.L); err != nil {
+				return err
+			}
+			return checkTerm(g.R)
+		case Not:
+			return walk(g.F)
+		case And:
+			for _, h := range g.Fs {
+				if err := walk(h); err != nil {
+					return err
+				}
+			}
+			return nil
+		case Or:
+			for _, h := range g.Fs {
+				if err := walk(h); err != nil {
+					return err
+				}
+			}
+			return nil
+		case Implies:
+			if err := walk(g.Hyp); err != nil {
+				return err
+			}
+			return walk(g.Concl)
+		case Exists:
+			for _, v := range g.Vars {
+				if err := check("variable", v); err != nil {
+					return err
+				}
+			}
+			return walk(g.F)
+		case Forall:
+			for _, v := range g.Vars {
+				if err := check("variable", v); err != nil {
+					return err
+				}
+			}
+			return walk(g.F)
+		default:
+			panic(fmt.Sprintf("fo: unknown formula %T", f))
+		}
+	}
+	return walk(f)
 }
 
 func sqlExpr(f Formula) string {
@@ -91,6 +178,8 @@ func sqlTerm(t cq.Term) string {
 	return varAlias(t.Value) + ".v"
 }
 
-func varAlias(v string) string { return "a_" + v }
+// varAlias names the adom row bound to v. Quoted: a variable is
+// user-controlled text and must not break out of identifier position.
+func varAlias(v string) string { return sqlIdent("a_" + v) }
 
 func sqlIdent(name string) string { return `"` + strings.ReplaceAll(name, `"`, `""`) + `"` }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/emit"
+	"github.com/cqa-go/certainty/internal/emit/sqleval"
+)
+
+// decodeCompile parses a 200 compile response.
+func decodeCompile(t *testing.T, rec *httptest.ResponseRecorder) CompileResponse {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp CompileResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode response %s: %v", rec.Body, err)
+	}
+	return resp
+}
+
+// TestCompileEndToEnd drives POST /v1/compile through the full handler:
+// both dialects, the default dialect, the emitted SQL actually evaluating
+// to the solver's verdict, and the typed non-FO refusal.
+func TestCompileEndToEnd(t *testing.T) {
+	s := New(Config{})
+	const query = "R(x | y), S(y | z)"
+
+	sqlResp := decodeCompile(t, doJSON(t, s, nil, "POST", "/v1/compile", CompileRequest{Query: query, Dialect: "sql"}))
+	if sqlResp.Dialect != "sql" || sqlResp.Program == "" {
+		t.Fatalf("sql response = %+v", sqlResp)
+	}
+	if sqlResp.Class.Code() != "fo" || sqlResp.Method == "" {
+		t.Fatalf("envelope = %+v, want class fo with a method", sqlResp.Envelope)
+	}
+	if sqlResp.SchemaNotes == "" || !strings.Contains(sqlResp.SchemaNotes, "c1") {
+		t.Fatalf("schema notes missing the column convention: %q", sqlResp.SchemaNotes)
+	}
+
+	dlResp := decodeCompile(t, doJSON(t, s, nil, "POST", "/v1/compile", CompileRequest{Query: query, Dialect: "datalog"}))
+	if dlResp.Dialect != "datalog" || !strings.Contains(dlResp.Program, "certain") {
+		t.Fatalf("datalog response = %+v", dlResp)
+	}
+
+	defResp := decodeCompile(t, doJSON(t, s, nil, "POST", "/v1/compile", CompileRequest{Query: query}))
+	if defResp.Dialect != "sql" || defResp.Program != sqlResp.Program {
+		t.Fatalf("default dialect must be sql with the identical program")
+	}
+
+	// The compiled program is executable: evaluate it against a snapshot and
+	// compare with what /v1/solve says for the same instance.
+	const dbText = "R(a | b), R(a | c), S(b | d), S(c | d)"
+	d, err := db.Parse(dbText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sqleval.Eval(sqlResp.Program, d)
+	if err != nil {
+		t.Fatalf("evaluating emitted SQL: %v", err)
+	}
+	got2, err := emit.EvalDatalog(dlResp.Program, d)
+	if err != nil {
+		t.Fatalf("evaluating emitted Datalog: %v", err)
+	}
+	solve := decodeSolve(t, doJSON(t, s, nil, "POST", "/v1/solve", SolveRequest{Query: query, DB: dbText}))
+	if got != solve.Verdict.Result.Certain || got2 != solve.Verdict.Result.Certain {
+		t.Fatalf("emitted programs (sql %v, datalog %v) disagree with /v1/solve (%v)",
+			got, got2, solve.Verdict.Result.Certain)
+	}
+
+	// Non-FO: typed 422 carrying the classification for the solve fallback.
+	body := decodeError(t,
+		doJSON(t, s, nil, "POST", "/v1/compile", CompileRequest{Query: q0Text(), Dialect: "sql"}),
+		http.StatusUnprocessableEntity, CodeUnsupported)
+	if body.Class != "conp-complete" {
+		t.Fatalf("unsupported class = %q, want conp-complete", body.Class)
+	}
+	if !strings.Contains(body.Message, "/v1/solve") {
+		t.Fatalf("message should point at the fallback: %q", body.Message)
+	}
+
+	// Bad dialect and bad query are malformed, not unsupported.
+	decodeError(t, doJSON(t, s, nil, "POST", "/v1/compile", CompileRequest{Query: query, Dialect: "cobol"}),
+		http.StatusBadRequest, CodeMalformed)
+	decodeError(t, doJSON(t, s, nil, "POST", "/v1/compile", CompileRequest{Query: "R(x |"}),
+		http.StatusBadRequest, CodeMalformed)
+}
+
+// TestClassifyGet covers the read-only GET alias: same body as the POST
+// form, an explicit cache policy (classification is pure per query), and
+// the malformed cases.
+func TestClassifyGet(t *testing.T) {
+	s := New(Config{})
+
+	rec := doJSON(t, s, nil, "GET", "/v1/classify?q="+url.QueryEscape("R(x | y), S(y | z)"), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET classify = %d, body %s", rec.Code, rec.Body)
+	}
+	if cc := rec.Header().Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Fatalf("Cache-Control = %q, want a max-age (classification is pure per query)", cc)
+	}
+	var get ClassifyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &get); err != nil {
+		t.Fatal(err)
+	}
+
+	post := doJSON(t, s, nil, "POST", "/v1/classify", ClassifyRequest{Query: "R(x | y), S(y | z)"})
+	if post.Code != http.StatusOK {
+		t.Fatalf("POST classify = %d", post.Code)
+	}
+	if get.Class != mustDecodeClassify(t, post).Class || !bytesEqualJSON(rec.Body.Bytes(), post.Body.Bytes()) {
+		t.Fatalf("GET and POST classify disagree:\n%s\nvs\n%s", rec.Body, post.Body)
+	}
+	if cc := post.Header().Get("Cache-Control"); cc != "" {
+		t.Fatalf("POST classify must not claim cacheability, got %q", cc)
+	}
+
+	rec = doJSON(t, s, nil, "GET", "/v1/classify", nil)
+	decodeError(t, rec, http.StatusBadRequest, CodeMalformed)
+	if rec.Header().Get("Cache-Control") != "" {
+		t.Fatal("errors must not carry the cache policy")
+	}
+	decodeError(t, doJSON(t, s, nil, "GET", "/v1/classify?q=R(x%20%7C", nil),
+		http.StatusBadRequest, CodeMalformed)
+}
+
+func mustDecodeClassify(t *testing.T, rec *httptest.ResponseRecorder) ClassifyResponse {
+	t.Helper()
+	var resp ClassifyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func bytesEqualJSON(a, b []byte) bool {
+	return strings.TrimSpace(string(a)) == strings.TrimSpace(string(b))
+}
+
+// TestEnvelopeGolden locks the exact JSON wire shapes of the enveloped
+// responses. These bytes are the compatibility contract: pre-envelope
+// clients decode the same field names at the same positions, so any diff
+// here is a breaking API change and must be treated as one.
+func TestEnvelopeGolden(t *testing.T) {
+	v42 := uint64(42)
+	cases := []struct {
+		name string
+		in   any
+		want string
+	}{
+		{
+			"solve cached",
+			SolveResponse{
+				Envelope:  Envelope{Class: 0, Method: "fo-rewriting", DBVersion: &v42, Cached: true},
+				ElapsedMS: 0,
+			},
+			`{"class":"fo","method":"fo-rewriting","db_version":42,"cached":true,"verdict":{"outcome":"certain","result":{"certain":false,"method":"fo-rewriting","classification":{"class":"fo"},"simplified_class":"fo"}},"elapsed_ms":0}`,
+		},
+		{
+			"solve delta",
+			SolveResponse{
+				Envelope:  Envelope{Class: 0, Method: "fo-rewriting", Delta: true},
+				ElapsedMS: 7,
+			},
+			`{"class":"fo","method":"fo-rewriting","delta":true,"verdict":{"outcome":"certain","result":{"certain":false,"method":"fo-rewriting","classification":{"class":"fo"},"simplified_class":"fo"}},"elapsed_ms":7}`,
+		},
+		{
+			"classify",
+			ClassifyResponse{Envelope: Envelope{Class: 0}, Reason: "acyclic attack graph", InP: true},
+			`{"class":"fo","reason":"acyclic attack graph","in_p":true}`,
+		},
+		{
+			"compile",
+			CompileResponse{
+				Envelope:    Envelope{Class: 0, Method: "fo-rewriting"},
+				Dialect:     "sql",
+				Program:     "SELECT TRUE AS certain;",
+				SchemaNotes: "tables R(c1..cn)",
+			},
+			`{"class":"fo","method":"fo-rewriting","dialect":"sql","program":"SELECT TRUE AS certain;","schema_notes":"tables R(c1..cn)"}`,
+		},
+	}
+	for _, c := range cases {
+		got, err := json.Marshal(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if string(got) != c.want {
+			t.Errorf("%s wire shape changed:\n got  %s\n want %s", c.name, got, c.want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/cqa-go/certainty/internal/core"
 	"github.com/cqa-go/certainty/internal/cq"
 	"github.com/cqa-go/certainty/internal/db"
+	"github.com/cqa-go/certainty/internal/emit"
 	"github.com/cqa-go/certainty/internal/govern"
 	"github.com/cqa-go/certainty/internal/intern"
 	"github.com/cqa-go/certainty/internal/lru"
@@ -252,6 +253,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /v1/classify", s.handleClassifyGet)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	// The durable hosted database (404 with a hint unless certd was started
 	// with -data-dir; see db.go in this package).
@@ -549,7 +552,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.verdicts != nil {
 		vkey = verdictKey(q, d)
 		if v, ok := s.verdicts.get(vkey); ok {
-			resp := SolveResponse{Verdict: v, Cached: true, DBVersion: dbVersion}
+			resp := SolveResponse{
+				Envelope: Envelope{
+					Class:     cls.Class,
+					Method:    methodCode(v.Result.Method),
+					DBVersion: dbVersion,
+					Cached:    true,
+				},
+				Verdict: v,
+			}
 			if clamped.Any() {
 				resp.Clamped = &ClampReport{
 					Timeout:   clamped.Timeout,
@@ -651,7 +662,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.countSolve(cls.Class.Code(), v)
 	s.reg.Histogram(metricSolveSeconds, nil, obs.L{K: "class", V: cls.Class.Code()}).Observe(elapsed.Seconds())
 
-	resp := SolveResponse{Verdict: v, ElapsedMS: elapsed.Milliseconds(), DBVersion: dbVersion, Delta: delta}
+	resp := SolveResponse{
+		Envelope: Envelope{
+			Class:     cls.Class,
+			Method:    methodCode(v.Result.Method),
+			DBVersion: dbVersion,
+			Delta:     delta,
+		},
+		Verdict:   v,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
 	switch mode {
 	case modeShortCircuit:
 		resp.Breaker = BreakerOpen
@@ -706,7 +726,30 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeMalformed, "body: "+err.Error())
 		return
 	}
-	q, err := cq.ParseQuery(req.Query)
+	s.respondClassify(w, req.Query, false)
+}
+
+// handleClassifyGet is the read-only alias GET /v1/classify?q=<query>.
+// Classification is pure — the same query text always classifies the same
+// way, independent of any database — so successful GET responses carry
+// Cache-Control and may be cached indefinitely by clients and
+// intermediaries.
+func (s *Server) handleClassifyGet(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeShutdown, "server is draining")
+		return
+	}
+	query := r.URL.Query().Get("q")
+	if query == "" {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "missing query parameter q")
+		return
+	}
+	s.respondClassify(w, query, true)
+}
+
+// respondClassify is the shared tail of both classify endpoints.
+func (s *Server) respondClassify(w http.ResponseWriter, query string, cacheable bool) {
+	q, err := cq.ParseQuery(query)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeMalformed, "query: "+err.Error())
 		return
@@ -716,7 +759,90 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, CodeUnsupported, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, ClassifyResponse{Class: cls.Class, Reason: cls.Reason, InP: cls.Class.InP()})
+	if cacheable {
+		w.Header().Set("Cache-Control", "public, max-age=86400")
+	}
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Envelope: Envelope{Class: cls.Class},
+		Reason:   cls.Reason,
+		InP:      cls.Class.InP(),
+	})
+}
+
+// handleCompile lowers the query's consistent first-order rewriting to an
+// executable backend program (SQL or Datalog). Compilation is per-query
+// work with no database involved, so like classify it bypasses the worker
+// pool; plans come from the shared compiled-plan cache, so a query that is
+// later solved natively pays classification only once.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeShutdown, "server is draining")
+		return
+	}
+	var req CompileRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "body: "+err.Error())
+		return
+	}
+	dialect := req.Dialect
+	if dialect == "" {
+		dialect = emit.DialectSQL
+	}
+	if dialect != emit.DialectSQL && dialect != emit.DialectDatalog {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed,
+			fmt.Sprintf("dialect: unknown dialect %q (want %q or %q)", dialect, emit.DialectSQL, emit.DialectDatalog))
+		return
+	}
+	q, err := cq.ParseQuery(req.Query)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeMalformed, "query: "+err.Error())
+		return
+	}
+	p, err := s.plans.Get(r.Context(), q)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, CodeUnsupported, err.Error())
+		return
+	}
+	var prog emit.Program
+	switch dialect {
+	case emit.DialectSQL:
+		prog, err = p.EmitSQL()
+	case emit.DialectDatalog:
+		prog, err = p.EmitDatalog()
+	}
+	if err != nil {
+		// Outside the FO class there is no rewriting to ship; the error
+		// carries the classification so the caller can fall back to
+		// /v1/solve without a second round trip.
+		var ne *solver.NotEmittableError
+		if errors.As(err, &ne) {
+			s.writeErrorBody(w, http.StatusUnprocessableEntity, &ErrorBody{
+				Code: CodeUnsupported,
+				Message: fmt.Sprintf("CERTAINTY(q) is %s: no first-order rewriting exists; fall back to /v1/solve",
+					ne.Classification.Class.Code()),
+				Class: ne.Classification.Class.Code(),
+			})
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Envelope:    Envelope{Class: p.Class, Method: methodCode(p.Method)},
+		Dialect:     dialect,
+		Program:     prog.Text,
+		SchemaNotes: prog.SchemaNotes,
+	})
+}
+
+// methodCode renders a solver method's wire code ("" if unknown).
+func methodCode(m solver.Method) string {
+	b, err := m.MarshalText()
+	if err != nil {
+		return ""
+	}
+	return string(b)
 }
 
 func (s *Server) health() HealthResponse {

@@ -117,6 +117,11 @@ type ErrorBody struct {
 	// is actually at, so a CAS client can re-read and decide again without
 	// an extra round trip.
 	Version uint64 `json:"version,omitempty"`
+	// Class is set on unsupported-compile responses: the wire code of the
+	// query's complexity classification (e.g. "conp-complete"), so a caller
+	// whose query has no FO rewriting can decide to fall back to /v1/solve
+	// without a second classification round trip.
+	Class string `json:"class,omitempty"`
 }
 
 // Error renders the error body.
@@ -176,32 +181,47 @@ const (
 	BreakerProbe = "probe"
 )
 
+// Envelope is the response envelope shared by every per-query /v1 read
+// endpoint (/v1/solve, /v1/classify, /v1/compile). It grew ad hoc across
+// PRs — class on classify, cached/db_version/delta on solve — so it is now
+// one documented struct, embedded by each response type; the JSON field
+// names are unchanged, so pre-envelope clients keep decoding byte-identical
+// shapes.
+type Envelope struct {
+	// Class is the wire code of the query's complexity classification
+	// (e.g. "fo", "conp-complete"); see core.Class.
+	Class core.Class `json:"class"`
+	// Method is the wire code of the decision method the class selects
+	// (e.g. "fo-rewriting", "safe-rewriting"). Empty on /v1/classify, which
+	// reports the class without committing to an execution plan.
+	Method string `json:"method,omitempty"`
+	// DBVersion is set when the request ran against the hosted database
+	// (empty DB on a server started with -data-dir): the version of the
+	// snapshot it was answered from.
+	DBVersion *uint64 `json:"db_version,omitempty"`
+	// Cached is true when the answer was served from a server-side cache
+	// without recomputation. Cached answers are exact: the verdict cache
+	// stores only conclusive verdicts, keyed on canonical query plus
+	// database content digest, and classification is pure per query.
+	Cached bool `json:"cached,omitempty"`
+	// Delta is true when a verdict was assembled incrementally: the solve
+	// reused at least one memoized shard sub-verdict instead of recomputing
+	// every shard. Still exact — reused sub-verdicts are content-addressed
+	// by shard fingerprint.
+	Delta bool `json:"delta,omitempty"`
+}
+
 // SolveResponse carries the three-valued verdict plus the service-level
 // envelope. The verdict is exactly solver.Verdict's wire form, so remote
 // and local solves surface identically.
 type SolveResponse struct {
+	Envelope
 	Verdict solver.Verdict `json:"verdict"`
 	// Clamped is present when the server tightened the requested limits.
 	Clamped *ClampReport `json:"clamped,omitempty"`
 	// Breaker is "" for a normal solve, BreakerOpen for a short-circuited
 	// degraded answer, BreakerProbe for a half-open recovery probe.
 	Breaker string `json:"breaker,omitempty"`
-	// Cached is true when the verdict was served from the verdict cache
-	// (same canonical query, same database content digest) without running
-	// a solve. Only conclusive verdicts are ever cached, so a cached answer
-	// is exact regardless of the request's budget or deadline.
-	Cached bool `json:"cached,omitempty"`
-	// DBVersion is set when the solve ran against the hosted database
-	// (request with an empty DB on a server started with -data-dir): the
-	// version of the snapshot the verdict was computed on.
-	DBVersion *uint64 `json:"db_version,omitempty"`
-	// Delta is true when the verdict was assembled incrementally: the solve
-	// reused at least one memoized shard sub-verdict instead of recomputing
-	// every shard (hosted solves on a server with delta re-solve enabled).
-	// The verdict is still exact — reused sub-verdicts are content-addressed
-	// by shard fingerprint, so they are byte-identical to what a full
-	// re-solve would compute.
-	Delta bool `json:"delta,omitempty"`
 	// ElapsedMS is the server-side solve latency in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
@@ -318,11 +338,42 @@ type ClassifyRequest struct {
 }
 
 // ClassifyResponse reports the Koutris–Wijsen-style classification of the
-// query: the class of CERTAINTY(q) and whether it is tractable.
+// query: the class of CERTAINTY(q) and whether it is tractable. The class
+// itself travels in the shared Envelope.
 type ClassifyResponse struct {
-	Class  core.Class `json:"class"`
-	Reason string     `json:"reason,omitempty"`
-	InP    bool       `json:"in_p"`
+	Envelope
+	Reason string `json:"reason,omitempty"`
+	InP    bool   `json:"in_p"`
+}
+
+// CompileRequest asks the server to compile the query's consistent
+// first-order rewriting to an executable backend program
+// (POST /v1/compile). Compilation is per-query work — no database is
+// involved — so, like classification, these requests bypass the worker
+// pool.
+type CompileRequest struct {
+	// Query in the textual query language, e.g. "R(x | y), S(y | x)".
+	Query string `json:"query"`
+	// Dialect selects the backend language: "sql" (default) or "datalog".
+	Dialect string `json:"dialect,omitempty"`
+}
+
+// CompileResponse carries the emitted program. Only FO-class queries
+// compile; for any other class the endpoint answers 422 with
+// code="unsupported" and the classification's wire code in
+// ErrorBody.Class, so the caller can fall back to /v1/solve.
+type CompileResponse struct {
+	Envelope
+	// Dialect echoes the emitted dialect ("sql" or "datalog").
+	Dialect string `json:"dialect"`
+	// Program is the complete, self-contained program text: for SQL one
+	// statement whose single boolean column `certain` is the certain
+	// answer; for Datalog a stratified rule set whose goal predicate
+	// `certain` is derived iff the query is certain.
+	Program string `json:"program"`
+	// SchemaNotes documents the schema convention the program assumes
+	// (table/predicate naming, column order, key prefix).
+	SchemaNotes string `json:"schema_notes,omitempty"`
 }
 
 // HealthResponse is the body of /healthz and /readyz.

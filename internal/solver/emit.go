@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cqa-go/certainty/internal/core"
+	"github.com/cqa-go/certainty/internal/cq"
+	"github.com/cqa-go/certainty/internal/emit"
+	"github.com/cqa-go/certainty/internal/fo"
+)
+
+// ErrNotEmittable reports that a plan's query is outside the FO class, so
+// no first-order rewriting exists to compile to a backend. Callers should
+// fall back to native solving (/v1/solve).
+var ErrNotEmittable = errors.New("solver: query is not in the FO class; no rewriting to emit")
+
+// NotEmittableError wraps ErrNotEmittable with the query's classification
+// so callers (the /v1/compile handler) can report which class the query
+// landed in.
+type NotEmittableError struct {
+	Classification core.Classification
+}
+
+func (e *NotEmittableError) Error() string {
+	return fmt.Sprintf("%v (class %s)", ErrNotEmittable, e.Classification.Class.Code())
+}
+
+func (e *NotEmittableError) Unwrap() error { return ErrNotEmittable }
+
+// EmitSQL lowers the plan's first-order rewriting to a self-contained SQL
+// statement (see internal/emit). Only FO-class plans are emittable; others
+// return a *NotEmittableError carrying the classification.
+func (p *Plan) EmitSQL() (emit.Program, error) {
+	q, phi, method, err := p.rewriting()
+	if err != nil {
+		return emit.Program{}, err
+	}
+	return emit.SQL(q, phi, method)
+}
+
+// EmitDatalog lowers the plan's first-order rewriting to a stratified
+// Datalog program (see internal/emit). Only FO-class plans are emittable;
+// others return a *NotEmittableError carrying the classification.
+func (p *Plan) EmitDatalog() (emit.Program, error) {
+	q, phi, method, err := p.rewriting()
+	if err != nil {
+		return emit.Program{}, err
+	}
+	return emit.Datalog(q, phi, method)
+}
+
+// rewriting reconstructs the plan's FO rewriting over the canonicalized
+// query. Canonicalizing first (sorted atoms, renamed variables) makes the
+// emitted program invariant under atom-order shuffles of the input query.
+func (p *Plan) rewriting() (cq.Query, fo.Formula, string, error) {
+	if p.Class != core.ClassFO {
+		return cq.Query{}, nil, "", &NotEmittableError{Classification: p.cls}
+	}
+	canon, _ := cq.Canonicalize(p.Query)
+	code, err := p.Method.MarshalText()
+	if err != nil {
+		return cq.Query{}, nil, "", err
+	}
+	var phi fo.Formula
+	switch p.Method {
+	case MethodSafeRewriting:
+		phi, err = fo.RewriteSafe(canon)
+	case MethodFO:
+		phi, err = fo.RewriteAcyclic(canon)
+	default:
+		return cq.Query{}, nil, "", fmt.Errorf("solver: FO-class plan with unexpected method %s", code)
+	}
+	if err != nil {
+		return cq.Query{}, nil, "", fmt.Errorf("solver: rebuilding rewriting: %w", err)
+	}
+	return canon, phi, string(code), nil
+}
